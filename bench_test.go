@@ -1,0 +1,189 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see the per-experiment index in DESIGN.md), plus
+// micro-benchmarks for the expensive substrates (TED, pq-grams, O(NP)
+// diff, preprocessing, full-unit indexing).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks share one experiment environment, so indexes and
+// divergence matrices are computed once and reused — the numbers measure
+// regeneration cost, with the first iteration paying the real pipeline
+// cost.
+package silvervale
+
+import (
+	"math/rand"
+	"testing"
+
+	"silvervale/internal/core"
+	"silvervale/internal/corpus"
+	"silvervale/internal/experiments"
+	"silvervale/internal/minic"
+	"silvervale/internal/seqdiff"
+	"silvervale/internal/ted"
+	"silvervale/internal/tree"
+)
+
+var benchEnv = experiments.NewEnv()
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := benchEnv.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Text) == 0 {
+			b.Fatal("empty experiment output")
+		}
+	}
+}
+
+// --- one benchmark per table / figure ----------------------------------------
+
+func BenchmarkTable1Metrics(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkTable2MiniApps(b *testing.B)  { benchExperiment(b, "table2") }
+func BenchmarkTable3Platforms(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkFig1TEDExample(b *testing.B)  { benchExperiment(b, "fig1") }
+func BenchmarkFig4TeaLeafTsem(b *testing.B) { benchExperiment(b, "fig4") }
+func BenchmarkFig5TeaLeafAllMetrics(b *testing.B) {
+	benchExperiment(b, "fig5")
+}
+func BenchmarkFig6FortranDendrograms(b *testing.B) {
+	benchExperiment(b, "fig6")
+}
+func BenchmarkFig7MiniBUDEHeatmap(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8CloverLeafHeatmap(b *testing.B) { benchExperiment(b, "fig8") }
+func BenchmarkFig9FromSerial(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFig10FromCUDA(b *testing.B)         { benchExperiment(b, "fig10") }
+func BenchmarkFig11TeaLeafCascade(b *testing.B)   { benchExperiment(b, "fig11") }
+func BenchmarkFig12CloverLeafCascade(b *testing.B) {
+	benchExperiment(b, "fig12")
+}
+func BenchmarkFig13CloverLeafNavigation(b *testing.B) {
+	benchExperiment(b, "fig13")
+}
+func BenchmarkFig14TeaLeafNavigation(b *testing.B) {
+	benchExperiment(b, "fig14")
+}
+func BenchmarkFig15Scenario(b *testing.B)      { benchExperiment(b, "fig15") }
+func BenchmarkAblationTEDCosts(b *testing.B)   { benchExperiment(b, "ablation-costs") }
+func BenchmarkAblationPQGramMode(b *testing.B) { benchExperiment(b, "ablation-approx") }
+
+// --- substrate micro-benchmarks -----------------------------------------------
+
+func randomBenchTree(r *rand.Rand, n int) *tree.Node {
+	labels := []string{"A", "B", "C", "D", "E", "F"}
+	nodes := []*tree.Node{tree.New(labels[0])}
+	for i := 1; i < n; i++ {
+		parent := nodes[r.Intn(len(nodes))]
+		child := tree.New(labels[r.Intn(len(labels))])
+		parent.Add(child)
+		nodes = append(nodes, child)
+	}
+	return nodes[0]
+}
+
+func BenchmarkTEDMedium(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	t1 := randomBenchTree(r, 300)
+	t2 := randomBenchTree(r, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ted.Distance(t1, t2)
+	}
+}
+
+func BenchmarkTEDUnitScale(b *testing.B) {
+	r := rand.New(rand.NewSource(11))
+	t1 := randomBenchTree(r, 1500)
+	t2 := randomBenchTree(r, 1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ted.Distance(t1, t2)
+	}
+}
+
+// BenchmarkTEDvsPQGram is the ablation for the paper's future-work note on
+// TED memory/time: the pq-gram approximation against exact TED on the same
+// inputs.
+func BenchmarkTEDvsPQGramApprox(b *testing.B) {
+	r := rand.New(rand.NewSource(13))
+	t1 := randomBenchTree(r, 1500)
+	t2 := randomBenchTree(r, 1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ted.ApproxDistance(t1, t2)
+	}
+}
+
+func BenchmarkLCSDiff(b *testing.B) {
+	r := rand.New(rand.NewSource(17))
+	mk := func() []string {
+		lines := make([]string, 2000)
+		for i := range lines {
+			lines[i] = string(rune('a' + r.Intn(6)))
+		}
+		return lines
+	}
+	a, c := mk(), mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = seqdiff.LCSStrings(a, c)
+	}
+}
+
+func BenchmarkPreprocessSYCLUnit(b *testing.B) {
+	app, err := corpus.AppByName("babelstream")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cb, err := corpus.Generate(app, corpus.SYCLACC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	provider := &minic.MapProvider{Files: cb.Files, System: cb.System}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pp := minic.NewPreprocessor(provider, nil)
+		if _, err := pp.Preprocess("main.cpp"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexTeaLeafCUDA(b *testing.B) {
+	app, err := corpus.AppByName("tealeaf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cb, err := corpus.Generate(app, corpus.CUDA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.IndexCodebase(cb, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoverageRun(b *testing.B) {
+	app, err := corpus.AppByName("babelstream")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cb, err := corpus.Generate(app, corpus.Serial)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunCoverage(cb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Command silvervale is the end-to-end CLI over the TBMD analysis
+// framework: generate corpus codebases, index them into semantic-bearing
+// trees, compare models, cluster, compute Φ, and regenerate every table and
+// figure of the paper.
+//
+// Usage:
+//
+//	silvervale list
+//	silvervale generate <app> <model> -o <dir>
+//	silvervale index <app> <model> [-coverage] [-db <file>]
+//	silvervale diverge <app> <modelA> <modelB> [-metric <m>]
+//	silvervale matrix <app> [-metric <m>]
+//	silvervale phi <app>
+//	silvervale experiment <id>|all
+//	silvervale dump <app> <model> [-tree <metric>]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"silvervale/internal/cluster"
+	"silvervale/internal/core"
+	"silvervale/internal/corpus"
+	"silvervale/internal/experiments"
+	"silvervale/internal/perf"
+	"silvervale/internal/textplot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "silvervale:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "list":
+		return cmdList()
+	case "generate":
+		return cmdGenerate(args[1:])
+	case "index":
+		return cmdIndex(args[1:])
+	case "diverge":
+		return cmdDiverge(args[1:])
+	case "matrix":
+		return cmdMatrix(args[1:])
+	case "phi":
+		return cmdPhi(args[1:])
+	case "experiment":
+		return cmdExperiment(args[1:])
+	case "ingest":
+		return cmdIngest(args[1:])
+	case "dump":
+		return cmdDump(args[1:])
+	case "help", "-h", "--help":
+		return usage()
+	default:
+		return fmt.Errorf("unknown command %q (try: silvervale help)", args[0])
+	}
+}
+
+func usage() error {
+	fmt.Println(`silvervale — Tree-Based Model Divergence analysis framework
+
+commands:
+  list                                   apps, models, metrics, experiments
+  generate <app> <model> -o <dir>        write a codebase + compile_commands.json
+  index <app> <model> [-coverage] [-db]  index into semantic-bearing trees
+  diverge <app> <A> <B> [-metric m]      divergence of B from A
+  matrix <app> [-metric m]               cartesian divergence, heatmap, dendrogram
+  phi <app>                              cascade plot and per-model phi
+  experiment <id>|all                    regenerate a paper table/figure
+  ingest <dir>                           index a directory via its compile_commands.json
+  dump <app> <model> [-tree m]           pretty-print a unit's tree`)
+	return nil
+}
+
+func cmdList() error {
+	fmt.Println("mini-apps:")
+	for _, app := range corpus.Apps() {
+		var models []string
+		for _, m := range corpus.ModelsFor(app) {
+			models = append(models, string(m))
+		}
+		fmt.Printf("  %-22s (%s, %s, %d kernels): %s\n",
+			app.Name, app.Lang, app.Type, len(app.Kernels), strings.Join(models, " "))
+	}
+	fmt.Println("metrics:", strings.Join(core.Metrics(), " "))
+	fmt.Println("experiments:", strings.Join(experiments.IDs(), " "))
+	return nil
+}
+
+func generateCodebase(appName, model string) (*corpus.Codebase, error) {
+	app, err := corpus.AppByName(appName)
+	if err != nil {
+		return nil, err
+	}
+	return corpus.Generate(app, corpus.Model(model))
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	out := fs.String("o", "", "output directory (required)")
+	pos, err := splitArgs(fs, args, 2)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("generate: -o <dir> is required")
+	}
+	cb, err := generateCodebase(pos[0], pos[1])
+	if err != nil {
+		return err
+	}
+	for _, name := range cb.FileNames() {
+		path := filepath.Join(*out, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, []byte(cb.Source(name)), 0o644); err != nil {
+			return err
+		}
+	}
+	ccJSON, err := cb.CompileCommands(*out).Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*out, "compile_commands.json"), ccJSON, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d files + compile_commands.json to %s\n", len(cb.Files), *out)
+	return nil
+}
+
+func cmdIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ContinueOnError)
+	withCov := fs.Bool("coverage", false, "run the serial interpreter for a coverage mask")
+	dbOut := fs.String("db", "", "write the Codebase DB (gzip+msgpack) to this file")
+	pos, err := splitArgs(fs, args, 2)
+	if err != nil {
+		return err
+	}
+	cb, err := generateCodebase(pos[0], pos[1])
+	if err != nil {
+		return err
+	}
+	opts := core.Options{}
+	if *withCov {
+		prof, err := core.RunCoverage(cb)
+		if err != nil {
+			return fmt.Errorf("coverage run: %w", err)
+		}
+		opts.Coverage = prof
+	}
+	idx, err := core.IndexCodebase(cb, opts)
+	if err != nil {
+		return err
+	}
+	for _, u := range idx.Units {
+		fmt.Printf("unit %-16s role=%-8s sloc=%-5d lloc=%-5d", u.File, u.Role, u.SLOC, u.LLOC)
+		for _, m := range core.TreeMetrics() {
+			if t, ok := u.Trees[m]; ok {
+				fmt.Printf(" %s=%d", m, t.Size())
+			}
+		}
+		fmt.Println()
+	}
+	if err := core.SelfCheck(idx); err != nil {
+		return err
+	}
+	fmt.Println("self-check: divergence against itself is zero for all metrics")
+	if *dbOut != "" {
+		db := idx.ToDB()
+		if err := db.Save(*dbOut); err != nil {
+			return err
+		}
+		fmt.Println("codebase DB written to", *dbOut)
+	}
+	return nil
+}
+
+func cmdDiverge(args []string) error {
+	fs := flag.NewFlagSet("diverge", flag.ContinueOnError)
+	metric := fs.String("metric", "", "single metric (default: all)")
+	pos, err := splitArgs(fs, args, 3)
+	if err != nil {
+		return err
+	}
+	a, err := generateCodebase(pos[0], pos[1])
+	if err != nil {
+		return err
+	}
+	b, err := generateCodebase(pos[0], pos[2])
+	if err != nil {
+		return err
+	}
+	ia, err := core.IndexCodebase(a, core.Options{})
+	if err != nil {
+		return err
+	}
+	ib, err := core.IndexCodebase(b, core.Options{})
+	if err != nil {
+		return err
+	}
+	metrics := core.Metrics()
+	if *metric != "" {
+		metrics = []string{*metric}
+	}
+	for _, m := range metrics {
+		d, err := core.Diverge(ia, ib, m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s raw=%-10.0f dmax=%-10.0f norm=%.4f\n", m, d.Raw, d.DMax, d.Norm)
+	}
+	return nil
+}
+
+func cmdMatrix(args []string) error {
+	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
+	metric := fs.String("metric", core.MetricTsem, "metric")
+	pos, err := splitArgs(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	env := experiments.NewEnv()
+	m, order, err := env.Matrix(pos[0], *metric)
+	if err != nil {
+		return err
+	}
+	fmt.Println(textplot.Heatmap(order, order, m))
+	root, err := cluster.Agglomerate(order, cluster.EuclideanFromMatrix(m))
+	if err != nil {
+		return err
+	}
+	fmt.Println(cluster.Render(root))
+	return nil
+}
+
+func cmdPhi(args []string) error {
+	fs := flag.NewFlagSet("phi", flag.ContinueOnError)
+	pos, err := splitArgs(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	app := pos[0]
+	plats := perf.Platforms()
+	for _, m := range corpus.CXXModels() {
+		pts := perf.Cascade(app, m, plats)
+		fmt.Printf("%-12s phi=%.3f cascade:", m, perf.AppPhi(app, m, plats))
+		for _, p := range pts {
+			fmt.Printf(" %s=%.2f", p.Platform, p.Eff)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("experiment: exactly one id (or 'all') required")
+	}
+	env := experiments.NewEnv()
+	ids := []string{args[0]}
+	if args[0] == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		res, err := env.Run(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("==== %s: %s ====\n%s\n", res.ID, res.Title, res.Text)
+	}
+	return nil
+}
+
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ContinueOnError)
+	pos, err := splitArgs(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	idx, err := core.IngestDirectory(pos[0], core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ingested %s (app=%s model=%s)\n", pos[0], idx.Codebase, idx.Model)
+	for _, u := range idx.Units {
+		fmt.Printf("unit %-20s role=%-10s sloc=%-5d lloc=%-5d", u.File, u.Role, u.SLOC, u.LLOC)
+		for _, m := range core.TreeMetrics() {
+			if t, ok := u.Trees[m]; ok {
+				fmt.Printf(" %s=%d", m, t.Size())
+			}
+		}
+		fmt.Println()
+	}
+	return core.SelfCheck(idx)
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ContinueOnError)
+	metric := fs.String("tree", core.MetricTsem, "tree metric to dump")
+	pos, err := splitArgs(fs, args, 2)
+	if err != nil {
+		return err
+	}
+	cb, err := generateCodebase(pos[0], pos[1])
+	if err != nil {
+		return err
+	}
+	idx, err := core.IndexCodebase(cb, core.Options{})
+	if err != nil {
+		return err
+	}
+	for _, u := range idx.Units {
+		t, ok := u.Trees[*metric]
+		if !ok {
+			return fmt.Errorf("no tree %q", *metric)
+		}
+		fmt.Printf("--- %s (%s, %d nodes) ---\n%s", u.File, *metric, t.Size(), t.Pretty())
+	}
+	return nil
+}
+
+// splitArgs separates leading positional arguments from trailing flags and
+// parses the flags.
+func splitArgs(fs *flag.FlagSet, args []string, positional int) ([]string, error) {
+	var pos, flags []string
+	for i := 0; i < len(args); i++ {
+		if strings.HasPrefix(args[i], "-") {
+			flags = args[i:]
+			break
+		}
+		pos = append(pos, args[i])
+	}
+	if len(pos) != positional {
+		return nil, fmt.Errorf("%s: want %d positional arguments, got %d", fs.Name(), positional, len(pos))
+	}
+	return pos, fs.Parse(flags)
+}

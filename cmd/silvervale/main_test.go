@@ -1,0 +1,150 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs a CLI invocation with stdout captured. The reader drains
+// concurrently so large outputs cannot deadlock on the pipe buffer.
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tealeaf", "sycl-acc", "tsem", "fig15"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := run(nil); err != nil {
+		t.Fatal("bare invocation prints usage")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateAndIngestRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bs-omp")
+	out, err := capture(t, "generate", "babelstream", "omp", "-o", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "compile_commands.json") {
+		t.Fatalf("generate output: %q", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "kernels.cpp")); err != nil {
+		t.Fatal(err)
+	}
+	out, err = capture(t, "ingest", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "model=omp") {
+		t.Fatalf("ingest output: %q", out)
+	}
+}
+
+func TestGenerateRequiresOutput(t *testing.T) {
+	if err := run([]string{"generate", "babelstream", "omp"}); err == nil {
+		t.Fatal("expected error without -o")
+	}
+	if err := run([]string{"generate", "babelstream"}); err == nil {
+		t.Fatal("expected error with missing positional")
+	}
+}
+
+func TestIndexCommand(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "out.svdb")
+	out, err := capture(t, "index", "babelstream", "serial", "-db", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "self-check") {
+		t.Fatalf("index output: %q", out)
+	}
+	if _, err := os.Stat(db); err != nil {
+		t.Fatal("codebase DB not written")
+	}
+}
+
+func TestDivergeCommand(t *testing.T) {
+	out, err := capture(t, "diverge", "babelstream", "serial", "omp", "-metric", "tsem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tsem") || !strings.Contains(out, "norm=") {
+		t.Fatalf("diverge output: %q", out)
+	}
+	if err := run([]string{"diverge", "babelstream", "serial", "nope"}); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestPhiCommand(t *testing.T) {
+	out, err := capture(t, "phi", "tealeaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "kokkos") || !strings.Contains(out, "phi=") {
+		t.Fatalf("phi output: %q", out)
+	}
+}
+
+func TestExperimentCommand(t *testing.T) {
+	out, err := capture(t, "experiment", "table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "MI250X") {
+		t.Fatalf("experiment output: %q", out)
+	}
+	if err := run([]string{"experiment", "fig99"}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+	if err := run([]string{"experiment"}); err == nil {
+		t.Fatal("expected error for missing id")
+	}
+}
+
+func TestDumpCommand(t *testing.T) {
+	out, err := capture(t, "dump", "babelstream", "serial", "-tree", "tsem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "FunctionDecl") {
+		t.Fatalf("dump output: %q", out)
+	}
+	if err := run([]string{"dump", "babelstream", "serial", "-tree", "bogus"}); err == nil {
+		t.Fatal("expected error for unknown tree")
+	}
+}

@@ -1,0 +1,68 @@
+// Navigation chart (Section VI, Fig. 13/14): combine the TBMD productivity
+// metric with the performance-portability metric Φ to choose a programming
+// model, instead of looking at either dimension alone.
+//
+// Run with: go run ./examples/navigation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"silvervale"
+)
+
+func main() {
+	const app = "babelstream"
+	models := silvervale.ModelsFor(mustApp(app))
+
+	// index every model and measure divergence from serial
+	idxs := map[string]*silvervale.Index{}
+	var order []string
+	for _, m := range models {
+		cb, err := silvervale.Generate(app, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		idx, err := silvervale.IndexCodebase(cb, silvervale.IndexOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		idxs[string(m)] = idx
+		order = append(order, string(m))
+	}
+	tsem, err := silvervale.DivergenceFromBase(idxs, "serial", order, silvervale.MetricTsem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tsrc, err := silvervale.DivergenceFromBase(idxs, "serial", order, silvervale.MetricTsrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// join with Φ over the six platforms of Table III
+	plats := silvervale.Platforms()
+	chart := silvervale.NavigationChart(app, tsem, tsrc, models, plats)
+	fmt.Printf("%s navigation chart (Φ over %d platforms vs divergence from serial)\n\n",
+		app, len(plats))
+	for _, p := range chart.Points {
+		fmt.Println(p.Row())
+	}
+	best, err := chart.Best(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest productivity/portability tradeoff: %s\n", best.Model)
+	fmt.Println("(models with phi=0 are not portable across the full platform set;")
+	fmt.Println(" the T_src-vs-T_sem gap shows perceived vs actual semantic cost)")
+}
+
+func mustApp(name string) silvervale.App {
+	for _, a := range silvervale.Apps() {
+		if a.Name == name {
+			return a
+		}
+	}
+	log.Fatalf("unknown app %s", name)
+	return silvervale.App{}
+}

@@ -1,0 +1,64 @@
+// Quickstart: measure how far a programming-model port diverges from the
+// serial baseline of a mini-app, under every metric of Table I.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"silvervale"
+)
+
+func main() {
+	// 1. Generate (or on a real project: ingest) the serial baseline and a
+	//    port. BabelStream is the five-kernel STREAM benchmark.
+	serial, err := silvervale.Generate("babelstream", silvervale.Serial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	omp, err := silvervale.Generate("babelstream", silvervale.OpenMP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cuda, err := silvervale.Generate("babelstream", silvervale.CUDA)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Index each codebase: preprocess, parse, and extract the
+	//    semantic-bearing trees (T_src, T_sem, T_sem+i, T_ir) plus the
+	//    perceived metrics (SLOC, LLOC, Source).
+	baseIdx, err := silvervale.IndexCodebase(serial, silvervale.IndexOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ompIdx, err := silvervale.IndexCodebase(omp, silvervale.IndexOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cudaIdx, err := silvervale.IndexCodebase(cuda, silvervale.IndexOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Compare: normalised divergence of each port from serial.
+	fmt.Println("BabelStream divergence from serial (0 = identical):")
+	fmt.Printf("%-10s %10s %10s\n", "metric", "OpenMP", "CUDA")
+	for _, metric := range silvervale.Metrics() {
+		do, err := silvervale.Diverge(baseIdx, ompIdx, metric)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dc, err := silvervale.Diverge(baseIdx, cudaIdx, metric)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %10.3f %10.3f\n", metric, do.Norm, dc.Norm)
+	}
+	fmt.Println()
+	fmt.Println("Reading: OpenMP's pragmas barely perturb the perceived metrics but")
+	fmt.Println("carry compiler-level semantics (tsem > tsrc); CUDA restructures the")
+	fmt.Println("kernels and pays across every level.")
+}

@@ -1,0 +1,3 @@
+module silvervale
+
+go 1.22

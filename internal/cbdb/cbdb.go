@@ -1,0 +1,161 @@
+// Package cbdb implements the Codebase DB: the portable set of
+// semantic-bearing trees and metadata SilverVale produces in its index
+// step. The paper stores this as Zstd-compressed MessagePack; this
+// implementation uses the same MessagePack encoding (package msgpack) with
+// gzip substituted for Zstd (stdlib-only constraint; see DESIGN.md).
+package cbdb
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"silvervale/internal/msgpack"
+	"silvervale/internal/tree"
+)
+
+// FormatVersion is bumped on incompatible schema changes.
+const FormatVersion = 1
+
+// UnitRecord is the persisted form of one indexed unit (Eq. 1: a source
+// file plus its module dependencies).
+type UnitRecord struct {
+	File        string
+	Role        string // logical role used by the match function
+	SLOC        int
+	LLOC        int
+	SourceLines []string          // normalised source lines (Source metric)
+	Trees       map[string]string // metric name -> s-expression
+}
+
+// DB is the persisted index of one codebase (one mini-app × model).
+type DB struct {
+	Codebase string
+	Model    string
+	Units    []UnitRecord
+}
+
+// Tree decodes a stored tree by metric name.
+func (u *UnitRecord) Tree(metric string) (*tree.Node, error) {
+	s, ok := u.Trees[metric]
+	if !ok {
+		return nil, fmt.Errorf("cbdb: unit %q has no %q tree", u.File, metric)
+	}
+	return tree.ParseSexpr(s)
+}
+
+// Write serialises the DB as gzip-compressed MessagePack.
+func (db *DB) Write(w io.Writer) error {
+	gz := gzip.NewWriter(w)
+	enc := msgpack.NewEncoder(gz)
+	units := make([]any, len(db.Units))
+	for i, u := range db.Units {
+		trees := make(map[string]any, len(u.Trees))
+		for k, v := range u.Trees {
+			trees[k] = v
+		}
+		lines := make([]any, len(u.SourceLines))
+		for j, l := range u.SourceLines {
+			lines[j] = l
+		}
+		units[i] = map[string]any{
+			"file":  u.File,
+			"role":  u.Role,
+			"sloc":  int64(u.SLOC),
+			"lloc":  int64(u.LLOC),
+			"lines": lines,
+			"trees": trees,
+		}
+	}
+	payload := map[string]any{
+		"version":  int64(FormatVersion),
+		"codebase": db.Codebase,
+		"model":    db.Model,
+		"units":    units,
+	}
+	if err := enc.Encode(payload); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// Read deserialises a DB written by Write.
+func Read(r io.Reader) (*DB, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("cbdb: %w", err)
+	}
+	defer gz.Close()
+	v, err := msgpack.NewDecoder(gz).Decode()
+	if err != nil {
+		return nil, fmt.Errorf("cbdb: %w", err)
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("cbdb: malformed payload %T", v)
+	}
+	if ver, _ := m["version"].(int64); ver != FormatVersion {
+		return nil, fmt.Errorf("cbdb: unsupported version %v", m["version"])
+	}
+	db := &DB{}
+	db.Codebase, _ = m["codebase"].(string)
+	db.Model, _ = m["model"].(string)
+	rawUnits, _ := m["units"].([]any)
+	for _, ru := range rawUnits {
+		um, ok := ru.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("cbdb: malformed unit %T", ru)
+		}
+		u := UnitRecord{Trees: map[string]string{}}
+		u.File, _ = um["file"].(string)
+		u.Role, _ = um["role"].(string)
+		if n, ok := um["sloc"].(int64); ok {
+			u.SLOC = int(n)
+		}
+		if n, ok := um["lloc"].(int64); ok {
+			u.LLOC = int(n)
+		}
+		if lines, ok := um["lines"].([]any); ok {
+			for _, l := range lines {
+				if s, ok := l.(string); ok {
+					u.SourceLines = append(u.SourceLines, s)
+				}
+			}
+		}
+		if trees, ok := um["trees"].(map[string]any); ok {
+			for k, tv := range trees {
+				if s, ok := tv.(string); ok {
+					u.Trees[k] = s
+				}
+			}
+		}
+		db.Units = append(db.Units, u)
+	}
+	sort.Slice(db.Units, func(i, j int) bool { return db.Units[i].File < db.Units[j].File })
+	return db, nil
+}
+
+// Save writes the DB to a file.
+func (db *DB) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a DB from a file.
+func Load(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

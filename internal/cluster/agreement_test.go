@@ -1,0 +1,48 @@
+package cluster
+
+import "testing"
+
+func TestPairAgreementIdenticalTrees(t *testing.T) {
+	labels, d := toyMatrix()
+	a, _ := Agglomerate(labels, d)
+	b, _ := Agglomerate(labels, d)
+	agr, err := PairAgreement(a, b, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agr != 1 {
+		t.Fatalf("identical dendrograms must agree fully, got %v", agr)
+	}
+}
+
+func TestPairAgreementScrambledTree(t *testing.T) {
+	labels, d := toyMatrix()
+	a, _ := Agglomerate(labels, d)
+	// a distance matrix pairing a-with-c and b-with-d instead
+	scrambled := [][]float64{
+		{0.0, 2.0, 0.1, 0.9, 1.9},
+		{2.0, 0.0, 0.9, 0.1, 2.1},
+		{0.1, 0.9, 0.0, 2.0, 2.2},
+		{0.9, 0.1, 2.0, 0.0, 2.0},
+		{1.9, 2.1, 2.2, 2.0, 0.0},
+	}
+	b, _ := Agglomerate(labels, scrambled)
+	agr, err := PairAgreement(a, b, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agr >= 1 {
+		t.Fatalf("conflicting dendrograms should not agree fully, got %v", agr)
+	}
+}
+
+func TestPairAgreementErrors(t *testing.T) {
+	labels, d := toyMatrix()
+	a, _ := Agglomerate(labels, d)
+	if _, err := PairAgreement(a, a, []string{"a", "zzz"}); err == nil {
+		t.Fatal("expected error for unknown label")
+	}
+	if agr, err := PairAgreement(a, a, []string{"a"}); err != nil || agr != 1 {
+		t.Fatalf("single label: %v %v", agr, err)
+	}
+}

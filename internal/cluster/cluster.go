@@ -1,0 +1,268 @@
+// Package cluster implements the analysis-side statistics of the paper's
+// evaluation: agglomerative hierarchical clustering with complete linkage
+// over Euclidean distances between divergence vectors (the dendrograms of
+// Fig. 4–6), and classical multidimensional scaling for the 2-D model map
+// of Fig. 4.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Node is a dendrogram node: either a leaf (Label set) or an internal merge
+// of two subtrees at the given height.
+type Node struct {
+	Label  string
+	Height float64
+	Left   *Node
+	Right  *Node
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Leaves returns the leaf labels in dendrogram order.
+func (n *Node) Leaves() []string {
+	if n == nil {
+		return nil
+	}
+	if n.IsLeaf() {
+		return []string{n.Label}
+	}
+	return append(n.Left.Leaves(), n.Right.Leaves()...)
+}
+
+// EuclideanFromMatrix converts a (symmetric-ish) divergence matrix into
+// point-wise Euclidean distances: each model is represented by its vector
+// of divergences against every model, and models whose divergence profiles
+// agree land close together. This mirrors "complete linkage and Euclidean
+// distance between points".
+func EuclideanFromMatrix(m [][]float64) [][]float64 {
+	n := len(m)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				d := m[i][k] - m[j][k]
+				s += d * d
+			}
+			v := math.Sqrt(s)
+			out[i][j] = v
+			out[j][i] = v
+		}
+	}
+	return out
+}
+
+// Agglomerate builds a complete-linkage dendrogram from a distance matrix.
+// Ties are broken deterministically by smallest index pair.
+func Agglomerate(labels []string, dist [][]float64) (*Node, error) {
+	n := len(labels)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no items")
+	}
+	if len(dist) != n {
+		return nil, fmt.Errorf("cluster: matrix size %d != labels %d", len(dist), n)
+	}
+	type clusterT struct {
+		node    *Node
+		members []int
+	}
+	clusters := make([]*clusterT, n)
+	for i, l := range labels {
+		clusters[i] = &clusterT{node: &Node{Label: l}, members: []int{i}}
+	}
+	completeLink := func(a, b *clusterT) float64 {
+		max := 0.0
+		for _, i := range a.members {
+			for _, j := range b.members {
+				if dist[i][j] > max {
+					max = dist[i][j]
+				}
+			}
+		}
+		return max
+	}
+	for len(clusters) > 1 {
+		bi, bj := 0, 1
+		best := math.Inf(1)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if d := completeLink(clusters[i], clusters[j]); d < best {
+					best = d
+					bi, bj = i, j
+				}
+			}
+		}
+		merged := &clusterT{
+			node: &Node{
+				Height: best,
+				Left:   clusters[bi].node,
+				Right:  clusters[bj].node,
+			},
+			members: append(append([]int{}, clusters[bi].members...), clusters[bj].members...),
+		}
+		next := make([]*clusterT, 0, len(clusters)-1)
+		for k, c := range clusters {
+			if k != bi && k != bj {
+				next = append(next, c)
+			}
+		}
+		clusters = append(next, merged)
+	}
+	return clusters[0].node, nil
+}
+
+// CutAt returns the clusters obtained by cutting the dendrogram at the
+// given height: every maximal subtree merged strictly below the threshold.
+func CutAt(root *Node, height float64) [][]string {
+	var out [][]string
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() || n.Height <= height {
+			out = append(out, n.Leaves())
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(root)
+	for _, group := range out {
+		sort.Strings(group)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Cophenetic returns the merge height at which two labels join — the
+// dendrogram distance used by tests to assert "X clusters with Y before Z".
+func Cophenetic(root *Node, a, b string) (float64, error) {
+	node := lowestCommonAncestor(root, a, b)
+	if node == nil {
+		return 0, fmt.Errorf("cluster: labels %q/%q not found", a, b)
+	}
+	return node.Height, nil
+}
+
+func lowestCommonAncestor(n *Node, a, b string) *Node {
+	if n == nil {
+		return nil
+	}
+	hasA := containsLabel(n, a)
+	hasB := containsLabel(n, b)
+	if !hasA || !hasB {
+		return nil
+	}
+	if l := lowestCommonAncestor(n.Left, a, b); l != nil {
+		return l
+	}
+	if r := lowestCommonAncestor(n.Right, a, b); r != nil {
+		return r
+	}
+	return n
+}
+
+func containsLabel(n *Node, label string) bool {
+	if n == nil {
+		return false
+	}
+	if n.IsLeaf() {
+		return n.Label == label
+	}
+	return containsLabel(n.Left, label) || containsLabel(n.Right, label)
+}
+
+// PairAgreement quantifies how similarly two dendrograms group the same
+// labels: the fraction of label pairs whose *rank* of merge height agrees
+// between the trees (both early or both late, relative to the median).
+// 1 means the trees tell the same story; ~0.5 is chance level — the
+// quantitative form of the paper's "the clustering appears random" reading
+// of SLOC/LLOC.
+func PairAgreement(a, b *Node, labels []string) (float64, error) {
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i := 0; i < len(labels); i++ {
+		for j := i + 1; j < len(labels); j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	if len(pairs) == 0 {
+		return 1, nil
+	}
+	heights := func(root *Node) ([]float64, error) {
+		out := make([]float64, len(pairs))
+		for k, p := range pairs {
+			h, err := Cophenetic(root, labels[p.i], labels[p.j])
+			if err != nil {
+				return nil, err
+			}
+			out[k] = h
+		}
+		return out, nil
+	}
+	ha, err := heights(a)
+	if err != nil {
+		return 0, err
+	}
+	hb, err := heights(b)
+	if err != nil {
+		return 0, err
+	}
+	early := func(hs []float64) []bool {
+		sorted := append([]float64{}, hs...)
+		sort.Float64s(sorted)
+		median := sorted[len(sorted)/2]
+		out := make([]bool, len(hs))
+		for i, h := range hs {
+			out[i] = h < median
+		}
+		return out
+	}
+	ea, eb := early(ha), early(hb)
+	agree := 0
+	for i := range ea {
+		if ea[i] == eb[i] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(pairs)), nil
+}
+
+// Render draws the dendrogram as ASCII art, one leaf per line, merge
+// heights annotated.
+func Render(root *Node) string {
+	var b strings.Builder
+	var walk func(n *Node, prefix string, tail bool)
+	walk = func(n *Node, prefix string, tail bool) {
+		connector := "├─"
+		childPrefix := prefix + "│ "
+		if tail {
+			connector = "└─"
+			childPrefix = prefix + "  "
+		}
+		if n.IsLeaf() {
+			fmt.Fprintf(&b, "%s%s %s\n", prefix, connector, n.Label)
+			return
+		}
+		fmt.Fprintf(&b, "%s%s [h=%.3f]\n", prefix, connector, n.Height)
+		walk(n.Left, childPrefix, false)
+		walk(n.Right, childPrefix, true)
+	}
+	if root.IsLeaf() {
+		return root.Label + "\n"
+	}
+	fmt.Fprintf(&b, "[h=%.3f]\n", root.Height)
+	walk(root.Left, "", false)
+	walk(root.Right, "", true)
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// toy distance matrix: two tight pairs {a,b}, {c,d} and an outlier e.
+func toyMatrix() ([]string, [][]float64) {
+	labels := []string{"a", "b", "c", "d", "e"}
+	d := [][]float64{
+		{0.0, 0.1, 0.9, 0.8, 2.0},
+		{0.1, 0.0, 0.85, 0.9, 2.1},
+		{0.9, 0.85, 0.0, 0.15, 2.2},
+		{0.8, 0.9, 0.15, 0.0, 2.0},
+		{2.0, 2.1, 2.2, 2.0, 0.0},
+	}
+	return labels, d
+}
+
+func TestAgglomeratePairsFirst(t *testing.T) {
+	labels, d := toyMatrix()
+	root, err := Agglomerate(labels, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hab, _ := Cophenetic(root, "a", "b")
+	hcd, _ := Cophenetic(root, "c", "d")
+	hae, _ := Cophenetic(root, "a", "e")
+	if hab != 0.1 {
+		t.Fatalf("a-b merge height = %v, want 0.1", hab)
+	}
+	if hcd != 0.15 {
+		t.Fatalf("c-d merge height = %v, want 0.15", hcd)
+	}
+	if hae <= hab || hae <= hcd {
+		t.Fatal("outlier must join last")
+	}
+}
+
+func TestLeavesComplete(t *testing.T) {
+	labels, d := toyMatrix()
+	root, _ := Agglomerate(labels, d)
+	leaves := root.Leaves()
+	if len(leaves) != len(labels) {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	seen := map[string]bool{}
+	for _, l := range leaves {
+		seen[l] = true
+	}
+	for _, l := range labels {
+		if !seen[l] {
+			t.Fatalf("missing leaf %q", l)
+		}
+	}
+}
+
+func TestCutAt(t *testing.T) {
+	labels, d := toyMatrix()
+	root, _ := Agglomerate(labels, d)
+	groups := CutAt(root, 0.5)
+	// expect {a,b}, {c,d}, {e}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	joined := map[string]bool{}
+	for _, g := range groups {
+		joined[strings.Join(g, ",")] = true
+	}
+	if !joined["a,b"] || !joined["c,d"] || !joined["e"] {
+		t.Fatalf("groups = %v", groups)
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	root, err := Agglomerate([]string{"only"}, [][]float64{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.IsLeaf() || root.Label != "only" {
+		t.Fatalf("root = %+v", root)
+	}
+	if s := Render(root); !strings.Contains(s, "only") {
+		t.Fatalf("render = %q", s)
+	}
+}
+
+func TestAgglomerateErrors(t *testing.T) {
+	if _, err := Agglomerate(nil, nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	if _, err := Agglomerate([]string{"a", "b"}, [][]float64{{0}}); err == nil {
+		t.Fatal("expected error for size mismatch")
+	}
+}
+
+func TestCopheneticMissingLabel(t *testing.T) {
+	labels, d := toyMatrix()
+	root, _ := Agglomerate(labels, d)
+	if _, err := Cophenetic(root, "a", "zzz"); err == nil {
+		t.Fatal("expected error for unknown label")
+	}
+}
+
+func TestRenderShowsHeightsAndLeaves(t *testing.T) {
+	labels, d := toyMatrix()
+	root, _ := Agglomerate(labels, d)
+	s := Render(root)
+	for _, l := range labels {
+		if !strings.Contains(s, l) {
+			t.Fatalf("render missing %q:\n%s", l, s)
+		}
+	}
+	if !strings.Contains(s, "[h=") {
+		t.Fatalf("render missing heights:\n%s", s)
+	}
+}
+
+func TestEuclideanFromMatrix(t *testing.T) {
+	m := [][]float64{
+		{0, 1, 2},
+		{1, 0, 2},
+		{2, 2, 0},
+	}
+	d := EuclideanFromMatrix(m)
+	if d[0][0] != 0 || d[1][1] != 0 {
+		t.Fatal("diagonal must be zero")
+	}
+	if d[0][1] != d[1][0] {
+		t.Fatal("must be symmetric")
+	}
+	// rows 0 and 1 have nearly identical profiles; row 2 differs
+	if d[0][1] >= d[0][2] {
+		t.Fatalf("similar profiles should be close: d01=%v d02=%v", d[0][1], d[0][2])
+	}
+}
+
+func TestMDSRecoversLineGeometry(t *testing.T) {
+	// four collinear points at 0, 1, 2, 6
+	pos := []float64{0, 1, 2, 6}
+	n := len(pos)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = math.Abs(pos[i] - pos[j])
+		}
+	}
+	emb := MDS(d, 2)
+	// pairwise embedded distances must approximate the originals
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dx := emb[i][0] - emb[j][0]
+			dy := emb[i][1] - emb[j][1]
+			got := math.Sqrt(dx*dx + dy*dy)
+			if math.Abs(got-d[i][j]) > 0.05*(d[i][j]+1) {
+				t.Fatalf("embedded d(%d,%d) = %v, want %v", i, j, got, d[i][j])
+			}
+		}
+	}
+}
+
+func TestMDSDeterministic(t *testing.T) {
+	_, d := toyMatrix()
+	a := MDS(d, 2)
+	b := MDS(d, 2)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("MDS must be deterministic")
+			}
+		}
+	}
+}
+
+func TestMDSEmpty(t *testing.T) {
+	out := MDS(nil, 2)
+	if len(out) != 0 {
+		t.Fatal("empty input should produce empty embedding")
+	}
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import "math"
+
+// MDS computes a classical multidimensional-scaling embedding of a distance
+// matrix into dims dimensions (Fig. 4 plots models on a 2-D map before
+// wrapping the dendrogram around it). The implementation double-centres the
+// squared distances and extracts the top eigenpairs by power iteration with
+// deflation — deterministic, no external linear algebra.
+func MDS(dist [][]float64, dims int) [][]float64 {
+	n := len(dist)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, dims)
+	}
+	if n == 0 || dims == 0 {
+		return out
+	}
+	// B = -1/2 * J * D^2 * J
+	d2 := make([][]float64, n)
+	rowMean := make([]float64, n)
+	total := 0.0
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			v := dist[i][j] * dist[i][j]
+			d2[i][j] = v
+			rowMean[i] += v
+			total += v
+		}
+		rowMean[i] /= float64(n)
+	}
+	total /= float64(n * n)
+	b := make([][]float64, n)
+	for i := range b {
+		b[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			b[i][j] = -0.5 * (d2[i][j] - rowMean[i] - rowMean[j] + total)
+		}
+	}
+	for d := 0; d < dims; d++ {
+		val, vec := powerIteration(b, d)
+		if val <= 0 {
+			break // remaining structure is degenerate
+		}
+		scale := math.Sqrt(val)
+		for i := 0; i < n; i++ {
+			out[i][d] = vec[i] * scale
+		}
+		// deflate: B -= val * v v^T
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i][j] -= val * vec[i] * vec[j]
+			}
+		}
+	}
+	return out
+}
+
+// powerIteration finds the dominant eigenpair of a symmetric matrix with a
+// deterministic seed start (varied per component to escape orthogonality).
+func powerIteration(m [][]float64, seed int) (float64, []float64) {
+	n := len(m)
+	v := make([]float64, n)
+	for i := range v {
+		// deterministic pseudo-random start
+		v[i] = math.Sin(float64(i*31+seed*17) + 1.0)
+	}
+	normalize(v)
+	tmp := make([]float64, n)
+	lambda := 0.0
+	for iter := 0; iter < 500; iter++ {
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += m[i][j] * v[j]
+			}
+			tmp[i] = s
+		}
+		newLambda := dot(v, tmp)
+		normalize(tmp)
+		copy(v, tmp)
+		if math.Abs(newLambda-lambda) < 1e-12 {
+			lambda = newLambda
+			break
+		}
+		lambda = newLambda
+	}
+	return lambda, v
+}
+
+func normalize(v []float64) {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	s = math.Sqrt(s)
+	if s == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,186 @@
+// Package compdb reads Compilation Databases: the compile_commands.json
+// files emitted by CMake, Meson, or Bear that record every compiler
+// invocation used to build a codebase. SilverVale ingests a Compilation DB
+// from a previously compiled codebase and indexes all invocations in it
+// (Section IV, Fig. 2).
+package compdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Entry is one compiler invocation.
+type Entry struct {
+	Directory string   `json:"directory"`
+	Command   string   `json:"command,omitempty"`
+	Arguments []string `json:"arguments,omitempty"`
+	File      string   `json:"file"`
+	Output    string   `json:"output,omitempty"`
+}
+
+// DB is a parsed compilation database.
+type DB struct {
+	Entries []Entry
+}
+
+// Parse decodes compile_commands.json content.
+func Parse(data []byte) (*DB, error) {
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("compdb: %w", err)
+	}
+	for i, e := range entries {
+		if e.File == "" {
+			return nil, fmt.Errorf("compdb: entry %d has no file", i)
+		}
+	}
+	return &DB{Entries: entries}, nil
+}
+
+// Load reads and parses a compile_commands.json file.
+func Load(path string) (*DB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Marshal encodes the DB back to JSON (used when the corpus synthesizes
+// compilation databases for its generated codebases).
+func (db *DB) Marshal() ([]byte, error) {
+	return json.MarshalIndent(db.Entries, "", "  ")
+}
+
+// Args returns the argument vector of an entry, splitting Command when
+// Arguments is absent.
+func (e *Entry) Args() []string {
+	if len(e.Arguments) > 0 {
+		return e.Arguments
+	}
+	return splitCommand(e.Command)
+}
+
+// splitCommand splits a shell command respecting double and single quotes.
+func splitCommand(cmd string) []string {
+	var out []string
+	var cur strings.Builder
+	quote := byte(0)
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(cmd); i++ {
+		c := cmd[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else {
+				cur.WriteByte(c)
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == ' ' || c == '\t':
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}
+
+// Defines extracts -D macro definitions as name -> value ("1" when bare).
+func (e *Entry) Defines() map[string]string {
+	out := map[string]string{}
+	args := e.Args()
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		var d string
+		switch {
+		case a == "-D" && i+1 < len(args):
+			i++
+			d = args[i]
+		case strings.HasPrefix(a, "-D"):
+			d = a[2:]
+		default:
+			continue
+		}
+		if eq := strings.IndexByte(d, '='); eq >= 0 {
+			out[d[:eq]] = d[eq+1:]
+		} else {
+			out[d] = "1"
+		}
+	}
+	return out
+}
+
+// IncludeDirs extracts -I include directories, resolved against the entry
+// directory.
+func (e *Entry) IncludeDirs() []string {
+	var out []string
+	args := e.Args()
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-I" && i+1 < len(args):
+			i++
+			out = append(out, e.resolve(args[i]))
+		case strings.HasPrefix(a, "-I"):
+			out = append(out, e.resolve(a[2:]))
+		}
+	}
+	return out
+}
+
+func (e *Entry) resolve(p string) string {
+	if filepath.IsAbs(p) || e.Directory == "" {
+		return p
+	}
+	return filepath.Join(e.Directory, p)
+}
+
+// Language guesses the source language from the file extension.
+func (e *Entry) Language() string {
+	switch strings.ToLower(filepath.Ext(e.File)) {
+	case ".f", ".f90", ".f95", ".f03", ".f08":
+		return "fortran"
+	case ".cu":
+		return "cuda"
+	case ".hip":
+		return "hip"
+	default:
+		return "c++"
+	}
+}
+
+// Model guesses the programming model from compiler flags, mirroring how
+// the framework decides which extraction path to run per invocation.
+func (e *Entry) Model() string {
+	args := e.Args()
+	joined := " " + strings.Join(args, " ") + " "
+	switch {
+	case strings.Contains(joined, " -x hip ") || e.Language() == "hip":
+		// checked before --offload-arch: HIP drivers pass both
+		return "hip"
+	case strings.Contains(joined, "-fopenmp-targets") || strings.Contains(joined, "--offload-arch"):
+		return "omp-target"
+	case strings.Contains(joined, " -x cuda ") || strings.Contains(joined, "--cuda-gpu-arch") || e.Language() == "cuda":
+		return "cuda"
+	case strings.Contains(joined, "-fsycl"):
+		return "sycl"
+	case strings.Contains(joined, "-fopenacc"):
+		return "openacc"
+	case strings.Contains(joined, "-fopenmp"):
+		return "omp"
+	default:
+		return "serial"
+	}
+}

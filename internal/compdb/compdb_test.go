@@ -1,0 +1,139 @@
+package compdb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleJSON = `[
+  {
+    "directory": "/build",
+    "command": "clang++ -std=c++17 -DUSE_OMP -DNTIMES=100 -I../src -I /opt/inc -fopenmp -c ../src/main.cpp -o main.o",
+    "file": "../src/main.cpp"
+  },
+  {
+    "directory": "/build",
+    "arguments": ["clang++", "-x", "cuda", "--cuda-gpu-arch=sm_80", "-c", "kernels.cu"],
+    "file": "kernels.cu"
+  },
+  {
+    "directory": "/build",
+    "command": "gfortran -fopenacc -c stream.f90",
+    "file": "stream.f90"
+  }
+]`
+
+func TestParse(t *testing.T) {
+	db, err := Parse([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Entries) != 3 {
+		t.Fatalf("entries = %d", len(db.Entries))
+	}
+}
+
+func TestDefines(t *testing.T) {
+	db, _ := Parse([]byte(sampleJSON))
+	d := db.Entries[0].Defines()
+	if d["USE_OMP"] != "1" || d["NTIMES"] != "100" {
+		t.Fatalf("defines = %v", d)
+	}
+}
+
+func TestIncludeDirs(t *testing.T) {
+	db, _ := Parse([]byte(sampleJSON))
+	inc := db.Entries[0].IncludeDirs()
+	if len(inc) != 2 {
+		t.Fatalf("includes = %v", inc)
+	}
+	if inc[0] != "/src" && inc[0] != filepath.Join("/build", "../src") {
+		t.Fatalf("relative include not resolved: %v", inc)
+	}
+	if inc[1] != "/opt/inc" {
+		t.Fatalf("separate -I arg not handled: %v", inc)
+	}
+}
+
+func TestLanguageAndModel(t *testing.T) {
+	db, _ := Parse([]byte(sampleJSON))
+	cases := []struct{ lang, model string }{
+		{"c++", "omp"},
+		{"cuda", "cuda"},
+		{"fortran", "openacc"},
+	}
+	for i, c := range cases {
+		if got := db.Entries[i].Language(); got != c.lang {
+			t.Errorf("entry %d language = %q, want %q", i, got, c.lang)
+		}
+		if got := db.Entries[i].Model(); got != c.model {
+			t.Errorf("entry %d model = %q, want %q", i, got, c.model)
+		}
+	}
+}
+
+func TestModelFlags(t *testing.T) {
+	cases := []struct {
+		cmd   string
+		model string
+	}{
+		{"clang++ -fsycl -c a.cpp", "sycl"},
+		{"clang++ -fopenmp -fopenmp-targets=nvptx64 -c a.cpp", "omp-target"},
+		{"clang++ -x hip --offload-arch=gfx90a -c a.cpp", "hip"}, // -x hip wins over offload-arch
+		{"clang++ -c a.cpp", "serial"},
+	}
+	for _, c := range cases {
+		e := Entry{Command: c.cmd, File: "a.cpp"}
+		if got := e.Model(); got != c.model {
+			t.Errorf("%q model = %q, want %q", c.cmd, got, c.model)
+		}
+	}
+}
+
+func TestQuotedCommandSplitting(t *testing.T) {
+	e := Entry{Command: `cc -DMSG="hello world" -c 'my file.c'`, File: "my file.c"}
+	args := e.Args()
+	if len(args) != 4 {
+		t.Fatalf("args = %v", args)
+	}
+	if args[1] != "-DMSG=hello world" {
+		t.Fatalf("quoted define = %q", args[1])
+	}
+	d := e.Defines()
+	if d["MSG"] != "hello world" {
+		t.Fatalf("defines = %v", d)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte("not json")); err == nil {
+		t.Fatal("expected JSON error")
+	}
+	if _, err := Parse([]byte(`[{"directory": "/b"}]`)); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+}
+
+func TestLoadAndMarshal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "compile_commands.json")
+	if err := os.WriteFile(path, []byte(sampleJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Entries) != len(db.Entries) {
+		t.Fatal("marshal round trip lost entries")
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"silvervale/internal/corpus"
+	"silvervale/internal/ted"
+)
+
+// Ablations: the design-choice studies DESIGN.md calls out — asymmetric
+// TED costs (paper §III.B future work) and the pq-gram approximation
+// (paper §VII future work).
+
+// TestCostAblationInsertDominatedPorts: a port from serial to a heavier
+// model consists mostly of insertions, so raising the insertion cost must
+// raise the raw distance more than raising the deletion cost — and the
+// unit-cost distance sits between the two.
+func TestCostAblationInsertDominatedPorts(t *testing.T) {
+	idxs, _ := indexAll(t, "babelstream", Options{})
+	serial := idxs["serial"]
+	sycl := idxs["sycl-acc"]
+
+	unit, err := DivergeWithCosts(serial, sycl, MetricTsem, ted.UnitCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertHeavy, err := DivergeWithCosts(serial, sycl, MetricTsem,
+		ted.Costs{Insert: 2, Delete: 1, Rename: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleteHeavy, err := DivergeWithCosts(serial, sycl, MetricTsem,
+		ted.Costs{Insert: 1, Delete: 2, Rename: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(insertHeavy.Raw > unit.Raw && unit.Raw > 0) {
+		t.Fatalf("insert-heavy raw %v should exceed unit raw %v", insertHeavy.Raw, unit.Raw)
+	}
+	if insertHeavy.Raw-unit.Raw <= deleteHeavy.Raw-unit.Raw {
+		t.Fatalf("a serial→SYCL port is insert-dominated: insert-heavy delta %v, delete-heavy delta %v",
+			insertHeavy.Raw-unit.Raw, deleteHeavy.Raw-unit.Raw)
+	}
+	// doubling every cost doubles raw and leaves the normalised value intact
+	doubled, err := DivergeWithCosts(serial, sycl, MetricTsem,
+		ted.Costs{Insert: 2, Delete: 2, Rename: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doubled.Raw != 2*unit.Raw {
+		t.Fatalf("uniform doubling: raw %v, want %v", doubled.Raw, 2*unit.Raw)
+	}
+	if diff := doubled.Norm - unit.Norm; diff > 0.0001 || diff < -0.0001 {
+		t.Fatalf("uniform doubling must not change Norm: %v vs %v", doubled.Norm, unit.Norm)
+	}
+}
+
+func TestWeightedDivergeRejectsNonTreeMetrics(t *testing.T) {
+	idxs, _ := indexAll(t, "babelstream", Options{})
+	if _, err := DivergeWithCosts(idxs["serial"], idxs["omp"], MetricSLOC, ted.UnitCosts()); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := ApproxDiverge(idxs["serial"], idxs["omp"], MetricSource); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestApproxTracksExactRanking: the pq-gram approximation must rank models
+// by divergence from serial in (near-)agreement with exact TED — the
+// property that makes it usable as the memory-friendly production mode.
+func TestApproxTracksExactRanking(t *testing.T) {
+	idxs, order := indexAll(t, "babelstream", Options{})
+	type entry struct {
+		model  string
+		exact  float64
+		approx float64
+	}
+	var entries []entry
+	for _, m := range order {
+		if m == "serial" {
+			continue
+		}
+		ex, err := Diverge(idxs["serial"], idxs[m], MetricTsem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ap, err := ApproxDiverge(idxs["serial"], idxs[m], MetricTsem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, entry{m, ex.Norm, ap.Norm})
+	}
+	// Spearman-style: compare rank orders
+	rank := func(key func(entry) float64) map[string]int {
+		sorted := append([]entry{}, entries...)
+		sort.Slice(sorted, func(i, j int) bool { return key(sorted[i]) < key(sorted[j]) })
+		out := map[string]int{}
+		for i, e := range sorted {
+			out[e.model] = i
+		}
+		return out
+	}
+	re := rank(func(e entry) float64 { return e.exact })
+	ra := rank(func(e entry) float64 { return e.approx })
+	displacement := 0
+	for m, r := range re {
+		d := r - ra[m]
+		if d < 0 {
+			d = -d
+		}
+		displacement += d
+	}
+	// allow modest disagreement, forbid a scrambled ranking
+	if displacement > len(entries) {
+		t.Fatalf("approximation scrambles the model ranking (total displacement %d):\n%+v",
+			displacement, entries)
+	}
+	// self comparison is exact zero
+	self, err := ApproxDiverge(idxs["serial"], idxs["serial"], MetricTsem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self.Norm != 0 {
+		t.Fatalf("approx self-divergence = %v", self.Norm)
+	}
+}
+
+// TestCoveragePerceivedMetrics: the +coverage variants shrink the
+// perceived metrics too (Table I lists +coverage for SLOC/LLOC/Source).
+func TestCoveragePerceivedMetrics(t *testing.T) {
+	idxs, _ := indexAll(t, "babelstream", Options{})
+	plain := idxs["serial"]
+	covIdxs, _ := indexAllWithCoverage(t, "babelstream")
+	masked := covIdxs["serial"]
+	sum := func(idx *Index, f func(u *UnitIndex) int) int {
+		total := 0
+		for i := range idx.Units {
+			total += f(&idx.Units[i])
+		}
+		return total
+	}
+	pS := sum(plain, func(u *UnitIndex) int { return u.SLOC })
+	mS := sum(masked, func(u *UnitIndex) int { return u.SLOC })
+	if mS >= pS {
+		t.Fatalf("coverage-masked SLOC %d should shrink below %d", mS, pS)
+	}
+	pL := sum(plain, func(u *UnitIndex) int { return u.LLOC })
+	mL := sum(masked, func(u *UnitIndex) int { return u.LLOC })
+	if mL > pL {
+		t.Fatalf("coverage-masked LLOC %d should not exceed %d", mL, pL)
+	}
+	if mS == 0 {
+		t.Fatal("mask removed everything — attribution broken")
+	}
+}
+
+var covCache map[string]*Index
+
+func indexAllWithCoverage(t *testing.T, appName string) (map[string]*Index, []string) {
+	t.Helper()
+	if covCache != nil {
+		return covCache, nil
+	}
+	app, err := corpus.AppByName(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := corpus.Generate(app, corpus.Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := RunCoverage(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := IndexCodebase(cb, Options{Coverage: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covCache = map[string]*Index{"serial": idx}
+	return covCache, []string{"serial"}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"silvervale/internal/cbdb"
+)
+
+// TestDBRoundTripPreservesDivergence: two indexes stored as Codebase DBs
+// and reloaded must report the same divergences as the live indexes — the
+// portability property the Zstd+MessagePack artefact exists for.
+func TestDBRoundTripPreservesDivergence(t *testing.T) {
+	idxs, _ := indexAll(t, "babelstream", Options{})
+	serial, omp := idxs["serial"], idxs["omp"]
+
+	roundTrip := func(idx *Index) *Index {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := idx.ToDB().Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		db, err := cbdb.Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := IndexFromDB(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial2 := roundTrip(serial)
+	omp2 := roundTrip(omp)
+
+	for _, metric := range []string{MetricSLOC, MetricLLOC, MetricSource, MetricTsrc, MetricTsem, MetricTir} {
+		live, err := Diverge(serial, omp, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stored, err := Diverge(serial2, omp2, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if live.Raw != stored.Raw || live.Norm != stored.Norm {
+			t.Errorf("%s: live %v/%v vs stored %v/%v",
+				metric, live.Raw, live.Norm, stored.Raw, stored.Norm)
+		}
+	}
+	if serial2.Codebase != "babelstream" || serial2.Model != "serial" {
+		t.Fatalf("metadata lost: %+v", serial2)
+	}
+}

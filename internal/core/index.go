@@ -1,0 +1,309 @@
+// Package core implements the paper's primary contribution: the Tree-Based
+// Model Divergence (TBMD) metric and its surrounding pipeline — indexing a
+// codebase into semantic-bearing trees (T_src, T_sem, T_sem+i, T_ir) plus
+// the perceived metrics (SLOC, LLOC, Source), and computing relative
+// divergences between codebases per Eq. (2)–(7).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"silvervale/internal/corpus"
+	"silvervale/internal/coverage"
+	"silvervale/internal/interp"
+	"silvervale/internal/ir"
+	"silvervale/internal/minic"
+	"silvervale/internal/minifortran"
+	"silvervale/internal/sloc"
+	"silvervale/internal/tree"
+)
+
+// Metric identifiers (rows of Table I plus the pp variants).
+const (
+	MetricSLOC     = "sloc"
+	MetricLLOC     = "lloc"
+	MetricSource   = "source"
+	MetricSourcePP = "source+pp"
+	MetricTsrc     = "tsrc"
+	MetricTsrcPP   = "tsrc+pp"
+	MetricTsem     = "tsem"
+	MetricTsemI    = "tsem+i"
+	MetricTir      = "tir"
+)
+
+// Metrics lists all metric identifiers in Table I order.
+func Metrics() []string {
+	return []string{
+		MetricSLOC, MetricLLOC, MetricSource, MetricSourcePP,
+		MetricTsrc, MetricTsrcPP, MetricTsem, MetricTsemI, MetricTir,
+	}
+}
+
+// TreeMetrics lists the tree-based TBMD metrics.
+func TreeMetrics() []string {
+	return []string{MetricTsrc, MetricTsrcPP, MetricTsem, MetricTsemI, MetricTir}
+}
+
+// UnitIndex is the indexed form of one unit (Eq. 1: source file plus
+// dependencies).
+type UnitIndex struct {
+	File string
+	Role string
+
+	SLOC int
+	LLOC int
+
+	SourceLines   []string // normalised lines of the unit (pre-preprocessor)
+	SourceLinesPP []string // after preprocessing (macro expansion, includes)
+
+	// LineFiles/LineNums attribute each entry of SourceLines back to its
+	// original file and line, enabling the +coverage variants of the
+	// perceived metrics.
+	LineFiles []string
+	LineNums  []int
+
+	Trees map[string]*tree.Node // tsrc, tsrc+pp, tsem, tsem+i, tir
+}
+
+// Index is the indexed form of a whole codebase.
+type Index struct {
+	Codebase string
+	Model    string
+	Lang     corpus.Lang
+	Units    []UnitIndex
+}
+
+// Options configures indexing.
+type Options struct {
+	// Coverage, when set, masks every tree and line set down to executed
+	// regions (the +coverage variants of Table I).
+	Coverage *coverage.Profile
+	// KeepSystemHeaders includes true system headers in the unit instead
+	// of masking them out during analysis.
+	KeepSystemHeaders bool
+}
+
+// IndexCodebase runs the full extraction pipeline over a generated
+// codebase.
+func IndexCodebase(cb *corpus.Codebase, opts Options) (*Index, error) {
+	idx := &Index{Codebase: cb.App, Model: string(cb.Model), Lang: cb.Lang}
+	for _, u := range cb.Units {
+		var (
+			ui  UnitIndex
+			err error
+		)
+		if cb.Lang == corpus.LangFortran {
+			ui, err = indexFortranUnit(cb, u, opts)
+		} else {
+			ui, err = indexCXXUnit(cb, u, opts)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: %s/%s %s: %w", cb.App, cb.Model, u.File, err)
+		}
+		idx.Units = append(idx.Units, ui)
+	}
+	sort.Slice(idx.Units, func(i, j int) bool { return idx.Units[i].Role < idx.Units[j].Role })
+	return idx, nil
+}
+
+func indexCXXUnit(cb *corpus.Codebase, u corpus.Unit, opts Options) (UnitIndex, error) {
+	ui := UnitIndex{File: u.File, Role: u.Role, Trees: map[string]*tree.Node{}}
+	provider := &minic.MapProvider{Files: cb.Files, System: cb.System}
+	pp := minic.NewPreprocessor(provider, nil)
+	res, err := pp.Preprocess(u.File)
+	if err != nil {
+		return ui, err
+	}
+	isSystem := func(file string) bool {
+		if opts.KeepSystemHeaders {
+			return false
+		}
+		return cb.System[file]
+	}
+
+	// unit file set: the root plus its dependency closure (Eq. 1)
+	unitFiles := []string{u.File}
+	for _, inc := range res.Includes {
+		if !isSystem(inc) {
+			unitFiles = append(unitFiles, inc)
+		}
+	}
+
+	// --- perceived metrics: SLOC / LLOC / Source ---------------------------
+	for _, f := range unitFiles {
+		src := cb.Files[f]
+		ui.SLOC += sloc.SLOC(src, sloc.LangC)
+		ui.LLOC += sloc.LLOC(src, sloc.LangC)
+		lines, nums := sloc.NormalizeWithLines(src, sloc.LangC)
+		ui.SourceLines = append(ui.SourceLines, lines...)
+		for _, n := range nums {
+			ui.LineFiles = append(ui.LineFiles, f)
+			ui.LineNums = append(ui.LineNums, n)
+		}
+	}
+	// the +pp variant measures what the compiler actually consumed —
+	// including everything the preprocessor pulled in (this is where the
+	// SYCL two-pass blow-up appears)
+	ppLines := strings.Split(res.Text, "\n")
+	for i, l := range ppLines {
+		if i < len(res.LineOrigin) && isSystem(res.LineOrigin[i].File) {
+			continue
+		}
+		for _, n := range sloc.Normalize(l, sloc.LangC) {
+			ui.SourceLinesPP = append(ui.SourceLinesPP, n)
+		}
+	}
+
+	// --- T_src --------------------------------------------------------------
+	tsrc := tree.New("unit")
+	for _, f := range unitFiles {
+		tsrc.Add(minic.BuildSrcTree(cb.Files[f], f))
+	}
+	ui.Trees[MetricTsrc] = tsrc
+	tsrcPP := minic.BuildSrcTree(res.Text, u.File)
+	minic.ApplyLineOriginsTree(tsrcPP, res.LineOrigin)
+	tsrcPP = tsrcPP.Filter(func(n *tree.Node) bool { return !isSystem(n.Pos.File) })
+	ui.Trees[MetricTsrcPP] = tsrcPP
+
+	// --- T_sem / T_sem+i ----------------------------------------------------
+	unit, err := minic.ParseUnit(res.Text, u.File)
+	if err != nil {
+		return ui, err
+	}
+	minic.ApplyLineOrigins(unit, res.LineOrigin)
+	pruned := pruneSystemDecls(unit, isSystem)
+	ui.Trees[MetricTsem] = minic.BuildSemTree(pruned)
+	inlined := minic.InlineUnit(unit, minic.InlineOptions{ExcludeFile: func(f string) bool {
+		return cb.System[f] // inlining never pulls true system code in
+	}})
+	ui.Trees[MetricTsemI] = minic.BuildSemTree(pruneSystemDecls(inlined, isSystem))
+
+	// --- T_ir ---------------------------------------------------------------
+	bundle := ir.LowerUnit(pruned, u.File)
+	ui.Trees[MetricTir] = bundle.Tree()
+
+	applyCoverage(&ui, opts.Coverage)
+	return ui, nil
+}
+
+func indexFortranUnit(cb *corpus.Codebase, u corpus.Unit, opts Options) (UnitIndex, error) {
+	ui := UnitIndex{File: u.File, Role: u.Role, Trees: map[string]*tree.Node{}}
+	src := cb.Files[u.File]
+	ui.SLOC = sloc.SLOC(src, sloc.LangFortran)
+	ui.LLOC = sloc.LLOC(src, sloc.LangFortran)
+	lines, nums := sloc.NormalizeWithLines(src, sloc.LangFortran)
+	ui.SourceLines = lines
+	ui.LineNums = nums
+	for range nums {
+		ui.LineFiles = append(ui.LineFiles, u.File)
+	}
+	// Fortran has no preprocessing phase in this dialect: +pp == plain
+	ui.SourceLinesPP = ui.SourceLines
+
+	ui.Trees[MetricTsrc] = minifortran.BuildSrcTree(src, u.File)
+	ui.Trees[MetricTsrcPP] = ui.Trees[MetricTsrc]
+
+	unit, err := minifortran.ParseUnit(src, u.File)
+	if err != nil {
+		return ui, err
+	}
+	ui.Trees[MetricTsem] = minic.BuildSemTree(unit)
+	inlined := minic.InlineUnit(unit, minic.InlineOptions{})
+	ui.Trees[MetricTsemI] = minic.BuildSemTree(inlined)
+	bundle := ir.LowerUnit(unit, u.File)
+	ui.Trees[MetricTir] = bundle.Tree()
+
+	applyCoverage(&ui, opts.Coverage)
+	return ui, nil
+}
+
+func applyCoverage(ui *UnitIndex, prof *coverage.Profile) {
+	if prof == nil {
+		return
+	}
+	for k, t := range ui.Trees {
+		ui.Trees[k] = prof.MaskTree(t)
+	}
+	// +coverage variants of the perceived metrics: keep only executed
+	// lines, recount SLOC, and scale LLOC by the surviving fraction (the
+	// logical-line mask a real coverage report would produce).
+	var lines []string
+	var files []string
+	var nums []int
+	for i, l := range ui.SourceLines {
+		f, n := "", 0
+		if i < len(ui.LineFiles) {
+			f = ui.LineFiles[i]
+		}
+		if i < len(ui.LineNums) {
+			n = ui.LineNums[i]
+		}
+		if prof.Keep(f, n, l) {
+			lines = append(lines, l)
+			files = append(files, f)
+			nums = append(nums, n)
+		}
+	}
+	if len(ui.SourceLines) > 0 {
+		frac := float64(len(lines)) / float64(len(ui.SourceLines))
+		ui.LLOC = int(float64(ui.LLOC)*frac + 0.5)
+	}
+	ui.SourceLines = lines
+	ui.LineFiles = files
+	ui.LineNums = nums
+	ui.SLOC = len(lines)
+}
+
+// pruneSystemDecls removes top-level declarations whose position lies in a
+// system file ("artefacts such as system headers ... can simply be masked
+// out during the analysis phase").
+func pruneSystemDecls(unit *minic.ASTNode, isSystem func(string) bool) *minic.ASTNode {
+	out := unit.Clone()
+	var kept []*minic.ASTNode
+	for _, d := range out.Children {
+		if d.Pos.IsValid() && isSystem(d.Pos.File) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	out.Children = kept
+	return out
+}
+
+// RunCoverage executes the serial port of an app in the interpreter on the
+// reduced problem size and returns its coverage profile, implementing the
+// "recompile with coverage flags and run with a reduced problem set" leg of
+// the workflow.
+func RunCoverage(cb *corpus.Codebase) (*coverage.Profile, error) {
+	if cb.Lang == corpus.LangFortran {
+		return nil, fmt.Errorf("core: coverage runs require the C++ interpreter")
+	}
+	files := make(map[string]string, len(cb.Files)+1)
+	for k, v := range cb.Files {
+		files[k] = v
+	}
+	var includes []string
+	for _, u := range cb.Units {
+		includes = append(includes, fmt.Sprintf("#include %q", u.File))
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(includes))) // main last
+	files["__combined.cpp"] = strings.Join(includes, "\n") + "\n"
+	provider := &minic.MapProvider{Files: files, System: cb.System}
+	pp := minic.NewPreprocessor(provider, nil)
+	res, err := pp.Preprocess("__combined.cpp")
+	if err != nil {
+		return nil, err
+	}
+	unit, err := minic.ParseUnit(res.Text, "__combined.cpp")
+	if err != nil {
+		return nil, err
+	}
+	minic.ApplyLineOrigins(unit, res.LineOrigin)
+	out, err := interp.Run(unit, interp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return coverage.NewProfile(out.Coverage), nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"silvervale/internal/cbdb"
+	"silvervale/internal/compdb"
+	"silvervale/internal/corpus"
+	"silvervale/internal/tree"
+)
+
+// LoadCodebase ingests a codebase from disk the way the paper's workflow
+// does (Fig. 2): a directory of sources plus its compile_commands.json.
+// Each compilation-database entry becomes a unit root (its role is the file
+// stem), every source/header under the root joins the file set, and files
+// matching standard-header names are flagged system. The returned codebase
+// feeds IndexCodebase exactly like a generated one.
+func LoadCodebase(root string, db *compdb.DB) (*corpus.Codebase, error) {
+	if len(db.Entries) == 0 {
+		return nil, fmt.Errorf("core: compilation database has no entries")
+	}
+	cb := &corpus.Codebase{
+		Files:  map[string]string{},
+		System: map[string]bool{},
+	}
+	lang := corpus.LangCXX
+	model := "unknown"
+	appName := filepath.Base(root)
+	for _, e := range db.Entries {
+		if e.Language() == "fortran" {
+			lang = corpus.LangFortran
+		}
+		model = e.Model()
+		rel := filepath.ToSlash(filepath.Clean(e.File))
+		cb.Units = append(cb.Units, corpus.Unit{
+			File: rel,
+			Role: strings.TrimSuffix(filepath.Base(rel), filepath.Ext(rel)),
+		})
+	}
+	cb.App = appName
+	cb.Model = corpus.Model(model)
+	cb.Lang = lang
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "compile_commands.json" {
+			return nil
+		}
+		if !isSourceLike(rel) {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		cb.Files[rel] = string(data)
+		if corpus.IsStandardHeader(rel) {
+			cb.System[rel] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range cb.Units {
+		if _, ok := cb.Files[u.File]; !ok {
+			return nil, fmt.Errorf("core: unit %q from compilation database not found under %q", u.File, root)
+		}
+	}
+	return cb, nil
+}
+
+// isSourceLike accepts the extensions (and extension-less std header
+// names) the frontends understand.
+func isSourceLike(name string) bool {
+	switch strings.ToLower(filepath.Ext(name)) {
+	case ".c", ".cc", ".cpp", ".cxx", ".cu", ".h", ".hpp", ".hh",
+		".f", ".f90", ".f95", ".f03", ".f08":
+		return true
+	case "":
+		return true // C++ standard headers have no extension
+	}
+	return false
+}
+
+// IngestDirectory is the one-call form: read compile_commands.json under
+// root, load the codebase, and index it.
+func IngestDirectory(root string, opts Options) (*Index, error) {
+	db, err := compdb.Load(filepath.Join(root, "compile_commands.json"))
+	if err != nil {
+		return nil, err
+	}
+	cb, err := LoadCodebase(root, db)
+	if err != nil {
+		return nil, err
+	}
+	return IndexCodebase(cb, opts)
+}
+
+// ToDB converts an index into its portable Codebase DB form ("a portable
+// set of semantic-bearing trees and metadata files", Fig. 2).
+func (idx *Index) ToDB() *cbdb.DB {
+	db := &cbdb.DB{Codebase: idx.Codebase, Model: idx.Model}
+	for i := range idx.Units {
+		u := &idx.Units[i]
+		rec := cbdb.UnitRecord{
+			File: u.File, Role: u.Role, SLOC: u.SLOC, LLOC: u.LLOC,
+			SourceLines: u.SourceLines, Trees: map[string]string{},
+		}
+		for m, t := range u.Trees {
+			rec.Trees[m] = t.String()
+		}
+		db.Units = append(db.Units, rec)
+	}
+	return db
+}
+
+// IndexFromDB reconstructs an index from a stored Codebase DB, so two
+// previously indexed codebases can be compared offline without their
+// sources. (The DB stores the plain Source lines; the +pp variant is not
+// persisted, matching the paper's portable-artefact scope.)
+func IndexFromDB(db *cbdb.DB) (*Index, error) {
+	idx := &Index{Codebase: db.Codebase, Model: db.Model}
+	for _, rec := range db.Units {
+		u := UnitIndex{
+			File: rec.File, Role: rec.Role, SLOC: rec.SLOC, LLOC: rec.LLOC,
+			SourceLines:   rec.SourceLines,
+			SourceLinesPP: rec.SourceLines,
+			Trees:         map[string]*tree.Node{},
+		}
+		for m, s := range rec.Trees {
+			t, err := tree.ParseSexpr(s)
+			if err != nil {
+				return nil, fmt.Errorf("core: unit %q tree %q: %w", rec.File, m, err)
+			}
+			u.Trees[m] = t
+		}
+		idx.Units = append(idx.Units, u)
+	}
+	return idx, nil
+}

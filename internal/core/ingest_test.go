@@ -1,0 +1,118 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"silvervale/internal/compdb"
+	"silvervale/internal/corpus"
+)
+
+// writeCodebase materialises a generated codebase on disk with its
+// synthesized compile_commands.json, as the CLI `generate` command does.
+func writeCodebase(t *testing.T, cb *corpus.Codebase) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range cb.Files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := cb.CompileCommands(dir).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "compile_commands.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestDiskRoundTrip: generate → write to disk → ingest through the
+// compilation-database front door → the re-indexed codebase is
+// metric-identical to the in-memory one.
+func TestDiskRoundTrip(t *testing.T) {
+	app, _ := corpus.AppByName("babelstream")
+	for _, model := range []corpus.Model{corpus.Serial, corpus.OpenMP, corpus.CUDA} {
+		cb, err := corpus.Generate(app, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := writeCodebase(t, cb)
+		diskIdx, err := IngestDirectory(dir, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		memIdx, err := IndexCodebase(cb, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// roles differ (disk uses file stems), so compare unit-by-unit
+		if len(diskIdx.Units) != len(memIdx.Units) {
+			t.Fatalf("%s: units %d vs %d", model, len(diskIdx.Units), len(memIdx.Units))
+		}
+		byFile := map[string]*UnitIndex{}
+		for i := range memIdx.Units {
+			byFile[memIdx.Units[i].File] = &memIdx.Units[i]
+		}
+		for i := range diskIdx.Units {
+			du := &diskIdx.Units[i]
+			mu, ok := byFile[du.File]
+			if !ok {
+				t.Fatalf("%s: unexpected unit %q", model, du.File)
+			}
+			if du.SLOC != mu.SLOC || du.LLOC != mu.LLOC {
+				t.Fatalf("%s %s: SLOC/LLOC %d/%d vs %d/%d",
+					model, du.File, du.SLOC, du.LLOC, mu.SLOC, mu.LLOC)
+			}
+			for _, metric := range TreeMetrics() {
+				if du.Trees[metric].Size() != mu.Trees[metric].Size() {
+					t.Fatalf("%s %s: %s tree %d vs %d nodes", model, du.File, metric,
+						du.Trees[metric].Size(), mu.Trees[metric].Size())
+				}
+			}
+		}
+	}
+}
+
+func TestLoadCodebaseModelDetection(t *testing.T) {
+	app, _ := corpus.AppByName("babelstream")
+	cb, _ := corpus.Generate(app, corpus.CUDA)
+	dir := writeCodebase(t, cb)
+	db, err := compdb.Load(filepath.Join(dir, "compile_commands.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCodebase(dir, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Model != corpus.CUDA {
+		t.Fatalf("model detected as %q, want cuda", loaded.Model)
+	}
+	if !loaded.System["cmath"] {
+		t.Fatal("standard headers must be re-flagged system on ingest")
+	}
+}
+
+func TestIngestErrors(t *testing.T) {
+	if _, err := IngestDirectory(t.TempDir(), Options{}); err == nil {
+		t.Fatal("expected error for missing compile_commands.json")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "compile_commands.json"),
+		[]byte(`[{"directory": "/", "command": "cc -c gone.c", "file": "gone.c"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := IngestDirectory(dir, Options{}); err == nil {
+		t.Fatal("expected error for missing unit file")
+	}
+	if _, err := LoadCodebase(dir, &compdb.DB{}); err == nil {
+		t.Fatal("expected error for empty database")
+	}
+}

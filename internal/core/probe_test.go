@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"silvervale/internal/corpus"
+)
+
+var indexCache = map[string]map[string]*Index{}
+
+// indexAll builds (and caches) indexes for every model of an app — the
+// indexing step is deterministic, so tests share one index set per app.
+func indexAll(t *testing.T, appName string, opts Options) (map[string]*Index, []string) {
+	t.Helper()
+	app, err := corpus.AppByName(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	for _, m := range corpus.ModelsFor(app) {
+		order = append(order, string(m))
+	}
+	cacheable := opts.Coverage == nil && !opts.KeepSystemHeaders
+	if cacheable {
+		if idxs, ok := indexCache[appName]; ok {
+			return idxs, order
+		}
+	}
+	idxs := map[string]*Index{}
+	for _, m := range corpus.ModelsFor(app) {
+		cb, err := corpus.Generate(app, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := IndexCodebase(cb, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idxs[string(m)] = idx
+	}
+	if cacheable {
+		indexCache[appName] = idxs
+	}
+	return idxs, order
+}
+
+// TestProbeDivergenceLandscape prints the divergence-from-serial table for
+// TeaLeaf under every metric (run with -v). It asserts nothing; the shape
+// tests encode the expectations.
+func TestProbeDivergenceLandscape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	idxs, order := indexAll(t, "tealeaf", Options{})
+	for _, metric := range Metrics() {
+		from, err := FromBase(idxs, "serial", order, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := fmt.Sprintf("%-10s", metric)
+		for _, m := range order {
+			row += fmt.Sprintf(" %s=%.3f", m, from[m])
+		}
+		t.Log(row)
+	}
+	for _, m := range order {
+		sizes := TreeSizes(idxs[m])
+		t.Logf("sizes %-10s tsrc=%d tsem=%d tsem+i=%d tir=%d  sloc=%d",
+			m, sizes[MetricTsrc], sizes[MetricTsem], sizes[MetricTsemI], sizes[MetricTir],
+			idxs[m].Units[0].SLOC+idxs[m].Units[1].SLOC)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"silvervale/internal/corpus"
+	"silvervale/internal/minic"
+	"silvervale/internal/tree"
+)
+
+// Secondary metrics (Section III.A): the back-references from trees to
+// source locations let the framework reconstruct the dependency tree
+// between source units and compute module coupling (Offutt, Harrold &
+// Kolte) and overall tree complexity.
+
+// DepGraph is the include-dependency graph of a codebase: unit root →
+// transitively included files (system headers excluded unless kept).
+type DepGraph struct {
+	// Deps maps each unit root to its dependency files, sorted.
+	Deps map[string][]string
+}
+
+// BuildDepGraph reconstructs the dependency graph by preprocessing each
+// unit root and recording its include closure.
+func BuildDepGraph(cb *corpus.Codebase, keepSystem bool) (*DepGraph, error) {
+	g := &DepGraph{Deps: map[string][]string{}}
+	if cb.Lang == corpus.LangFortran {
+		// MiniFortran units carry `use` module references; the corpus keeps
+		// modules in separate files paired by role, with no preprocessor.
+		for _, u := range cb.Units {
+			g.Deps[u.File] = nil
+		}
+		return g, nil
+	}
+	for _, u := range cb.Units {
+		provider := &minic.MapProvider{Files: cb.Files, System: cb.System}
+		pp := minic.NewPreprocessor(provider, nil)
+		res, err := pp.Preprocess(u.File)
+		if err != nil {
+			return nil, err
+		}
+		var deps []string
+		for _, inc := range res.Includes {
+			if !keepSystem && cb.System[inc] {
+				continue
+			}
+			deps = append(deps, inc)
+		}
+		sort.Strings(deps)
+		g.Deps[u.File] = deps
+	}
+	return g, nil
+}
+
+// Coupling returns the module-coupling value of the codebase: the mean
+// number of shared dependencies between unit pairs, normalised by the mean
+// dependency count — 0 when units share nothing, 1 when every dependency
+// is shared by every pair.
+func (g *DepGraph) Coupling() float64 {
+	units := make([]string, 0, len(g.Deps))
+	for u := range g.Deps {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	if len(units) < 2 {
+		return 0
+	}
+	totalDeps := 0
+	for _, u := range units {
+		totalDeps += len(g.Deps[u])
+	}
+	if totalDeps == 0 {
+		return 0
+	}
+	meanDeps := float64(totalDeps) / float64(len(units))
+	pairs, shared := 0, 0.0
+	for i := 0; i < len(units); i++ {
+		for j := i + 1; j < len(units); j++ {
+			pairs++
+			shared += float64(sharedCount(g.Deps[units[i]], g.Deps[units[j]]))
+		}
+	}
+	return (shared / float64(pairs)) / meanDeps
+}
+
+func sharedCount(a, b []string) int {
+	set := map[string]bool{}
+	for _, x := range a {
+		set[x] = true
+	}
+	n := 0
+	for _, x := range b {
+		if set[x] {
+			n++
+		}
+	}
+	return n
+}
+
+// Complexity summarises the structural complexity of an index's trees.
+type Complexity struct {
+	Nodes  int
+	Depth  int
+	Leaves int
+	// Branching is the mean child count of internal nodes.
+	Branching float64
+	// Entropy is the Shannon entropy (bits) of the label distribution — a
+	// rough "how many distinct constructs" measure.
+	Entropy float64
+}
+
+// TreeComplexity computes the overall tree complexity of one metric's
+// trees across an index.
+func TreeComplexity(idx *Index, metric string) Complexity {
+	var c Complexity
+	hist := map[string]int{}
+	internal := 0
+	childSum := 0
+	for i := range idx.Units {
+		t, ok := idx.Units[i].Trees[metric]
+		if !ok || t == nil {
+			continue
+		}
+		c.Nodes += t.Size()
+		c.Leaves += t.Leaves()
+		if d := t.Depth(); d > c.Depth {
+			c.Depth = d
+		}
+		t.Walk(func(n *tree.Node) bool {
+			hist[n.Label]++
+			if len(n.Children) > 0 {
+				internal++
+				childSum += len(n.Children)
+			}
+			return true
+		})
+	}
+	if internal > 0 {
+		c.Branching = float64(childSum) / float64(internal)
+	}
+	total := 0
+	for _, n := range hist {
+		total += n
+	}
+	if total > 0 {
+		for _, n := range hist {
+			p := float64(n) / float64(total)
+			c.Entropy -= p * math.Log2(p)
+		}
+	}
+	return c
+}

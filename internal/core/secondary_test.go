@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"silvervale/internal/corpus"
+)
+
+func TestDepGraphAndCoupling(t *testing.T) {
+	app, _ := corpus.AppByName("babelstream")
+	cb, err := corpus.Generate(app, corpus.SYCLACC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildDepGraph(cb, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Deps) != 2 {
+		t.Fatalf("deps = %v", g.Deps)
+	}
+	// both units include kernels.h and the sycl runtime header
+	foundSycl := false
+	for _, deps := range g.Deps {
+		for _, d := range deps {
+			if d == "sycl/sycl.hpp" {
+				foundSycl = true
+			}
+		}
+	}
+	if !foundSycl {
+		t.Fatalf("model header missing from dependency graph: %v", g.Deps)
+	}
+	c := g.Coupling()
+	if c <= 0 || c > 1.5 {
+		t.Fatalf("coupling = %v", c)
+	}
+	// keeping system headers can only add dependencies
+	gAll, err := BuildDepGraph(cb, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, deps := range g.Deps {
+		if len(gAll.Deps[u]) < len(deps) {
+			t.Fatal("keepSystem lost dependencies")
+		}
+	}
+}
+
+func TestCouplingSharedHeadersCoupleTighter(t *testing.T) {
+	app, _ := corpus.AppByName("babelstream")
+	serial, _ := corpus.Generate(app, corpus.Serial)
+	sycl, _ := corpus.Generate(app, corpus.SYCLACC)
+	gs, err := BuildDepGraph(serial, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gy, err := BuildDepGraph(sycl, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the SYCL port's units share the model runtime header in addition to
+	// kernels.h, coupling them at least as tightly as serial
+	if gy.Coupling() < gs.Coupling() {
+		t.Fatalf("sycl coupling %v < serial %v", gy.Coupling(), gs.Coupling())
+	}
+}
+
+func TestCouplingDegenerate(t *testing.T) {
+	g := &DepGraph{Deps: map[string][]string{"one.c": {"a.h"}}}
+	if g.Coupling() != 0 {
+		t.Fatal("single unit has no coupling")
+	}
+	g2 := &DepGraph{Deps: map[string][]string{"a.c": nil, "b.c": nil}}
+	if g2.Coupling() != 0 {
+		t.Fatal("no dependencies, no coupling")
+	}
+}
+
+func TestTreeComplexity(t *testing.T) {
+	idxs, _ := indexAll(t, "babelstream", Options{})
+	serial := TreeComplexity(idxs["serial"], MetricTsem)
+	sycl := TreeComplexity(idxs["sycl-acc"], MetricTsem)
+	if serial.Nodes == 0 || serial.Depth == 0 || serial.Leaves == 0 {
+		t.Fatalf("degenerate complexity: %+v", serial)
+	}
+	if serial.Branching <= 1 {
+		t.Fatalf("branching = %v", serial.Branching)
+	}
+	if serial.Entropy <= 0 {
+		t.Fatal("entropy must be positive")
+	}
+	// the templated SYCL surface is structurally richer on every axis
+	if sycl.Nodes <= serial.Nodes || sycl.Entropy <= serial.Entropy {
+		t.Fatalf("SYCL should be more complex: sycl=%+v serial=%+v", sycl, serial)
+	}
+	// unknown metric: zero-valued result, no panic
+	zero := TreeComplexity(idxs["serial"], "nope")
+	if zero.Nodes != 0 {
+		t.Fatal("unknown metric should be empty")
+	}
+}

@@ -1,0 +1,176 @@
+package corpus
+
+// BabelStream is the McCalpin STREAM benchmark in heterogeneous models:
+// five short memory-bandwidth kernels over three arrays.
+func BabelStream() App {
+	roA := []Param{
+		{Name: "a", Type: "double", Const: true},
+		{Name: "b", Type: "double"},
+		{Name: "c", Type: "double", Const: true},
+	}
+	n := Param{Name: "n", Type: "int"}
+	scalar := Param{Name: "scalar", Type: "double"}
+	dim := []Dim{{Var: "i", Lo: "0", Hi: "n"}}
+
+	return App{
+		Name:         "babelstream",
+		Lang:         LangCXX,
+		Type:         "Memory BW",
+		ProblemSizes: []string{"n"},
+		DefaultSize:  64,
+		Iters:        3,
+		Kernels: []Kernel{
+			{
+				Name:    "copy",
+				Dims:    dim,
+				Arrays:  []Param{{Name: "a", Type: "double", Const: true}, {Name: "c", Type: "double"}},
+				Scalars: []Param{n},
+				Body:    []string{"c[i] = a[i];"},
+				FBody:   []string{"c(i) = a(i)"},
+				FArrayForm: []string{
+					"c = a",
+				},
+			},
+			{
+				Name:    "mul",
+				Dims:    dim,
+				Arrays:  []Param{{Name: "b", Type: "double"}, {Name: "c", Type: "double", Const: true}},
+				Scalars: []Param{scalar, n},
+				Body:    []string{"b[i] = scalar * c[i];"},
+				FBody:   []string{"b(i) = scalar * c(i)"},
+				FArrayForm: []string{
+					"b = scalar * c",
+				},
+			},
+			{
+				Name:    "add",
+				Dims:    dim,
+				Arrays:  []Param{{Name: "a", Type: "double", Const: true}, {Name: "b", Type: "double", Const: true}, {Name: "c", Type: "double"}},
+				Scalars: []Param{n},
+				Body:    []string{"c[i] = a[i] + b[i];"},
+				FBody:   []string{"c(i) = a(i) + b(i)"},
+				FArrayForm: []string{
+					"c = a + b",
+				},
+			},
+			{
+				Name:    "triad",
+				Dims:    dim,
+				Arrays:  roA,
+				Scalars: []Param{scalar, n},
+				Body:    []string{"a[i] = b[i] + scalar * c[i];"},
+				FBody:   []string{"a(i) = b(i) + scalar * c(i)"},
+				FArrayForm: []string{
+					"a = b + scalar * c",
+				},
+			},
+			{
+				Name:    "dot",
+				Dims:    dim,
+				Arrays:  []Param{{Name: "a", Type: "double", Const: true}, {Name: "b", Type: "double", Const: true}},
+				Scalars: []Param{n},
+				Red: &Reduction{
+					Var:  "sum",
+					Op:   "+",
+					Init: "0.0",
+					Expr: "a[i] * b[i]",
+				},
+				FRedExpr: "a(i) * b(i)",
+			},
+		},
+	}
+}
+
+// BabelStreamFortran is the Fortran port of BabelStream evaluated in
+// Section V.B, with the seven model variants of Table II.
+func BabelStreamFortran() App {
+	app := BabelStream()
+	app.Name = "babelstream-fortran"
+	app.Lang = LangFortran
+	app.Type = "Memory BW"
+	return app
+}
+
+// MiniBUDE is the molecular-docking compute benchmark: one dominant
+// compute-bound kernel evaluating pose energies, plus a small
+// initialisation kernel — "the code has a higher ratio of boilerplate to
+// actual algorithm as the computational kernels are relatively short".
+func MiniBUDE() App {
+	return App{
+		Name:         "minibude",
+		Lang:         LangCXX,
+		Type:         "Compute",
+		ProblemSizes: []string{"nposes"},
+		DefaultSize:  16,
+		Iters:        2,
+		Kernels: []Kernel{
+			{
+				Name: "zero_energies",
+				Dims: []Dim{{Var: "i", Lo: "0", Hi: "nposes"}},
+				Arrays: []Param{
+					{Name: "energies", Type: "double"},
+				},
+				Scalars: []Param{{Name: "nposes", Type: "int"}},
+				Body:    []string{"energies[i] = 0.0;"},
+				FBody:   []string{"energies(i) = 0.0d0"},
+			},
+			{
+				Name: "fasten_main",
+				Dims: []Dim{{Var: "i", Lo: "0", Hi: "nposes"}},
+				Arrays: []Param{
+					{Name: "protein_x", Type: "double", Const: true},
+					{Name: "protein_y", Type: "double", Const: true},
+					{Name: "protein_z", Type: "double", Const: true},
+					{Name: "protein_q", Type: "double", Const: true},
+					{Name: "ligand_x", Type: "double", Const: true},
+					{Name: "ligand_y", Type: "double", Const: true},
+					{Name: "ligand_z", Type: "double", Const: true},
+					{Name: "ligand_q", Type: "double", Const: true},
+					{Name: "poses_x", Type: "double", Const: true},
+					{Name: "poses_y", Type: "double", Const: true},
+					{Name: "poses_z", Type: "double", Const: true},
+					{Name: "energies", Type: "double"},
+				},
+				Scalars: []Param{
+					{Name: "natlig", Type: "int"},
+					{Name: "natpro", Type: "int"},
+					{Name: "nposes", Type: "int"},
+				},
+				Body: []string{
+					"double etot = 0.0;",
+					"for (int l = 0; l < natlig; l++) {",
+					"\tdouble lx = ligand_x[l] + poses_x[i];",
+					"\tdouble ly = ligand_y[l] + poses_y[i];",
+					"\tdouble lz = ligand_z[l] + poses_z[i];",
+					"\tdouble lq = ligand_q[l];",
+					"\tfor (int p = 0; p < natpro; p++) {",
+					"\t\tdouble dx = protein_x[p] - lx;",
+					"\t\tdouble dy = protein_y[p] - ly;",
+					"\t\tdouble dz = protein_z[p] - lz;",
+					"\t\tdouble r = sqrt(dx * dx + dy * dy + dz * dz) + 0.5;",
+					"\t\tdouble pq = protein_q[p];",
+					"\t\tetot += pq * lq / r;",
+					"\t}",
+					"}",
+					"energies[i] = etot * 0.5;",
+				},
+				FBody: []string{
+					"etot = 0.0d0",
+					"do l = 1, natlig",
+					"  lx = ligand_x(l) + poses_x(i)",
+					"  ly = ligand_y(l) + poses_y(i)",
+					"  lz = ligand_z(l) + poses_z(i)",
+					"  do p = 1, natpro",
+					"    dx = protein_x(p) - lx",
+					"    dy = protein_y(p) - ly",
+					"    dz = protein_z(p) - lz",
+					"    r = sqrt(dx * dx + dy * dy + dz * dz) + 0.5d0",
+					"    etot = etot + protein_q(p) * ligand_q(l) / r",
+					"  end do",
+					"end do",
+					"energies(i) = etot * 0.5d0",
+				},
+			},
+		},
+	}
+}

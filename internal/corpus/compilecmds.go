@@ -1,0 +1,66 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"silvervale/internal/compdb"
+)
+
+// CompileCommands synthesizes the compile_commands.json entries a build of
+// this codebase would record, closing the loop with the Compilation-DB
+// ingestion front door (Fig. 2): generated codebases can be written to disk
+// and re-ingested through the same path a CMake/Bear-produced project
+// takes.
+func (c *Codebase) CompileCommands(dir string) *compdb.DB {
+	db := &compdb.DB{}
+	for _, u := range c.Units {
+		db.Entries = append(db.Entries, compdb.Entry{
+			Directory: dir,
+			Command:   c.compileCommand(u.File),
+			File:      u.File,
+			Output:    strings.TrimSuffix(u.File, extOf(u.File)) + ".o",
+		})
+	}
+	return db
+}
+
+func extOf(f string) string {
+	if i := strings.LastIndex(f, "."); i >= 0 {
+		return f[i:]
+	}
+	return ""
+}
+
+func (c *Codebase) compileCommand(file string) string {
+	if c.Lang == LangFortran {
+		flags := ""
+		switch c.Model {
+		case FOpenMP, FOpenMPTaskloop:
+			flags = " -fopenmp"
+		case FOpenACC, FOpenACCArray:
+			flags = " -fopenacc"
+		}
+		return fmt.Sprintf("gfortran -O3%s -c %s", flags, file)
+	}
+	compiler := "clang++"
+	flags := "-std=c++17 -O3 -I."
+	switch c.Model {
+	case OpenMP:
+		flags += " -fopenmp"
+	case OpenMPTarget:
+		flags += " -fopenmp -fopenmp-targets=nvptx64"
+	case CUDA:
+		flags += " -x cuda --cuda-gpu-arch=sm_90"
+	case HIP:
+		flags += " -x hip --offload-arch=gfx90a"
+	case SYCLACC, SYCLUSM:
+		flags += " -fsycl"
+	case StdPar:
+		compiler = "nvc++"
+		flags = "-std=c++17 -O3 -I. -stdpar=gpu"
+	case TBB:
+		flags += " -ltbb"
+	}
+	return fmt.Sprintf("%s %s -c %s", compiler, flags, file)
+}

@@ -1,0 +1,93 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"silvervale/internal/compdb"
+)
+
+func TestCompileCommandsModelFlags(t *testing.T) {
+	app, _ := AppByName("babelstream")
+	cases := []struct {
+		model Model
+		want  string
+	}{
+		{Serial, "clang++"},
+		{OpenMP, "-fopenmp"},
+		{OpenMPTarget, "-fopenmp-targets"},
+		{CUDA, "--cuda-gpu-arch"},
+		{HIP, "-x hip"},
+		{SYCLACC, "-fsycl"},
+		{StdPar, "nvc++"},
+		{TBB, "-ltbb"},
+	}
+	for _, c := range cases {
+		cb, err := Generate(app, c.model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := cb.CompileCommands("/build")
+		if len(db.Entries) != len(cb.Units) {
+			t.Fatalf("%s: entries = %d", c.model, len(db.Entries))
+		}
+		found := false
+		for _, e := range db.Entries {
+			if strings.Contains(e.Command, c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: flag %q missing from commands", c.model, c.want)
+		}
+	}
+}
+
+func TestCompileCommandsFortran(t *testing.T) {
+	app, _ := AppByName("babelstream-fortran")
+	for _, m := range []Model{FOpenMP, FOpenACC, FSequential} {
+		cb, err := Generate(app, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := cb.CompileCommands("/build")
+		for _, e := range db.Entries {
+			if !strings.HasPrefix(e.Command, "gfortran") {
+				t.Fatalf("%s: compiler = %q", m, e.Command)
+			}
+		}
+	}
+}
+
+// TestCompileCommandsRoundTripModelDetection: the synthesized flags must be
+// recognised by the compdb model classifier — closing the generate→ingest
+// loop at the flag level.
+func TestCompileCommandsRoundTripModelDetection(t *testing.T) {
+	app, _ := AppByName("babelstream")
+	expectations := map[Model]string{
+		Serial:       "serial",
+		OpenMP:       "omp",
+		OpenMPTarget: "omp-target",
+		CUDA:         "cuda",
+		HIP:          "hip",
+		SYCLACC:      "sycl",
+		SYCLUSM:      "sycl",
+	}
+	for model, want := range expectations {
+		cb, err := Generate(app, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := cb.CompileCommands("/b").Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := compdb.Parse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := db.Entries[0].Model(); got != want {
+			t.Errorf("%s: detected %q, want %q (%s)", model, got, want, db.Entries[0].Command)
+		}
+	}
+}

@@ -1,0 +1,576 @@
+package corpus
+
+// Model runtime headers. Each model's unit (Eq. 1: source file plus all
+// dependencies) includes these, so their structure is where the paper's
+// header-driven findings come from:
+//
+//   - sycl/sycl.hpp is heavily templated with "non-visible but
+//     semantic-bearing elements such as default values of parameters or
+//     even templates", plus macro machinery whose expansion reproduces the
+//     Source+pp blow-up of the two-pass DPC++ compilation.
+//   - Kokkos_Core.hpp and tbb/tbb.h carry function bodies, so T_sem+i
+//     inlining pulls foreign code into library-model trees.
+//   - cuda_runtime.h is declaration-only — first-party models rely on the
+//     compiler, so nothing gets inlined and T_sem+i barely moves.
+//   - hip/hip_runtime.h carries non-trivial runtime helpers with bodies,
+//     so HIP sits between CUDA and the library models under T_sem+i.
+//
+// True system headers (cstdio, cmath, vector, and the C++ standard
+// algorithm/execution/ranges headers) are flagged system and masked from
+// the metrics by default.
+
+func modelHeaders(model Model) map[string]string {
+	out := map[string]string{}
+	switch model {
+	case OpenMP, OpenMPTarget:
+		out["omp.h"] = headerOmp
+	case CUDA:
+		out["cuda_runtime.h"] = headerCudaRuntime
+	case HIP:
+		out["hip/hip_runtime.h"] = headerHipRuntime
+	case Kokkos:
+		out["Kokkos_Core.hpp"] = headerKokkos
+	case SYCLACC, SYCLUSM:
+		out["sycl/sycl.hpp"] = headerSYCL
+		out["vector"] = headerVector
+	case StdPar:
+		out["algorithm"] = headerAlgorithm
+		out["execution"] = headerExecution
+		out["ranges"] = headerRanges
+		out["vector"] = headerVector
+	case TBB:
+		out["tbb/tbb.h"] = headerTBB
+	}
+	return out
+}
+
+// IsStandardHeader reports whether a file name is a true system header
+// (masked from the metrics by default); model runtime headers are part of
+// the port and count toward divergence. Exposed so disk ingestion can
+// classify files the same way the generator does.
+func IsStandardHeader(name string) bool {
+	switch name {
+	case "cstdio", "cmath", "vector", "algorithm", "execution", "ranges", "omp.h":
+		return true
+	}
+	return false
+}
+
+func modelHeaderIsSystem(name string) bool { return IsStandardHeader(name) }
+
+const headerCstdio = `// <cstdio> (system)
+int printf(const char *fmt);
+int puts(const char *s);
+`
+
+const headerCmath = `// <cmath> (system)
+double sqrt(double x);
+double fabs(double x);
+double fmin(double x, double y);
+double fmax(double x, double y);
+double exp(double x);
+double log(double x);
+double pow(double x, double y);
+double floor(double x);
+`
+
+const headerOmp = `// <omp.h> (system): host runtime entry points
+int omp_get_num_threads();
+int omp_get_thread_num();
+int omp_get_max_threads();
+double omp_get_wtime();
+void omp_set_num_threads(int n);
+int omp_get_num_devices();
+int omp_get_default_device();
+`
+
+const headerCudaRuntime = `// <cuda_runtime.h>: declaration-only first-party runtime surface
+struct dim3 {
+	int x;
+	int y;
+	int z;
+	dim3(int xx) {
+		x = xx;
+		y = 1;
+		z = 1;
+	}
+};
+
+dim3 threadIdx = dim3(0);
+dim3 blockIdx = dim3(0);
+dim3 blockDim = dim3(1);
+dim3 gridDim = dim3(1);
+
+int cudaMalloc(double **ptr, int bytes);
+int cudaFree(double *ptr);
+int cudaMemcpy(double *dst, const double *src, int bytes, int kind);
+int cudaDeviceSynchronize();
+int cudaGetLastError();
+int cudaMemcpyHostToDevice = 1;
+int cudaMemcpyDeviceToHost = 2;
+`
+
+const headerHipRuntime = `// <hip/hip_runtime.h>: non-trivial runtime helpers ship in the header
+struct dim3 {
+	int x;
+	int y;
+	int z;
+	dim3(int xx) {
+		x = xx;
+		y = 1;
+		z = 1;
+	}
+};
+
+dim3 threadIdx = dim3(0);
+dim3 blockIdx = dim3(0);
+dim3 blockDim = dim3(1);
+dim3 gridDim = dim3(1);
+
+int hipMalloc(double **ptr, int bytes);
+int hipFree(double *ptr);
+int hipMemcpy(double *dst, const double *src, int bytes, int kind);
+int hipDeviceSynchronize();
+int hipGetLastError();
+int hipMemcpyHostToDevice = 1;
+int hipMemcpyDeviceToHost = 2;
+
+inline int hipGridSizeX(int total, int block) {
+	return (total + block - 1) / block;
+}
+
+inline int hipCheckStatus(int status) {
+	if (status != 0) {
+		return status;
+	}
+	return 0;
+}
+
+inline int hipRoundUp(int value, int multiple) {
+	int rem = value % multiple;
+	if (rem == 0) {
+		return value;
+	}
+	return value + multiple - rem;
+}
+`
+
+const headerKokkos = `// <Kokkos_Core.hpp>: library model — opinionated API with inlineable bodies
+#define KOKKOS_LAMBDA(args) [=](args)
+#define KOKKOS_INLINE_FUNCTION inline
+
+namespace Kokkos {
+
+void initialize();
+void finalize();
+
+inline void fence() {
+	int barrier = 0;
+	barrier = barrier + 1;
+}
+
+template <typename T>
+struct View {
+	T *data_;
+	int extent_;
+	View(const char *label, int n) {
+		extent_ = n;
+	}
+	T operator()(int i) const {
+		return data_[i];
+	}
+	int extent(int rank) const {
+		return extent_;
+	}
+	int size() const {
+		return extent_;
+	}
+};
+
+template <typename R>
+struct RangePolicy {
+	int begin_;
+	int end_;
+	RangePolicy(int lo, int hi) {
+		begin_ = lo;
+		end_ = hi;
+	}
+	int begin() const { return begin_; }
+	int end() const { return end_; }
+};
+
+template <typename R>
+struct MDRangePolicy {
+	int lo0;
+	int lo1;
+	int hi0;
+	int hi1;
+};
+
+template <int N>
+struct Rank {
+	int rank;
+};
+
+template <typename T>
+struct Min {
+	T value;
+	Min(T &v) {
+		value = v;
+	}
+};
+
+template <typename P, typename F>
+inline void parallel_for(const char *label, P policy, F functor) {
+	int i = policy.begin();
+	while (i < policy.end()) {
+		functor(i);
+		i = i + 1;
+	}
+}
+
+template <typename P, typename F, typename R>
+inline void parallel_reduce(const char *label, P policy, F functor, R result) {
+	int i = policy.begin();
+	while (i < policy.end()) {
+		functor(i, result);
+		i = i + 1;
+	}
+}
+
+}
+`
+
+const headerSYCL = `// <sycl/sycl.hpp>: heavily templated API surface; the semantic weight of
+// the model lives here, largely invisible at the source level.
+#define SYCL_EXTERNAL
+#define SYCL_BINOP(T, OP, NAME) inline T vec_NAME_T(T x, T y) { return x OP y; }
+#define SYCL_DEFINE_VEC_OPS(T) SYCL_BINOP(T, +, add) SYCL_BINOP(T, -, sub) SYCL_BINOP(T, *, mul) SYCL_BINOP(T, /, div)
+#define SYCL_DEFINE_CMP_OPS(T) SYCL_BINOP(T, <, lt) SYCL_BINOP(T, >, gt)
+
+namespace sycl {
+
+SYCL_DEFINE_VEC_OPS(double)
+SYCL_DEFINE_VEC_OPS(float)
+SYCL_DEFINE_VEC_OPS(int)
+SYCL_DEFINE_VEC_OPS(long)
+SYCL_DEFINE_CMP_OPS(double)
+SYCL_DEFINE_CMP_OPS(float)
+SYCL_DEFINE_CMP_OPS(int)
+
+int default_selector_v = 0;
+int gpu_selector_v = 1;
+int cpu_selector_v = 2;
+
+namespace access {
+namespace mode {
+int read = 0;
+int write = 1;
+int read_write = 2;
+}
+}
+
+template <int Dims>
+struct id {
+	int values[3];
+	id(int i0) {
+		values[0] = i0;
+	}
+	int operator[](int d) const {
+		return values[d];
+	}
+};
+
+template <int Dims>
+struct range {
+	int extents[3];
+	range(int e0) {
+		extents[0] = e0;
+	}
+	range(int e0, int e1) {
+		extents[0] = e0;
+		extents[1] = e1;
+	}
+	int size() const {
+		int total = extents[0];
+		if (Dims > 1) {
+			total = total * extents[1];
+		}
+		return total;
+	}
+	int get(int d) const {
+		return extents[d];
+	}
+};
+
+template <typename T, int Dims>
+struct accessor {
+	T *data_;
+	int extent_;
+	T operator[](int i) const {
+		return data_[i];
+	}
+};
+
+template <typename T, int Dims>
+struct buffer {
+	T *host_;
+	int extent_;
+	buffer(range<1> r) {
+		extent_ = r.size();
+	}
+	buffer(T *host, range<1> r) {
+		host_ = host;
+		extent_ = r.size();
+	}
+	template <typename M>
+	accessor<T, Dims> get_access(int handler_tag) {
+		accessor<T, Dims> acc;
+		acc.extent_ = extent_;
+		return acc;
+	}
+	int size() const {
+		return extent_;
+	}
+};
+
+template <typename T>
+struct host_accessor {
+	T *data_;
+	host_accessor(buffer<T, 1> &b) {
+		data_ = b.host_;
+	}
+	T operator[](int i) const {
+		return data_[i];
+	}
+};
+
+struct handler {
+	int device_;
+	template <typename R, typename F>
+	void parallel_for(R r, F functor) {
+		int i = 0;
+		while (i < r.size()) {
+			functor(id<1>(i));
+			i = i + 1;
+		}
+	}
+	template <typename R, typename Red, typename F>
+	void parallel_for(R r, Red reducer, F functor) {
+		int i = 0;
+		while (i < r.size()) {
+			functor(id<1>(i), reducer);
+			i = i + 1;
+		}
+	}
+};
+
+struct event {
+	int status_;
+	void wait() {
+		status_ = 0;
+	}
+};
+
+struct queue {
+	int device_;
+	queue(int selector) {
+		device_ = selector;
+	}
+	template <typename F>
+	event submit(F command_group) {
+		handler h;
+		command_group(h);
+		event e;
+		return e;
+	}
+	template <typename R, typename F>
+	event parallel_for(R r, F functor) {
+		handler h;
+		h.parallel_for(r, functor);
+		event e;
+		return e;
+	}
+	void wait() {
+		device_ = device_;
+	}
+	event memcpy(double *dst, const double *src, int bytes) {
+		event e;
+		return e;
+	}
+};
+
+template <typename T>
+T *malloc_device(int count, queue &q) {
+	return nullptr;
+}
+
+template <typename T>
+T *malloc_shared(int count, queue &q) {
+	return nullptr;
+}
+
+void free(double *ptr, queue &q);
+
+template <typename T>
+struct plus {
+	T operator()(T x, T y) const {
+		return x + y;
+	}
+};
+
+template <typename T>
+struct minimum {
+	T operator()(T x, T y) const {
+		if (x < y) {
+			return x;
+		}
+		return y;
+	}
+};
+
+template <typename B, typename C>
+int reduction(B buf, C combiner) {
+	return 0;
+}
+
+template <typename B, typename H, typename C>
+int reduction(B buf, H h, C combiner) {
+	return 0;
+}
+
+}
+`
+
+const headerTBB = `// <tbb/tbb.h>: library model with STL-inspired combinators
+namespace tbb {
+
+template <typename T>
+struct blocked_range {
+	T begin_;
+	T end_;
+	T grain_;
+	blocked_range(T lo, T hi) {
+		begin_ = lo;
+		end_ = hi;
+		grain_ = 1;
+	}
+	T begin() const {
+		return begin_;
+	}
+	T end() const {
+		return end_;
+	}
+	T size() const {
+		return end_ - begin_;
+	}
+};
+
+template <typename R, typename F>
+inline void parallel_for(R rng, F functor) {
+	functor(rng);
+}
+
+template <typename R, typename T, typename F, typename C>
+inline T parallel_reduce(R rng, T identity, F functor, C combiner) {
+	T acc = functor(rng, identity);
+	return combiner(identity, acc);
+}
+
+struct task_arena {
+	int threads_;
+	task_arena(int n) {
+		threads_ = n;
+	}
+	int max_concurrency() const {
+		return threads_;
+	}
+};
+
+}
+`
+
+const headerVector = `// <vector> (system)
+namespace std {
+
+template <typename T>
+struct vector {
+	T *data_;
+	int size_;
+	vector(int n, T fill) {
+		size_ = n;
+	}
+	T *data() {
+		return data_;
+	}
+	int size() const {
+		return size_;
+	}
+	T operator[](int i) const {
+		return data_[i];
+	}
+};
+
+}
+`
+
+const headerAlgorithm = `// <algorithm> (system): parallel algorithm entry points
+namespace std {
+
+template <typename P, typename I, typename F>
+void for_each(P policy, I first, I last, F functor);
+
+template <typename P, typename I, typename T, typename C, typename F>
+T transform_reduce(P policy, I first, I last, T init, C combiner, F transform);
+
+}
+`
+
+const headerExecution = `// <execution> (system): execution policies
+namespace std {
+namespace execution {
+
+struct sequenced_policy {
+	int tag;
+};
+struct parallel_policy {
+	int tag;
+};
+struct parallel_unsequenced_policy {
+	int tag;
+};
+
+parallel_unsequenced_policy par_unseq;
+parallel_policy par;
+sequenced_policy seq;
+
+}
+}
+`
+
+const headerRanges = `// <ranges> (system): iota views
+namespace std {
+namespace views {
+
+struct iota_view {
+	int lo_;
+	int hi_;
+	iota_view(int lo, int hi) {
+		lo_ = lo;
+		hi_ = hi;
+	}
+	int begin() const {
+		return lo_;
+	}
+	int end() const {
+		return hi_;
+	}
+};
+
+iota_view iota(int lo, int hi) {
+	return iota_view(lo, hi);
+}
+
+}
+}
+`

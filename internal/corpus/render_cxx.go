@@ -1,0 +1,617 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// cxxRenderer renders one app × model into MiniC sources.
+type cxxRenderer struct {
+	app   App
+	model Model
+	b     strings.Builder
+}
+
+func (r *cxxRenderer) line(format string, args ...any) {
+	fmt.Fprintf(&r.b, format, args...)
+	r.b.WriteByte('\n')
+}
+
+func (r *cxxRenderer) blank() { r.b.WriteByte('\n') }
+
+// is2D reports whether a kernel iterates two parallel dimensions.
+func is2D(k *Kernel) bool { return len(k.Dims) == 2 }
+
+// paramDecl renders an array parameter for the pointer-based models.
+func paramDecl(p Param, elemOnly bool) string {
+	if elemOnly {
+		return fmt.Sprintf("%s %s", p.Type, p.Name)
+	}
+	if p.Const {
+		return fmt.Sprintf("const %s *%s", p.Type, p.Name)
+	}
+	return fmt.Sprintf("%s *%s", p.Type, p.Name)
+}
+
+// hostSignature renders the kernel's host-function signature for the model.
+func (r *cxxRenderer) hostSignature(k *Kernel) string {
+	ret := "void"
+	if k.IsReduction() {
+		ret = "double"
+	}
+	var parts []string
+	switch r.model {
+	case Kokkos:
+		for _, a := range k.Arrays {
+			parts = append(parts, fmt.Sprintf("Kokkos::View<%s*> %s", a.Type, a.Name))
+		}
+	case SYCLACC:
+		parts = append(parts, "sycl::queue &q")
+		for _, a := range k.Arrays {
+			parts = append(parts, fmt.Sprintf("sycl::buffer<%s, 1> &d_%s", a.Type, a.Name))
+		}
+	case SYCLUSM:
+		parts = append(parts, "sycl::queue &q")
+		for _, a := range k.Arrays {
+			parts = append(parts, paramDecl(a, false))
+		}
+	default:
+		for _, a := range k.Arrays {
+			parts = append(parts, paramDecl(a, false))
+		}
+	}
+	if (r.model == CUDA || r.model == HIP) && k.IsReduction() {
+		parts = append(parts, "double *d_partial")
+	}
+	for _, s := range k.Scalars {
+		parts = append(parts, paramDecl(s, true))
+	}
+	return fmt.Sprintf("%s %s(%s)", ret, k.Name, strings.Join(parts, ", "))
+}
+
+// indentBody emits the kernel body statements at the given indent, applying
+// the access rewrite for paren-indexed models.
+func (r *cxxRenderer) indentBody(k *Kernel, indent string, parenAccess bool) {
+	arrays := k.arraySet()
+	for _, stmt := range k.Body {
+		s := stmt
+		if parenAccess {
+			s = bracketToParen(s, arrays)
+		}
+		r.line("%s%s", indent, strings.ReplaceAll(s, "\t", "\t"))
+	}
+}
+
+// redExpr renders the reduction expression (paren-rewritten when needed).
+func (r *cxxRenderer) redExpr(k *Kernel, parenAccess bool) string {
+	e := k.Red.Expr
+	if parenAccess {
+		e = bracketToParen(e, k.arraySet())
+	}
+	return e
+}
+
+// accumStmt renders the serial-style accumulation into a variable.
+func accumStmt(varName, op, expr string) string {
+	if op == "min" {
+		return fmt.Sprintf("%s = fmin(%s, %s);", varName, varName, expr)
+	}
+	return fmt.Sprintf("%s += %s;", varName, expr)
+}
+
+// ompRedClause renders the OpenMP reduction clause.
+func ompRedClause(red *Reduction) string {
+	return fmt.Sprintf("reduction(%s:%s)", red.Op, red.Var)
+}
+
+// spanDecls emits the flattened-range prologue used by CUDA/HIP/SYCL/StdPar
+// for 2-D kernels and returns the guard extent expression.
+func (r *cxxRenderer) spanExprs(k *Kernel) (jspan, ispan string) {
+	dj, di := k.Dims[0], k.Dims[1]
+	return fmt.Sprintf("(%s) - (%s)", dj.Hi, dj.Lo), fmt.Sprintf("(%s) - (%s)", di.Hi, di.Lo)
+}
+
+// renderKernels renders the kernels translation unit for the model.
+func (r *cxxRenderer) renderKernels() string {
+	r.b.Reset()
+	r.line("// %s kernels — %s model", r.app.Name, r.model)
+	switch r.model {
+	case CUDA:
+		r.line("#include <cuda_runtime.h>")
+	case HIP:
+		r.line("#include <hip/hip_runtime.h>")
+	case Kokkos:
+		r.line("#include <Kokkos_Core.hpp>")
+	case SYCLACC, SYCLUSM:
+		r.line("#include <sycl/sycl.hpp>")
+	case StdPar:
+		r.line("#include <algorithm>")
+		r.line("#include <execution>")
+		r.line("#include <ranges>")
+	case TBB:
+		r.line("#include <tbb/tbb.h>")
+	case OpenMP, OpenMPTarget:
+		r.line("#include <omp.h>")
+	}
+	r.line("#include <cmath>")
+	if r.model == CUDA || r.model == HIP {
+		r.line("#define TBSIZE 256")
+		r.line("#define NBLOCKS 256")
+	}
+	r.blank()
+	for i := range r.app.Kernels {
+		k := &r.app.Kernels[i]
+		switch r.model {
+		case Serial:
+			r.renderSerialKernel(k, "")
+		case OpenMP:
+			r.renderOpenMPKernel(k, false)
+		case OpenMPTarget:
+			r.renderOpenMPKernel(k, true)
+		case CUDA:
+			r.renderCUDAKernel(k, false)
+		case HIP:
+			r.renderCUDAKernel(k, true)
+		case Kokkos:
+			r.renderKokkosKernel(k)
+		case SYCLACC:
+			r.renderSYCLACCKernel(k)
+		case SYCLUSM:
+			r.renderSYCLUSMKernel(k)
+		case StdPar:
+			r.renderStdParKernel(k)
+		case TBB:
+			r.renderTBBKernel(k)
+		}
+		r.blank()
+	}
+	return r.b.String()
+}
+
+// --- serial and OpenMP ------------------------------------------------------
+
+func (r *cxxRenderer) renderSerialKernel(k *Kernel, pragma string) {
+	r.line("%s {", r.hostSignature(k))
+	if k.IsReduction() {
+		r.line("\tdouble %s = %s;", k.Red.Var, k.Red.Init)
+	}
+	if pragma != "" {
+		r.line("\t%s", pragma)
+	}
+	if is2D(k) {
+		dj, di := k.Dims[0], k.Dims[1]
+		r.line("\tfor (int %s = %s; %s < %s; %s++) {", dj.Var, dj.Lo, dj.Var, dj.Hi, dj.Var)
+		r.line("\t\tfor (int %s = %s; %s < %s; %s++) {", di.Var, di.Lo, di.Var, di.Hi, di.Var)
+		r.indentBody(k, "\t\t\t", false)
+		if k.IsReduction() {
+			r.line("\t\t\t%s", accumStmt(k.Red.Var, k.Red.Op, r.redExpr(k, false)))
+		}
+		r.line("\t\t}")
+		r.line("\t}")
+	} else {
+		d := k.Dims[0]
+		r.line("\tfor (int %s = %s; %s < %s; %s++) {", d.Var, d.Lo, d.Var, d.Hi, d.Var)
+		r.indentBody(k, "\t\t", false)
+		if k.IsReduction() {
+			r.line("\t\t%s", accumStmt(k.Red.Var, k.Red.Op, r.redExpr(k, false)))
+		}
+		r.line("\t}")
+	}
+	if k.IsReduction() {
+		r.line("\treturn %s;", k.Red.Var)
+	}
+	r.line("}")
+}
+
+func (r *cxxRenderer) renderOpenMPKernel(k *Kernel, target bool) {
+	var pragma string
+	if target {
+		pragma = "#pragma omp target teams distribute parallel for"
+		if is2D(k) {
+			pragma += " collapse(2)"
+		}
+		var maps []string
+		for _, a := range k.Arrays {
+			maps = append(maps, a.Name)
+		}
+		pragma += fmt.Sprintf(" map(tofrom: %s)", strings.Join(maps, ", "))
+	} else {
+		pragma = "#pragma omp parallel for"
+		if is2D(k) {
+			pragma += " collapse(2)"
+		}
+	}
+	if k.IsReduction() {
+		pragma += " " + ompRedClause(k.Red)
+	}
+	r.renderSerialKernel(k, pragma)
+}
+
+// --- CUDA / HIP ---------------------------------------------------------------
+
+func (r *cxxRenderer) renderCUDAKernel(k *Kernel, hip bool) {
+	prefix := "cuda"
+	if hip {
+		prefix = "hip"
+	}
+	var kparams []string
+	for _, a := range k.Arrays {
+		kparams = append(kparams, paramDecl(a, false))
+	}
+	if k.IsReduction() {
+		kparams = append(kparams, "double *partial")
+	}
+	for _, s := range k.Scalars {
+		kparams = append(kparams, paramDecl(s, true))
+	}
+	r.line("__global__ void %s_kernel(%s) {", k.Name, strings.Join(kparams, ", "))
+	if k.IsReduction() {
+		r.renderDeviceReductionBody(k)
+	} else {
+		r.renderDeviceMapBody(k)
+	}
+	r.line("}")
+	r.blank()
+
+	// host wrapper
+	r.line("%s {", r.hostSignature(k))
+	total := r.totalExtentExpr(k)
+	r.line("\tint blocks = ((%s) + TBSIZE - 1) / TBSIZE;", total)
+	var args []string
+	for _, a := range k.Arrays {
+		args = append(args, a.Name)
+	}
+	if k.IsReduction() {
+		args = append(args, "d_partial")
+	}
+	for _, s := range k.Scalars {
+		args = append(args, s.Name)
+	}
+	if k.IsReduction() {
+		r.line("\tif (blocks > NBLOCKS) { blocks = NBLOCKS; }")
+	}
+	if hip {
+		r.line("\thipLaunchKernelGGL(%s_kernel, dim3(blocks), dim3(TBSIZE), 0, 0, %s);",
+			k.Name, strings.Join(args, ", "))
+		r.line("\thipDeviceSynchronize();")
+	} else {
+		r.line("\t%s_kernel<<<blocks, TBSIZE>>>(%s);", k.Name, strings.Join(args, ", "))
+		r.line("\tcudaDeviceSynchronize();")
+	}
+	if k.IsReduction() {
+		r.line("\tdouble partial[NBLOCKS];")
+		r.line("\t%sMemcpy(partial, d_partial, blocks * sizeof(double), %sMemcpyDeviceToHost);",
+			prefix, prefix)
+		r.line("\tdouble %s = %s;", k.Red.Var, k.Red.Init)
+		r.line("\tfor (int blk = 0; blk < blocks; blk++) {")
+		r.line("\t\t%s", accumStmt(k.Red.Var, k.Red.Op, "partial[blk]"))
+		r.line("\t}")
+		r.line("\treturn %s;", k.Red.Var)
+	}
+	r.line("}")
+}
+
+// totalExtentExpr is the flattened iteration count.
+func (r *cxxRenderer) totalExtentExpr(k *Kernel) string {
+	if is2D(k) {
+		jspan, ispan := r.spanExprs(k)
+		return fmt.Sprintf("(%s) * (%s)", jspan, ispan)
+	}
+	d := k.Dims[0]
+	return fmt.Sprintf("(%s) - (%s)", d.Hi, d.Lo)
+}
+
+// renderDeviceIndexRecovery emits thread-index recovery into the dim vars
+// and returns the guard expression.
+func (r *cxxRenderer) renderDeviceIndexRecovery(k *Kernel, indent, flatVar string) string {
+	if is2D(k) {
+		dj, di := k.Dims[0], k.Dims[1]
+		jspan, ispan := r.spanExprs(k)
+		r.line("%sint ispan = %s;", indent, ispan)
+		r.line("%sint %s = (%s) + %s / ispan;", indent, dj.Var, dj.Lo, flatVar)
+		r.line("%sint %s = (%s) + %s %% ispan;", indent, di.Var, di.Lo, flatVar)
+		return fmt.Sprintf("%s < (%s) * ispan", flatVar, jspan)
+	}
+	d := k.Dims[0]
+	r.line("%sint %s = (%s) + %s;", indent, d.Var, d.Lo, flatVar)
+	return fmt.Sprintf("%s < (%s)", d.Var, d.Hi)
+}
+
+func (r *cxxRenderer) renderDeviceMapBody(k *Kernel) {
+	r.line("\tint gid = blockDim.x * blockIdx.x + threadIdx.x;")
+	guard := r.renderDeviceIndexRecovery(k, "\t", "gid")
+	r.line("\tif (%s) {", guard)
+	r.indentBody(k, "\t\t", false)
+	r.line("\t}")
+}
+
+// renderDeviceReductionBody emits the canonical grid-stride + shared-memory
+// block reduction — the hand-written boilerplate that makes first-party
+// offload reductions diverge hard from serial code.
+func (r *cxxRenderer) renderDeviceReductionBody(k *Kernel) {
+	r.line("\t__shared__ double smem[TBSIZE];")
+	r.line("\tint tid = threadIdx.x;")
+	r.line("\tint gid = blockDim.x * blockIdx.x + threadIdx.x;")
+	r.line("\tint stride = gridDim.x * blockDim.x;")
+	r.line("\tdouble acc = %s;", k.Red.Init)
+	total := r.totalExtentExpr(k)
+	r.line("\tfor (int flat = gid; flat < (%s); flat += stride) {", total)
+	if is2D(k) {
+		dj, di := k.Dims[0], k.Dims[1]
+		_, ispan := r.spanExprs(k)
+		r.line("\t\tint ispan = %s;", ispan)
+		r.line("\t\tint %s = (%s) + flat / ispan;", dj.Var, dj.Lo)
+		r.line("\t\tint %s = (%s) + flat %% ispan;", di.Var, di.Lo)
+	} else {
+		d := k.Dims[0]
+		r.line("\t\tint %s = (%s) + flat;", d.Var, d.Lo)
+	}
+	r.indentBody(k, "\t\t", false)
+	r.line("\t\t%s", accumStmt("acc", k.Red.Op, r.redExpr(k, false)))
+	r.line("\t}")
+	r.line("\tsmem[tid] = acc;")
+	r.line("\t__syncthreads();")
+	r.line("\tfor (int off = blockDim.x / 2; off > 0; off /= 2) {")
+	r.line("\t\tif (tid < off) {")
+	r.line("\t\t\t%s", accumStmt("smem[tid]", k.Red.Op, "smem[tid + off]"))
+	r.line("\t\t}")
+	r.line("\t\t__syncthreads();")
+	r.line("\t}")
+	r.line("\tif (tid == 0) {")
+	r.line("\t\tpartial[blockIdx.x] = smem[0];")
+	r.line("\t}")
+}
+
+// --- Kokkos -------------------------------------------------------------------
+
+func (r *cxxRenderer) renderKokkosKernel(k *Kernel) {
+	r.line("%s {", r.hostSignature(k))
+	if is2D(k) {
+		dj, di := k.Dims[0], k.Dims[1]
+		policy := fmt.Sprintf("Kokkos::MDRangePolicy<Kokkos::Rank<2> >({%s, %s}, {%s, %s})",
+			dj.Lo, di.Lo, dj.Hi, di.Hi)
+		if k.IsReduction() {
+			r.line("\tdouble %s = %s;", k.Red.Var, k.Red.Init)
+			r.line("\tKokkos::parallel_reduce(\"%s\", %s, KOKKOS_LAMBDA(const int %s, const int %s, double &update) {",
+				k.Name, policy, dj.Var, di.Var)
+			r.indentBody(k, "\t\t", true)
+			r.line("\t\t%s", kokkosAccum(k, r.redExpr(k, true)))
+			if k.Red.Op == "min" {
+				r.line("\t}, Kokkos::Min<double>(%s));", k.Red.Var)
+			} else {
+				r.line("\t}, %s);", k.Red.Var)
+			}
+			r.line("\tKokkos::fence();")
+			r.line("\treturn %s;", k.Red.Var)
+		} else {
+			r.line("\tKokkos::parallel_for(\"%s\", %s, KOKKOS_LAMBDA(const int %s, const int %s) {",
+				k.Name, policy, dj.Var, di.Var)
+			r.indentBody(k, "\t\t", true)
+			r.line("\t});")
+			r.line("\tKokkos::fence();")
+		}
+	} else {
+		d := k.Dims[0]
+		policy := fmt.Sprintf("Kokkos::RangePolicy<>(%s, %s)", d.Lo, d.Hi)
+		if k.IsReduction() {
+			r.line("\tdouble %s = %s;", k.Red.Var, k.Red.Init)
+			r.line("\tKokkos::parallel_reduce(\"%s\", %s, KOKKOS_LAMBDA(const int %s, double &update) {",
+				k.Name, policy, d.Var)
+			r.indentBody(k, "\t\t", true)
+			r.line("\t\t%s", kokkosAccum(k, r.redExpr(k, true)))
+			if k.Red.Op == "min" {
+				r.line("\t}, Kokkos::Min<double>(%s));", k.Red.Var)
+			} else {
+				r.line("\t}, %s);", k.Red.Var)
+			}
+			r.line("\tKokkos::fence();")
+			r.line("\treturn %s;", k.Red.Var)
+		} else {
+			r.line("\tKokkos::parallel_for(\"%s\", %s, KOKKOS_LAMBDA(const int %s) {",
+				k.Name, policy, d.Var)
+			r.indentBody(k, "\t\t", true)
+			r.line("\t});")
+			r.line("\tKokkos::fence();")
+		}
+	}
+	r.line("}")
+}
+
+func kokkosAccum(k *Kernel, expr string) string {
+	if k.Red.Op == "min" {
+		return fmt.Sprintf("update = fmin(update, %s);", expr)
+	}
+	return fmt.Sprintf("update += %s;", expr)
+}
+
+// --- SYCL ---------------------------------------------------------------------
+
+func syclCombiner(op string) string {
+	if op == "min" {
+		return "sycl::minimum<double>()"
+	}
+	return "sycl::plus<double>()"
+}
+
+func syclAccum(k *Kernel, expr string) string {
+	if k.Red.Op == "min" {
+		return fmt.Sprintf("acc.combine(%s);", expr)
+	}
+	return fmt.Sprintf("acc += %s;", expr)
+}
+
+// renderSYCLRange emits the index recovery from a sycl id.
+func (r *cxxRenderer) renderSYCLIndex(k *Kernel, indent string) {
+	if is2D(k) {
+		dj, di := k.Dims[0], k.Dims[1]
+		r.line("%sint %s = (%s) + gid[0];", indent, dj.Var, dj.Lo)
+		r.line("%sint %s = (%s) + gid[1];", indent, di.Var, di.Lo)
+	} else {
+		d := k.Dims[0]
+		r.line("%sint %s = (%s) + gid[0];", indent, d.Var, d.Lo)
+	}
+}
+
+func (r *cxxRenderer) syclRangeExpr(k *Kernel) string {
+	if is2D(k) {
+		jspan, ispan := r.spanExprs(k)
+		return fmt.Sprintf("sycl::range<2>(%s, %s)", jspan, ispan)
+	}
+	d := k.Dims[0]
+	return fmt.Sprintf("sycl::range<1>((%s) - (%s))", d.Hi, d.Lo)
+}
+
+func syclIDType(k *Kernel) string {
+	if is2D(k) {
+		return "sycl::id<2>"
+	}
+	return "sycl::id<1>"
+}
+
+func (r *cxxRenderer) renderSYCLACCKernel(k *Kernel) {
+	r.line("%s {", r.hostSignature(k))
+	if k.IsReduction() {
+		r.line("\tsycl::buffer<double, 1> d_acc_buf(sycl::range<1>(1));")
+	}
+	r.line("\tq.submit([&](sycl::handler &h) {")
+	for _, a := range k.Arrays {
+		mode := "read_write"
+		if a.Const {
+			mode = "read"
+		}
+		r.line("\t\tauto %s = d_%s.get_access<sycl::access::mode::%s>(h);", a.Name, a.Name, mode)
+	}
+	if k.IsReduction() {
+		r.line("\t\tauto red = sycl::reduction(d_acc_buf, h, %s);", syclCombiner(k.Red.Op))
+		r.line("\t\th.parallel_for(%s, red, [=](%s gid, auto &acc) {", r.syclRangeExpr(k), syclIDType(k))
+		r.renderSYCLIndex(k, "\t\t\t")
+		r.indentBody(k, "\t\t\t", false)
+		r.line("\t\t\t%s", syclAccum(k, r.redExpr(k, false)))
+		r.line("\t\t});")
+	} else {
+		r.line("\t\th.parallel_for(%s, [=](%s gid) {", r.syclRangeExpr(k), syclIDType(k))
+		r.renderSYCLIndex(k, "\t\t\t")
+		r.indentBody(k, "\t\t\t", false)
+		r.line("\t\t});")
+	}
+	r.line("\t});")
+	r.line("\tq.wait();")
+	if k.IsReduction() {
+		r.line("\tsycl::host_accessor result(d_acc_buf);")
+		r.line("\treturn result[0];")
+	}
+	r.line("}")
+}
+
+func (r *cxxRenderer) renderSYCLUSMKernel(k *Kernel) {
+	r.line("%s {", r.hostSignature(k))
+	if k.IsReduction() {
+		r.line("\tdouble *d_acc = sycl::malloc_shared<double>(1, q);")
+		r.line("\td_acc[0] = %s;", k.Red.Init)
+		r.line("\tq.submit([&](sycl::handler &h) {")
+		r.line("\t\tauto red = sycl::reduction(d_acc, %s);", syclCombiner(k.Red.Op))
+		r.line("\t\th.parallel_for(%s, red, [=](%s gid, auto &acc) {", r.syclRangeExpr(k), syclIDType(k))
+		r.renderSYCLIndex(k, "\t\t\t")
+		r.indentBody(k, "\t\t\t", false)
+		r.line("\t\t\t%s", syclAccum(k, r.redExpr(k, false)))
+		r.line("\t\t});")
+		r.line("\t});")
+		r.line("\tq.wait();")
+		r.line("\tdouble %s = d_acc[0];", k.Red.Var)
+		r.line("\tsycl::free(d_acc, q);")
+		r.line("\treturn %s;", k.Red.Var)
+	} else {
+		r.line("\tq.parallel_for(%s, [=](%s gid) {", r.syclRangeExpr(k), syclIDType(k))
+		r.renderSYCLIndex(k, "\t\t")
+		r.indentBody(k, "\t\t", false)
+		r.line("\t}).wait();")
+	}
+	r.line("}")
+}
+
+// --- StdPar -------------------------------------------------------------------
+
+func (r *cxxRenderer) renderStdParKernel(k *Kernel) {
+	r.line("%s {", r.hostSignature(k))
+	total := r.totalExtentExpr(k)
+	r.line("\tauto rng = std::views::iota(0, %s);", total)
+	if k.IsReduction() {
+		combiner := "std::plus<double>()"
+		if k.Red.Op == "min" {
+			combiner = "[](double x, double y) { return fmin(x, y); }"
+		}
+		r.line("\tdouble %s = std::transform_reduce(std::execution::par_unseq, rng.begin(), rng.end(), %s, %s, [=](int flat) {",
+			k.Red.Var, k.Red.Init, combiner)
+		r.renderFlatRecovery(k, "\t\t")
+		r.indentBody(k, "\t\t", false)
+		r.line("\t\treturn %s;", r.redExpr(k, false))
+		r.line("\t});")
+		r.line("\treturn %s;", k.Red.Var)
+	} else {
+		r.line("\tstd::for_each(std::execution::par_unseq, rng.begin(), rng.end(), [=](int flat) {")
+		r.renderFlatRecovery(k, "\t\t")
+		r.indentBody(k, "\t\t", false)
+		r.line("\t});")
+	}
+	r.line("}")
+}
+
+// renderFlatRecovery recovers dim vars from a flat index for iota-based
+// models.
+func (r *cxxRenderer) renderFlatRecovery(k *Kernel, indent string) {
+	if is2D(k) {
+		dj, di := k.Dims[0], k.Dims[1]
+		_, ispan := r.spanExprs(k)
+		r.line("%sint ispan = %s;", indent, ispan)
+		r.line("%sint %s = (%s) + flat / ispan;", indent, dj.Var, dj.Lo)
+		r.line("%sint %s = (%s) + flat %% ispan;", indent, di.Var, di.Lo)
+	} else {
+		d := k.Dims[0]
+		r.line("%sint %s = (%s) + flat;", indent, d.Var, d.Lo)
+	}
+}
+
+// --- TBB ----------------------------------------------------------------------
+
+func (r *cxxRenderer) renderTBBKernel(k *Kernel) {
+	r.line("%s {", r.hostSignature(k))
+	outer := k.Dims[0]
+	if k.IsReduction() {
+		combine := "[](double x, double y) { return x + y; }"
+		if k.Red.Op == "min" {
+			combine = "[](double x, double y) { return fmin(x, y); }"
+		}
+		r.line("\tdouble %s = tbb::parallel_reduce(tbb::blocked_range<int>(%s, %s), %s, [=](const tbb::blocked_range<int> &rng, double acc) {",
+			k.Red.Var, outer.Lo, outer.Hi, k.Red.Init)
+		r.line("\t\tfor (int %s = rng.begin(); %s < rng.end(); %s++) {", outer.Var, outer.Var, outer.Var)
+		if is2D(k) {
+			di := k.Dims[1]
+			r.line("\t\t\tfor (int %s = %s; %s < %s; %s++) {", di.Var, di.Lo, di.Var, di.Hi, di.Var)
+			r.indentBody(k, "\t\t\t\t", false)
+			r.line("\t\t\t\t%s", accumStmt("acc", k.Red.Op, r.redExpr(k, false)))
+			r.line("\t\t\t}")
+		} else {
+			r.indentBody(k, "\t\t\t", false)
+			r.line("\t\t\t%s", accumStmt("acc", k.Red.Op, r.redExpr(k, false)))
+		}
+		r.line("\t\t}")
+		r.line("\t\treturn acc;")
+		r.line("\t}, %s);", combine)
+		r.line("\treturn %s;", k.Red.Var)
+	} else {
+		r.line("\ttbb::parallel_for(tbb::blocked_range<int>(%s, %s), [=](const tbb::blocked_range<int> &rng) {",
+			outer.Lo, outer.Hi)
+		r.line("\t\tfor (int %s = rng.begin(); %s < rng.end(); %s++) {", outer.Var, outer.Var, outer.Var)
+		if is2D(k) {
+			di := k.Dims[1]
+			r.line("\t\t\tfor (int %s = %s; %s < %s; %s++) {", di.Var, di.Lo, di.Var, di.Hi, di.Var)
+			r.indentBody(k, "\t\t\t\t", false)
+			r.line("\t\t\t}")
+		} else {
+			r.indentBody(k, "\t\t\t", false)
+		}
+		r.line("\t\t}")
+		r.line("\t});")
+	}
+	r.line("}")
+}

@@ -1,0 +1,352 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// generateFortran renders the Fortran BabelStream port in one of the seven
+// model variants of Table II. The codebase mirrors the real port's layout:
+// a kernels module and a driver program.
+func generateFortran(app App, model Model) (*Codebase, error) {
+	r := &fortranRenderer{app: app, model: model}
+	files := map[string]string{
+		"kernels.f90": r.renderKernels(),
+		"main.f90":    r.renderMain(),
+	}
+	return &Codebase{
+		App:   app.Name,
+		Model: model,
+		Lang:  LangFortran,
+		Files: files,
+		Units: []Unit{
+			{File: "main.f90", Role: "driver"},
+			{File: "kernels.f90", Role: "kernels"},
+		},
+		System: map[string]bool{},
+	}, nil
+}
+
+type fortranRenderer struct {
+	app   App
+	model Model
+	b     strings.Builder
+}
+
+func (r *fortranRenderer) line(format string, args ...any) {
+	fmt.Fprintf(&r.b, format, args...)
+	r.b.WriteByte('\n')
+}
+
+func (r *fortranRenderer) blank() { r.b.WriteByte('\n') }
+
+// usesArraySyntax reports whether the model expresses kernels as
+// whole-array statements.
+func (r *fortranRenderer) usesArraySyntax() bool {
+	return r.model == FArray || r.model == FOpenACCArray
+}
+
+func (r *fortranRenderer) renderKernels() string {
+	r.b.Reset()
+	r.line("! %s kernels — %s model", r.app.Name, r.model)
+	r.line("module stream_kernels")
+	r.line("  implicit none")
+	r.line("contains")
+	r.blank()
+	for i := range r.app.Kernels {
+		k := &r.app.Kernels[i]
+		r.renderKernel(k)
+		r.blank()
+	}
+	r.line("end module stream_kernels")
+	return r.b.String()
+}
+
+// renderKernel renders one kernel as a subroutine (or function for
+// reductions).
+func (r *fortranRenderer) renderKernel(k *Kernel) {
+	var params []string
+	for _, a := range k.Arrays {
+		params = append(params, a.Name)
+	}
+	for _, s := range k.Scalars {
+		params = append(params, s.Name)
+	}
+	if k.IsReduction() {
+		params = append(params, k.Red.Var)
+	}
+	r.line("  subroutine %s(%s)", k.Name, strings.Join(params, ", "))
+	// declarations
+	for _, s := range k.Scalars {
+		if s.Type == "int" {
+			r.line("    integer, intent(in) :: %s", s.Name)
+		} else {
+			r.line("    real(8), intent(in) :: %s", s.Name)
+		}
+	}
+	for _, a := range k.Arrays {
+		intent := "inout"
+		if a.Const {
+			intent = "in"
+		}
+		r.line("    real(8), intent(%s) :: %s(*)", intent, a.Name)
+	}
+	if k.IsReduction() {
+		r.line("    real(8), intent(out) :: %s", k.Red.Var)
+	}
+	r.line("    integer :: %s", k.Dims[0].Var)
+	r.renderKernelLocals(k)
+	if k.IsReduction() {
+		r.line("    %s = %s", k.Red.Var, fortranLit(k.Red.Init))
+	}
+	r.renderKernelLoop(k)
+	r.line("  end subroutine %s", k.Name)
+}
+
+// renderKernelLocals declares scratch variables referenced by the Fortran
+// bodies.
+func (r *fortranRenderer) renderKernelLocals(k *Kernel) {
+	locals := map[string]bool{}
+	for _, stmt := range k.FBody {
+		for _, v := range fortranLocalNames(stmt) {
+			locals[v] = true
+		}
+	}
+	var ints, reals []string
+	for v := range locals {
+		if v == "idx" || v == "l" || v == "p" {
+			ints = append(ints, v)
+		} else {
+			reals = append(reals, v)
+		}
+	}
+	sortStrings(ints)
+	sortStrings(reals)
+	if len(ints) > 0 {
+		r.line("    integer :: %s", strings.Join(ints, ", "))
+	}
+	if len(reals) > 0 {
+		r.line("    real(8) :: %s", strings.Join(reals, ", "))
+	}
+}
+
+// fortranLocalNames extracts assigned-to or loop names from a body line.
+func fortranLocalNames(stmt string) []string {
+	s := strings.TrimSpace(stmt)
+	if strings.HasPrefix(s, "do ") {
+		// `do l = 1, natlig`
+		rest := strings.TrimPrefix(s, "do ")
+		if eq := strings.IndexByte(rest, '='); eq > 0 {
+			return []string{strings.TrimSpace(rest[:eq])}
+		}
+		return nil
+	}
+	if strings.HasPrefix(s, "if") || strings.HasPrefix(s, "else") ||
+		strings.HasPrefix(s, "end") {
+		return nil
+	}
+	eq := strings.IndexByte(s, '=')
+	if eq <= 0 {
+		return nil
+	}
+	lhs := strings.TrimSpace(s[:eq])
+	if strings.ContainsAny(lhs, "(") {
+		return nil // array element, not a scalar local
+	}
+	return []string{lhs}
+}
+
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func fortranLit(c string) string {
+	if strings.Contains(c, ".") {
+		return c + "d0"
+	}
+	return c
+}
+
+// renderKernelLoop renders the loop nest in the model's idiom.
+func (r *fortranRenderer) renderKernelLoop(k *Kernel) {
+	d := k.Dims[0]
+	bodyIndent := "      "
+	emitBody := func() {
+		for _, stmt := range k.FBody {
+			r.line("%s%s", bodyIndent, stmt)
+		}
+		if k.IsReduction() {
+			if k.Red.Op == "min" {
+				r.line("%s%s = min(%s, %s)", bodyIndent, k.Red.Var, k.Red.Var, k.FRedExpr)
+			} else {
+				r.line("%s%s = %s + %s", bodyIndent, k.Red.Var, k.Red.Var, k.FRedExpr)
+			}
+		}
+	}
+	loopHeader := fmt.Sprintf("do %s = 1, %s", d.Var, d.Hi)
+
+	switch r.model {
+	case FSequential:
+		r.line("    %s", loopHeader)
+		emitBody()
+		r.line("    end do")
+	case FArray:
+		if r.renderArrayForm(k) {
+			return
+		}
+		r.line("    %s", loopHeader)
+		emitBody()
+		r.line("    end do")
+	case FDoConcurrent:
+		r.line("    do concurrent (%s = 1:%s)", d.Var, d.Hi)
+		emitBody()
+		r.line("    end do")
+	case FOpenMP:
+		dir := "!$omp parallel do"
+		if k.IsReduction() {
+			dir += fmt.Sprintf(" reduction(%s:%s)", k.Red.Op, k.Red.Var)
+		}
+		r.line("    %s", dir)
+		r.line("    %s", loopHeader)
+		emitBody()
+		r.line("    end do")
+		r.line("    !$omp end parallel do")
+	case FOpenMPTaskloop:
+		r.line("    !$omp parallel")
+		r.line("    !$omp master")
+		dir := "!$omp taskloop"
+		if k.IsReduction() {
+			dir += fmt.Sprintf(" reduction(%s:%s)", k.Red.Op, k.Red.Var)
+		}
+		r.line("    %s", dir)
+		r.line("    %s", loopHeader)
+		emitBody()
+		r.line("    end do")
+		r.line("    !$omp end taskloop")
+		r.line("    !$omp end master")
+		r.line("    !$omp end parallel")
+	case FOpenACC:
+		dir := "!$acc parallel loop"
+		if k.IsReduction() {
+			dir += fmt.Sprintf(" reduction(%s:%s)", k.Red.Op, k.Red.Var)
+		}
+		r.line("    %s", dir)
+		r.line("    %s", loopHeader)
+		emitBody()
+		r.line("    end do")
+		r.line("    !$acc end parallel loop")
+	case FOpenACCArray:
+		r.line("    !$acc kernels")
+		if !r.renderArrayFormBare(k) {
+			r.line("    %s", loopHeader)
+			emitBody()
+			r.line("    end do")
+		}
+		r.line("    !$acc end kernels")
+	}
+}
+
+// renderArrayForm emits whole-array statements when the kernel has a form.
+func (r *fortranRenderer) renderArrayForm(k *Kernel) bool {
+	return r.renderArrayFormBare(k)
+}
+
+func (r *fortranRenderer) renderArrayFormBare(k *Kernel) bool {
+	if k.IsReduction() {
+		// reductions use the array intrinsic form
+		r.line("    %s = sum(%s)", k.Red.Var, strings.ReplaceAll(k.FRedExpr, "(i)", ""))
+		return true
+	}
+	if len(k.FArrayForm) == 0 {
+		return false
+	}
+	for _, stmt := range k.FArrayForm {
+		r.line("    %s", stmt)
+	}
+	return true
+}
+
+// renderMain renders the driver program.
+func (r *fortranRenderer) renderMain() string {
+	r.b.Reset()
+	app := r.app
+	arrays := appArrays(app)
+	scalars := appScalars(app)
+	r.line("! %s driver — %s model", app.Name, r.model)
+	r.line("program stream")
+	r.line("  use stream_kernels")
+	r.line("  implicit none")
+	r.line("  integer, parameter :: n = %d", app.DefaultSize)
+	var names []string
+	for _, a := range arrays {
+		names = append(names, a.Name+"(n)")
+	}
+	r.line("  real(8) :: %s", strings.Join(names, ", "))
+	for _, s := range scalars {
+		if s.Type == "int" {
+			r.line("  integer :: %s", s.Name)
+		} else {
+			r.line("  real(8) :: %s", s.Name)
+		}
+	}
+	r.line("  real(8) :: gsum, err, gold_a, gold_b, gold_c")
+	r.line("  integer :: i, iter")
+	for _, s := range scalars {
+		r.line("  %s = %s", s.Name, fortranScalarDefault(s))
+	}
+	r.line("  do i = 1, n")
+	for _, a := range arrays {
+		r.line("    %s(i) = %s", a.Name, fortranLit(initValue(app, a.Name)))
+	}
+	r.line("  end do")
+	r.blank()
+	r.line("  do iter = 1, %d", app.Iters)
+	for i := range app.Kernels {
+		k := &app.Kernels[i]
+		var args []string
+		for _, a := range k.Arrays {
+			args = append(args, a.Name)
+		}
+		for _, s := range k.Scalars {
+			args = append(args, s.Name)
+		}
+		if k.IsReduction() {
+			args = append(args, "gsum")
+		}
+		r.line("    call %s(%s)", k.Name, strings.Join(args, ", "))
+	}
+	r.line("  end do")
+	r.blank()
+	r.line("  gold_a = 0.1d0")
+	r.line("  gold_b = 0.2d0")
+	r.line("  gold_c = 0.0d0")
+	r.line("  do iter = 1, %d", app.Iters)
+	r.line("    gold_c = gold_a")
+	r.line("    gold_b = scalar * gold_c")
+	r.line("    gold_c = gold_a + gold_b")
+	r.line("    gold_a = gold_b + scalar * gold_c")
+	r.line("  end do")
+	r.line("  err = 0.0d0")
+	r.line("  do i = 1, n")
+	r.line("    err = err + abs(a(i) - gold_a) + abs(b(i) - gold_b) + abs(c(i) - gold_c)")
+	r.line("  end do")
+	r.line("  if (err < 0.0001d0) then")
+	r.line("    print *, 'Validation PASSED'")
+	r.line("  else")
+	r.line("    print *, 'Validation FAILED'")
+	r.line("  end if")
+	r.line("end program stream")
+	return r.b.String()
+}
+
+func fortranScalarDefault(p Param) string {
+	d := scalarDefault(p)
+	if p.Type == "int" {
+		return d
+	}
+	return fortranLit(d)
+}

@@ -1,0 +1,235 @@
+package corpus
+
+// TeaLeaf is the structured-grid heat-conduction solver (Conjugate
+// Gradient method) from the Mantevo suite; the base OpenMP version is part
+// of SPEChpc. The kernel balance between shared and model-specific code is
+// why Section V.A uses it for the semantic-retention study.
+func TeaLeaf() App {
+	nx := Param{Name: "nx", Type: "int"}
+	ny := Param{Name: "ny", Type: "int"}
+	interior := []Dim{
+		{Var: "j", Lo: "1", Hi: "ny - 1"},
+		{Var: "i", Lo: "1", Hi: "nx - 1"},
+	}
+	full := []Dim{
+		{Var: "j", Lo: "0", Hi: "ny"},
+		{Var: "i", Lo: "0", Hi: "nx"},
+	}
+	idx := "int idx = j * nx + i;"
+	fidx := "idx = (j - 1) * nx + i"
+
+	return App{
+		Name:         "tealeaf",
+		Lang:         LangCXX,
+		Type:         "Structured grid",
+		ProblemSizes: []string{"nx", "ny"},
+		DefaultSize:  8,
+		Iters:        2,
+		Kernels: []Kernel{
+			{
+				Name: "tea_init",
+				Dims: full,
+				Arrays: []Param{
+					{Name: "density", Type: "double"},
+					{Name: "energy", Type: "double"},
+					{Name: "u", Type: "double"},
+				},
+				Scalars: []Param{nx, ny},
+				Body: []string{
+					idx,
+					"density[idx] = 1.0 + 0.01 * (i + j);",
+					"energy[idx] = 2.0;",
+					"u[idx] = density[idx] * energy[idx];",
+				},
+				FBody: []string{
+					fidx,
+					"density(idx) = 1.0d0 + 0.01d0 * (i + j)",
+					"energy(idx) = 2.0d0",
+					"u(idx) = density(idx) * energy(idx)",
+				},
+			},
+			{
+				Name: "cg_init",
+				Dims: interior,
+				Arrays: []Param{
+					{Name: "u", Type: "double", Const: true},
+					{Name: "u0", Type: "double"},
+					{Name: "r", Type: "double"},
+					{Name: "p", Type: "double"},
+				},
+				Scalars: []Param{nx, ny},
+				Body: []string{
+					idx,
+					"u0[idx] = u[idx];",
+					"r[idx] = u[idx];",
+					"p[idx] = r[idx];",
+				},
+				FBody: []string{
+					fidx,
+					"u0(idx) = u(idx)",
+					"r(idx) = u(idx)",
+					"p(idx) = r(idx)",
+				},
+			},
+			{
+				Name: "cg_calc_w",
+				Dims: interior,
+				Arrays: []Param{
+					{Name: "p", Type: "double", Const: true},
+					{Name: "w", Type: "double"},
+					{Name: "kx", Type: "double", Const: true},
+					{Name: "ky", Type: "double", Const: true},
+				},
+				Scalars: []Param{nx, ny},
+				Body: []string{
+					idx,
+					"double smvp = (1.0 + (kx[idx + 1] + kx[idx]) + (ky[idx + nx] + ky[idx])) * p[idx]" +
+						" - (kx[idx + 1] * p[idx + 1] + kx[idx] * p[idx - 1])" +
+						" - (ky[idx + nx] * p[idx + nx] + ky[idx] * p[idx - nx]);",
+					"w[idx] = smvp;",
+				},
+				Red: &Reduction{Var: "pw", Op: "+", Init: "0.0", Expr: "w[idx] * p[idx]"},
+				FBody: []string{
+					fidx,
+					"smvp = (1.0d0 + (kx(idx + 1) + kx(idx)) + (ky(idx + nx) + ky(idx))) * p(idx)" +
+						" - (kx(idx + 1) * p(idx + 1) + kx(idx) * p(idx - 1))" +
+						" - (ky(idx + nx) * p(idx + nx) + ky(idx) * p(idx - nx))",
+					"w(idx) = smvp",
+				},
+				FRedExpr: "w(idx) * p(idx)",
+			},
+			{
+				Name: "cg_calc_ur",
+				Dims: interior,
+				Arrays: []Param{
+					{Name: "u", Type: "double"},
+					{Name: "r", Type: "double"},
+					{Name: "p", Type: "double", Const: true},
+					{Name: "w", Type: "double", Const: true},
+				},
+				Scalars: []Param{{Name: "alpha", Type: "double"}, nx, ny},
+				Body: []string{
+					idx,
+					"u[idx] += alpha * p[idx];",
+					"r[idx] -= alpha * w[idx];",
+				},
+				Red: &Reduction{Var: "rrn", Op: "+", Init: "0.0", Expr: "r[idx] * r[idx]"},
+				FBody: []string{
+					fidx,
+					"u(idx) = u(idx) + alpha * p(idx)",
+					"r(idx) = r(idx) - alpha * w(idx)",
+				},
+				FRedExpr: "r(idx) * r(idx)",
+			},
+			{
+				Name: "cg_calc_p",
+				Dims: interior,
+				Arrays: []Param{
+					{Name: "p", Type: "double"},
+					{Name: "r", Type: "double", Const: true},
+				},
+				Scalars: []Param{{Name: "beta", Type: "double"}, nx, ny},
+				Body: []string{
+					idx,
+					"p[idx] = beta * p[idx] + r[idx];",
+				},
+				FBody: []string{
+					fidx,
+					"p(idx) = beta * p(idx) + r(idx)",
+				},
+			},
+			{
+				Name: "copy_u",
+				Dims: interior,
+				Arrays: []Param{
+					{Name: "u", Type: "double", Const: true},
+					{Name: "u0", Type: "double"},
+				},
+				Scalars: []Param{nx, ny},
+				Body: []string{
+					idx,
+					"u0[idx] = u[idx];",
+				},
+				FBody: []string{
+					fidx,
+					"u0(idx) = u(idx)",
+				},
+			},
+			{
+				Name: "residual",
+				Dims: interior,
+				Arrays: []Param{
+					{Name: "u", Type: "double", Const: true},
+					{Name: "u0", Type: "double", Const: true},
+					{Name: "r", Type: "double"},
+					{Name: "kx", Type: "double", Const: true},
+					{Name: "ky", Type: "double", Const: true},
+				},
+				Scalars: []Param{nx, ny},
+				Body: []string{
+					idx,
+					"double smvp = (1.0 + (kx[idx + 1] + kx[idx]) + (ky[idx + nx] + ky[idx])) * u[idx]" +
+						" - (kx[idx + 1] * u[idx + 1] + kx[idx] * u[idx - 1])" +
+						" - (ky[idx + nx] * u[idx + nx] + ky[idx] * u[idx - nx]);",
+					"r[idx] = u0[idx] - smvp;",
+				},
+				FBody: []string{
+					fidx,
+					"smvp = (1.0d0 + (kx(idx + 1) + kx(idx)) + (ky(idx + nx) + ky(idx))) * u(idx)" +
+						" - (kx(idx + 1) * u(idx + 1) + kx(idx) * u(idx - 1))" +
+						" - (ky(idx + nx) * u(idx + nx) + ky(idx) * u(idx - nx))",
+					"r(idx) = u0(idx) - smvp",
+				},
+			},
+			{
+				Name: "halo_update_x",
+				Dims: []Dim{{Var: "j", Lo: "0", Hi: "ny"}},
+				Arrays: []Param{
+					{Name: "u", Type: "double"},
+				},
+				Scalars: []Param{nx, ny},
+				Body: []string{
+					"u[j * nx] = u[j * nx + 1];",
+					"u[j * nx + nx - 1] = u[j * nx + nx - 2];",
+				},
+				FBody: []string{
+					"u((j - 1) * nx + 1) = u((j - 1) * nx + 2)",
+					"u((j - 1) * nx + nx) = u((j - 1) * nx + nx - 1)",
+				},
+			},
+			{
+				Name: "halo_update_y",
+				Dims: []Dim{{Var: "i", Lo: "0", Hi: "nx"}},
+				Arrays: []Param{
+					{Name: "u", Type: "double"},
+				},
+				Scalars: []Param{nx, ny},
+				Body: []string{
+					"u[i] = u[nx + i];",
+					"u[(ny - 1) * nx + i] = u[(ny - 2) * nx + i];",
+				},
+				FBody: []string{
+					"u(i) = u(nx + i)",
+					"u((ny - 1) * nx + i) = u((ny - 2) * nx + i)",
+				},
+			},
+			{
+				Name: "field_summary",
+				Dims: interior,
+				Arrays: []Param{
+					{Name: "u", Type: "double", Const: true},
+					{Name: "density", Type: "double", Const: true},
+				},
+				Scalars: []Param{nx, ny},
+				Body: []string{
+					idx,
+				},
+				Red: &Reduction{Var: "temp", Op: "+", Init: "0.0", Expr: "u[idx] * density[idx]"},
+				FBody: []string{
+					fidx,
+				},
+				FRedExpr: "u(idx) * density(idx)",
+			},
+		},
+	}
+}

@@ -1,0 +1,132 @@
+// Package coverage converts runtime line-coverage profiles into masks
+// applied to semantic-bearing trees, implementing the +coverage metric
+// variants of Table I: "we use runtime coverage data to eliminate parts of
+// the tree that were never executed".
+package coverage
+
+import (
+	"sort"
+	"strings"
+
+	"silvervale/internal/srcloc"
+	"silvervale/internal/tree"
+)
+
+// Profile is a runtime coverage profile for one run of an application.
+type Profile struct {
+	Mask *srcloc.LineMask
+}
+
+// NewProfile wraps a line mask produced by the interpreter (or parsed from
+// an external profile file).
+func NewProfile(mask *srcloc.LineMask) *Profile { return &Profile{Mask: mask} }
+
+// Merge combines several run profiles (e.g. multiple decks) into one.
+func Merge(profiles ...*Profile) *Profile {
+	out := srcloc.NewLineMask()
+	for _, p := range profiles {
+		if p != nil {
+			out.Merge(p.Mask)
+		}
+	}
+	return &Profile{Mask: out}
+}
+
+// MaskTree prunes tree nodes whose source line is known to be unexecuted.
+// Nodes with unknown positions (or positions in files absent from the
+// profile) are kept: coverage only ever removes provably dead regions.
+// Child nodes of removed nodes are hoisted, preserving the rest of the
+// structure.
+func (p *Profile) MaskTree(t *tree.Node) *tree.Node {
+	if t == nil {
+		return nil
+	}
+	return t.Filter(func(n *tree.Node) bool {
+		if !n.Pos.IsValid() {
+			return true
+		}
+		live, known := p.Mask.Live(n.Pos.File, n.Pos.Line)
+		if !known {
+			// unknown line in a file the profile does mention: dead code
+			// inside an executed file is exactly what coverage removes
+			if fileKnown(p.Mask, n.Pos.File) {
+				return false
+			}
+			return true
+		}
+		return live
+	})
+}
+
+func fileKnown(m *srcloc.LineMask, file string) bool {
+	for _, f := range m.Files() {
+		if f == file {
+			return true
+		}
+	}
+	return false
+}
+
+// Keep reports whether a source line survives the coverage mask: lines in
+// files the profile never saw are kept (the run did not instrument them),
+// lines the run executed are kept, and lines provably unexecuted inside an
+// instrumented file are removed — unless they are purely structural
+// (braces), which the compilers' coverage reports also never flag.
+func (p *Profile) Keep(file string, line int, text string) bool {
+	if !fileKnown(p.Mask, file) {
+		return true
+	}
+	if live, known := p.Mask.Live(file, line); known {
+		return live
+	}
+	return isStructuralLine(text)
+}
+
+// MaskLines filters normalised source lines for the +coverage variants of
+// SLOC/LLOC/Source. The lines slice must be parallel to lineNumbers.
+func (p *Profile) MaskLines(file string, lines []string, lineNumbers []int) []string {
+	var out []string
+	for i, l := range lines {
+		ln := 0
+		if i < len(lineNumbers) {
+			ln = lineNumbers[i]
+		}
+		if p.Keep(file, ln, l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// isStructuralLine reports lines that carry no executable code.
+func isStructuralLine(l string) bool {
+	t := strings.TrimSpace(l)
+	return t == "{" || t == "}" || t == ""
+}
+
+// Summary renders a compact description of the profile: files and live-line
+// counts, sorted by file.
+func (p *Profile) Summary() string {
+	files := p.Mask.Files()
+	sort.Strings(files)
+	var b strings.Builder
+	for _, f := range files {
+		b.WriteString(f)
+		b.WriteString(": ")
+		b.WriteString(itoa(len(p.Mask.Lines(f))))
+		b.WriteString(" lines\n")
+	}
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

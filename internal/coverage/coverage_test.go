@@ -1,0 +1,86 @@
+package coverage
+
+import (
+	"strings"
+	"testing"
+
+	"silvervale/internal/srcloc"
+	"silvervale/internal/tree"
+)
+
+func profile() *Profile {
+	m := srcloc.NewLineMask()
+	m.Set("a.c", 1, true)
+	m.Set("a.c", 2, false)
+	m.Set("a.c", 3, true)
+	return NewProfile(m)
+}
+
+func TestMaskTreeRemovesDeadNodes(t *testing.T) {
+	root := tree.NewAt("root", srcloc.Pos{File: "a.c", Line: 1},
+		tree.NewAt("live", srcloc.Pos{File: "a.c", Line: 3}),
+		tree.NewAt("dead", srcloc.Pos{File: "a.c", Line: 2},
+			tree.NewAt("child-of-dead", srcloc.Pos{File: "a.c", Line: 3})),
+		tree.NewAt("other-file", srcloc.Pos{File: "b.c", Line: 9}),
+		tree.New("no-pos"),
+	)
+	masked := profile().MaskTree(root)
+	labels := masked.LabelHistogram()
+	if labels["dead"] != 0 {
+		t.Fatal("dead node survived")
+	}
+	// children of removed nodes hoist when themselves live
+	if labels["child-of-dead"] != 1 {
+		t.Fatalf("live child lost: %v", labels)
+	}
+	if labels["other-file"] != 1 || labels["no-pos"] != 1 {
+		t.Fatalf("unknown-file/position nodes must be kept: %v", labels)
+	}
+	if p := NewProfile(srcloc.NewLineMask()); p.MaskTree(nil) != nil {
+		t.Fatal("nil tree")
+	}
+}
+
+func TestMaskTreeUnknownLineInKnownFile(t *testing.T) {
+	// a line never executed in an instrumented file is dead code
+	root := tree.NewAt("root", srcloc.Pos{File: "a.c", Line: 1},
+		tree.NewAt("never-seen", srcloc.Pos{File: "a.c", Line: 99}))
+	masked := profile().MaskTree(root)
+	if masked.LabelHistogram()["never-seen"] != 0 {
+		t.Fatal("unexecuted line in instrumented file must be removed")
+	}
+}
+
+func TestKeepAndMaskLines(t *testing.T) {
+	p := profile()
+	if !p.Keep("unknown.c", 7, "x = 1;") {
+		t.Fatal("uninstrumented file must be kept")
+	}
+	if p.Keep("a.c", 2, "x = 1;") {
+		t.Fatal("dead line kept")
+	}
+	if !p.Keep("a.c", 99, "}") {
+		t.Fatal("structural line must be kept")
+	}
+	lines := p.MaskLines("a.c", []string{"l1", "l2", "l3"}, []int{1, 2, 3})
+	if len(lines) != 2 || lines[0] != "l1" || lines[1] != "l3" {
+		t.Fatalf("masked = %v", lines)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := profile()
+	m2 := srcloc.NewLineMask()
+	m2.Set("a.c", 2, true) // a second run executed line 2
+	merged := Merge(a, NewProfile(m2), nil)
+	if !merged.Keep("a.c", 2, "x") {
+		t.Fatal("merge should OR coverage across runs")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := profile().Summary()
+	if !strings.Contains(s, "a.c: 2 lines") {
+		t.Fatalf("summary = %q", s)
+	}
+}

@@ -1,0 +1,428 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"silvervale/internal/minic"
+)
+
+func (in *interp) evalExpr(e *minic.ASTNode) (Value, error) {
+	if e == nil {
+		return Value{}, nil
+	}
+	if err := in.step(e.Pos); err != nil {
+		return Value{}, err
+	}
+	switch e.Kind {
+	case minic.KIntegerLiteral:
+		i, err := strconv.ParseInt(strings.TrimRight(e.Extra, "uUlL"), 0, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("interp: bad integer %q at %s", e.Extra, e.Pos)
+		}
+		return IntV(i), nil
+	case minic.KFloatingLiteral:
+		f, err := strconv.ParseFloat(strings.TrimRight(e.Extra, "fF"), 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("interp: bad float %q at %s", e.Extra, e.Pos)
+		}
+		return FloatV(f), nil
+	case minic.KBoolLiteral:
+		return BoolV(e.Extra == "true"), nil
+	case minic.KStringLiteral:
+		return Value{Kind: ValString, S: strings.Trim(e.Name, "\"")}, nil
+	case minic.KCharLiteral:
+		return IntV(0), nil
+	case minic.KNullptrLiteral:
+		return Value{}, nil
+	case minic.KParenExpr:
+		return in.evalExpr(e.Children[0])
+	case minic.KDeclRefExpr:
+		if cell, ok := in.lookup(e.Name); ok {
+			return *cell, nil
+		}
+		return Value{Undef: true}, nil
+	case minic.KBinaryOperator:
+		return in.evalBinary(e)
+	case minic.KUnaryOperator:
+		return in.evalUnary(e)
+	case minic.KConditionalOp:
+		cond, err := in.evalExpr(e.Children[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if cond.Truthy() {
+			return in.evalExpr(e.Children[1])
+		}
+		return in.evalExpr(e.Children[2])
+	case minic.KArraySubscript:
+		arr, idx, err := in.evalSubscript(e)
+		if err != nil {
+			return Value{}, err
+		}
+		return FloatV(arr.Data[idx]), nil
+	case minic.KCallExpr:
+		return in.evalCall(e)
+	case minic.KSizeofExpr:
+		return IntV(8), nil
+	case minic.KNewExpr:
+		n := int64(1)
+		for _, c := range e.Children {
+			if isExprNode(c) {
+				v, err := in.evalExpr(c)
+				if err != nil {
+					return Value{}, err
+				}
+				n = v.AsInt()
+			}
+		}
+		if n < 0 || n > 1<<26 {
+			return Value{}, fmt.Errorf("interp: new[] size %d out of range at %s", n, e.Pos)
+		}
+		return Value{Kind: ValArray, Arr: &Array{Data: make([]float64, n)}}, nil
+	case minic.KDeleteExpr:
+		return Value{}, nil
+	case minic.KMemberExpr:
+		// no struct layout in the serial dialect; member reads are undef
+		return Value{Undef: true}, nil
+	case minic.KInitListExpr:
+		arr := &Array{}
+		for _, c := range e.Children {
+			v, err := in.evalExpr(c)
+			if err != nil {
+				return Value{}, err
+			}
+			arr.Data = append(arr.Data, v.AsFloat())
+		}
+		return Value{Kind: ValArray, Arr: arr}, nil
+	default:
+		return Value{Undef: true}, nil
+	}
+}
+
+func (in *interp) evalSubscript(e *minic.ASTNode) (*Array, int64, error) {
+	base, err := in.evalExpr(e.Children[0])
+	if err != nil {
+		return nil, 0, err
+	}
+	if base.Kind != ValArray || base.Arr == nil {
+		return nil, 0, fmt.Errorf("interp: subscript of non-array at %s", e.Pos)
+	}
+	idx, err := in.evalExpr(e.Children[1])
+	if err != nil {
+		return nil, 0, err
+	}
+	i := idx.AsInt()
+	if i < 0 || i >= int64(len(base.Arr.Data)) {
+		return nil, 0, fmt.Errorf("interp: index %d out of range [0,%d) at %s",
+			i, len(base.Arr.Data), e.Pos)
+	}
+	return base.Arr, i, nil
+}
+
+// assignTo stores a value through an lvalue expression.
+func (in *interp) assignTo(lhs *minic.ASTNode, v Value) error {
+	switch lhs.Kind {
+	case minic.KDeclRefExpr:
+		if cell, ok := in.lookup(lhs.Name); ok {
+			if cell.Kind == ValFloat && v.Kind == ValInt {
+				v = FloatV(float64(v.I))
+			}
+			*cell = v
+			return nil
+		}
+		// implicit definition (assignment to undeclared: tolerated)
+		in.define(lhs.Name, v)
+		return nil
+	case minic.KArraySubscript:
+		arr, idx, err := in.evalSubscript(lhs)
+		if err != nil {
+			return err
+		}
+		arr.Data[idx] = v.AsFloat()
+		return nil
+	case minic.KParenExpr:
+		return in.assignTo(lhs.Children[0], v)
+	case minic.KUnaryOperator:
+		if lhs.Extra == "*" {
+			return in.assignTo(lhs.Children[0], v)
+		}
+	case minic.KMemberExpr:
+		return nil // struct members untracked
+	}
+	return fmt.Errorf("interp: cannot assign to %s at %s", lhs.Kind, lhs.Pos)
+}
+
+func (in *interp) evalBinary(e *minic.ASTNode) (Value, error) {
+	op := e.Extra
+	if op == "=" {
+		v, err := in.evalExpr(e.Children[1])
+		if err != nil {
+			return Value{}, err
+		}
+		return v, in.assignTo(e.Children[0], v)
+	}
+	if base, ok := strings.CutSuffix(op, "="); ok && len(op) >= 2 && op != "==" && op != "!=" && op != "<=" && op != ">=" {
+		cur, err := in.evalExpr(e.Children[0])
+		if err != nil {
+			return Value{}, err
+		}
+		rhs, err := in.evalExpr(e.Children[1])
+		if err != nil {
+			return Value{}, err
+		}
+		v, err := arith(base, cur, rhs, e.Pos)
+		if err != nil {
+			return Value{}, err
+		}
+		return v, in.assignTo(e.Children[0], v)
+	}
+	// short-circuit logical operators
+	if op == "&&" || op == "||" {
+		a, err := in.evalExpr(e.Children[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if op == "&&" && !a.Truthy() {
+			return BoolV(false), nil
+		}
+		if op == "||" && a.Truthy() {
+			return BoolV(true), nil
+		}
+		b, err := in.evalExpr(e.Children[1])
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolV(b.Truthy()), nil
+	}
+	a, err := in.evalExpr(e.Children[0])
+	if err != nil {
+		return Value{}, err
+	}
+	b, err := in.evalExpr(e.Children[1])
+	if err != nil {
+		return Value{}, err
+	}
+	return arith(op, a, b, e.Pos)
+}
+
+func arith(op string, a, b Value, pos interface{ String() string }) (Value, error) {
+	bothInt := a.Kind == ValInt && b.Kind == ValInt
+	switch op {
+	case "+", "-", "*", "/", "%":
+		if bothInt {
+			switch op {
+			case "+":
+				return IntV(a.I + b.I), nil
+			case "-":
+				return IntV(a.I - b.I), nil
+			case "*":
+				return IntV(a.I * b.I), nil
+			case "/":
+				if b.I == 0 {
+					return Value{}, fmt.Errorf("interp: integer division by zero at %s", pos)
+				}
+				return IntV(a.I / b.I), nil
+			case "%":
+				if b.I == 0 {
+					return Value{}, fmt.Errorf("interp: modulo by zero at %s", pos)
+				}
+				return IntV(a.I % b.I), nil
+			}
+		}
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch op {
+		case "+":
+			return FloatV(af + bf), nil
+		case "-":
+			return FloatV(af - bf), nil
+		case "*":
+			return FloatV(af * bf), nil
+		case "/":
+			return FloatV(af / bf), nil
+		case "%":
+			return FloatV(math.Mod(af, bf)), nil
+		}
+	case "<", ">", "<=", ">=", "==", "!=":
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch op {
+		case "<":
+			return BoolV(af < bf), nil
+		case ">":
+			return BoolV(af > bf), nil
+		case "<=":
+			return BoolV(af <= bf), nil
+		case ">=":
+			return BoolV(af >= bf), nil
+		case "==":
+			return BoolV(af == bf), nil
+		case "!=":
+			return BoolV(af != bf), nil
+		}
+	case "&", "|", "^", "<<", ">>":
+		ai, bi := a.AsInt(), b.AsInt()
+		switch op {
+		case "&":
+			return IntV(ai & bi), nil
+		case "|":
+			return IntV(ai | bi), nil
+		case "^":
+			return IntV(ai ^ bi), nil
+		case "<<":
+			if bi < 0 || bi > 63 {
+				return Value{}, fmt.Errorf("interp: shift out of range at %s", pos)
+			}
+			return IntV(ai << uint(bi)), nil
+		case ">>":
+			if bi < 0 || bi > 63 {
+				return Value{}, fmt.Errorf("interp: shift out of range at %s", pos)
+			}
+			return IntV(ai >> uint(bi)), nil
+		}
+	}
+	return Value{}, fmt.Errorf("interp: unsupported operator %q at %s", op, pos)
+}
+
+func (in *interp) evalUnary(e *minic.ASTNode) (Value, error) {
+	switch e.Extra {
+	case "-":
+		v, err := in.evalExpr(e.Children[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Kind == ValInt {
+			return IntV(-v.I), nil
+		}
+		return FloatV(-v.AsFloat()), nil
+	case "+":
+		return in.evalExpr(e.Children[0])
+	case "!":
+		v, err := in.evalExpr(e.Children[0])
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolV(!v.Truthy()), nil
+	case "~":
+		v, err := in.evalExpr(e.Children[0])
+		if err != nil {
+			return Value{}, err
+		}
+		return IntV(^v.AsInt()), nil
+	case "++", "post++", "--", "post--":
+		cur, err := in.evalExpr(e.Children[0])
+		if err != nil {
+			return Value{}, err
+		}
+		delta := int64(1)
+		if strings.Contains(e.Extra, "--") {
+			delta = -1
+		}
+		var next Value
+		if cur.Kind == ValFloat {
+			next = FloatV(cur.AsFloat() + float64(delta))
+		} else {
+			next = IntV(cur.AsInt() + delta)
+		}
+		if err := in.assignTo(e.Children[0], next); err != nil {
+			return Value{}, err
+		}
+		if strings.HasPrefix(e.Extra, "post") {
+			return cur, nil
+		}
+		return next, nil
+	case "*", "&":
+		return in.evalExpr(e.Children[0]) // arrays are reference values
+	default:
+		return in.evalExpr(e.Children[0])
+	}
+}
+
+func (in *interp) evalCall(e *minic.ASTNode) (Value, error) {
+	if len(e.Children) == 0 {
+		return Value{}, nil
+	}
+	callee := e.Children[0]
+	name := ""
+	if callee.Kind == minic.KDeclRefExpr {
+		name = callee.Name
+	}
+	var args []Value
+	for _, a := range e.Children[1:] {
+		v, err := in.evalExpr(a)
+		if err != nil {
+			return Value{}, err
+		}
+		args = append(args, v)
+	}
+	short := name
+	if i := strings.LastIndex(short, "::"); i >= 0 {
+		short = short[i+2:]
+	}
+	switch short {
+	case "sqrt", "sqrtf":
+		return FloatV(math.Sqrt(argF(args, 0))), nil
+	case "fabs", "abs", "fabsf":
+		return FloatV(math.Abs(argF(args, 0))), nil
+	case "exp":
+		return FloatV(math.Exp(argF(args, 0))), nil
+	case "log":
+		return FloatV(math.Log(argF(args, 0))), nil
+	case "pow":
+		return FloatV(math.Pow(argF(args, 0), argF(args, 1))), nil
+	case "sin":
+		return FloatV(math.Sin(argF(args, 0))), nil
+	case "cos":
+		return FloatV(math.Cos(argF(args, 0))), nil
+	case "floor":
+		return FloatV(math.Floor(argF(args, 0))), nil
+	case "min", "fmin":
+		return FloatV(math.Min(argF(args, 0), argF(args, 1))), nil
+	case "max", "fmax":
+		return FloatV(math.Max(argF(args, 0), argF(args, 1))), nil
+	case "printf", "print", "puts", "fprintf":
+		var parts []string
+		for _, a := range args {
+			switch a.Kind {
+			case ValString:
+				parts = append(parts, a.S)
+			case ValFloat:
+				parts = append(parts, strconv.FormatFloat(a.F, 'g', -1, 64))
+			default:
+				parts = append(parts, strconv.FormatInt(a.AsInt(), 10))
+			}
+		}
+		in.output = append(in.output, strings.Join(parts, " "))
+		return IntV(0), nil
+	case "exit":
+		return Value{}, fmt.Errorf("interp: program called exit at %s", e.Pos)
+	case "malloc":
+		n := argI(args, 0) / 8
+		if n < 0 || n > 1<<26 {
+			return Value{}, fmt.Errorf("interp: malloc size out of range at %s", e.Pos)
+		}
+		return Value{Kind: ValArray, Arr: &Array{Data: make([]float64, n)}}, nil
+	case "free":
+		return Value{}, nil
+	}
+	if fn, ok := in.funcs[short]; ok {
+		return in.callFunction(fn, args)
+	}
+	// unknown library call: undef result, execution continues
+	return Value{Undef: true}, nil
+}
+
+func argF(args []Value, i int) float64 {
+	if i < len(args) {
+		return args[i].AsFloat()
+	}
+	return 0
+}
+
+func argI(args []Value, i int) int64 {
+	if i < len(args) {
+		return args[i].AsInt()
+	}
+	return 0
+}

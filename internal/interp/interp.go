@@ -1,0 +1,507 @@
+// Package interp is a tree-walking interpreter for the MiniC AST. It fills
+// the role of "running the application with a reduced problem set" in the
+// coverage workflow (Section V.C): serial mini-app ports are executed, each
+// executed source line is recorded, and the resulting line mask feeds the
+// +coverage variants of every metric. It also provides the built-in
+// verification step the mini-apps carry ("each mini-app contains built-in
+// verification for correctness").
+//
+// The interpreter covers the serial dialect the corpus generates: scalar
+// int/double/bool arithmetic, fixed and heap arrays, functions, control
+// flow, and a small math/builtin surface (sqrt, fabs, printf, ...).
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"silvervale/internal/minic"
+	"silvervale/internal/srcloc"
+)
+
+// Value is a runtime value.
+type Value struct {
+	Kind  ValKind
+	I     int64
+	F     float64
+	B     bool
+	S     string
+	Arr   *Array
+	Undef bool
+}
+
+// ValKind discriminates runtime values.
+type ValKind int
+
+// Value kinds.
+const (
+	ValUndef ValKind = iota
+	ValInt
+	ValFloat
+	ValBool
+	ValString
+	ValArray
+)
+
+// Array is a heap array with reference semantics.
+type Array struct {
+	Data []float64
+}
+
+// IntV makes an integer value.
+func IntV(i int64) Value { return Value{Kind: ValInt, I: i} }
+
+// FloatV makes a float value.
+func FloatV(f float64) Value { return Value{Kind: ValFloat, F: f} }
+
+// BoolV makes a bool value.
+func BoolV(b bool) Value { return Value{Kind: ValBool, B: b} }
+
+// AsFloat coerces a numeric value to float64.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case ValInt:
+		return float64(v.I)
+	case ValFloat:
+		return v.F
+	case ValBool:
+		if v.B {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// AsInt coerces a numeric value to int64.
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case ValInt:
+		return v.I
+	case ValFloat:
+		return int64(v.F)
+	case ValBool:
+		if v.B {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Truthy reports the boolean interpretation.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case ValBool:
+		return v.B
+	case ValInt:
+		return v.I != 0
+	case ValFloat:
+		return v.F != 0
+	case ValArray:
+		return v.Arr != nil
+	}
+	return false
+}
+
+// Result is the outcome of a program run.
+type Result struct {
+	Exit     Value
+	Coverage *srcloc.LineMask
+	Output   []string // lines printed via printf/print
+	Steps    int
+}
+
+// Options configures execution.
+type Options struct {
+	// MaxSteps bounds total statement/expression evaluations (default 20M).
+	MaxSteps int
+	// Args are optional scalar arguments passed to the entry function.
+	Args []Value
+	// Entry is the function to run (default "main").
+	Entry string
+}
+
+// Run executes a translation unit and returns the exit value, coverage and
+// captured output.
+func Run(unit *minic.ASTNode, opts Options) (*Result, error) {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 20_000_000
+	}
+	if opts.Entry == "" {
+		opts.Entry = "main"
+	}
+	in := &interp{
+		funcs:    unit.FindFunctions(),
+		maxSteps: opts.MaxSteps,
+		cov:      srcloc.NewLineMask(),
+		globals:  map[string]*Value{},
+	}
+	// evaluate global variable initialisers
+	for _, d := range unit.Children {
+		if d.Kind == minic.KDeclStmt {
+			if err := in.execGlobalDecl(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	entry, ok := in.funcs[opts.Entry]
+	if !ok {
+		return nil, fmt.Errorf("interp: no entry function %q", opts.Entry)
+	}
+	v, err := in.callFunction(entry, opts.Args)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Exit: v, Coverage: in.cov, Output: in.output, Steps: in.steps}, nil
+}
+
+type interp struct {
+	funcs    map[string]*minic.ASTNode
+	globals  map[string]*Value
+	scopes   []map[string]*Value
+	cov      *srcloc.LineMask
+	steps    int
+	maxSteps int
+	output   []string
+}
+
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+func (in *interp) step(pos srcloc.Pos) error {
+	in.steps++
+	if in.steps > in.maxSteps {
+		return fmt.Errorf("interp: step limit exceeded at %s", pos)
+	}
+	if pos.IsValid() {
+		in.cov.Set(pos.File, pos.Line, true)
+	}
+	return nil
+}
+
+func (in *interp) pushScope() { in.scopes = append(in.scopes, map[string]*Value{}) }
+func (in *interp) popScope()  { in.scopes = in.scopes[:len(in.scopes)-1] }
+
+func (in *interp) define(name string, v Value) *Value {
+	cell := &v
+	in.scopes[len(in.scopes)-1][name] = cell
+	return cell
+}
+
+func (in *interp) lookup(name string) (*Value, bool) {
+	for i := len(in.scopes) - 1; i >= 0; i-- {
+		if c, ok := in.scopes[i][name]; ok {
+			return c, true
+		}
+	}
+	c, ok := in.globals[name]
+	return c, ok
+}
+
+func (in *interp) execGlobalDecl(d *minic.ASTNode) error {
+	in.scopes = []map[string]*Value{{}}
+	defer func() { in.scopes = nil }()
+	for _, v := range d.Children {
+		if v.Kind != minic.KVarDecl {
+			continue
+		}
+		val, err := in.evalVarInit(v)
+		if err != nil {
+			return err
+		}
+		in.globals[v.Name] = &val
+	}
+	return nil
+}
+
+func (in *interp) callFunction(fn *minic.ASTNode, args []Value) (Value, error) {
+	var params []*minic.ASTNode
+	var body *minic.ASTNode
+	for _, c := range fn.Children {
+		switch c.Kind {
+		case minic.KParmVarDecl:
+			params = append(params, c)
+		case minic.KCompoundStmt:
+			body = c
+		}
+	}
+	in.pushScope()
+	defer in.popScope()
+	for i, p := range params {
+		if i < len(args) {
+			in.define(p.Name, args[i])
+		} else {
+			in.define(p.Name, Value{Undef: true})
+		}
+	}
+	c, ret, err := in.execStmt(body)
+	if err != nil {
+		return Value{}, err
+	}
+	if c == ctrlReturn {
+		return ret, nil
+	}
+	return Value{}, nil
+}
+
+// --- statements -------------------------------------------------------------
+
+func (in *interp) execStmt(s *minic.ASTNode) (ctrl, Value, error) {
+	if s == nil {
+		return ctrlNone, Value{}, nil
+	}
+	if err := in.step(s.Pos); err != nil {
+		return ctrlNone, Value{}, err
+	}
+	switch s.Kind {
+	case minic.KCompoundStmt:
+		in.pushScope()
+		defer in.popScope()
+		for _, c := range s.Children {
+			ct, v, err := in.execStmt(c)
+			if err != nil || ct != ctrlNone {
+				return ct, v, err
+			}
+		}
+		return ctrlNone, Value{}, nil
+	case minic.KDeclStmt:
+		for _, v := range s.Children {
+			if v.Kind != minic.KVarDecl {
+				continue
+			}
+			val, err := in.evalVarInit(v)
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			in.define(v.Name, val)
+		}
+		return ctrlNone, Value{}, nil
+	case minic.KExprStmt:
+		for _, c := range s.Children {
+			if _, err := in.evalExpr(c); err != nil {
+				return ctrlNone, Value{}, err
+			}
+		}
+		return ctrlNone, Value{}, nil
+	case minic.KReturnStmt:
+		if len(s.Children) > 0 {
+			v, err := in.evalExpr(s.Children[0])
+			return ctrlReturn, v, err
+		}
+		return ctrlReturn, Value{}, nil
+	case minic.KBreakStmt:
+		return ctrlBreak, Value{}, nil
+	case minic.KContinueStmt:
+		return ctrlContinue, Value{}, nil
+	case minic.KNullStmt:
+		return ctrlNone, Value{}, nil
+	case minic.KIfStmt:
+		cond, err := in.evalExpr(s.Children[0])
+		if err != nil {
+			return ctrlNone, Value{}, err
+		}
+		if cond.Truthy() {
+			return in.execStmt(s.Children[1])
+		}
+		if len(s.Children) > 2 {
+			return in.execStmt(s.Children[2])
+		}
+		return ctrlNone, Value{}, nil
+	case minic.KForStmt:
+		return in.execFor(s)
+	case minic.KWhileStmt:
+		for {
+			cond, err := in.evalExpr(s.Children[0])
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			if !cond.Truthy() {
+				return ctrlNone, Value{}, nil
+			}
+			ct, v, err := in.execStmt(s.Children[1])
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			switch ct {
+			case ctrlBreak:
+				return ctrlNone, Value{}, nil
+			case ctrlReturn:
+				return ct, v, nil
+			}
+		}
+	case minic.KDoStmt:
+		for {
+			ct, v, err := in.execStmt(s.Children[0])
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			switch ct {
+			case ctrlBreak:
+				return ctrlNone, Value{}, nil
+			case ctrlReturn:
+				return ct, v, nil
+			}
+			cond, err := in.evalExpr(s.Children[1])
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			if !cond.Truthy() {
+				return ctrlNone, Value{}, nil
+			}
+		}
+	case minic.KOMPDirective:
+		// serial semantics of the associated statement
+		for _, c := range s.Children {
+			if c.Kind != minic.KOMPClause && c.Kind != "OMPCapturedRegion" {
+				return in.execStmt(c)
+			}
+		}
+		return ctrlNone, Value{}, nil
+	default:
+		if _, err := in.evalExpr(s); err != nil {
+			return ctrlNone, Value{}, err
+		}
+		return ctrlNone, Value{}, nil
+	}
+}
+
+func (in *interp) execFor(s *minic.ASTNode) (ctrl, Value, error) {
+	in.pushScope()
+	defer in.popScope()
+	if ct, v, err := in.execStmt(s.Children[0]); err != nil || ct == ctrlReturn {
+		return ct, v, err
+	}
+	for {
+		if s.Children[1].Kind != minic.KNullStmt {
+			cond, err := in.evalExpr(s.Children[1])
+			if err != nil {
+				return ctrlNone, Value{}, err
+			}
+			if !cond.Truthy() {
+				return ctrlNone, Value{}, nil
+			}
+		}
+		ct, v, err := in.execStmt(s.Children[3])
+		if err != nil {
+			return ctrlNone, Value{}, err
+		}
+		switch ct {
+		case ctrlBreak:
+			return ctrlNone, Value{}, nil
+		case ctrlReturn:
+			return ct, v, nil
+		}
+		if s.Children[2].Kind != minic.KNullStmt {
+			if _, err := in.evalExpr(s.Children[2]); err != nil {
+				return ctrlNone, Value{}, err
+			}
+		}
+	}
+}
+
+// evalVarInit computes the initial value of a VarDecl: scalars from their
+// initialiser, arrays (dimension expressions) as zeroed storage.
+func (in *interp) evalVarInit(v *minic.ASTNode) (Value, error) {
+	var dims []int64
+	var init *minic.ASTNode
+	isFloat := false
+	for _, c := range v.Children {
+		switch {
+		case c.Kind == minic.KBuiltinType:
+			if c.Extra == "double" || c.Extra == "float" || strings.HasPrefix(c.Extra, "real") {
+				isFloat = true
+			}
+		case c.Kind == minic.KPointerType || c.Kind == minic.KConstQual ||
+			c.Kind == minic.KReferenceType || c.Kind == minic.KRecordType ||
+			c.Kind == minic.KTemplateSpecType || c.Kind == minic.KAutoType ||
+			c.Kind == minic.KAttr:
+			c.Walk(func(t *minic.ASTNode) bool {
+				if t.Kind == minic.KBuiltinType && (t.Extra == "double" || t.Extra == "float") {
+					isFloat = true
+				}
+				return true
+			})
+		case isExprNode(c):
+			// Array declarators (Extra == "array") carry their dimensions
+			// as expression children; otherwise the expression child is
+			// the initialiser.
+			if v.Extra == "array" && c.Kind != minic.KInitListExpr {
+				dv, err := in.evalExpr(c)
+				if err != nil {
+					return Value{}, err
+				}
+				dims = append(dims, dv.AsInt())
+			} else {
+				init = c
+			}
+		}
+	}
+	if len(dims) > 0 {
+		n := int64(1)
+		for _, d := range dims {
+			n *= d
+		}
+		if n < 0 || n > 1<<26 {
+			return Value{}, fmt.Errorf("interp: array dimension %d out of range at %s", n, v.Pos)
+		}
+		arr := &Array{Data: make([]float64, n)}
+		if init != nil && init.Kind == minic.KInitListExpr {
+			for i, e := range init.Children {
+				if int64(i) >= n {
+					break
+				}
+				ev, err := in.evalExpr(e)
+				if err != nil {
+					return Value{}, err
+				}
+				arr.Data[i] = ev.AsFloat()
+			}
+		}
+		return Value{Kind: ValArray, Arr: arr}, nil
+	}
+	if init != nil {
+		if init.Kind == minic.KInitListExpr {
+			arr := &Array{}
+			for _, e := range init.Children {
+				ev, err := in.evalExpr(e)
+				if err != nil {
+					return Value{}, err
+				}
+				arr.Data = append(arr.Data, ev.AsFloat())
+			}
+			return Value{Kind: ValArray, Arr: arr}, nil
+		}
+		val, err := in.evalExpr(init)
+		if err != nil {
+			return Value{}, err
+		}
+		if isFloat && val.Kind == ValInt {
+			return FloatV(float64(val.I)), nil
+		}
+		return val, nil
+	}
+	if isFloat {
+		return FloatV(0), nil
+	}
+	return IntV(0), nil
+}
+
+func isExprNode(n *minic.ASTNode) bool {
+	switch n.Kind {
+	case minic.KBinaryOperator, minic.KUnaryOperator, minic.KConditionalOp,
+		minic.KCallExpr, minic.KDeclRefExpr, minic.KMemberExpr,
+		minic.KArraySubscript, minic.KIntegerLiteral, minic.KFloatingLiteral,
+		minic.KStringLiteral, minic.KCharLiteral, minic.KBoolLiteral,
+		minic.KNullptrLiteral, minic.KLambdaExpr, minic.KInitListExpr,
+		minic.KNewExpr, minic.KSizeofExpr, minic.KParenExpr:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,346 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"silvervale/internal/coverage"
+	"silvervale/internal/minic"
+)
+
+func run(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	unit, err := minic.ParseUnit(src, "prog.c")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Run(unit, opts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestArithmetic(t *testing.T) {
+	res := run(t, `
+int main() {
+	int a = 6;
+	int b = 7;
+	return a * b;
+}
+`, Options{})
+	if res.Exit.AsInt() != 42 {
+		t.Fatalf("exit = %v", res.Exit)
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	res := run(t, `
+double main() {
+	double x = 1.5;
+	double y = 2.0;
+	return x * y + 0.5;
+}
+`, Options{})
+	if res.Exit.AsFloat() != 3.5 {
+		t.Fatalf("exit = %v", res.Exit.AsFloat())
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	res := run(t, `
+int main() {
+	int sum = 0;
+	for (int i = 1; i <= 10; i++) {
+		if (i % 2 == 0) { continue; }
+		sum += i;
+	}
+	int j = 0;
+	while (j < 3) { j++; }
+	do { j++; } while (j < 5);
+	return sum + j;
+}
+`, Options{})
+	// odd sum 1..10 = 25, j = 5
+	if res.Exit.AsInt() != 30 {
+		t.Fatalf("exit = %v, want 30", res.Exit.AsInt())
+	}
+}
+
+func TestBreak(t *testing.T) {
+	res := run(t, `
+int main() {
+	int i = 0;
+	for (;;) {
+		i++;
+		if (i == 7) { break; }
+	}
+	return i;
+}
+`, Options{})
+	if res.Exit.AsInt() != 7 {
+		t.Fatalf("exit = %v", res.Exit.AsInt())
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	res := run(t, `
+int fib(int n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(10); }
+`, Options{})
+	if res.Exit.AsInt() != 55 {
+		t.Fatalf("fib(10) = %v", res.Exit.AsInt())
+	}
+}
+
+func TestStackArraysAndTriad(t *testing.T) {
+	res := run(t, `
+int main() {
+	double a[64];
+	double b[64];
+	double c[64];
+	double scalar = 0.4;
+	for (int i = 0; i < 64; i++) {
+		b[i] = 2.0;
+		c[i] = 1.0;
+	}
+	for (int i = 0; i < 64; i++) {
+		a[i] = b[i] + scalar * c[i];
+	}
+	double err = 0.0;
+	for (int i = 0; i < 64; i++) {
+		err += fabs(a[i] - 2.4);
+	}
+	return err < 0.000001 ? 0 : 1;
+}
+`, Options{})
+	if res.Exit.AsInt() != 0 {
+		t.Fatalf("triad verification failed: exit = %v", res.Exit.AsInt())
+	}
+}
+
+func TestHeapArrays(t *testing.T) {
+	res := run(t, `
+double sum(double *v, int n) {
+	double s = 0.0;
+	for (int i = 0; i < n; i++) { s += v[i]; }
+	return s;
+}
+int main() {
+	double *a = new double[100];
+	for (int i = 0; i < 100; i++) { a[i] = 1.0; }
+	double s = sum(a, 100);
+	delete[] a;
+	return s == 100.0 ? 0 : 1;
+}
+`, Options{})
+	if res.Exit.AsInt() != 0 {
+		t.Fatalf("heap array sum failed: exit = %v", res.Exit.AsInt())
+	}
+}
+
+func TestArraysPassByReference(t *testing.T) {
+	res := run(t, `
+void fill(double *v, int n, double x) {
+	for (int i = 0; i < n; i++) { v[i] = x; }
+}
+int main() {
+	double a[10];
+	fill(a, 10, 3.0);
+	return a[9] == 3.0 ? 0 : 1;
+}
+`, Options{})
+	if res.Exit.AsInt() != 0 {
+		t.Fatal("array mutation not visible through call")
+	}
+}
+
+func TestMathBuiltins(t *testing.T) {
+	res := run(t, `
+double main() {
+	return sqrt(16.0) + pow(2.0, 3.0) + fmax(1.0, 2.0) + floor(2.9);
+}
+`, Options{})
+	if got := res.Exit.AsFloat(); math.Abs(got-16.0) > 1e-9 {
+		t.Fatalf("builtins = %v, want 16", got)
+	}
+}
+
+func TestOpenMPDirectiveRunsSerially(t *testing.T) {
+	res := run(t, `
+int main() {
+	double a[32];
+	#pragma omp parallel for
+	for (int i = 0; i < 32; i++) { a[i] = 2.0; }
+	double s = 0.0;
+	for (int i = 0; i < 32; i++) { s += a[i]; }
+	return s == 64.0 ? 0 : 1;
+}
+`, Options{})
+	if res.Exit.AsInt() != 0 {
+		t.Fatal("directive body not executed serially")
+	}
+}
+
+func TestIndexOutOfRangeError(t *testing.T) {
+	unit, err := minic.ParseUnit(`
+int main() {
+	double a[4];
+	a[9] = 1.0;
+	return 0;
+}
+`, "prog.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(unit, Options{}); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("expected range error, got %v", err)
+	}
+}
+
+func TestDivisionByZeroError(t *testing.T) {
+	unit, _ := minic.ParseUnit("int main() { int z = 0; return 5 / z; }", "prog.c")
+	if _, err := Run(unit, Options{}); err == nil {
+		t.Fatal("expected division error")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	unit, _ := minic.ParseUnit("int main() { for (;;) { int x = 1; } return 0; }", "prog.c")
+	if _, err := Run(unit, Options{MaxSteps: 10000}); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("expected step limit error, got %v", err)
+	}
+}
+
+func TestMissingEntry(t *testing.T) {
+	unit, _ := minic.ParseUnit("int helper() { return 1; }", "prog.c")
+	if _, err := Run(unit, Options{}); err == nil {
+		t.Fatal("expected missing-entry error")
+	}
+}
+
+func TestEntryArgs(t *testing.T) {
+	res := run(t, "int twice(int x) { return x * 2; }",
+		Options{Entry: "twice", Args: []Value{IntV(21)}})
+	if res.Exit.AsInt() != 42 {
+		t.Fatalf("exit = %v", res.Exit.AsInt())
+	}
+}
+
+func TestGlobalVariables(t *testing.T) {
+	res := run(t, `
+int counter = 40;
+int main() {
+	counter += 2;
+	return counter;
+}
+`, Options{})
+	if res.Exit.AsInt() != 42 {
+		t.Fatalf("global = %v", res.Exit.AsInt())
+	}
+}
+
+func TestOutputCapture(t *testing.T) {
+	res := run(t, `
+int main() {
+	printf("result: %d", 42);
+	return 0;
+}
+`, Options{})
+	if len(res.Output) != 1 {
+		t.Fatalf("output = %v", res.Output)
+	}
+}
+
+func TestCoverageRecordsExecutedLines(t *testing.T) {
+	res := run(t, `
+int main() {
+	int x = 1;
+	if (x > 5) {
+		x = 100;
+	}
+	return x;
+}
+`, Options{})
+	// line 5 (x = 100) is never executed
+	if live, known := res.Coverage.Live("prog.c", 5); known && live {
+		t.Fatal("dead branch marked live")
+	}
+	if live, _ := res.Coverage.Live("prog.c", 3); !live {
+		t.Fatal("executed line not recorded")
+	}
+}
+
+func TestCoverageMasksTree(t *testing.T) {
+	src := `
+int main() {
+	int x = 1;
+	if (x > 5) {
+		x = 100;
+		x = 200;
+		x = 300;
+	}
+	return x;
+}
+`
+	unit, err := minic.ParseUnit(src, "prog.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(unit, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := minic.BuildSemTree(unit)
+	prof := coverage.NewProfile(res.Coverage)
+	masked := prof.MaskTree(full)
+	if masked.Size() >= full.Size() {
+		t.Fatalf("coverage mask should shrink the tree: %d -> %d", full.Size(), masked.Size())
+	}
+}
+
+func TestTernaryAndLogic(t *testing.T) {
+	res := run(t, `
+int main() {
+	int a = 5;
+	int b = a > 3 && a < 10 ? 1 : 0;
+	int c = a == 5 || a == 6 ? 10 : 20;
+	return b + c;
+}
+`, Options{})
+	if res.Exit.AsInt() != 11 {
+		t.Fatalf("exit = %v", res.Exit.AsInt())
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// RHS would divide by zero; short-circuit must avoid it
+	res := run(t, `
+int main() {
+	int z = 0;
+	int ok = z != 0 && 10 / z > 1;
+	return ok ? 1 : 0;
+}
+`, Options{})
+	if res.Exit.AsInt() != 0 {
+		t.Fatal("short circuit failed")
+	}
+}
+
+func TestInitListArray(t *testing.T) {
+	res := run(t, `
+int main() {
+	double w[4] = {1.0, 2.0, 3.0, 4.0};
+	double s = 0.0;
+	for (int i = 0; i < 4; i++) { s += w[i]; }
+	return s == 10.0 ? 0 : 1;
+}
+`, Options{})
+	if res.Exit.AsInt() != 0 {
+		t.Fatal("init list array failed")
+	}
+}

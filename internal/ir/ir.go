@@ -1,0 +1,197 @@
+// Package ir implements the platform-independent intermediate
+// representation used for the T_ir metric, playing the role LLVM bitcode
+// (or Low GIMPLE) plays in the paper.
+//
+// The IR is an SSA-lite, -O0-style three-address form: every local variable
+// gets an alloca; reads are loads and writes are stores; control flow is
+// lowered to basic blocks with explicit branches. For offloading models
+// (CUDA, HIP, OpenMP target) lowering produces an offload *bundle*: a host
+// module plus one device module per target region, with the host side
+// carrying the runtime-support driver code (kernel registration, launch
+// configuration) that the paper found to pollute T_ir for offload models —
+// "the obtained IR contains multiple layers of driver code that is not part
+// of the core algorithm".
+//
+// To keep T_ir comparable, the IR carries no architecture-specific
+// information, and — like the frontend trees — symbol names chosen by the
+// programmer are discarded when the tree is built, while instruction names,
+// functions, basic blocks, globals, and runtime intrinsic names are
+// retained.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"silvervale/internal/srcloc"
+	"silvervale/internal/tree"
+)
+
+// Module is one translation unit's IR for one target.
+type Module struct {
+	Name    string
+	Target  string // "host" or "device"
+	Globals []Global
+	Funcs   []*Func
+}
+
+// Global is a module-level variable.
+type Global struct {
+	Name string
+	Type string
+	Pos  srcloc.Pos
+}
+
+// Func is a lowered function.
+type Func struct {
+	Name    string
+	Params  []string
+	Kernel  bool // device entry point
+	Runtime bool // synthesized runtime-support/driver code
+	Blocks  []*Block
+}
+
+// Block is a basic block.
+type Block struct {
+	Label  string
+	Instrs []Instr
+}
+
+// Instr is a three-address instruction. Args reference virtual registers,
+// globals, or immediates; only the opcode (and callee name for runtime
+// calls) survives into T_ir.
+type Instr struct {
+	Op     string
+	Type   string // operand class: i (integer), f (float), p (pointer), "" (none)
+	Callee string // for call ops
+	Args   []string
+	Dst    string
+	Pos    srcloc.Pos
+}
+
+// Bundle is the result of lowering one unit: the host module and, for
+// offload models, the device modules extracted from the embedded offload
+// sections (the in-repo analogue of the Clang offload bundler).
+type Bundle struct {
+	Host   *Module
+	Device []*Module
+}
+
+// Modules returns host followed by device modules.
+func (b *Bundle) Modules() []*Module {
+	out := []*Module{b.Host}
+	out = append(out, b.Device...)
+	return out
+}
+
+// InstrCount returns the total instruction count across the bundle.
+func (b *Bundle) InstrCount() int {
+	n := 0
+	for _, m := range b.Modules() {
+		for _, f := range m.Funcs {
+			for _, blk := range f.Blocks {
+				n += len(blk.Instrs)
+			}
+		}
+	}
+	return n
+}
+
+// isRetainedName reports whether a callee name is a runtime/intrinsic
+// symbol that survives normalisation (it is not programmer-chosen).
+func isRetainedName(name string) bool {
+	return strings.HasPrefix(name, "__") || strings.HasPrefix(name, "llvm.") ||
+		strings.HasPrefix(name, "omp_") || strings.HasPrefix(name, "cuda") ||
+		strings.HasPrefix(name, "hip") || strings.HasPrefix(name, "tgt_")
+}
+
+// Tree converts the bundle into its T_ir tree. Layout:
+//
+//	unit:ir
+//	  module:<target>
+//	    global*            (names discarded)
+//	    function | kernel | runtime-function
+//	      block
+//	        <opcode>[:<type>] leaves, call leaves keep runtime callee names
+func (b *Bundle) Tree() *tree.Node {
+	root := tree.New("unit:ir")
+	for _, m := range b.Modules() {
+		root.Add(m.Tree())
+	}
+	return root
+}
+
+// Tree converts a single module to its T_ir subtree.
+func (m *Module) Tree() *tree.Node {
+	mn := tree.New("module:" + m.Target)
+	for _, g := range m.Globals {
+		mn.Add(tree.NewAt("global:"+g.Type, g.Pos))
+	}
+	for _, f := range m.Funcs {
+		label := "function"
+		switch {
+		case f.Kernel:
+			label = "kernel"
+		case f.Runtime:
+			label = "runtime-function"
+			if isRetainedName(f.Name) {
+				label = "runtime-function:" + f.Name
+			}
+		}
+		fn := tree.New(label)
+		for _, blk := range f.Blocks {
+			bn := tree.New("block")
+			for _, ins := range blk.Instrs {
+				lbl := ins.Op
+				if ins.Type != "" {
+					lbl += ":" + ins.Type
+				}
+				if ins.Op == "call" && ins.Callee != "" && isRetainedName(ins.Callee) {
+					lbl += ":" + ins.Callee
+				}
+				bn.Add(tree.NewAt(lbl, ins.Pos))
+			}
+			fn.Add(bn)
+		}
+		mn.Add(fn)
+	}
+	return mn
+}
+
+// String renders the bundle in a readable LLVM-flavoured listing, used by
+// the CLI dump command and tests.
+func (b *Bundle) String() string {
+	var sb strings.Builder
+	for _, m := range b.Modules() {
+		fmt.Fprintf(&sb, "; module %s target=%s\n", m.Name, m.Target)
+		for _, g := range m.Globals {
+			fmt.Fprintf(&sb, "@%s = global %s\n", g.Name, g.Type)
+		}
+		for _, f := range m.Funcs {
+			kind := "define"
+			if f.Kernel {
+				kind = "define kernel"
+			}
+			fmt.Fprintf(&sb, "%s @%s(%s) {\n", kind, f.Name, strings.Join(f.Params, ", "))
+			for _, blk := range f.Blocks {
+				fmt.Fprintf(&sb, "%s:\n", blk.Label)
+				for _, ins := range blk.Instrs {
+					sb.WriteString("  ")
+					if ins.Dst != "" {
+						fmt.Fprintf(&sb, "%s = ", ins.Dst)
+					}
+					sb.WriteString(ins.Op)
+					if ins.Callee != "" {
+						fmt.Fprintf(&sb, " @%s", ins.Callee)
+					}
+					if len(ins.Args) > 0 {
+						fmt.Fprintf(&sb, " %s", strings.Join(ins.Args, ", "))
+					}
+					sb.WriteByte('\n')
+				}
+			}
+			sb.WriteString("}\n")
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,327 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"silvervale/internal/minic"
+	"silvervale/internal/ted"
+)
+
+func lower(t *testing.T, src string) *Bundle {
+	t.Helper()
+	unit, err := minic.ParseUnit(src, "test.cpp")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return LowerUnit(unit, "test")
+}
+
+func countOp(b *Bundle, op string) int {
+	n := 0
+	for _, m := range b.Modules() {
+		for _, f := range m.Funcs {
+			for _, blk := range f.Blocks {
+				for _, ins := range blk.Instrs {
+					if ins.Op == op {
+						n++
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+func countCallee(b *Bundle, callee string) int {
+	n := 0
+	for _, m := range b.Modules() {
+		for _, f := range m.Funcs {
+			for _, blk := range f.Blocks {
+				for _, ins := range blk.Instrs {
+					if ins.Callee == callee {
+						n++
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+func TestLowerSimpleFunction(t *testing.T) {
+	b := lower(t, `
+int add(int a, int b) {
+	return a + b;
+}
+`)
+	if len(b.Host.Funcs) != 1 {
+		t.Fatalf("funcs = %d", len(b.Host.Funcs))
+	}
+	if countOp(b, "alloca") != 2 {
+		t.Fatalf("allocas = %d, want 2 (params)", countOp(b, "alloca"))
+	}
+	if countOp(b, "add") != 1 {
+		t.Fatalf("adds = %d", countOp(b, "add"))
+	}
+	if countOp(b, "ret") < 1 {
+		t.Fatal("no ret")
+	}
+}
+
+func TestLowerForLoopBlocks(t *testing.T) {
+	b := lower(t, `
+void fill(double *a, int n) {
+	for (int i = 0; i < n; i++) {
+		a[i] = 0.5;
+	}
+}
+`)
+	fn := b.Host.Funcs[0]
+	// entry + cond + body + inc + end
+	if len(fn.Blocks) != 5 {
+		t.Fatalf("blocks = %d, want 5", len(fn.Blocks))
+	}
+	if countOp(b, "condbr") != 1 {
+		t.Fatal("missing conditional branch")
+	}
+	if countOp(b, "getelementptr") != 1 {
+		t.Fatal("missing GEP for subscript store")
+	}
+}
+
+func TestLowerIfElse(t *testing.T) {
+	b := lower(t, `
+int sign(int x) {
+	if (x > 0) { return 1; } else { return 0 - 1; }
+}
+`)
+	fn := b.Host.Funcs[0]
+	if len(fn.Blocks) != 4 { // entry, then, end, else
+		t.Fatalf("blocks = %d, want 4", len(fn.Blocks))
+	}
+}
+
+func TestLowerCUDAKernelSplitsModules(t *testing.T) {
+	b := lower(t, `
+__global__ void k(double *a, int n) {
+	int i = blockIdx.x * blockDim.x + threadIdx.x;
+	if (i < n) { a[i] = 1.0; }
+}
+void run(double *a, int n) {
+	k<<<n / 256, 256>>>(a, n);
+	cudaDeviceSynchronize();
+}
+`)
+	if len(b.Device) != 1 {
+		t.Fatalf("device modules = %d, want 1", len(b.Device))
+	}
+	var kernel *Func
+	for _, f := range b.Device[0].Funcs {
+		if f.Kernel {
+			kernel = f
+		}
+	}
+	if kernel == nil {
+		t.Fatal("kernel not in device module")
+	}
+	if countCallee(b, "cudaLaunchKernel") != 1 {
+		t.Fatal("launch not lowered to runtime call")
+	}
+	if countCallee(b, "__cudaPushCallConfiguration") != 1 {
+		t.Fatal("launch config not lowered")
+	}
+	// driver code: registration ctor/dtor on the host side
+	if countCallee(b, "__cudaRegisterFatBinary") != 1 ||
+		countCallee(b, "__cudaRegisterFunction") != 1 {
+		t.Fatal("fat binary registration driver code missing")
+	}
+}
+
+func TestLowerHIPPrefixDetection(t *testing.T) {
+	b := lower(t, `
+__global__ void k(double *a) { a[0] = 1.0; }
+void run(double *a) {
+	hipMalloc(a, 8);
+	k<<<1, 64>>>(a);
+}
+`)
+	if countCallee(b, "hipLaunchKernel") != 1 {
+		t.Fatal("HIP launch not detected")
+	}
+	if countCallee(b, "__hipRegisterFatBinary") != 1 {
+		t.Fatal("HIP registration missing")
+	}
+}
+
+func TestLowerOpenMPHostFork(t *testing.T) {
+	b := lower(t, `
+void triad(double *a, double *b, double *c, double s, int n) {
+	#pragma omp parallel for
+	for (int i = 0; i < n; i++) { a[i] = b[i] + s * c[i]; }
+}
+`)
+	if countCallee(b, "__kmpc_fork_call") != 1 {
+		t.Fatal("fork call missing")
+	}
+	// the loop body must live in an outlined runtime function
+	outlined := false
+	for _, f := range b.Host.Funcs {
+		if strings.HasPrefix(f.Name, "__omp_outlined") && f.Runtime {
+			outlined = true
+		}
+	}
+	if !outlined {
+		t.Fatal("parallel region not outlined")
+	}
+	if len(b.Device) != 0 {
+		t.Fatal("host OpenMP must not create device modules")
+	}
+}
+
+func TestLowerOpenMPTargetOffload(t *testing.T) {
+	b := lower(t, `
+void triad(double *a, double *b, double *c, double s, int n) {
+	#pragma omp target teams distribute parallel for map(tofrom: a) map(to: b, c)
+	for (int i = 0; i < n; i++) { a[i] = b[i] + s * c[i]; }
+}
+`)
+	if len(b.Device) != 1 {
+		t.Fatal("target region must create a device module")
+	}
+	if countCallee(b, "__tgt_target_kernel") != 1 {
+		t.Fatal("target kernel launch missing")
+	}
+	if countCallee(b, "__tgt_data_map") != 3 {
+		t.Fatalf("data maps = %d, want 3", countCallee(b, "__tgt_data_map"))
+	}
+	if countCallee(b, "__tgt_register_lib") != 1 {
+		t.Fatal("offload registration missing")
+	}
+}
+
+func TestLowerReductionClause(t *testing.T) {
+	b := lower(t, `
+double dot(double *a, double *b, int n) {
+	double sum = 0.0;
+	#pragma omp parallel for reduction(+:sum)
+	for (int i = 0; i < n; i++) { sum += a[i] * b[i]; }
+	return sum;
+}
+`)
+	if countCallee(b, "__kmpc_reduce") != 1 {
+		t.Fatal("reduction runtime call missing")
+	}
+}
+
+func TestLowerLambdaOutlining(t *testing.T) {
+	b := lower(t, `
+void apply(double *a, int n) {
+	std::for_each(par, begin(0), end(n), [=](int i) {
+		a[i] = 2.0;
+	});
+}
+`)
+	found := false
+	for _, f := range b.Host.Funcs {
+		if strings.HasPrefix(f.Name, "lambda.") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("lambda not outlined")
+	}
+}
+
+func TestIRTreeNormalisesUserNames(t *testing.T) {
+	a := lower(t, "int foo(int x) { return x + 1; }")
+	b := lower(t, "int bar(int y) { return y + 1; }")
+	ta, tb := a.Tree(), b.Tree()
+	if ted.Distance(ta, tb) != 0 {
+		t.Fatalf("renamed units must have identical T_ir:\n%s\n%s", ta.Pretty(), tb.Pretty())
+	}
+}
+
+func TestIRTreeRetainsRuntimeNames(t *testing.T) {
+	b := lower(t, `
+void f(double *a, int n) {
+	#pragma omp parallel for
+	for (int i = 0; i < n; i++) { a[i] = 0.0; }
+}
+`)
+	tr := b.Tree()
+	s := tr.String()
+	if !strings.Contains(s, "__kmpc_fork_call") {
+		t.Fatalf("runtime callee name must survive into T_ir: %s", s)
+	}
+	if !strings.Contains(s, "runtime-function") {
+		t.Fatal("outlined runtime function label missing")
+	}
+}
+
+func TestOffloadDriverInflatesIR(t *testing.T) {
+	serial := lower(t, `
+void triad(double *a, double *b, double *c, double s, int n) {
+	for (int i = 0; i < n; i++) { a[i] = b[i] + s * c[i]; }
+}
+`)
+	cuda := lower(t, `
+__global__ void triad_k(double *a, const double *b, const double *c, double s, int n) {
+	int i = blockIdx.x * blockDim.x + threadIdx.x;
+	if (i < n) { a[i] = b[i] + s * c[i]; }
+}
+void triad(double *a, double *b, double *c, double s, int n) {
+	triad_k<<<n / 256, 256>>>(a, b, c, s, n);
+	cudaDeviceSynchronize();
+}
+`)
+	if cuda.Tree().Size() <= serial.Tree().Size()+10 {
+		t.Fatalf("offload driver code should significantly inflate T_ir: serial=%d cuda=%d",
+			serial.Tree().Size(), cuda.Tree().Size())
+	}
+}
+
+func TestBundleString(t *testing.T) {
+	b := lower(t, "int one() { return 1; }")
+	s := b.String()
+	if !strings.Contains(s, "define @one") || !strings.Contains(s, "entry:") {
+		t.Fatalf("listing malformed:\n%s", s)
+	}
+}
+
+func TestInstrCount(t *testing.T) {
+	b := lower(t, "int one() { return 1; }")
+	if b.InstrCount() == 0 {
+		t.Fatal("instruction count should be positive")
+	}
+}
+
+func TestCompoundAssignLowering(t *testing.T) {
+	b := lower(t, `
+void f(int n) {
+	int x = 0;
+	x += n;
+	x *= 2;
+}
+`)
+	if countOp(b, "add") != 1 || countOp(b, "mul") != 1 {
+		t.Fatalf("compound assigns: add=%d mul=%d", countOp(b, "add"), countOp(b, "mul"))
+	}
+	// each compound assign: load, op, store
+	if countOp(b, "store") < 4 {
+		t.Fatalf("stores = %d", countOp(b, "store"))
+	}
+}
+
+func TestWhileAndDoLowering(t *testing.T) {
+	b := lower(t, `
+int f(int n) {
+	while (n > 0) { n--; }
+	do { n++; } while (n < 10);
+	return n;
+}
+`)
+	if countOp(b, "condbr") != 2 {
+		t.Fatalf("condbr = %d, want 2", countOp(b, "condbr"))
+	}
+}

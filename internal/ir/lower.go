@@ -1,0 +1,768 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"silvervale/internal/minic"
+)
+
+// LowerUnit lowers a parsed MiniC translation unit into an offload bundle.
+// Host code goes to the host module; __global__ kernels and OpenMP target
+// regions are outlined into a device module, and the host module receives
+// the synthesized registration/launch driver code that real offload
+// toolchains embed per file.
+func LowerUnit(unit *minic.ASTNode, name string) *Bundle {
+	lw := &lowerer{
+		bundle: &Bundle{Host: &Module{Name: name, Target: "host"}},
+		unit:   unit,
+	}
+	lw.gpuPrefix = detectGPUPrefix(unit)
+	lw.lowerUnit(unit)
+	lw.emitDriverCode()
+	return lw.bundle
+}
+
+// detectGPUPrefix picks the runtime namespace for driver code from the API
+// family the unit calls into.
+func detectGPUPrefix(unit *minic.ASTNode) string {
+	prefix := "cuda"
+	unit.Walk(func(n *minic.ASTNode) bool {
+		if n.Kind == minic.KDeclRefExpr && strings.HasPrefix(n.Name, "hip") {
+			prefix = "hip"
+			return false
+		}
+		return true
+	})
+	return prefix
+}
+
+type lowerer struct {
+	bundle    *Bundle
+	unit      *minic.ASTNode
+	gpuPrefix string
+
+	fn      *Func  // current function
+	blk     *Block // current block
+	tmp     int
+	blkID   int
+	lambdaN int
+	offlN   int
+	scopes  []map[string]string // name -> type class
+	device  *Module
+}
+
+// deviceModule lazily creates the single device module of the bundle.
+func (lw *lowerer) deviceModule() *Module {
+	if lw.device == nil {
+		lw.device = &Module{Name: lw.bundle.Host.Name + ".dev", Target: "device"}
+		lw.bundle.Device = append(lw.bundle.Device, lw.device)
+	}
+	return lw.device
+}
+
+func (lw *lowerer) lowerUnit(unit *minic.ASTNode) {
+	for _, d := range unit.Children {
+		lw.lowerTopDecl(d, lw.bundle.Host)
+	}
+}
+
+func (lw *lowerer) lowerTopDecl(d *minic.ASTNode, mod *Module) {
+	switch d.Kind {
+	case minic.KNamespaceDecl, minic.KRecordDecl:
+		for _, c := range d.Children {
+			if c.Kind == minic.KFunctionDecl || c.Kind == minic.KVarDecl ||
+				c.Kind == minic.KDeclStmt || c.Kind == minic.KNamespaceDecl ||
+				c.Kind == minic.KRecordDecl || c.Kind == minic.KTemplateDecl {
+				lw.lowerTopDecl(c, mod)
+			}
+		}
+	case minic.KTemplateDecl:
+		for _, c := range d.Children {
+			if c.Kind == minic.KFunctionDecl {
+				lw.lowerTopDecl(c, mod)
+			}
+		}
+	case minic.KFunctionDecl:
+		lw.lowerFunction(d, mod)
+	case minic.KDeclStmt:
+		for _, v := range d.Children {
+			if v.Kind == minic.KVarDecl {
+				lw.bundle.Host.Globals = append(lw.bundle.Host.Globals,
+					Global{Name: v.Name, Type: typeClassOf(v), Pos: v.Pos})
+			}
+		}
+	case minic.KVarDecl:
+		lw.bundle.Host.Globals = append(lw.bundle.Host.Globals,
+			Global{Name: d.Name, Type: typeClassOf(d), Pos: d.Pos})
+	case minic.KOMPDirective:
+		// declarative top-level directives (declare target etc.) carry no
+		// code of their own
+	}
+}
+
+// attrsOf collects attribute names on a declaration.
+func attrsOf(d *minic.ASTNode) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range d.Children {
+		if c.Kind == minic.KAttr {
+			out[c.Extra] = true
+		}
+	}
+	return out
+}
+
+// bodyOf returns the CompoundStmt child.
+func bodyOf(d *minic.ASTNode) *minic.ASTNode {
+	for _, c := range d.Children {
+		if c.Kind == minic.KCompoundStmt {
+			return c
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) lowerFunction(d *minic.ASTNode, mod *Module) {
+	body := bodyOf(d)
+	if body == nil {
+		return // prototypes emit nothing
+	}
+	attrs := attrsOf(d)
+	target := mod
+	kernel := false
+	switch {
+	case attrs["CUDAGlobal"]:
+		target = lw.deviceModule()
+		kernel = true
+	case attrs["CUDADevice"]:
+		target = lw.deviceModule()
+	}
+	fn := &Func{Name: d.Name, Kernel: kernel}
+	for _, c := range d.Children {
+		if c.Kind == minic.KParmVarDecl {
+			fn.Params = append(fn.Params, c.Name)
+		}
+	}
+	lw.startFunction(fn, target)
+	for _, c := range d.Children {
+		if c.Kind == minic.KParmVarDecl {
+			lw.declare(c.Name, typeClassOf(c))
+			lw.emit(Instr{Op: "alloca", Type: typeClassOf(c), Dst: "%" + c.Name, Pos: c.Pos})
+			lw.emit(Instr{Op: "store", Type: typeClassOf(c), Pos: c.Pos})
+		}
+	}
+	if kernel {
+		// device entry: thread-id materialisation is part of every kernel
+		lw.emit(Instr{Op: "call", Callee: "llvm.workitem.id", Dst: lw.newTmp(), Pos: d.Pos})
+	}
+	lw.lowerStmt(body)
+	lw.emit(Instr{Op: "ret", Pos: d.Pos})
+	lw.endFunction()
+}
+
+func (lw *lowerer) startFunction(fn *Func, mod *Module) {
+	lw.fn = fn
+	lw.blkID = 0
+	lw.tmp = 0
+	lw.scopes = []map[string]string{{}}
+	entry := &Block{Label: "entry"}
+	fn.Blocks = append(fn.Blocks, entry)
+	lw.blk = entry
+	mod.Funcs = append(mod.Funcs, fn)
+}
+
+func (lw *lowerer) endFunction() {
+	lw.fn = nil
+	lw.blk = nil
+}
+
+func (lw *lowerer) newBlock(hint string) *Block {
+	lw.blkID++
+	b := &Block{Label: fmt.Sprintf("%s.%d", hint, lw.blkID)}
+	lw.fn.Blocks = append(lw.fn.Blocks, b)
+	return b
+}
+
+func (lw *lowerer) setBlock(b *Block) { lw.blk = b }
+
+func (lw *lowerer) newTmp() string {
+	lw.tmp++
+	return fmt.Sprintf("%%t%d", lw.tmp)
+}
+
+func (lw *lowerer) emit(ins Instr) string {
+	lw.blk.Instrs = append(lw.blk.Instrs, ins)
+	return ins.Dst
+}
+
+func (lw *lowerer) pushScope() { lw.scopes = append(lw.scopes, map[string]string{}) }
+func (lw *lowerer) popScope()  { lw.scopes = lw.scopes[:len(lw.scopes)-1] }
+
+func (lw *lowerer) declare(name, class string) {
+	lw.scopes[len(lw.scopes)-1][name] = class
+}
+
+func (lw *lowerer) classOf(name string) string {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if c, ok := lw.scopes[i][name]; ok {
+			return c
+		}
+	}
+	return "i"
+}
+
+// typeClassOf maps a declaration's type subtree to an operand class.
+func typeClassOf(d *minic.ASTNode) string {
+	class := "i"
+	d.Walk(func(n *minic.ASTNode) bool {
+		switch n.Kind {
+		case minic.KPointerType, minic.KReferenceType:
+			class = "p"
+			return false
+		case minic.KBuiltinType:
+			if n.Extra == "double" || n.Extra == "float" {
+				class = "f"
+			}
+			return false
+		case minic.KRecordType, minic.KTemplateSpecType:
+			class = "p"
+			return false
+		case minic.KCompoundStmt:
+			return false
+		}
+		return true
+	})
+	return class
+}
+
+// --- statements -------------------------------------------------------------
+
+func (lw *lowerer) lowerStmt(s *minic.ASTNode) {
+	if s == nil {
+		return
+	}
+	switch s.Kind {
+	case minic.KCompoundStmt:
+		lw.pushScope()
+		for _, c := range s.Children {
+			lw.lowerStmt(c)
+		}
+		lw.popScope()
+	case minic.KDeclStmt:
+		for _, v := range s.Children {
+			if v.Kind != minic.KVarDecl {
+				continue
+			}
+			class := typeClassOf(v)
+			lw.declare(v.Name, class)
+			lw.emit(Instr{Op: "alloca", Type: class, Dst: "%" + v.Name, Pos: v.Pos})
+			for _, c := range v.Children {
+				if isExprKind(c.Kind) {
+					val := lw.lowerExpr(c)
+					lw.emit(Instr{Op: "store", Type: class, Args: []string{val, "%" + v.Name}, Pos: v.Pos})
+				}
+			}
+		}
+	case minic.KExprStmt:
+		for _, c := range s.Children {
+			lw.lowerExpr(c)
+		}
+	case minic.KReturnStmt:
+		if len(s.Children) > 0 {
+			v := lw.lowerExpr(s.Children[0])
+			lw.emit(Instr{Op: "ret", Args: []string{v}, Pos: s.Pos})
+		} else {
+			lw.emit(Instr{Op: "ret", Pos: s.Pos})
+		}
+	case minic.KIfStmt:
+		cond := lw.lowerExpr(s.Children[0])
+		thenB := lw.newBlock("if.then")
+		endB := lw.newBlock("if.end")
+		elseB := endB
+		if len(s.Children) > 2 {
+			elseB = lw.newBlock("if.else")
+		}
+		lw.emit(Instr{Op: "condbr", Args: []string{cond, thenB.Label, elseB.Label}, Pos: s.Pos})
+		lw.setBlock(thenB)
+		lw.lowerStmt(s.Children[1])
+		lw.emit(Instr{Op: "br", Args: []string{endB.Label}, Pos: s.Pos})
+		if len(s.Children) > 2 {
+			lw.setBlock(elseB)
+			lw.lowerStmt(s.Children[2])
+			lw.emit(Instr{Op: "br", Args: []string{endB.Label}, Pos: s.Pos})
+		}
+		lw.setBlock(endB)
+	case minic.KForStmt:
+		lw.pushScope()
+		lw.lowerStmt(s.Children[0]) // init (stmt or null)
+		condB := lw.newBlock("for.cond")
+		bodyB := lw.newBlock("for.body")
+		incB := lw.newBlock("for.inc")
+		endB := lw.newBlock("for.end")
+		lw.emit(Instr{Op: "br", Args: []string{condB.Label}, Pos: s.Pos})
+		lw.setBlock(condB)
+		if s.Children[1].Kind != minic.KNullStmt {
+			cond := lw.lowerExpr(s.Children[1])
+			lw.emit(Instr{Op: "condbr", Args: []string{cond, bodyB.Label, endB.Label}, Pos: s.Pos})
+		} else {
+			lw.emit(Instr{Op: "br", Args: []string{bodyB.Label}, Pos: s.Pos})
+		}
+		lw.setBlock(bodyB)
+		lw.lowerStmt(s.Children[3])
+		lw.emit(Instr{Op: "br", Args: []string{incB.Label}, Pos: s.Pos})
+		lw.setBlock(incB)
+		if s.Children[2].Kind != minic.KNullStmt {
+			lw.lowerExpr(s.Children[2])
+		}
+		lw.emit(Instr{Op: "br", Args: []string{condB.Label}, Pos: s.Pos})
+		lw.setBlock(endB)
+		lw.popScope()
+	case minic.KWhileStmt:
+		condB := lw.newBlock("while.cond")
+		bodyB := lw.newBlock("while.body")
+		endB := lw.newBlock("while.end")
+		lw.emit(Instr{Op: "br", Args: []string{condB.Label}, Pos: s.Pos})
+		lw.setBlock(condB)
+		cond := lw.lowerExpr(s.Children[0])
+		lw.emit(Instr{Op: "condbr", Args: []string{cond, bodyB.Label, endB.Label}, Pos: s.Pos})
+		lw.setBlock(bodyB)
+		lw.lowerStmt(s.Children[1])
+		lw.emit(Instr{Op: "br", Args: []string{condB.Label}, Pos: s.Pos})
+		lw.setBlock(endB)
+	case minic.KDoStmt:
+		bodyB := lw.newBlock("do.body")
+		endB := lw.newBlock("do.end")
+		lw.emit(Instr{Op: "br", Args: []string{bodyB.Label}, Pos: s.Pos})
+		lw.setBlock(bodyB)
+		lw.lowerStmt(s.Children[0])
+		cond := lw.lowerExpr(s.Children[1])
+		lw.emit(Instr{Op: "condbr", Args: []string{cond, bodyB.Label, endB.Label}, Pos: s.Pos})
+		lw.setBlock(endB)
+	case minic.KBreakStmt:
+		lw.emit(Instr{Op: "br", Args: []string{"loop.end"}, Pos: s.Pos})
+	case minic.KContinueStmt:
+		lw.emit(Instr{Op: "br", Args: []string{"loop.inc"}, Pos: s.Pos})
+	case minic.KOMPDirective:
+		lw.lowerOMPDirective(s)
+	case minic.KNullStmt:
+		// nothing
+	default:
+		if isExprKind(s.Kind) {
+			lw.lowerExpr(s)
+		}
+	}
+}
+
+func isExprKind(k string) bool {
+	switch k {
+	case minic.KBinaryOperator, minic.KUnaryOperator, minic.KConditionalOp,
+		minic.KCallExpr, minic.KCUDAKernelCallExpr, minic.KDeclRefExpr,
+		minic.KMemberExpr, minic.KArraySubscript, minic.KIntegerLiteral,
+		minic.KFloatingLiteral, minic.KStringLiteral, minic.KCharLiteral,
+		minic.KBoolLiteral, minic.KNullptrLiteral, minic.KLambdaExpr,
+		minic.KInitListExpr, minic.KNewExpr, minic.KDeleteExpr,
+		minic.KSizeofExpr, minic.KParenExpr:
+		return true
+	}
+	return false
+}
+
+// lowerOMPDirective lowers OpenMP/OpenACC directives the way real
+// compilers do: host directives fork through the OpenMP runtime with the
+// region outlined into a separate function; target directives outline into
+// the device module and the host performs data mapping plus a target-kernel
+// launch through libomptarget.
+func (lw *lowerer) lowerOMPDirective(d *minic.ASTNode) {
+	var body *minic.ASTNode
+	var clauses []*minic.ASTNode
+	for _, c := range d.Children {
+		switch c.Kind {
+		case minic.KOMPClause:
+			clauses = append(clauses, c)
+		case "OMPCapturedRegion":
+			// implicit frontend machinery; no code
+		default:
+			body = c
+		}
+	}
+	isTarget := strings.Contains(d.Extra, "target")
+	if body == nil {
+		return
+	}
+	if isTarget {
+		lw.offlN++
+		name := fmt.Sprintf("__omp_offloading_%d", lw.offlN)
+		// data mapping per map-clause argument
+		for _, cl := range clauses {
+			if cl.Extra == "map" {
+				for _, arg := range cl.Children {
+					switch arg.Name {
+					case "to", "from", "tofrom", "alloc", "release", "delete":
+						continue // map-type modifier, not a mapped variable
+					}
+					lw.emit(Instr{Op: "call", Callee: "__tgt_data_map", Pos: d.Pos})
+				}
+			}
+		}
+		lw.emit(Instr{Op: "call", Callee: "__tgt_target_kernel", Args: []string{name}, Pos: d.Pos})
+		lw.outline(name, body, lw.deviceModule(), true)
+		return
+	}
+	// host parallel region: outlined function + fork call
+	lw.offlN++
+	name := fmt.Sprintf("__omp_outlined_%d", lw.offlN)
+	for _, cl := range clauses {
+		if cl.Extra == "reduction" {
+			lw.emit(Instr{Op: "call", Callee: "__kmpc_reduce", Pos: d.Pos})
+		}
+	}
+	switch {
+	case strings.Contains(d.Extra, "taskloop"):
+		lw.emit(Instr{Op: "call", Callee: "__kmpc_taskloop", Args: []string{name}, Pos: d.Pos})
+	case strings.Contains(d.Extra, "simd") && !strings.Contains(d.Extra, "for"):
+		// pure simd: loop stays inline with vectorisation metadata
+		lw.emit(Instr{Op: "call", Callee: "llvm.loop.vectorize", Pos: d.Pos})
+		lw.lowerStmt(body)
+		return
+	default:
+		lw.emit(Instr{Op: "call", Callee: "__kmpc_fork_call", Args: []string{name}, Pos: d.Pos})
+	}
+	lw.outline(name, body, hostModuleOf(lw), false)
+}
+
+func hostModuleOf(lw *lowerer) *Module { return lw.bundle.Host }
+
+// outline lowers a statement into its own function in the given module,
+// preserving the current lexical scopes (captured variables behave like
+// loads from the closure).
+func (lw *lowerer) outline(name string, body *minic.ASTNode, mod *Module, kernel bool) {
+	savedFn, savedBlk, savedTmp, savedID := lw.fn, lw.blk, lw.tmp, lw.blkID
+	fn := &Func{Name: name, Kernel: kernel, Runtime: !kernel}
+	lw.startFunctionPreservingScopes(fn, mod)
+	if kernel {
+		lw.emit(Instr{Op: "call", Callee: "llvm.workitem.id", Dst: lw.newTmp(), Pos: body.Pos})
+	}
+	lw.lowerStmt(body)
+	lw.emit(Instr{Op: "ret", Pos: body.Pos})
+	lw.fn, lw.blk, lw.tmp, lw.blkID = savedFn, savedBlk, savedTmp, savedID
+}
+
+func (lw *lowerer) startFunctionPreservingScopes(fn *Func, mod *Module) {
+	lw.fn = fn
+	entry := &Block{Label: "entry"}
+	fn.Blocks = append(fn.Blocks, entry)
+	lw.blk = entry
+	mod.Funcs = append(mod.Funcs, fn)
+}
+
+// --- expressions ------------------------------------------------------------
+
+var binOps = map[string]string{
+	"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+	"&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+	"&&": "and", "||": "or",
+	"==": "cmp.eq", "!=": "cmp.ne", "<": "cmp.lt", ">": "cmp.gt",
+	"<=": "cmp.le", ">=": "cmp.ge",
+}
+
+var compoundAssign = map[string]string{
+	"+=": "add", "-=": "sub", "*=": "mul", "/=": "div", "%=": "rem",
+	"&=": "and", "|=": "or", "^=": "xor", "<<=": "shl", ">>=": "shr",
+}
+
+func (lw *lowerer) lowerExpr(e *minic.ASTNode) string {
+	if e == nil {
+		return "undef"
+	}
+	switch e.Kind {
+	case minic.KIntegerLiteral, minic.KBoolLiteral, minic.KCharLiteral:
+		return e.Extra
+	case minic.KFloatingLiteral:
+		return e.Extra
+	case minic.KStringLiteral:
+		return "@.str"
+	case minic.KNullptrLiteral:
+		return "null"
+	case minic.KParenExpr:
+		return lw.lowerExpr(e.Children[0])
+	case minic.KDeclRefExpr:
+		class := lw.classOf(e.Name)
+		dst := lw.newTmp()
+		lw.emit(Instr{Op: "load", Type: class, Args: []string{"%" + e.Name}, Dst: dst, Pos: e.Pos})
+		return dst
+	case minic.KBinaryOperator:
+		return lw.lowerBinary(e)
+	case minic.KUnaryOperator:
+		return lw.lowerUnary(e)
+	case minic.KConditionalOp:
+		cond := lw.lowerExpr(e.Children[0])
+		a := lw.lowerExpr(e.Children[1])
+		b := lw.lowerExpr(e.Children[2])
+		dst := lw.newTmp()
+		lw.emit(Instr{Op: "select", Args: []string{cond, a, b}, Dst: dst, Pos: e.Pos})
+		return dst
+	case minic.KArraySubscript:
+		addr := lw.lowerAddress(e)
+		dst := lw.newTmp()
+		lw.emit(Instr{Op: "load", Type: "f", Args: []string{addr}, Dst: dst, Pos: e.Pos})
+		return dst
+	case minic.KMemberExpr:
+		addr := lw.lowerAddress(e)
+		dst := lw.newTmp()
+		lw.emit(Instr{Op: "load", Args: []string{addr}, Dst: dst, Pos: e.Pos})
+		return dst
+	case minic.KCallExpr:
+		return lw.lowerCall(e)
+	case minic.KCUDAKernelCallExpr:
+		return lw.lowerKernelLaunch(e)
+	case minic.KLambdaExpr:
+		return lw.lowerLambda(e)
+	case minic.KNewExpr:
+		dst := lw.newTmp()
+		lw.emit(Instr{Op: "call", Callee: "llvm.malloc", Dst: dst, Pos: e.Pos})
+		return dst
+	case minic.KDeleteExpr:
+		lw.lowerExpr(e.Children[0])
+		lw.emit(Instr{Op: "call", Callee: "llvm.free", Pos: e.Pos})
+		return ""
+	case minic.KSizeofExpr:
+		return "8"
+	case minic.KInitListExpr:
+		for _, c := range e.Children {
+			lw.lowerExpr(c)
+		}
+		dst := lw.newTmp()
+		lw.emit(Instr{Op: "alloca", Type: "p", Dst: dst, Pos: e.Pos})
+		return dst
+	case minic.KBuiltinType, minic.KRecordType, minic.KTemplateSpecType,
+		minic.KConstQual, minic.KPointerType, minic.KAutoType:
+		return "" // bare type used as functional cast callee
+	default:
+		// be permissive: unknown expressions become generic ops
+		dst := lw.newTmp()
+		lw.emit(Instr{Op: "op", Dst: dst, Pos: e.Pos})
+		return dst
+	}
+}
+
+// lowerAddress computes an address for lvalue expressions.
+func (lw *lowerer) lowerAddress(e *minic.ASTNode) string {
+	switch e.Kind {
+	case minic.KDeclRefExpr:
+		return "%" + e.Name
+	case minic.KArraySubscript:
+		base := lw.lowerExpr(e.Children[0])
+		idx := lw.lowerExpr(e.Children[1])
+		dst := lw.newTmp()
+		lw.emit(Instr{Op: "getelementptr", Args: []string{base, idx}, Dst: dst, Pos: e.Pos})
+		return dst
+	case minic.KMemberExpr:
+		base := lw.lowerExpr(e.Children[0])
+		dst := lw.newTmp()
+		lw.emit(Instr{Op: "getelementptr", Args: []string{base}, Dst: dst, Pos: e.Pos})
+		return dst
+	case minic.KParenExpr:
+		return lw.lowerAddress(e.Children[0])
+	case minic.KUnaryOperator:
+		if e.Extra == "*" {
+			return lw.lowerExpr(e.Children[0])
+		}
+	}
+	return lw.lowerExpr(e)
+}
+
+func (lw *lowerer) lowerBinary(e *minic.ASTNode) string {
+	op := e.Extra
+	if op == "=" {
+		val := lw.lowerExpr(e.Children[1])
+		addr := lw.lowerAddress(e.Children[0])
+		lw.emit(Instr{Op: "store", Args: []string{val, addr}, Pos: e.Pos})
+		return val
+	}
+	if base, ok := compoundAssign[op]; ok {
+		addr := lw.lowerAddress(e.Children[0])
+		cur := lw.newTmp()
+		lw.emit(Instr{Op: "load", Args: []string{addr}, Dst: cur, Pos: e.Pos})
+		val := lw.lowerExpr(e.Children[1])
+		dst := lw.newTmp()
+		lw.emit(Instr{Op: base, Args: []string{cur, val}, Dst: dst, Pos: e.Pos})
+		lw.emit(Instr{Op: "store", Args: []string{dst, addr}, Pos: e.Pos})
+		return dst
+	}
+	a := lw.lowerExpr(e.Children[0])
+	b := lw.lowerExpr(e.Children[1])
+	dst := lw.newTmp()
+	opName := binOps[op]
+	if opName == "" {
+		opName = "op"
+	}
+	lw.emit(Instr{Op: opName, Args: []string{a, b}, Dst: dst, Pos: e.Pos})
+	return dst
+}
+
+func (lw *lowerer) lowerUnary(e *minic.ASTNode) string {
+	switch e.Extra {
+	case "++", "--", "post++", "post--":
+		addr := lw.lowerAddress(e.Children[0])
+		cur := lw.newTmp()
+		lw.emit(Instr{Op: "load", Args: []string{addr}, Dst: cur, Pos: e.Pos})
+		dst := lw.newTmp()
+		op := "add"
+		if strings.Contains(e.Extra, "--") {
+			op = "sub"
+		}
+		lw.emit(Instr{Op: op, Args: []string{cur, "1"}, Dst: dst, Pos: e.Pos})
+		lw.emit(Instr{Op: "store", Args: []string{dst, addr}, Pos: e.Pos})
+		return dst
+	case "*":
+		addr := lw.lowerExpr(e.Children[0])
+		dst := lw.newTmp()
+		lw.emit(Instr{Op: "load", Args: []string{addr}, Dst: dst, Pos: e.Pos})
+		return dst
+	case "&":
+		return lw.lowerAddress(e.Children[0])
+	case "-":
+		v := lw.lowerExpr(e.Children[0])
+		dst := lw.newTmp()
+		lw.emit(Instr{Op: "neg", Args: []string{v}, Dst: dst, Pos: e.Pos})
+		return dst
+	case "!":
+		v := lw.lowerExpr(e.Children[0])
+		dst := lw.newTmp()
+		lw.emit(Instr{Op: "not", Args: []string{v}, Dst: dst, Pos: e.Pos})
+		return dst
+	default:
+		v := lw.lowerExpr(e.Children[0])
+		dst := lw.newTmp()
+		lw.emit(Instr{Op: "op", Args: []string{v}, Dst: dst, Pos: e.Pos})
+		return dst
+	}
+}
+
+func (lw *lowerer) lowerCall(e *minic.ASTNode) string {
+	callee := ""
+	argStart := 1
+	if len(e.Children) == 0 {
+		return "undef"
+	}
+	switch c := e.Children[0]; c.Kind {
+	case minic.KDeclRefExpr:
+		callee = c.Name
+	case minic.KMemberExpr:
+		// evaluate the receiver, keep the member name as callee
+		lw.lowerExpr(c.Children[0])
+		callee = c.Name
+	default:
+		lw.lowerExpr(c)
+	}
+	for _, arg := range e.Children[argStart:] {
+		lw.lowerExpr(arg)
+	}
+	dst := lw.newTmp()
+	name := lastComponent(callee)
+	if !isRetainedName(name) {
+		name = "" // programmer symbol: discarded
+	}
+	lw.emit(Instr{Op: "call", Callee: name, Dst: dst, Pos: e.Pos})
+	return dst
+}
+
+func lastComponent(name string) string {
+	if i := strings.LastIndex(name, "::"); i >= 0 {
+		return name[i+2:]
+	}
+	return name
+}
+
+// lowerKernelLaunch lowers callee<<<grid, block>>>(args) the way the CUDA
+// and HIP toolchains do: push the launch configuration, marshal arguments,
+// then call the runtime launch entry point. The kernel itself was already
+// lowered into the device module via its __global__ attribute.
+func (lw *lowerer) lowerKernelLaunch(e *minic.ASTNode) string {
+	for _, c := range e.Children[1:] {
+		lw.lowerExpr(c)
+	}
+	lw.emit(Instr{Op: "call", Callee: "__" + lw.gpuPrefix + "PushCallConfiguration", Pos: e.Pos})
+	dst := lw.newTmp()
+	lw.emit(Instr{Op: "call", Callee: lw.gpuPrefix + "LaunchKernel", Dst: dst, Pos: e.Pos})
+	return dst
+}
+
+// lowerLambda outlines a lambda body into its own host function and
+// materialises its closure: an alloca plus one store per captured value.
+func (lw *lowerer) lowerLambda(e *minic.ASTNode) string {
+	lw.lambdaN++
+	name := fmt.Sprintf("lambda.%d", lw.lambdaN)
+	closure := lw.newTmp()
+	lw.emit(Instr{Op: "alloca", Type: "p", Dst: closure, Pos: e.Pos})
+	lw.emit(Instr{Op: "store", Type: "p", Args: []string{closure}, Pos: e.Pos})
+	var body *minic.ASTNode
+	for _, c := range e.Children {
+		if c.Kind == minic.KCompoundStmt {
+			body = c
+		}
+		if c.Kind == minic.KParmVarDecl {
+			lw.declare(c.Name, typeClassOf(c))
+		}
+	}
+	if body != nil {
+		lw.outline(name, body, lw.bundle.Host, false)
+	}
+	return closure
+}
+
+// emitDriverCode appends the per-file runtime-support code offload
+// toolchains synthesize: fat-binary registration constructors and
+// destructors for CUDA/HIP, and offload-table registration for OpenMP
+// target. This code repeats for each file and is what inflates T_ir for
+// offload models.
+func (lw *lowerer) emitDriverCode() {
+	if lw.device == nil {
+		return
+	}
+	host := lw.bundle.Host
+	pre := lw.gpuPrefix
+	hasKernels := false
+	hasOffload := false
+	for _, f := range lw.device.Funcs {
+		if f.Kernel && strings.HasPrefix(f.Name, "__omp_offloading") {
+			hasOffload = true
+		} else if f.Kernel {
+			hasKernels = true
+		}
+	}
+	if hasKernels {
+		ctor := &Func{Name: "__" + pre + "_module_ctor", Runtime: true}
+		blk := &Block{Label: "entry"}
+		blk.Instrs = append(blk.Instrs, Instr{Op: "call", Callee: "__" + pre + "RegisterFatBinary"})
+		for _, f := range lw.device.Funcs {
+			if f.Kernel && !strings.HasPrefix(f.Name, "__omp_offloading") {
+				blk.Instrs = append(blk.Instrs, Instr{Op: "call", Callee: "__" + pre + "RegisterFunction"})
+			}
+		}
+		blk.Instrs = append(blk.Instrs, Instr{Op: "call", Callee: "__" + pre + "RegisterFatBinaryEnd"})
+		blk.Instrs = append(blk.Instrs, Instr{Op: "ret"})
+		ctor.Blocks = []*Block{blk}
+		dtor := &Func{Name: "__" + pre + "_module_dtor", Runtime: true}
+		dtor.Blocks = []*Block{{Label: "entry", Instrs: []Instr{
+			{Op: "call", Callee: "__" + pre + "UnregisterFatBinary"},
+			{Op: "ret"},
+		}}}
+		host.Funcs = append(host.Funcs, ctor, dtor)
+		host.Globals = append(host.Globals,
+			Global{Name: "__" + pre + "_fatbin_wrapper", Type: "p"},
+			Global{Name: "__" + pre + "_gpubin_handle", Type: "p"})
+	}
+	if hasOffload {
+		reg := &Func{Name: ".omp_offloading.requires_reg", Runtime: true}
+		reg.Blocks = []*Block{{Label: "entry", Instrs: []Instr{
+			{Op: "call", Callee: "__tgt_register_requires"},
+			{Op: "call", Callee: "__tgt_register_lib"},
+			{Op: "ret"},
+		}}}
+		host.Funcs = append(host.Funcs, reg)
+		host.Globals = append(host.Globals,
+			Global{Name: ".omp_offloading.entries_begin", Type: "p"},
+			Global{Name: ".omp_offloading.entries_end", Type: "p"})
+	}
+}

@@ -1,0 +1,211 @@
+package minic
+
+import (
+	"strings"
+
+	"silvervale/internal/srcloc"
+	"silvervale/internal/tree"
+)
+
+// ASTNode is the uniform frontend AST node (ClangAST analogue). A single
+// node shape keeps the parser, semantic pass, interpreter, and IR lowering
+// simple; Kind discriminates, Name carries the programmer-chosen identifier
+// (needed for symbol resolution and inlining; dropped when building T_sem),
+// and Extra carries semantic payload that survives into T_sem: operator
+// spellings, literal values, attributes, clause names.
+type ASTNode struct {
+	Kind     string
+	Name     string
+	Extra    string
+	Pos      srcloc.Pos
+	Children []*ASTNode
+}
+
+// AST node kinds. The spellings mirror ClangAST class names so that tree
+// dumps read like the paper's Fig. 1.
+const (
+	KTranslationUnit = "TranslationUnit"
+	KFunctionDecl    = "FunctionDecl"
+	KParmVarDecl     = "ParmVarDecl"
+	KVarDecl         = "VarDecl"
+	KFieldDecl       = "FieldDecl"
+	KRecordDecl      = "RecordDecl"
+	KTypedefDecl     = "TypedefDecl"
+	KUsingDecl       = "UsingDecl"
+	KNamespaceDecl   = "NamespaceDecl"
+	KTemplateDecl    = "TemplateDecl"
+	KAttr            = "Attr" // Extra: CUDAGlobal, CUDADevice, CUDAHost, Static, Inline, Extern
+
+	KCompoundStmt = "CompoundStmt"
+	KDeclStmt     = "DeclStmt"
+	KIfStmt       = "IfStmt"
+	KForStmt      = "ForStmt"
+	KWhileStmt    = "WhileStmt"
+	KDoStmt       = "DoStmt"
+	KReturnStmt   = "ReturnStmt"
+	KBreakStmt    = "BreakStmt"
+	KContinueStmt = "ContinueStmt"
+	KExprStmt     = "ExprStmt"
+	KNullStmt     = "NullStmt"
+
+	// OpenMP / OpenACC directives become structured AST nodes: "OpenMP
+	// pragmas provide additional semantics beyond those of the base
+	// language" (Section V.C); the directive kind is in Extra and each
+	// clause is a child node.
+	KOMPDirective = "OMPExecutableDirective"
+	KOMPClause    = "OMPClause" // Extra: clause name; children: arguments
+
+	KBinaryOperator     = "BinaryOperator" // Extra: op
+	KUnaryOperator      = "UnaryOperator"  // Extra: op (prefix) or post++/post--
+	KConditionalOp      = "ConditionalOperator"
+	KCallExpr           = "CallExpr"
+	KCUDAKernelCallExpr = "CUDAKernelCallExpr" // children: config exprs then args
+	KDeclRefExpr        = "DeclRefExpr"
+	KMemberExpr         = "MemberExpr" // Extra: . or ->
+	KArraySubscript     = "ArraySubscriptExpr"
+	KIntegerLiteral     = "IntegerLiteral"  // Extra: value
+	KFloatingLiteral    = "FloatingLiteral" // Extra: value
+	KStringLiteral      = "StringLiteral"
+	KCharLiteral        = "CharacterLiteral"
+	KBoolLiteral        = "CXXBoolLiteralExpr" // Extra: true/false
+	KNullptrLiteral     = "CXXNullPtrLiteralExpr"
+	KLambdaExpr         = "LambdaExpr" // Extra: capture default (= or &)
+	KInitListExpr       = "InitListExpr"
+	KNewExpr            = "CXXNewExpr"
+	KDeleteExpr         = "CXXDeleteExpr"
+	KSizeofExpr         = "UnaryExprOrTypeTraitExpr"
+	KParenExpr          = "ParenExpr"
+
+	// Type nodes: programmer-chosen type names are normalised away like
+	// other names; builtin types keep their spelling in Extra.
+	KBuiltinType      = "BuiltinType" // Extra: int/double/...
+	KRecordType       = "RecordType"
+	KPointerType      = "PointerType"
+	KReferenceType    = "ReferenceType"
+	KConstQual        = "QualType-const"
+	KTemplateSpecType = "TemplateSpecializationType"
+	KTemplateArgList  = "TemplateArgumentList"
+	KTemplateArg      = "TemplateArgument"
+	KAutoType         = "AutoType"
+)
+
+// NewAST constructs an AST node.
+func NewAST(kind string, pos srcloc.Pos, children ...*ASTNode) *ASTNode {
+	return &ASTNode{Kind: kind, Pos: pos, Children: children}
+}
+
+// Add appends children and returns the node.
+func (n *ASTNode) Add(children ...*ASTNode) *ASTNode {
+	n.Children = append(n.Children, children...)
+	return n
+}
+
+// Size counts nodes in the subtree.
+func (n *ASTNode) Size() int {
+	if n == nil {
+		return 0
+	}
+	s := 1
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// Walk visits nodes pre-order; returning false skips the subtree.
+func (n *ASTNode) Walk(fn func(*ASTNode) bool) {
+	if n == nil {
+		return
+	}
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Clone deep-copies the subtree.
+func (n *ASTNode) Clone() *ASTNode {
+	if n == nil {
+		return nil
+	}
+	out := &ASTNode{Kind: n.Kind, Name: n.Name, Extra: n.Extra, Pos: n.Pos}
+	if len(n.Children) > 0 {
+		out.Children = make([]*ASTNode, len(n.Children))
+		for i, c := range n.Children {
+			out.Children[i] = c.Clone()
+		}
+	}
+	return out
+}
+
+// FindFunctions returns all function declarations with bodies, keyed by
+// name. Later definitions win, matching one-definition linking.
+func (n *ASTNode) FindFunctions() map[string]*ASTNode {
+	out := make(map[string]*ASTNode)
+	n.Walk(func(m *ASTNode) bool {
+		if m.Kind == KFunctionDecl && m.Name != "" && m.body() != nil {
+			out[m.Name] = m
+		}
+		return true
+	})
+	return out
+}
+
+// body returns the CompoundStmt child of a function decl, or nil for a
+// prototype.
+func (n *ASTNode) body() *ASTNode {
+	for _, c := range n.Children {
+		if c.Kind == KCompoundStmt {
+			return c
+		}
+	}
+	return nil
+}
+
+// label renders the node's T_sem label: node kind plus the semantic payload
+// (operator and literal spellings, attributes, directive and clause names)
+// — but never programmer-introduced names.
+func (n *ASTNode) label() string {
+	if n.Extra == "" {
+		return n.Kind
+	}
+	return n.Kind + ":" + sanitizeLabel(n.Extra)
+}
+
+// sanitizeLabel makes a label safe for the s-expression serialisation.
+func sanitizeLabel(s string) string {
+	if strings.ContainsAny(s, " ()") {
+		var b strings.Builder
+		for i := 0; i < len(s); i++ {
+			switch s[i] {
+			case ' ':
+				b.WriteByte('_')
+			case '(':
+				b.WriteByte('[')
+			case ')':
+				b.WriteByte(']')
+			default:
+				b.WriteByte(s[i])
+			}
+		}
+		return b.String()
+	}
+	return s
+}
+
+// SemTree converts the AST subtree into the T_sem tree: labels carry node
+// type plus semantic payload; names are removed ("we normalise names by
+// retaining only the token type ... all variable, function, and class names
+// are removed").
+func (n *ASTNode) SemTree() *tree.Node {
+	if n == nil {
+		return nil
+	}
+	out := tree.NewAt(n.label(), n.Pos)
+	for _, c := range n.Children {
+		out.Add(c.SemTree())
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package minic
+
+import (
+	"strings"
+
+	"silvervale/internal/srcloc"
+)
+
+// LexOptions configures the lexer.
+type LexOptions struct {
+	// File is the filename recorded in token positions.
+	File string
+	// KeepComments emits TokComment tokens instead of discarding comments.
+	KeepComments bool
+	// KeepDirectives emits TokDirective tokens for non-pragma # lines.
+	// Pre-preprocessing CSTs want these; post-preprocessing input has none.
+	KeepDirectives bool
+}
+
+// Lex scans MiniC source into tokens. The lexer never fails: unknown bytes
+// are emitted as single-character punct tokens so that the CST can always
+// be built, mirroring tree-sitter's error tolerance.
+func Lex(src string, opts LexOptions) []Token {
+	lx := &lexer{src: src, file: opts.File, line: 1, col: 1, opts: opts}
+	return lx.run()
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	file string
+	line int
+	col  int
+	opts LexOptions
+	toks []Token
+}
+
+// multi-character punctuation, longest first. <<< and >>> implement the
+// CUDA/HIP kernel-launch chevrons.
+var multiPunct = []string{
+	"<<<", ">>>", "<<=", ">>=", "...", "->*",
+	"::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+}
+
+func (lx *lexer) run() []Token {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.advance(1)
+		case c == '\n':
+			lx.newline()
+		case c == '/' && lx.peek(1) == '/':
+			lx.lineComment()
+		case c == '/' && lx.peek(1) == '*':
+			lx.blockComment()
+		case c == '#':
+			lx.directive()
+		case isIdentStart(c):
+			lx.identifier()
+		case c >= '0' && c <= '9':
+			lx.number()
+		case c == '.' && lx.peek(1) >= '0' && lx.peek(1) <= '9':
+			lx.number()
+		case c == '"':
+			lx.stringLit()
+		case c == '\'':
+			lx.charLit()
+		default:
+			lx.punct()
+		}
+	}
+	lx.emit(TokEOF, "")
+	return lx.toks
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (lx *lexer) peek(n int) byte {
+	if lx.pos+n < len(lx.src) {
+		return lx.src[lx.pos+n]
+	}
+	return 0
+}
+
+func (lx *lexer) here() srcloc.Pos {
+	return srcloc.Pos{File: lx.file, Line: lx.line, Col: lx.col}
+}
+
+func (lx *lexer) advance(n int) {
+	lx.pos += n
+	lx.col += n
+}
+
+func (lx *lexer) newline() {
+	lx.pos++
+	lx.line++
+	lx.col = 1
+}
+
+func (lx *lexer) emit(k TokKind, text string) {
+	lx.toks = append(lx.toks, Token{Kind: k, Text: text, Pos: lx.here()})
+}
+
+func (lx *lexer) emitAt(k TokKind, text string, pos srcloc.Pos) {
+	lx.toks = append(lx.toks, Token{Kind: k, Text: text, Pos: pos})
+}
+
+func (lx *lexer) lineComment() {
+	pos := lx.here()
+	start := lx.pos
+	for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+		lx.advance(1)
+	}
+	if lx.opts.KeepComments {
+		lx.emitAt(TokComment, lx.src[start:lx.pos], pos)
+	}
+}
+
+func (lx *lexer) blockComment() {
+	pos := lx.here()
+	start := lx.pos
+	lx.advance(2)
+	for lx.pos < len(lx.src) {
+		if lx.src[lx.pos] == '*' && lx.peek(1) == '/' {
+			lx.advance(2)
+			break
+		}
+		if lx.src[lx.pos] == '\n' {
+			lx.newline()
+		} else {
+			lx.advance(1)
+		}
+	}
+	if lx.opts.KeepComments {
+		lx.emitAt(TokComment, lx.src[start:lx.pos], pos)
+	}
+}
+
+// directive consumes a whole # line (with backslash continuations).
+// #pragma lines always become TokPragma; other directives become
+// TokDirective when KeepDirectives is set, otherwise they are dropped
+// (post-preprocessed input should contain none).
+func (lx *lexer) directive() {
+	pos := lx.here()
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '\\' && lx.peek(1) == '\n' {
+			lx.advance(1)
+			lx.newline()
+			b.WriteByte(' ')
+			continue
+		}
+		if c == '\n' {
+			break
+		}
+		b.WriteByte(c)
+		lx.advance(1)
+	}
+	text := strings.Join(strings.Fields(b.String()), " ")
+	if strings.HasPrefix(text, "#pragma") || strings.HasPrefix(text, "# pragma") {
+		lx.emitAt(TokPragma, text, pos)
+	} else if lx.opts.KeepDirectives {
+		lx.emitAt(TokDirective, text, pos)
+	}
+}
+
+func (lx *lexer) identifier() {
+	pos := lx.here()
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+		lx.advance(1)
+	}
+	text := lx.src[start:lx.pos]
+	if keywords[text] {
+		lx.emitAt(TokKeyword, text, pos)
+	} else {
+		lx.emitAt(TokIdent, text, pos)
+	}
+}
+
+func (lx *lexer) number() {
+	pos := lx.here()
+	start := lx.pos
+	seenDot := false
+	seenExp := false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			lx.advance(1)
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			lx.advance(1)
+		case (c == 'e' || c == 'E') && !seenExp && lx.pos > start:
+			seenExp = true
+			lx.advance(1)
+			if p := lx.peek(0); p == '+' || p == '-' {
+				lx.advance(1)
+			}
+		case c == 'x' || c == 'X':
+			lx.advance(1)
+		case (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F'):
+			lx.advance(1)
+		case c == 'u' || c == 'U' || c == 'l' || c == 'L':
+			lx.advance(1)
+		default:
+			goto done
+		}
+	}
+done:
+	lx.emitAt(TokNumber, lx.src[start:lx.pos], pos)
+}
+
+func (lx *lexer) stringLit() {
+	pos := lx.here()
+	start := lx.pos
+	lx.advance(1)
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '\\' {
+			lx.advance(2)
+			continue
+		}
+		if c == '"' {
+			lx.advance(1)
+			break
+		}
+		if c == '\n' {
+			lx.newline()
+			continue
+		}
+		lx.advance(1)
+	}
+	lx.emitAt(TokString, lx.src[start:lx.pos], pos)
+}
+
+func (lx *lexer) charLit() {
+	pos := lx.here()
+	start := lx.pos
+	lx.advance(1)
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '\\' {
+			lx.advance(2)
+			continue
+		}
+		if c == '\'' {
+			lx.advance(1)
+			break
+		}
+		if c == '\n' {
+			break
+		}
+		lx.advance(1)
+	}
+	lx.emitAt(TokChar, lx.src[start:lx.pos], pos)
+}
+
+func (lx *lexer) punct() {
+	pos := lx.here()
+	rest := lx.src[lx.pos:]
+	for _, p := range multiPunct {
+		if strings.HasPrefix(rest, p) {
+			// Avoid greedily consuming ">>>" when it closes nested template
+			// argument lists; the parser resplits where needed, but the
+			// corpus dialect only uses ">>>" for kernel launches.
+			lx.emitAt(TokPunct, p, pos)
+			lx.advance(len(p))
+			return
+		}
+	}
+	lx.emitAt(TokPunct, string(lx.src[lx.pos]), pos)
+	lx.advance(1)
+}

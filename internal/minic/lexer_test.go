@@ -1,0 +1,189 @@
+package minic
+
+import (
+	"testing"
+)
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func texts(toks []Token) []string {
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t.Kind != TokEOF {
+			out = append(out, t.Text)
+		}
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := Lex(`int x = 42;`, LexOptions{File: "t.c"})
+	want := []string{"int", "x", "=", "42", ";"}
+	got := texts(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if toks[0].Kind != TokKeyword || toks[1].Kind != TokIdent || toks[3].Kind != TokNumber {
+		t.Fatalf("kinds = %v", kinds(toks))
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := Lex("int x;\ndouble y;\n", LexOptions{File: "t.c"})
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("first token pos = %v", toks[0].Pos)
+	}
+	// "double" starts line 2
+	var dbl Token
+	for _, tok := range toks {
+		if tok.Text == "double" {
+			dbl = tok
+		}
+	}
+	if dbl.Pos.Line != 2 || dbl.Pos.File != "t.c" {
+		t.Fatalf("double pos = %v", dbl.Pos)
+	}
+}
+
+func TestLexCommentsDroppedByDefault(t *testing.T) {
+	toks := Lex("x; // comment\n/* block\ncomment */ y;", LexOptions{})
+	got := texts(toks)
+	want := []string{"x", ";", "y", ";"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLexKeepComments(t *testing.T) {
+	toks := Lex("x; // c", LexOptions{KeepComments: true})
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == TokComment {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("comment token not emitted with KeepComments")
+	}
+}
+
+func TestLexChevrons(t *testing.T) {
+	toks := Lex("kernel<<<blocks, threads>>>(a, b);", LexOptions{})
+	var launch []string
+	for _, tok := range toks {
+		if tok.Text == "<<<" || tok.Text == ">>>" {
+			launch = append(launch, tok.Text)
+		}
+	}
+	if len(launch) != 2 {
+		t.Fatalf("chevrons = %v", launch)
+	}
+}
+
+func TestLexPragmaIsSingleToken(t *testing.T) {
+	toks := Lex("#pragma omp parallel for reduction(+:sum)\nfor (;;) {}", LexOptions{})
+	if toks[0].Kind != TokPragma {
+		t.Fatalf("first token = %v", toks[0])
+	}
+	if toks[0].Text != "#pragma omp parallel for reduction(+:sum)" {
+		t.Fatalf("pragma text = %q", toks[0].Text)
+	}
+}
+
+func TestLexPragmaContinuation(t *testing.T) {
+	toks := Lex("#pragma omp target teams \\\n  distribute parallel for\nx;", LexOptions{})
+	if toks[0].Kind != TokPragma {
+		t.Fatalf("first token = %v", toks[0])
+	}
+	if toks[0].Text != "#pragma omp target teams distribute parallel for" {
+		t.Fatalf("pragma text = %q", toks[0].Text)
+	}
+}
+
+func TestLexDirectivesOptIn(t *testing.T) {
+	src := "#include <stdio.h>\nint x;"
+	noDir := Lex(src, LexOptions{})
+	for _, tok := range noDir {
+		if tok.Kind == TokDirective {
+			t.Fatal("directive emitted without KeepDirectives")
+		}
+	}
+	withDir := Lex(src, LexOptions{KeepDirectives: true})
+	if withDir[0].Kind != TokDirective {
+		t.Fatalf("first token = %v", withDir[0])
+	}
+}
+
+func TestLexStringAndChar(t *testing.T) {
+	toks := Lex(`printf("a \"b\" c", 'x', '\n');`, LexOptions{})
+	var strs, chars int
+	for _, tok := range toks {
+		switch tok.Kind {
+		case TokString:
+			strs++
+		case TokChar:
+			chars++
+		}
+	}
+	if strs != 1 || chars != 2 {
+		t.Fatalf("strings=%d chars=%d", strs, chars)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks := Lex("0 42 3.14 1e-5 0xFF 2.5f 100UL", LexOptions{})
+	count := 0
+	for _, tok := range toks {
+		if tok.Kind == TokNumber {
+			count++
+		}
+	}
+	if count != 7 {
+		t.Fatalf("numbers = %d, want 7", count)
+	}
+}
+
+func TestLexMultiCharPunct(t *testing.T) {
+	toks := Lex("a += b && c -> d :: e << f", LexOptions{})
+	var ops []string
+	for _, tok := range toks {
+		if tok.Kind == TokPunct {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"+=", "&&", "->", "::", "<<"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexNeverFails(t *testing.T) {
+	// garbage bytes become single puncts; the lexer must always terminate
+	toks := Lex("@ $ ` \x01", LexOptions{})
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Fatal("missing EOF")
+	}
+}
+
+func TestLexCUDAAttributeKeywords(t *testing.T) {
+	toks := Lex("__global__ void k(); __device__ int f();", LexOptions{})
+	if !toks[0].IsKeyword("__global__") {
+		t.Fatalf("first = %v", toks[0])
+	}
+}

@@ -1,0 +1,184 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// Edge cases in the C++-dialect surface the corpus headers exercise.
+
+func TestParseCallOperatorOverload(t *testing.T) {
+	unit := parse(t, `
+struct View {
+	double *data_;
+	double operator()(int i) const { return data_[i]; }
+	double operator[](int i) const { return data_[i]; }
+};
+`)
+	names := map[string]bool{}
+	unit.Walk(func(n *ASTNode) bool {
+		if n.Kind == KFunctionDecl {
+			names[n.Name] = true
+		}
+		return true
+	})
+	if !names["operator()"] || !names["operator[]"] {
+		t.Fatalf("operator overloads = %v", names)
+	}
+}
+
+func TestParseLaunchBounds(t *testing.T) {
+	unit := parse(t, `
+__global__ __launch_bounds__(256) void k(double *a) {
+	a[0] = 1.0;
+}
+`)
+	attrs := map[string]bool{}
+	unit.Walk(func(n *ASTNode) bool {
+		if n.Kind == KAttr {
+			attrs[n.Extra] = true
+		}
+		return true
+	})
+	if !attrs["CUDAGlobal"] || !attrs["LaunchBounds"] {
+		t.Fatalf("attrs = %v", attrs)
+	}
+}
+
+func TestParseSharedMemoryDecl(t *testing.T) {
+	unit := parse(t, `
+__global__ void k() {
+	__shared__ double smem[256];
+	smem[threadIdx.x] = 0.0;
+}
+`)
+	found := false
+	unit.Walk(func(n *ASTNode) bool {
+		if n.Kind == KAttr && n.Extra == "CUDAShared" {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("__shared__ attribute missing")
+	}
+}
+
+func TestParseChainedMemberCalls(t *testing.T) {
+	unit := parse(t, `
+void f(sycl::queue &q, int n) {
+	q.parallel_for(sycl::range<1>(n), [=](sycl::id<1> i) {
+		int x = i[0];
+	}).wait();
+}
+`)
+	// the .wait() member must chain off the parallel_for call result
+	var waits int
+	unit.Walk(func(n *ASTNode) bool {
+		if n.Kind == KMemberExpr && n.Name == "wait" {
+			waits++
+		}
+		return true
+	})
+	if waits != 1 {
+		t.Fatalf("chained .wait() = %d", waits)
+	}
+}
+
+func TestParseSizeofForms(t *testing.T) {
+	unit := parse(t, `
+void f(double *a, int n) {
+	int b1 = sizeof(double);
+	int b2 = sizeof(n);
+}
+`)
+	if countKind(unit, KSizeofExpr) != 2 {
+		t.Fatalf("sizeofs = %d", countKind(unit, KSizeofExpr))
+	}
+}
+
+func TestParseNestedLambdas(t *testing.T) {
+	unit := parse(t, `
+void f(sycl::queue &q) {
+	q.submit([&](sycl::handler &h) {
+		h.parallel_for(4, [=](int i) {
+			int x = i;
+		});
+	});
+}
+`)
+	if countKind(unit, KLambdaExpr) != 2 {
+		t.Fatalf("nested lambdas = %d", countKind(unit, KLambdaExpr))
+	}
+}
+
+func TestParseHexAndFloatSuffixLiterals(t *testing.T) {
+	unit := parse(t, `
+void f() {
+	int m = 0xFF;
+	double x = 1.5f;
+	double y = 2e10;
+}
+`)
+	var hex, flt int
+	unit.Walk(func(n *ASTNode) bool {
+		switch n.Kind {
+		case KIntegerLiteral:
+			if strings.HasPrefix(n.Extra, "0x") {
+				hex++
+			}
+		case KFloatingLiteral:
+			flt++
+		}
+		return true
+	})
+	if hex != 1 || flt != 2 {
+		t.Fatalf("hex=%d float=%d", hex, flt)
+	}
+}
+
+func TestParseConditionalPragmaPlacement(t *testing.T) {
+	// pragma directly before a one-line statement inside an if
+	unit := parse(t, `
+void f(double *a, int n, int go) {
+	if (go) {
+		#pragma omp parallel for
+		for (int i = 0; i < n; i++) { a[i] = 0.0; }
+	}
+}
+`)
+	d := findKind(unit, KOMPDirective)
+	if d == nil || findKind(d, KForStmt) == nil {
+		t.Fatal("directive in nested block misparsed")
+	}
+}
+
+func TestParsePointerToPointerParams(t *testing.T) {
+	unit := parse(t, "int cudaMalloc(double **ptr, int bytes);")
+	ptrs := countKind(unit, KPointerType)
+	if ptrs != 2 {
+		t.Fatalf("pointer depth = %d", ptrs)
+	}
+}
+
+func TestParseEmptyUnit(t *testing.T) {
+	unit := parse(t, "\n  \n// only comments\n")
+	if len(unit.Children) != 0 {
+		t.Fatalf("empty unit children = %d", len(unit.Children))
+	}
+}
+
+func TestParseGlobalPragmaStandsAlone(t *testing.T) {
+	unit := parse(t, `
+#pragma omp declare target
+int helper(int x) { return x + 1; }
+#pragma omp end declare target
+`)
+	// both pragmas are top-level siblings; the function is not swallowed
+	if countKind(unit, KOMPDirective) != 2 {
+		t.Fatalf("directives = %d", countKind(unit, KOMPDirective))
+	}
+	if findKind(unit, KFunctionDecl) == nil {
+		t.Fatal("function lost")
+	}
+}

@@ -1,0 +1,505 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) *ASTNode {
+	t.Helper()
+	unit, err := ParseUnit(src, "test.cpp")
+	if err != nil {
+		t.Fatalf("parse error: %v\nsource:\n%s", err, src)
+	}
+	return unit
+}
+
+// countKind counts nodes of a kind in the AST.
+func countKind(n *ASTNode, kind string) int {
+	c := 0
+	n.Walk(func(m *ASTNode) bool {
+		if m.Kind == kind {
+			c++
+		}
+		return true
+	})
+	return c
+}
+
+func findKind(n *ASTNode, kind string) *ASTNode {
+	var out *ASTNode
+	n.Walk(func(m *ASTNode) bool {
+		if out == nil && m.Kind == kind {
+			out = m
+		}
+		return out == nil
+	})
+	return out
+}
+
+func TestParseSimpleFunction(t *testing.T) {
+	unit := parse(t, `
+int add(int a, int b) {
+	return a + b;
+}
+`)
+	fn := findKind(unit, KFunctionDecl)
+	if fn == nil || fn.Name != "add" {
+		t.Fatalf("function not found: %v", fn)
+	}
+	if countKind(unit, KParmVarDecl) != 2 {
+		t.Fatal("expected 2 parameters")
+	}
+	ret := findKind(unit, KReturnStmt)
+	if ret == nil {
+		t.Fatal("return not found")
+	}
+	bin := findKind(unit, KBinaryOperator)
+	if bin == nil || bin.Extra != "+" {
+		t.Fatalf("binary op: %v", bin)
+	}
+}
+
+func TestParseSerialTriad(t *testing.T) {
+	unit := parse(t, `
+void triad(double *a, const double *b, const double *c, double scalar, int n) {
+	for (int i = 0; i < n; i++) {
+		a[i] = b[i] + scalar * c[i];
+	}
+}
+`)
+	if countKind(unit, KForStmt) != 1 {
+		t.Fatal("for loop missing")
+	}
+	if countKind(unit, KArraySubscript) != 3 {
+		t.Fatalf("subscripts = %d, want 3", countKind(unit, KArraySubscript))
+	}
+	if countKind(unit, KPointerType) != 3 {
+		t.Fatalf("pointer types = %d, want 3", countKind(unit, KPointerType))
+	}
+	if countKind(unit, KConstQual) != 2 {
+		t.Fatalf("const quals = %d, want 2", countKind(unit, KConstQual))
+	}
+}
+
+func TestParseOpenMPPragma(t *testing.T) {
+	unit := parse(t, `
+void triad(double *a, double *b, double *c, double s, int n) {
+	#pragma omp parallel for reduction(+:sum) num_threads(8)
+	for (int i = 0; i < n; i++) {
+		a[i] = b[i] + s * c[i];
+	}
+}
+`)
+	d := findKind(unit, KOMPDirective)
+	if d == nil {
+		t.Fatal("OMP directive not parsed")
+	}
+	if d.Extra != "omp_parallel_for" {
+		t.Fatalf("directive name = %q", d.Extra)
+	}
+	clauses := 0
+	var clauseNames []string
+	for _, c := range d.Children {
+		if c.Kind == KOMPClause {
+			clauses++
+			clauseNames = append(clauseNames, c.Extra)
+		}
+	}
+	if clauses != 2 {
+		t.Fatalf("clauses = %v", clauseNames)
+	}
+	// the associated for loop must be a child of the directive
+	if findKind(d, KForStmt) == nil {
+		t.Fatal("associated loop not attached to directive")
+	}
+}
+
+func TestParseOpenMPTarget(t *testing.T) {
+	unit := parse(t, `
+void run(double *a, int n) {
+	#pragma omp target teams distribute parallel for map(tofrom: a)
+	for (int i = 0; i < n; i++) { a[i] = 0.0; }
+}
+`)
+	d := findKind(unit, KOMPDirective)
+	if d == nil || d.Extra != "omp_target_teams_distribute_parallel_for" {
+		t.Fatalf("directive = %v", d)
+	}
+	var mapClause *ASTNode
+	for _, c := range d.Children {
+		if c.Kind == KOMPClause && c.Extra == "map" {
+			mapClause = c
+		}
+	}
+	if mapClause == nil || len(mapClause.Children) != 2 {
+		t.Fatalf("map clause = %v", mapClause)
+	}
+}
+
+func TestParseCUDAKernel(t *testing.T) {
+	unit := parse(t, `
+__global__ void triad_kernel(double *a, const double *b, const double *c, double s, int n) {
+	int i = blockDim.x * blockIdx.x + threadIdx.x;
+	if (i < n) {
+		a[i] = b[i] + s * c[i];
+	}
+}
+
+void triad(double *a, double *b, double *c, double s, int n) {
+	triad_kernel<<<(n + 255) / 256, 256>>>(a, b, c, s, n);
+	cudaDeviceSynchronize();
+}
+`)
+	fn := findKind(unit, KFunctionDecl)
+	if fn == nil || fn.Name != "triad_kernel" {
+		t.Fatalf("kernel not first: %v", fn)
+	}
+	attr := findKind(fn, KAttr)
+	if attr == nil || attr.Extra != "CUDAGlobal" {
+		t.Fatalf("__global__ attr = %v", attr)
+	}
+	launch := findKind(unit, KCUDAKernelCallExpr)
+	if launch == nil {
+		t.Fatal("kernel launch not parsed")
+	}
+	// callee + 2 config + 5 args
+	if len(launch.Children) != 8 {
+		t.Fatalf("launch children = %d, want 8", len(launch.Children))
+	}
+	if findKind(unit, KMemberExpr) == nil {
+		t.Fatal("blockDim.x member access missing")
+	}
+}
+
+func TestParseSYCLSubmitLambda(t *testing.T) {
+	unit := parse(t, `
+void triad(sycl::queue &q, sycl::buffer<double, 1> &ba, int n) {
+	q.submit([&](sycl::handler &h) {
+		auto a = ba.get_access<sycl::access::mode::write>(h);
+		h.parallel_for(sycl::range<1>(n), [=](sycl::id<1> i) {
+			a[i] = 2.0;
+		});
+	});
+	q.wait();
+}
+`)
+	lambdas := countKind(unit, KLambdaExpr)
+	if lambdas != 2 {
+		t.Fatalf("lambdas = %d, want 2", lambdas)
+	}
+	var byRef, byVal bool
+	unit.Walk(func(m *ASTNode) bool {
+		if m.Kind == KLambdaExpr {
+			if m.Extra == "&" {
+				byRef = true
+			}
+			if m.Extra == "=" {
+				byVal = true
+			}
+		}
+		return true
+	})
+	if !byRef || !byVal {
+		t.Fatal("capture defaults not recorded")
+	}
+	if countKind(unit, KTemplateArgList) < 2 {
+		t.Fatal("template arguments on types/members missing")
+	}
+	member := findKind(unit, KMemberExpr)
+	if member == nil {
+		t.Fatal("member call missing")
+	}
+}
+
+func TestParseKokkosStyle(t *testing.T) {
+	// KOKKOS_LAMBDA is a macro (as in the real Kokkos headers); the parser
+	// sees the preprocessed form.
+	files := map[string]string{
+		"triad.cpp": `#define KOKKOS_LAMBDA(arg) [=](arg)
+void triad(view_t a, view_t b, view_t c, double s, int n) {
+	Kokkos::parallel_for("triad", n, KOKKOS_LAMBDA(const int i) {
+		a(i) = b(i) + s * c(i);
+	});
+}
+`,
+	}
+	pp := NewPreprocessor(provider(files), nil)
+	res, err := pp.Preprocess("triad.cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := parse(t, res.Text)
+	// KOKKOS_LAMBDA is normally a macro; unexpanded it parses as a call
+	call := findKind(unit, KCallExpr)
+	if call == nil {
+		t.Fatal("parallel_for call missing")
+	}
+	ref := findKind(unit, KDeclRefExpr)
+	if ref == nil || ref.Name != "Kokkos::parallel_for" {
+		t.Fatalf("qualified callee = %v", ref)
+	}
+}
+
+func TestParseStdParStyle(t *testing.T) {
+	unit := parse(t, `
+void triad(double *a, const double *b, const double *c, double s, int n) {
+	std::for_each(std::execution::par_unseq, counting_begin(0), counting_end(n), [=](int i) {
+		a[i] = b[i] + s * c[i];
+	});
+}
+`)
+	if countKind(unit, KLambdaExpr) != 1 {
+		t.Fatal("stdpar lambda missing")
+	}
+	ref := findKind(unit, KDeclRefExpr)
+	if ref == nil || !strings.HasPrefix(ref.Name, "std::") {
+		t.Fatalf("qualified name = %v", ref)
+	}
+}
+
+func TestParseTemplatedMalloc(t *testing.T) {
+	unit := parse(t, `
+void alloc(sycl::queue &q, int n) {
+	double *a = sycl::malloc_device<double>(n, q);
+	sycl::free(a, q);
+}
+`)
+	ref := findKind(unit, KDeclRefExpr)
+	if ref == nil {
+		t.Fatal("malloc_device ref missing")
+	}
+	if findKind(ref, KTemplateArgList) == nil {
+		t.Fatal("call template args missing")
+	}
+}
+
+func TestTemplateArgsVsComparison(t *testing.T) {
+	unit := parse(t, `
+void f(int a, int b, int n) {
+	int x = a < b;
+	int y = a > n;
+	bool z = a < b && b > n;
+}
+`)
+	// none of these may be parsed as template args
+	if countKind(unit, KTemplateArgList) != 0 {
+		t.Fatal("comparison misparsed as template args")
+	}
+	if countKind(unit, KBinaryOperator) < 4 {
+		t.Fatalf("binops = %d", countKind(unit, KBinaryOperator))
+	}
+}
+
+func TestParseStructAndTypedef(t *testing.T) {
+	unit := parse(t, `
+struct Atom {
+	float x;
+	float y;
+	int type;
+};
+typedef struct Atom atom_t;
+`)
+	rec := findKind(unit, KRecordDecl)
+	if rec == nil || rec.Name != "Atom" {
+		t.Fatalf("record = %v", rec)
+	}
+	if countKind(rec, KFieldDecl) != 3 {
+		t.Fatalf("fields = %d", countKind(rec, KFieldDecl))
+	}
+	td := findKind(unit, KTypedefDecl)
+	if td == nil || td.Name != "atom_t" {
+		t.Fatalf("typedef = %v", td)
+	}
+}
+
+func TestParseStructWithMethods(t *testing.T) {
+	unit := parse(t, `
+struct range {
+	int lo;
+	int hi;
+	range(int l, int h) {
+		lo = l;
+		hi = h;
+	}
+	int begin() const { return lo; }
+	int size() { return hi - lo; }
+};
+`)
+	rec := findKind(unit, KRecordDecl)
+	fns := countKind(rec, KFunctionDecl)
+	if fns != 3 {
+		t.Fatalf("methods = %d, want 3", fns)
+	}
+	var ctor *ASTNode
+	rec.Walk(func(m *ASTNode) bool {
+		if m.Kind == KFunctionDecl && m.Extra == "ctor" {
+			ctor = m
+		}
+		return true
+	})
+	if ctor == nil {
+		t.Fatal("constructor not detected")
+	}
+}
+
+func TestParseTemplateFunction(t *testing.T) {
+	unit := parse(t, `
+template <typename T, int N>
+T reduce_sum(const T *data, int n) {
+	T sum = T(0);
+	for (int i = 0; i < n; i++) { sum += data[i]; }
+	return sum;
+}
+`)
+	td := findKind(unit, KTemplateDecl)
+	if td == nil {
+		t.Fatal("template decl missing")
+	}
+	args := findKind(td, KTemplateArgList)
+	if args == nil || len(args.Children) != 2 {
+		t.Fatalf("template params = %v", args)
+	}
+}
+
+func TestParseNamespace(t *testing.T) {
+	unit := parse(t, `
+namespace sim {
+namespace detail {
+int helper() { return 1; }
+}
+int outer() { return detail::helper(); }
+}
+`)
+	if countKind(unit, KNamespaceDecl) != 2 {
+		t.Fatalf("namespaces = %d", countKind(unit, KNamespaceDecl))
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	unit := parse(t, `
+int collatz(int n) {
+	int steps = 0;
+	while (n != 1) {
+		if (n % 2 == 0) {
+			n = n / 2;
+		} else {
+			n = 3 * n + 1;
+		}
+		steps++;
+	}
+	do { steps--; } while (steps > 100);
+	for (;;) { break; }
+	return steps;
+}
+`)
+	for kind, want := range map[string]int{
+		KWhileStmt: 1, KIfStmt: 1, KDoStmt: 1, KForStmt: 1,
+		KBreakStmt: 1, KReturnStmt: 1,
+	} {
+		if got := countKind(unit, kind); got != want {
+			t.Errorf("%s = %d, want %d", kind, got, want)
+		}
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	unit := parse(t, `
+void f() {
+	int a = 1 + 2 * 3;
+	int b = (a << 2) | 1;
+	int c = a > b ? a : b;
+	bool d = !(a == b) && (a != c);
+	a += b;
+	a++;
+	--b;
+	double *p = new double[10];
+	delete[] p;
+	int s = sizeof(double);
+}
+`)
+	if findKind(unit, KConditionalOp) == nil {
+		t.Fatal("ternary missing")
+	}
+	if findKind(unit, KNewExpr) == nil || findKind(unit, KDeleteExpr) == nil {
+		t.Fatal("new/delete missing")
+	}
+	if findKind(unit, KSizeofExpr) == nil {
+		t.Fatal("sizeof missing")
+	}
+	// precedence: 1 + 2*3 must parse as +(1, *(2,3))
+	var plus *ASTNode
+	unit.Walk(func(m *ASTNode) bool {
+		if plus == nil && m.Kind == KBinaryOperator && m.Extra == "+" {
+			plus = m
+		}
+		return true
+	})
+	if plus == nil || plus.Children[1].Kind != KBinaryOperator || plus.Children[1].Extra != "*" {
+		t.Fatal("precedence wrong for 1 + 2 * 3")
+	}
+}
+
+func TestParseDirectInit(t *testing.T) {
+	unit := parse(t, `
+void f() {
+	sycl::queue q(sycl::default_selector_v);
+	std::vector<double> a(1024, 0.0);
+}
+`)
+	calls := 0
+	unit.Walk(func(m *ASTNode) bool {
+		if m.Kind == KCallExpr && m.Extra == "construct" {
+			calls++
+		}
+		return true
+	})
+	if calls != 2 {
+		t.Fatalf("constructor calls = %d, want 2", calls)
+	}
+}
+
+func TestParseUsing(t *testing.T) {
+	unit := parse(t, `
+using namespace std;
+using real_t = double;
+`)
+	if countKind(unit, KUsingDecl) != 2 {
+		t.Fatalf("using decls = %d", countKind(unit, KUsingDecl))
+	}
+}
+
+func TestParseErrorsHavePositions(t *testing.T) {
+	_, err := ParseUnit("int f() { return }", "bad.cpp")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	if !strings.Contains(err.Error(), "bad.cpp") {
+		t.Fatalf("error lacks file: %v", err)
+	}
+}
+
+func TestParseGlobalVariables(t *testing.T) {
+	unit := parse(t, `
+int global_count = 0;
+double coeffs[4] = {1.0, 2.0, 3.0, 4.0};
+static const int N = 1024;
+`)
+	if countKind(unit, KVarDecl) != 3 {
+		t.Fatalf("vars = %d", countKind(unit, KVarDecl))
+	}
+	if findKind(unit, KInitListExpr) == nil {
+		t.Fatal("init list missing")
+	}
+}
+
+func TestParseCommaChainDecl(t *testing.T) {
+	unit := parse(t, `
+void f() {
+	int i = 0, j = 1, k = 2;
+}
+`)
+	if countKind(unit, KVarDecl) != 3 {
+		t.Fatalf("vars = %d, want 3", countKind(unit, KVarDecl))
+	}
+}

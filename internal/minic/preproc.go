@@ -1,0 +1,481 @@
+package minic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FileProvider resolves #include targets to source text. The corpus
+// provides an in-memory implementation; the CLI provides one backed by the
+// file system.
+type FileProvider interface {
+	// ReadSource returns the contents of the named file.
+	ReadSource(name string) (string, error)
+	// IsSystem reports whether the file is a system/model runtime header
+	// (e.g. <sycl/sycl.hpp>), which analyses may mask out.
+	IsSystem(name string) bool
+}
+
+// MapProvider is a FileProvider backed by an in-memory map.
+type MapProvider struct {
+	Files  map[string]string
+	System map[string]bool
+}
+
+// ReadSource implements FileProvider.
+func (m *MapProvider) ReadSource(name string) (string, error) {
+	src, ok := m.Files[name]
+	if !ok {
+		return "", fmt.Errorf("minic: no such file %q", name)
+	}
+	return src, nil
+}
+
+// IsSystem implements FileProvider.
+func (m *MapProvider) IsSystem(name string) bool { return m.System[name] }
+
+// PPResult is the outcome of preprocessing one unit (Eq. 1: the source file
+// and all of its module dependencies).
+type PPResult struct {
+	// Text is the fully preprocessed source: includes spliced in, macros
+	// expanded, conditional sections resolved, comments removed. #pragma
+	// lines are retained verbatim (semantic-bearing information in an
+	// unusual place).
+	Text string
+	// LineOrigin maps each line (1-based) of Text to its original file and
+	// line, preserving source back-references through preprocessing.
+	LineOrigin []LineOrigin
+	// Includes lists every file spliced into the unit, in first-include
+	// order; the main file is not listed.
+	Includes []string
+	// MissingIncludes lists include targets the provider could not
+	// resolve; they are skipped (like -I misconfiguration warnings).
+	MissingIncludes []string
+}
+
+// LineOrigin is the original location of one preprocessed line.
+type LineOrigin struct {
+	File string
+	Line int
+}
+
+// Macro is a preprocessor macro definition.
+type Macro struct {
+	Name   string
+	Params []string // nil for object-like macros
+	Body   string
+	IsFunc bool
+}
+
+// Preprocessor expands a MiniC source unit.
+type Preprocessor struct {
+	provider FileProvider
+	defines  map[string]Macro
+	included map[string]bool
+	result   *PPResult
+}
+
+// NewPreprocessor returns a preprocessor reading includes from provider.
+// Initial defines (e.g. -D flags from the compilation database) may be
+// supplied.
+func NewPreprocessor(provider FileProvider, defines map[string]string) *Preprocessor {
+	pp := &Preprocessor{
+		provider: provider,
+		defines:  make(map[string]Macro),
+		included: make(map[string]bool),
+	}
+	keys := make([]string, 0, len(defines))
+	for k := range defines {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pp.defines[k] = Macro{Name: k, Body: defines[k]}
+	}
+	return pp
+}
+
+// Preprocess expands the named file into a single unit.
+func (pp *Preprocessor) Preprocess(file string) (*PPResult, error) {
+	src, err := pp.provider.ReadSource(file)
+	if err != nil {
+		return nil, err
+	}
+	pp.result = &PPResult{}
+	var b strings.Builder
+	if err := pp.expandFile(&b, file, src, 0); err != nil {
+		return nil, err
+	}
+	pp.result.Text = b.String()
+	return pp.result, nil
+}
+
+const maxIncludeDepth = 64
+
+func (pp *Preprocessor) expandFile(b *strings.Builder, file, src string, depth int) error {
+	if depth > maxIncludeDepth {
+		return fmt.Errorf("minic: include depth exceeded at %q", file)
+	}
+	lines := splitLogicalLines(src)
+	// condStack tracks #if nesting: each entry is whether the current
+	// branch is active.
+	type cond struct {
+		active      bool
+		parentLive  bool
+		takenBranch bool
+	}
+	var stack []cond
+	live := func() bool {
+		for _, c := range stack {
+			if !c.active || !c.parentLive {
+				return false
+			}
+		}
+		return true
+	}
+	for _, ln := range lines {
+		trimmed := strings.TrimSpace(ln.text)
+		if strings.HasPrefix(trimmed, "#") {
+			dir, rest := splitDirective(trimmed)
+			switch dir {
+			case "ifdef", "ifndef":
+				name := strings.TrimSpace(rest)
+				_, defined := pp.defines[name]
+				active := defined
+				if dir == "ifndef" {
+					active = !defined
+				}
+				stack = append(stack, cond{active: active, parentLive: live(), takenBranch: active})
+				continue
+			case "if":
+				// minimal #if: only `#if 0` and `#if 1` plus defined(NAME)
+				active := evalPPCondition(rest, pp.defines)
+				stack = append(stack, cond{active: active, parentLive: live(), takenBranch: active})
+				continue
+			case "else":
+				if len(stack) == 0 {
+					return fmt.Errorf("minic: #else without #if at %s:%d", file, ln.line)
+				}
+				top := &stack[len(stack)-1]
+				top.active = !top.takenBranch
+				continue
+			case "endif":
+				if len(stack) == 0 {
+					return fmt.Errorf("minic: #endif without #if at %s:%d", file, ln.line)
+				}
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			if !live() {
+				continue
+			}
+			switch dir {
+			case "include":
+				target, ok := parseIncludeTarget(rest)
+				if !ok {
+					return fmt.Errorf("minic: malformed #include at %s:%d: %q", file, ln.line, trimmed)
+				}
+				if pp.included[target] {
+					continue // include-once semantics (header guards)
+				}
+				isrc, err := pp.provider.ReadSource(target)
+				if err != nil {
+					pp.result.MissingIncludes = append(pp.result.MissingIncludes, target)
+					continue
+				}
+				pp.included[target] = true
+				pp.result.Includes = append(pp.result.Includes, target)
+				if err := pp.expandFile(b, target, isrc, depth+1); err != nil {
+					return err
+				}
+				continue
+			case "define":
+				m, err := parseDefine(rest)
+				if err != nil {
+					return fmt.Errorf("minic: %s at %s:%d", err, file, ln.line)
+				}
+				pp.defines[m.Name] = m
+				continue
+			case "undef":
+				delete(pp.defines, strings.TrimSpace(rest))
+				continue
+			case "pragma":
+				// retained verbatim
+				pp.appendLine(b, trimmed, file, ln.line)
+				continue
+			default:
+				// unknown directive: drop, like a permissive compiler
+				continue
+			}
+		}
+		if !live() {
+			continue
+		}
+		expanded := pp.expandMacros(ln.text, 0)
+		pp.appendLine(b, expanded, file, ln.line)
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("minic: unterminated #if in %q", file)
+	}
+	return nil
+}
+
+func (pp *Preprocessor) appendLine(b *strings.Builder, text, file string, line int) {
+	b.WriteString(text)
+	b.WriteByte('\n')
+	pp.result.LineOrigin = append(pp.result.LineOrigin, LineOrigin{File: file, Line: line})
+}
+
+type logicalLine struct {
+	text string
+	line int // original starting line
+}
+
+// splitLogicalLines splits source into lines, joining backslash
+// continuations (used heavily by function-like macros in model headers).
+func splitLogicalLines(src string) []logicalLine {
+	raw := strings.Split(src, "\n")
+	var out []logicalLine
+	i := 0
+	for i < len(raw) {
+		start := i
+		text := raw[i]
+		for strings.HasSuffix(strings.TrimRight(text, " \t"), "\\") && i+1 < len(raw) {
+			text = strings.TrimSuffix(strings.TrimRight(text, " \t"), "\\") + " " + raw[i+1]
+			i++
+		}
+		out = append(out, logicalLine{text: text, line: start + 1})
+		i++
+	}
+	return out
+}
+
+func splitDirective(line string) (dir, rest string) {
+	s := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+	for i := 0; i < len(s); i++ {
+		if !isIdentPart(s[i]) {
+			return s[:i], s[i:]
+		}
+	}
+	return s, ""
+}
+
+func parseIncludeTarget(rest string) (string, bool) {
+	s := strings.TrimSpace(rest)
+	if len(s) >= 2 && s[0] == '"' {
+		if end := strings.IndexByte(s[1:], '"'); end >= 0 {
+			return s[1 : 1+end], true
+		}
+	}
+	if len(s) >= 2 && s[0] == '<' {
+		if end := strings.IndexByte(s, '>'); end >= 0 {
+			return s[1:end], true
+		}
+	}
+	return "", false
+}
+
+func parseDefine(rest string) (Macro, error) {
+	s := strings.TrimSpace(rest)
+	i := 0
+	for i < len(s) && isIdentPart(s[i]) {
+		i++
+	}
+	if i == 0 {
+		return Macro{}, fmt.Errorf("malformed #define %q", rest)
+	}
+	name := s[:i]
+	if i < len(s) && s[i] == '(' {
+		end := strings.IndexByte(s[i:], ')')
+		if end < 0 {
+			return Macro{}, fmt.Errorf("malformed function-like #define %q", rest)
+		}
+		paramsRaw := s[i+1 : i+end]
+		var params []string
+		for _, p := range strings.Split(paramsRaw, ",") {
+			if t := strings.TrimSpace(p); t != "" {
+				params = append(params, t)
+			}
+		}
+		body := strings.TrimSpace(s[i+end+1:])
+		return Macro{Name: name, Params: params, Body: body, IsFunc: true}, nil
+	}
+	return Macro{Name: name, Body: strings.TrimSpace(s[i:])}, nil
+}
+
+func evalPPCondition(rest string, defines map[string]Macro) bool {
+	s := strings.TrimSpace(rest)
+	switch s {
+	case "0":
+		return false
+	case "1":
+		return true
+	}
+	if strings.HasPrefix(s, "defined(") && strings.HasSuffix(s, ")") {
+		name := strings.TrimSpace(s[len("defined(") : len(s)-1])
+		_, ok := defines[name]
+		return ok
+	}
+	if strings.HasPrefix(s, "!defined(") && strings.HasSuffix(s, ")") {
+		name := strings.TrimSpace(s[len("!defined(") : len(s)-1])
+		_, ok := defines[name]
+		return !ok
+	}
+	// Unknown conditions default to true, keeping the common path.
+	return true
+}
+
+const maxMacroDepth = 16
+
+// expandMacros performs textual macro expansion on one line with
+// word-boundary matching, supporting object-like and function-like macros
+// with a recursion guard.
+func (pp *Preprocessor) expandMacros(line string, depth int) string {
+	if depth > maxMacroDepth || len(pp.defines) == 0 {
+		return line
+	}
+	var b strings.Builder
+	i := 0
+	changed := false
+	for i < len(line) {
+		c := line[i]
+		if c == '"' || c == '\'' {
+			// copy string/char literal verbatim
+			quote := c
+			b.WriteByte(c)
+			i++
+			for i < len(line) {
+				b.WriteByte(line[i])
+				if line[i] == '\\' && i+1 < len(line) {
+					i++
+					b.WriteByte(line[i])
+					i++
+					continue
+				}
+				if line[i] == quote {
+					i++
+					break
+				}
+				i++
+			}
+			continue
+		}
+		if !isIdentStart(c) {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		j := i
+		for j < len(line) && isIdentPart(line[j]) {
+			j++
+		}
+		word := line[i:j]
+		m, ok := pp.defines[word]
+		if !ok {
+			b.WriteString(word)
+			i = j
+			continue
+		}
+		if m.IsFunc {
+			// find the argument list
+			k := j
+			for k < len(line) && (line[k] == ' ' || line[k] == '\t') {
+				k++
+			}
+			if k >= len(line) || line[k] != '(' {
+				b.WriteString(word)
+				i = j
+				continue
+			}
+			args, end, ok := scanMacroArgs(line, k)
+			if !ok {
+				b.WriteString(word)
+				i = j
+				continue
+			}
+			b.WriteString(substituteParams(m, args))
+			i = end
+			changed = true
+			continue
+		}
+		b.WriteString(m.Body)
+		i = j
+		changed = true
+	}
+	out := b.String()
+	if changed {
+		return pp.expandMacros(out, depth+1)
+	}
+	return out
+}
+
+// scanMacroArgs scans a balanced-paren argument list starting at line[open]
+// == '('. Returns the comma-separated top-level arguments and the index
+// one past the closing paren.
+func scanMacroArgs(line string, open int) (args []string, end int, ok bool) {
+	depth := 0
+	start := open + 1
+	for i := open; i < len(line); i++ {
+		switch line[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				if i > start || len(args) > 0 || strings.TrimSpace(line[start:i]) != "" {
+					args = append(args, strings.TrimSpace(line[start:i]))
+				}
+				return args, i + 1, true
+			}
+		case ',':
+			if depth == 1 {
+				args = append(args, strings.TrimSpace(line[start:i]))
+				start = i + 1
+			}
+		case '"', '\'':
+			q := line[i]
+			i++
+			for i < len(line) && line[i] != q {
+				if line[i] == '\\' {
+					i++
+				}
+				i++
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+func substituteParams(m Macro, args []string) string {
+	body := m.Body
+	var b strings.Builder
+	i := 0
+	for i < len(body) {
+		if !isIdentStart(body[i]) {
+			b.WriteByte(body[i])
+			i++
+			continue
+		}
+		j := i
+		for j < len(body) && isIdentPart(body[j]) {
+			j++
+		}
+		word := body[i:j]
+		sub := word
+		for pi, p := range m.Params {
+			if p == word {
+				if pi < len(args) {
+					sub = args[pi]
+				} else {
+					sub = ""
+				}
+				break
+			}
+		}
+		b.WriteString(sub)
+		i = j
+	}
+	// token pasting: `a ## b` joins the substituted pieces
+	return strings.ReplaceAll(b.String(), "##", "")
+}

@@ -1,0 +1,218 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func provider(files map[string]string, system ...string) *MapProvider {
+	sys := make(map[string]bool)
+	for _, s := range system {
+		sys[s] = true
+	}
+	return &MapProvider{Files: files, System: sys}
+}
+
+func preprocess(t *testing.T, files map[string]string, main string) *PPResult {
+	t.Helper()
+	pp := NewPreprocessor(provider(files), nil)
+	res, err := pp.Preprocess(main)
+	if err != nil {
+		t.Fatalf("preprocess: %v", err)
+	}
+	return res
+}
+
+func TestIncludeSplicing(t *testing.T) {
+	res := preprocess(t, map[string]string{
+		"main.c": "#include \"util.h\"\nint main() { return helper(); }\n",
+		"util.h": "int helper();\n",
+	}, "main.c")
+	if !strings.Contains(res.Text, "int helper();") {
+		t.Fatalf("include not spliced: %q", res.Text)
+	}
+	if len(res.Includes) != 1 || res.Includes[0] != "util.h" {
+		t.Fatalf("includes = %v", res.Includes)
+	}
+}
+
+func TestIncludeOnce(t *testing.T) {
+	res := preprocess(t, map[string]string{
+		"main.c": "#include \"a.h\"\n#include \"b.h\"\n",
+		"a.h":    "#include \"c.h\"\nint a;\n",
+		"b.h":    "#include \"c.h\"\nint b;\n",
+		"c.h":    "int c;\n",
+	}, "main.c")
+	if strings.Count(res.Text, "int c;") != 1 {
+		t.Fatalf("c.h included more than once: %q", res.Text)
+	}
+}
+
+func TestMissingIncludeRecorded(t *testing.T) {
+	res := preprocess(t, map[string]string{
+		"main.c": "#include <nonexistent.h>\nint x;\n",
+	}, "main.c")
+	if len(res.MissingIncludes) != 1 || res.MissingIncludes[0] != "nonexistent.h" {
+		t.Fatalf("missing = %v", res.MissingIncludes)
+	}
+	if !strings.Contains(res.Text, "int x;") {
+		t.Fatal("rest of file must survive a missing include")
+	}
+}
+
+func TestObjectMacro(t *testing.T) {
+	res := preprocess(t, map[string]string{
+		"main.c": "#define N 1024\nint a[N];\n",
+	}, "main.c")
+	if !strings.Contains(res.Text, "int a[1024];") {
+		t.Fatalf("macro not expanded: %q", res.Text)
+	}
+}
+
+func TestFunctionMacro(t *testing.T) {
+	res := preprocess(t, map[string]string{
+		"main.c": "#define SQ(x) ((x)*(x))\nint y = SQ(a + 1);\n",
+	}, "main.c")
+	if !strings.Contains(res.Text, "((a + 1)*(a + 1))") {
+		t.Fatalf("function macro not expanded: %q", res.Text)
+	}
+}
+
+func TestNestedMacro(t *testing.T) {
+	res := preprocess(t, map[string]string{
+		"main.c": "#define A B\n#define B 7\nint x = A;\n",
+	}, "main.c")
+	if !strings.Contains(res.Text, "int x = 7;") {
+		t.Fatalf("nested expansion failed: %q", res.Text)
+	}
+}
+
+func TestRecursiveMacroTerminates(t *testing.T) {
+	res := preprocess(t, map[string]string{
+		"main.c": "#define LOOP LOOP\nint x = LOOP;\n",
+	}, "main.c")
+	_ = res // must not hang or overflow
+}
+
+func TestMacroNotExpandedInStrings(t *testing.T) {
+	res := preprocess(t, map[string]string{
+		"main.c": "#define N 9\nchar *s = \"N\";\n",
+	}, "main.c")
+	if !strings.Contains(res.Text, `"N"`) {
+		t.Fatalf("macro expanded inside string: %q", res.Text)
+	}
+}
+
+func TestConditionals(t *testing.T) {
+	res := preprocess(t, map[string]string{
+		"main.c": "#define USE_GPU 1\n#ifdef USE_GPU\nint gpu;\n#else\nint cpu;\n#endif\n#ifndef USE_GPU\nint nope;\n#endif\n",
+	}, "main.c")
+	if !strings.Contains(res.Text, "int gpu;") {
+		t.Fatal("ifdef branch missing")
+	}
+	if strings.Contains(res.Text, "int cpu;") || strings.Contains(res.Text, "int nope;") {
+		t.Fatalf("dead branches kept: %q", res.Text)
+	}
+}
+
+func TestNestedConditionals(t *testing.T) {
+	src := "#ifdef A\n#ifdef B\nint ab;\n#endif\nint a;\n#endif\nint always;\n"
+	res := preprocess(t, map[string]string{"main.c": src}, "main.c")
+	if strings.Contains(res.Text, "int ab;") || strings.Contains(res.Text, "int a;") {
+		t.Fatalf("nested dead branch leaked: %q", res.Text)
+	}
+	if !strings.Contains(res.Text, "int always;") {
+		t.Fatal("live tail lost")
+	}
+}
+
+func TestIfZeroOne(t *testing.T) {
+	src := "#if 0\nint dead;\n#endif\n#if 1\nint live;\n#endif\n"
+	res := preprocess(t, map[string]string{"main.c": src}, "main.c")
+	if strings.Contains(res.Text, "dead") || !strings.Contains(res.Text, "live") {
+		t.Fatalf("#if 0/1 wrong: %q", res.Text)
+	}
+}
+
+func TestInitialDefines(t *testing.T) {
+	pp := NewPreprocessor(provider(map[string]string{
+		"main.c": "#ifdef FAST\nint fast;\n#endif\n",
+	}), map[string]string{"FAST": "1"})
+	res, err := pp.Preprocess("main.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "int fast;") {
+		t.Fatal("initial define not visible")
+	}
+}
+
+func TestPragmaRetained(t *testing.T) {
+	res := preprocess(t, map[string]string{
+		"main.c": "#pragma omp parallel for\nfor (;;) {}\n",
+	}, "main.c")
+	if !strings.Contains(res.Text, "#pragma omp parallel for") {
+		t.Fatalf("pragma lost in preprocessing: %q", res.Text)
+	}
+}
+
+func TestLineOrigins(t *testing.T) {
+	res := preprocess(t, map[string]string{
+		"main.c": "#include \"h.h\"\nint tail;\n",
+		"h.h":    "int head;\n",
+	}, "main.c")
+	if n := strings.Count(res.Text, "\n"); n != len(res.LineOrigin) {
+		t.Fatalf("line origin length %d vs %d lines", len(res.LineOrigin), n)
+	}
+	lines := strings.Split(res.Text, "\n")
+	// the line "int head;" must map back to h.h:1
+	for i, l := range lines {
+		if strings.Contains(l, "int head;") {
+			if res.LineOrigin[i].File != "h.h" || res.LineOrigin[i].Line != 1 {
+				t.Fatalf("origin of head = %+v", res.LineOrigin[i])
+			}
+		}
+		if strings.Contains(l, "int tail;") {
+			if res.LineOrigin[i].File != "main.c" || res.LineOrigin[i].Line != 2 {
+				t.Fatalf("origin of tail = %+v", res.LineOrigin[i])
+			}
+		}
+	}
+}
+
+func TestUndef(t *testing.T) {
+	res := preprocess(t, map[string]string{
+		"main.c": "#define X 1\n#undef X\n#ifdef X\nint yes;\n#endif\nint done;\n",
+	}, "main.c")
+	if strings.Contains(res.Text, "int yes;") {
+		t.Fatal("undef did not remove macro")
+	}
+}
+
+func TestUnterminatedIfError(t *testing.T) {
+	pp := NewPreprocessor(provider(map[string]string{"main.c": "#ifdef A\nint x;\n"}), nil)
+	if _, err := pp.Preprocess("main.c"); err == nil {
+		t.Fatal("expected error for unterminated #if")
+	}
+}
+
+func TestElseWithoutIfError(t *testing.T) {
+	pp := NewPreprocessor(provider(map[string]string{"main.c": "#else\n"}), nil)
+	if _, err := pp.Preprocess("main.c"); err == nil {
+		t.Fatal("expected error for dangling #else")
+	}
+}
+
+func TestMacroHeavyHeaderExpansion(t *testing.T) {
+	// Models the SYCL "+pp blow-up": a header whose macros multiply source
+	// volume; the preprocessed unit must be much larger than the input.
+	files := map[string]string{
+		"main.c": "#include \"heavy.h\"\nEXPAND(a) EXPAND(b) EXPAND(c)\n",
+		"heavy.h": "#define INNER(x) int x##0; int x##1; int x##2; int x##3;\n" +
+			"#define EXPAND(x) INNER(x) INNER(x) INNER(x)\n",
+	}
+	res := preprocess(t, files, "main.c")
+	if len(res.Text) < 100 {
+		t.Fatalf("expansion too small: %q", res.Text)
+	}
+}

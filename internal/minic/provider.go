@@ -1,0 +1,55 @@
+package minic
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// DirProvider is a FileProvider backed by a directory tree on disk, so the
+// framework can ingest real codebases (the CLI's generate → index round
+// trip, or any project with a compilation database).
+type DirProvider struct {
+	// Root is the base directory; include targets resolve relative to it.
+	Root string
+	// IncludeDirs are extra directories searched for includes (the -I
+	// paths from a compilation database entry).
+	IncludeDirs []string
+	// SystemPrefixes marks files as system headers when their resolved
+	// path (relative to Root) starts with one of these prefixes.
+	SystemPrefixes []string
+}
+
+// ReadSource implements FileProvider: the name is resolved against Root
+// first, then each include directory.
+func (d *DirProvider) ReadSource(name string) (string, error) {
+	candidates := []string{filepath.Join(d.Root, name)}
+	for _, inc := range d.IncludeDirs {
+		if filepath.IsAbs(inc) {
+			candidates = append(candidates, filepath.Join(inc, name))
+		} else {
+			candidates = append(candidates, filepath.Join(d.Root, inc, name))
+		}
+	}
+	var firstErr error
+	for _, c := range candidates {
+		data, err := os.ReadFile(c)
+		if err == nil {
+			return string(data), nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return "", firstErr
+}
+
+// IsSystem implements FileProvider.
+func (d *DirProvider) IsSystem(name string) bool {
+	for _, p := range d.SystemPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,69 @@
+package minic
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDirProvider(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "include", "sys"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("main.c", "#include \"util.h\"\n#include <sys/types.h>\nint main() { return util(); }\n")
+	write("util.h", "int util();\n")
+	write("include/sys/types.h", "typedef int mode_t;\n")
+
+	p := &DirProvider{
+		Root:           root,
+		IncludeDirs:    []string{"include"},
+		SystemPrefixes: []string{"sys/"},
+	}
+	if src, err := p.ReadSource("main.c"); err != nil || !strings.Contains(src, "util()") {
+		t.Fatalf("main.c: %v %q", err, src)
+	}
+	// resolved via include dir
+	if src, err := p.ReadSource("sys/types.h"); err != nil || !strings.Contains(src, "mode_t") {
+		t.Fatalf("sys/types.h: %v %q", err, src)
+	}
+	if _, err := p.ReadSource("missing.h"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	if !p.IsSystem("sys/types.h") || p.IsSystem("util.h") {
+		t.Fatal("system classification wrong")
+	}
+
+	// and it drives the preprocessor end to end
+	pp := NewPreprocessor(p, nil)
+	res, err := pp.Preprocess("main.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "int util();") || !strings.Contains(res.Text, "mode_t") {
+		t.Fatalf("preprocessed: %q", res.Text)
+	}
+}
+
+func TestDirProviderAbsoluteIncludeDir(t *testing.T) {
+	root := t.TempDir()
+	extra := t.TempDir()
+	if err := os.WriteFile(filepath.Join(extra, "lib.h"), []byte("int lib();\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := &DirProvider{Root: root, IncludeDirs: []string{extra}}
+	if src, err := p.ReadSource("lib.h"); err != nil || src == "" {
+		t.Fatalf("absolute include dir: %v", err)
+	}
+}

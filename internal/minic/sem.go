@@ -1,0 +1,144 @@
+package minic
+
+import (
+	"strings"
+
+	"silvervale/internal/tree"
+)
+
+// BuildSemTree converts a parsed translation unit into its T_sem tree:
+// the frontend AST with programmer-introduced names removed and semantic
+// payload (operators, literals, attributes, directive and clause names)
+// retained in the labels.
+func BuildSemTree(unit *ASTNode) *tree.Node { return unit.SemTree() }
+
+// InlineOptions controls tree-level inlining for T_sem+i.
+type InlineOptions struct {
+	// ExcludeFile reports whether a function defined in the given file must
+	// not be inlined (true system headers). Model runtime headers included
+	// by the unit are part of the unit and are inlined — that is what makes
+	// "foreign code brought into the tree" visible for library-based
+	// models.
+	ExcludeFile func(file string) bool
+	// MaxDepth bounds transitive inlining (default 3).
+	MaxDepth int
+}
+
+// InlineUnit produces the AST for T_sem+i: every call to a function that is
+// defined inside the unit (and not excluded) is replaced by an InlinedCall
+// node carrying the callee's body. Kernel launches (CUDAKernelCallExpr) are
+// not inlined: first-party offload models rely on the compiler to introduce
+// semantics, so nothing gets inlined for them — reproducing the paper's
+// observation that CUDA and OpenMP barely move under T_sem+i.
+func InlineUnit(unit *ASTNode, opts InlineOptions) *ASTNode {
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 3
+	}
+	funcs := map[string]*ASTNode{}
+	for name, fn := range unit.FindFunctions() {
+		if opts.ExcludeFile != nil && opts.ExcludeFile(fn.Pos.File) {
+			continue
+		}
+		funcs[name] = fn
+	}
+	out := unit.Clone()
+	inlineWalk(out, funcs, nil, opts.MaxDepth)
+	return out
+}
+
+// inlineWalk rewrites CallExpr children in place.
+func inlineWalk(n *ASTNode, funcs map[string]*ASTNode, active []string, depth int) {
+	if n == nil || depth <= 0 {
+		return
+	}
+	for i, c := range n.Children {
+		if c.Kind == KCallExpr {
+			if callee := calleeName(c); callee != "" {
+				if fn, ok := funcs[callee]; ok && !contains(active, callee) {
+					inlined := &ASTNode{Kind: "InlinedCall", Extra: callee0(callee), Pos: c.Pos}
+					// keep the callee expression (receiver evaluation and
+					// template arguments still happen) and the arguments
+					inlined.Add(c.Children...)
+					body := fn.body().Clone()
+					inlined.Add(body)
+					n.Children[i] = inlined
+					inlineWalk(inlined, funcs, append(active, callee), depth-1)
+					continue
+				}
+			}
+		}
+		inlineWalk(c, funcs, active, depth)
+	}
+}
+
+// calleeName extracts the resolvable function name from a call's callee
+// expression: a direct reference uses its last qualified component; a
+// member call uses the member name.
+func calleeName(call *ASTNode) string {
+	if len(call.Children) == 0 {
+		return ""
+	}
+	callee := call.Children[0]
+	switch callee.Kind {
+	case KDeclRefExpr:
+		return lastComponent(callee.Name)
+	case KMemberExpr:
+		return callee.Name
+	}
+	return ""
+}
+
+func lastComponent(name string) string {
+	if i := strings.LastIndex(name, "::"); i >= 0 {
+		return name[i+2:]
+	}
+	return name
+}
+
+// callee0 keeps nothing of the programmer-chosen name in the label: the
+// InlinedCall Extra records only whether the callee was a member or free
+// function, preserving name normalisation.
+func callee0(string) string { return "" }
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyLineOrigins rewrites the positions of an AST parsed from
+// preprocessed text back to the original file/line using the
+// preprocessor's line-origin table, keeping source back-references valid
+// for coverage masking.
+func ApplyLineOrigins(n *ASTNode, origins []LineOrigin) {
+	if n == nil {
+		return
+	}
+	if n.Pos.Line >= 1 && n.Pos.Line <= len(origins) {
+		o := origins[n.Pos.Line-1]
+		n.Pos.File = o.File
+		n.Pos.Line = o.Line
+	}
+	for _, c := range n.Children {
+		ApplyLineOrigins(c, origins)
+	}
+}
+
+// ApplyLineOriginsTree does the same for already-built trees (e.g. the
+// post-preprocessing T_src).
+func ApplyLineOriginsTree(n *tree.Node, origins []LineOrigin) {
+	if n == nil {
+		return
+	}
+	if n.Pos.Line >= 1 && n.Pos.Line <= len(origins) {
+		o := origins[n.Pos.Line-1]
+		n.Pos.File = o.File
+		n.Pos.Line = o.Line
+	}
+	for _, c := range n.Children {
+		ApplyLineOriginsTree(c, origins)
+	}
+}

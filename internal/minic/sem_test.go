@@ -1,0 +1,280 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"silvervale/internal/tree"
+)
+
+func semOf(t *testing.T, src string) *tree.Node {
+	t.Helper()
+	unit := parse(t, src)
+	return BuildSemTree(unit)
+}
+
+func TestSemTreeDropsNames(t *testing.T) {
+	a := semOf(t, "int add(int alpha, int beta) { return alpha + beta; }")
+	b := semOf(t, "int plus(int x, int y) { return x + y; }")
+	if !tree.Equal(a, b) {
+		t.Fatalf("renamed programs must yield identical T_sem:\n%s\n%s", a, b)
+	}
+}
+
+func TestSemTreeKeepsOperators(t *testing.T) {
+	a := semOf(t, "int f(int x, int y) { return x + y; }")
+	b := semOf(t, "int f(int x, int y) { return x * y; }")
+	if tree.Equal(a, b) {
+		t.Fatal("operator spelling must be part of T_sem")
+	}
+}
+
+func TestSemTreeKeepsLiterals(t *testing.T) {
+	a := semOf(t, "int f() { return 1; }")
+	b := semOf(t, "int f() { return 2; }")
+	if tree.Equal(a, b) {
+		t.Fatal("literal values must be part of T_sem")
+	}
+}
+
+func TestSemTreeOMPDirectiveRicherThanSrc(t *testing.T) {
+	src := `
+void triad(double *a, double *b, double *c, double s, int n) {
+	#pragma omp target teams distribute parallel for map(tofrom: a) reduction(+:s)
+	for (int i = 0; i < n; i++) { a[i] = b[i] + s * c[i]; }
+}
+`
+	sem := semOf(t, src)
+	// count nodes contributed by the directive at the T_sem level
+	var dirNode *tree.Node
+	sem.Walk(func(n *tree.Node) bool {
+		if dirNode == nil && strings.HasPrefix(n.Label, "OMPExecutableDirective") {
+			dirNode = n
+		}
+		return dirNode == nil
+	})
+	if dirNode == nil {
+		t.Fatal("directive missing from T_sem")
+	}
+	// structured directive node + clauses: strictly more than the pragma's
+	// T_src footprint (pragma + clause words)
+	csrc := BuildSrcTree(src, "t.cpp")
+	var pragmaNode *tree.Node
+	csrc.Walk(func(n *tree.Node) bool {
+		if pragmaNode == nil && n.Label == "pragma" {
+			pragmaNode = n
+		}
+		return pragmaNode == nil
+	})
+	if pragmaNode == nil {
+		t.Fatal("pragma missing from T_src")
+	}
+	// the directive subtree (without its associated loop) vs pragma subtree
+	dirOwn := dirNode.Size()
+	for _, c := range dirNode.Children {
+		if !strings.HasPrefix(c.Label, "OMP") && !strings.HasPrefix(c.Label, "Captured") {
+			dirOwn -= c.Size() // subtract associated statement
+		}
+	}
+	if dirOwn <= pragmaNode.Size() {
+		t.Fatalf("directive T_sem footprint (%d) should exceed pragma T_src footprint (%d)",
+			dirOwn, pragmaNode.Size())
+	}
+}
+
+func TestInlineUnitBringsBodyIn(t *testing.T) {
+	src := `
+int helper(int x) { return x * 2 + 1; }
+int main() { return helper(21); }
+`
+	unit := parse(t, src)
+	plain := BuildSemTree(unit)
+	inlined := BuildSemTree(InlineUnit(unit, InlineOptions{}))
+	if inlined.Size() <= plain.Size() {
+		t.Fatalf("inlining should grow the tree: %d vs %d", inlined.Size(), plain.Size())
+	}
+	// the multiplication from helper's body must now appear twice
+	count := 0
+	inlined.Walk(func(n *tree.Node) bool {
+		if n.Label == "BinaryOperator:*" {
+			count++
+		}
+		return true
+	})
+	if count != 2 {
+		t.Fatalf("inlined body not duplicated: %d", count)
+	}
+}
+
+func TestInlineUnitExcludesSystemFiles(t *testing.T) {
+	// parse a unit, then fake a system-file position on the helper
+	src := `
+int helper(int x) { return x * 2; }
+int main() { return helper(21); }
+`
+	unit := parse(t, src)
+	var helper *ASTNode
+	unit.Walk(func(n *ASTNode) bool {
+		if n.Kind == KFunctionDecl && n.Name == "helper" {
+			helper = n
+		}
+		return true
+	})
+	helper.Walk(func(n *ASTNode) bool {
+		n.Pos.File = "system/stdlib.h"
+		return true
+	})
+	inlined := InlineUnit(unit, InlineOptions{
+		ExcludeFile: func(f string) bool { return strings.HasPrefix(f, "system/") },
+	})
+	found := false
+	inlined.Walk(func(n *ASTNode) bool {
+		if n.Kind == "InlinedCall" {
+			found = true
+		}
+		return true
+	})
+	if found {
+		t.Fatal("system-header function must not be inlined")
+	}
+}
+
+func TestInlineUnitSkipsKernelLaunch(t *testing.T) {
+	src := `
+__global__ void kern(double *a, int n) {
+	int i = threadIdx.x;
+	if (i < n) { a[i] = 1.0; }
+}
+void run(double *a, int n) {
+	kern<<<1, 64>>>(a, n);
+}
+`
+	unit := parse(t, src)
+	inlined := InlineUnit(unit, InlineOptions{})
+	found := false
+	inlined.Walk(func(n *ASTNode) bool {
+		if n.Kind == "InlinedCall" {
+			found = true
+		}
+		return true
+	})
+	if found {
+		t.Fatal("kernel launches must not be inlined (first-party models rely on the compiler)")
+	}
+}
+
+func TestInlineRecursionGuard(t *testing.T) {
+	src := `
+int fact(int n) { return n < 2 ? 1 : n * fact(n - 1); }
+int main() { return fact(5); }
+`
+	unit := parse(t, src)
+	inlined := InlineUnit(unit, InlineOptions{MaxDepth: 5})
+	if inlined == nil {
+		t.Fatal("inlining recursion guard failed")
+	}
+}
+
+func TestInlineMemberCall(t *testing.T) {
+	src := `
+struct Accum {
+	int total;
+	int bump(int x) { return total += x; }
+};
+int main() {
+	Accum acc;
+	return acc.bump(3);
+}
+`
+	unit := parse(t, src)
+	inlined := InlineUnit(unit, InlineOptions{})
+	found := false
+	inlined.Walk(func(n *ASTNode) bool {
+		if n.Kind == "InlinedCall" {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("member call should inline against method definition")
+	}
+}
+
+func TestApplyLineOrigins(t *testing.T) {
+	unit := parse(t, "int x = 1;\nint y = 2;\n")
+	origins := []LineOrigin{{File: "orig.h", Line: 10}, {File: "main.c", Line: 3}}
+	ApplyLineOrigins(unit, origins)
+	var xd, yd *ASTNode
+	unit.Walk(func(n *ASTNode) bool {
+		if n.Kind == KVarDecl {
+			if xd == nil {
+				xd = n
+			} else if yd == nil {
+				yd = n
+			}
+		}
+		return true
+	})
+	if xd.Pos.File != "orig.h" || xd.Pos.Line != 10 {
+		t.Fatalf("x origin = %v", xd.Pos)
+	}
+	if yd.Pos.File != "main.c" || yd.Pos.Line != 3 {
+		t.Fatalf("y origin = %v", yd.Pos)
+	}
+}
+
+func TestSrcTreeNormalisesIdentifiers(t *testing.T) {
+	a := BuildSrcTree("int foo = bar + baz;", "a.c")
+	b := BuildSrcTree("int x = y + z;", "b.c")
+	if !tree.Equal(a, b) {
+		t.Fatalf("identifier names must not appear in T_src:\n%s\n%s", a, b)
+	}
+}
+
+func TestSrcTreeBlocksNest(t *testing.T) {
+	src := "void f() { if (x) { y; } }"
+	n := BuildSrcTree(src, "a.c")
+	blocks := 0
+	n.Walk(func(m *tree.Node) bool {
+		if m.Label == "block" {
+			blocks++
+		}
+		return true
+	})
+	if blocks != 2 {
+		t.Fatalf("blocks = %d, want 2", blocks)
+	}
+}
+
+func TestSrcTreePragmaFootprintSmall(t *testing.T) {
+	plain := BuildSrcTree("for (int i = 0; i < n; i++) { a[i] = b[i]; }", "a.c")
+	omp := BuildSrcTree("#pragma omp parallel for\nfor (int i = 0; i < n; i++) { a[i] = b[i]; }", "a.c")
+	delta := omp.Size() - plain.Size()
+	if delta <= 0 || delta > 8 {
+		t.Fatalf("pragma T_src footprint = %d nodes; want small positive", delta)
+	}
+}
+
+func TestSrcTreeDropsAnonymousTokens(t *testing.T) {
+	n := BuildSrcTree("f(a, b);", "a.c")
+	n.Walk(func(m *tree.Node) bool {
+		if m.Label == "op:(" || m.Label == "op:," {
+			t.Fatalf("anonymous token leaked: %s", m.Label)
+		}
+		return true
+	})
+}
+
+func TestSrcTreeKernelLaunchHighlighted(t *testing.T) {
+	n := BuildSrcTree("k<<<g, b>>>(x);", "a.c")
+	launches := 0
+	n.Walk(func(m *tree.Node) bool {
+		if m.Label == "launch" {
+			launches++
+		}
+		return true
+	})
+	if launches != 2 {
+		t.Fatalf("launch chevrons = %d, want 2", launches)
+	}
+}

@@ -1,0 +1,125 @@
+package minifortran
+
+import (
+	"strings"
+
+	"silvervale/internal/minic"
+	"silvervale/internal/srcloc"
+	"silvervale/internal/tree"
+)
+
+// BuildSrcTree builds the T_src concrete-syntax tree for MiniFortran
+// source. Like the C/C++ variant it is the perceived, syntax-highlighter
+// view: identifiers are normalised to their token class, plain comments are
+// gone, directive comments contribute one node per clause word, and
+// structure comes from construct nesting (program/subroutine/do/if).
+func BuildSrcTree(src, file string) *tree.Node {
+	lines := LexLines(src, file)
+	root := tree.NewAt("unit:src", srcloc.Pos{File: file, Line: 1})
+	stack := []*tree.Node{root}
+	push := func(n *tree.Node) {
+		stack[len(stack)-1].Add(n)
+		stack = append(stack, n)
+	}
+	pop := func() {
+		if len(stack) > 1 {
+			stack = stack[:len(stack)-1]
+		}
+	}
+	for _, l := range lines {
+		if l.Directive != "" {
+			stack[len(stack)-1].Add(directiveSrcNode(l))
+			continue
+		}
+		stmt := tree.NewAt("stmt", l.Pos)
+		for _, t := range l.Tokens {
+			if n := tokenNode(t); n != nil {
+				stmt.Add(n)
+			}
+		}
+		switch {
+		case len(l.Tokens) > 0 && l.Tokens[0].IsKeyword("end"):
+			stack[len(stack)-1].Add(stmt)
+			pop()
+		case opensBlock(l):
+			blk := tree.NewAt("block", l.Pos)
+			head := tree.NewAt("head", l.Pos, stmt.Children...)
+			blk.Add(head)
+			push(blk)
+		default:
+			stack[len(stack)-1].Add(stmt)
+		}
+	}
+	return root
+}
+
+// opensBlock reports whether the line opens a construct that nests.
+func opensBlock(l Line) bool {
+	if len(l.Tokens) == 0 || l.Tokens[0].Kind != minic.TokKeyword {
+		return false
+	}
+	switch l.Tokens[0].Text {
+	case "program", "module", "subroutine", "function", "do":
+		return true
+	case "pure", "elemental":
+		return true
+	case "if":
+		// only block-if (ending in `then`) nests
+		last := l.Tokens[len(l.Tokens)-1]
+		return last.IsKeyword("then")
+	}
+	return false
+}
+
+func tokenNode(t minic.Token) *tree.Node {
+	switch t.Kind {
+	case minic.TokIdent:
+		return tree.NewAt("ident", t.Pos)
+	case minic.TokKeyword:
+		return tree.NewAt("kw:"+t.Text, t.Pos)
+	case minic.TokNumber:
+		return tree.NewAt("number", t.Pos)
+	case minic.TokString:
+		return tree.NewAt("string", t.Pos)
+	case minic.TokPunct:
+		switch t.Text {
+		case "+", "-", "*", "/", "**", "=", "==", "/=", "<", ">", "<=", ">=", "=>":
+			return tree.NewAt("op:"+t.Text, t.Pos)
+		}
+		return nil // anonymous token
+	}
+	return nil
+}
+
+// directiveSrcNode renders a `!$omp` / `!$acc` directive line: one node for
+// the sentinel plus one per clause word, arguments dropped.
+func directiveSrcNode(l Line) *tree.Node {
+	n := tree.NewAt("directive", l.Pos)
+	s := l.Directive
+	depth := 0
+	var cur strings.Builder
+	emit := func() {
+		if cur.Len() > 0 {
+			n.Add(tree.NewAt("directive-word:"+cur.String(), l.Pos))
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '(':
+			depth++
+			emit()
+		case c == ')':
+			depth--
+		case depth > 0:
+			// clause arguments dropped
+		case c == ' ' || c == '\t' || c == ',':
+			emit()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	emit()
+	return n
+}

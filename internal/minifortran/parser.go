@@ -1,0 +1,975 @@
+package minifortran
+
+import (
+	"fmt"
+	"strings"
+
+	"silvervale/internal/minic"
+	"silvervale/internal/srcloc"
+)
+
+// ParseUnit parses MiniFortran source into the uniform frontend AST. The
+// returned TranslationUnit has Extra set to "fortran".
+func ParseUnit(src, file string) (*minic.ASTNode, error) {
+	lines := LexLines(src, file)
+	p := &fparser{lines: lines, file: file, arrays: map[string]bool{}}
+	unit := minic.NewAST(minic.KTranslationUnit, srcloc.Pos{File: file, Line: 1})
+	unit.Extra = "fortran"
+	for !p.atEnd() {
+		d, err := p.parseProgramUnit()
+		if err != nil {
+			return nil, err
+		}
+		if d != nil {
+			unit.Add(d)
+		}
+	}
+	return unit, nil
+}
+
+type fparser struct {
+	lines  []Line
+	idx    int
+	file   string
+	arrays map[string]bool // names declared with array shape
+}
+
+func (p *fparser) atEnd() bool { return p.idx >= len(p.lines) }
+
+func (p *fparser) cur() Line { return p.lines[p.idx] }
+
+func (p *fparser) advance() Line {
+	l := p.lines[p.idx]
+	p.idx++
+	return l
+}
+
+func (p *fparser) errorf(pos srcloc.Pos, format string, args ...any) error {
+	return fmt.Errorf("minifortran: %s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+// firstWords returns the leading keyword/ident texts of a line.
+func firstWords(l Line, n int) []string {
+	var out []string
+	for _, t := range l.Tokens {
+		if t.Kind == minic.TokKeyword || t.Kind == minic.TokIdent {
+			out = append(out, t.Text)
+			if len(out) == n {
+				break
+			}
+		} else {
+			break
+		}
+	}
+	return out
+}
+
+func lineStarts(l Line, words ...string) bool {
+	got := firstWords(l, len(words))
+	if len(got) < len(words) {
+		return false
+	}
+	for i, w := range words {
+		if got[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+func isEndLine(l Line, construct string) bool {
+	if len(l.Tokens) == 0 || !l.Tokens[0].IsKeyword("end") {
+		return false
+	}
+	if len(l.Tokens) == 1 {
+		return true // bare "end"
+	}
+	return l.Tokens[1].Kind == minic.TokKeyword && l.Tokens[1].Text == construct
+}
+
+// --- program units ----------------------------------------------------------
+
+func (p *fparser) parseProgramUnit() (*minic.ASTNode, error) {
+	l := p.cur()
+	switch {
+	case l.Directive != "":
+		p.advance()
+		return p.directiveNode(l, nil), nil
+	case lineStarts(l, "program"):
+		return p.parseRoutine("program")
+	case lineStarts(l, "module"):
+		return p.parseModule()
+	case lineStarts(l, "subroutine") || lineStarts(l, "pure", "subroutine") ||
+		lineStarts(l, "elemental", "subroutine"):
+		return p.parseRoutine("subroutine")
+	case lineStarts(l, "function") || lineStarts(l, "pure", "function") ||
+		lineStarts(l, "elemental", "function"):
+		return p.parseRoutine("function")
+	case lineStarts(l, "use"):
+		p.advance()
+		n := minic.NewAST(minic.KUsingDecl, l.Pos)
+		if len(l.Tokens) > 1 {
+			n.Name = l.Tokens[1].Text
+		}
+		return n, nil
+	default:
+		return nil, p.errorf(l.Pos, "expected program unit, found %q", lineText(l))
+	}
+}
+
+func lineText(l Line) string {
+	if l.Directive != "" {
+		return l.Directive
+	}
+	var parts []string
+	for _, t := range l.Tokens {
+		parts = append(parts, t.Text)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (p *fparser) parseModule() (*minic.ASTNode, error) {
+	l := p.advance()
+	n := minic.NewAST(minic.KNamespaceDecl, l.Pos)
+	if len(l.Tokens) > 1 {
+		n.Name = l.Tokens[1].Text
+	}
+	for !p.atEnd() {
+		cur := p.cur()
+		if isEndLine(cur, "module") {
+			p.advance()
+			return n, nil
+		}
+		if lineStarts(cur, "contains") {
+			p.advance()
+			continue
+		}
+		if lineStarts(cur, "subroutine") || lineStarts(cur, "function") ||
+			lineStarts(cur, "pure") || lineStarts(cur, "elemental") {
+			sub, err := p.parseProgramUnit()
+			if err != nil {
+				return nil, err
+			}
+			n.Add(sub)
+			continue
+		}
+		// module-level declarations and statements
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			n.Add(s)
+		}
+	}
+	return nil, p.errorf(l.Pos, "unterminated module")
+}
+
+// parseRoutine parses program/subroutine/function units into FunctionDecl.
+func (p *fparser) parseRoutine(kind string) (*minic.ASTNode, error) {
+	l := p.advance()
+	fn := minic.NewAST(minic.KFunctionDecl, l.Pos)
+	fn.Extra = kind
+	i := 0
+	// skip pure/elemental prefix and the construct keyword
+	for i < len(l.Tokens) && l.Tokens[i].Kind == minic.TokKeyword {
+		if l.Tokens[i].Text == kind {
+			i++
+			break
+		}
+		i++
+	}
+	if i < len(l.Tokens) && l.Tokens[i].Kind == minic.TokIdent {
+		fn.Name = l.Tokens[i].Text
+		i++
+	}
+	// dummy arguments
+	if i < len(l.Tokens) && l.Tokens[i].IsPunct("(") {
+		i++
+		for i < len(l.Tokens) && !l.Tokens[i].IsPunct(")") {
+			if l.Tokens[i].Kind == minic.TokIdent {
+				pd := minic.NewAST(minic.KParmVarDecl, l.Tokens[i].Pos)
+				pd.Name = l.Tokens[i].Text
+				fn.Add(pd)
+			}
+			i++
+		}
+	}
+	body := minic.NewAST(minic.KCompoundStmt, l.Pos)
+	savedArrays := p.arrays
+	p.arrays = map[string]bool{}
+	for k, v := range savedArrays {
+		p.arrays[k] = v
+	}
+	for !p.atEnd() {
+		cur := p.cur()
+		if isEndLine(cur, kind) || (len(cur.Tokens) == 1 && cur.Tokens[0].IsKeyword("end")) {
+			p.advance()
+			fn.Add(body)
+			p.arrays = savedArrays
+			return fn, nil
+		}
+		if lineStarts(cur, "contains") {
+			p.advance()
+			for !p.atEnd() && !isEndLine(p.cur(), kind) {
+				sub, err := p.parseProgramUnit()
+				if err != nil {
+					return nil, err
+				}
+				fn.Add(sub)
+			}
+			continue
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			body.Add(s)
+		}
+	}
+	return nil, p.errorf(l.Pos, "unterminated %s", kind)
+}
+
+// --- statements -------------------------------------------------------------
+
+func (p *fparser) parseStmt() (*minic.ASTNode, error) {
+	l := p.cur()
+	switch {
+	case l.Directive != "":
+		p.advance()
+		return p.parseDirective(l)
+	case lineStarts(l, "implicit", "none"):
+		p.advance()
+		return nil, nil
+	case lineStarts(l, "use"):
+		p.advance()
+		n := minic.NewAST(minic.KUsingDecl, l.Pos)
+		if len(l.Tokens) > 1 {
+			n.Name = l.Tokens[1].Text
+		}
+		return n, nil
+	case isDeclLine(l):
+		p.advance()
+		return p.parseDeclLine(l)
+	case lineStarts(l, "do"):
+		return p.parseDo()
+	case lineStarts(l, "if"):
+		return p.parseIf()
+	case lineStarts(l, "else"):
+		return nil, p.errorf(l.Pos, "unexpected else")
+	case lineStarts(l, "call"):
+		p.advance()
+		e := &exprParser{toks: l.Tokens[1:], arrays: p.arrays, forceCall: true}
+		callee, err := e.parse()
+		if err != nil {
+			return nil, p.errorf(l.Pos, "%v", err)
+		}
+		return minic.NewAST(minic.KExprStmt, l.Pos, callee), nil
+	case lineStarts(l, "allocate") || lineStarts(l, "deallocate"):
+		p.advance()
+		name := l.Tokens[0].Text
+		call := minic.NewAST(minic.KCallExpr, l.Pos)
+		ref := minic.NewAST(minic.KDeclRefExpr, l.Pos)
+		ref.Name = name
+		call.Add(ref)
+		return minic.NewAST(minic.KExprStmt, l.Pos, call), nil
+	case lineStarts(l, "print"):
+		p.advance()
+		call := minic.NewAST(minic.KCallExpr, l.Pos)
+		ref := minic.NewAST(minic.KDeclRefExpr, l.Pos)
+		ref.Name = "print"
+		call.Add(ref)
+		return minic.NewAST(minic.KExprStmt, l.Pos, call), nil
+	case lineStarts(l, "return") || lineStarts(l, "stop"):
+		p.advance()
+		return minic.NewAST(minic.KReturnStmt, l.Pos), nil
+	case lineStarts(l, "exit"):
+		p.advance()
+		return minic.NewAST(minic.KBreakStmt, l.Pos), nil
+	case lineStarts(l, "cycle"):
+		p.advance()
+		return minic.NewAST(minic.KContinueStmt, l.Pos), nil
+	default:
+		// assignment or bare expression statement
+		p.advance()
+		return p.parseAssignmentLine(l)
+	}
+}
+
+// isDeclLine reports whether the line is a type declaration.
+func isDeclLine(l Line) bool {
+	if len(l.Tokens) == 0 || l.Tokens[0].Kind != minic.TokKeyword {
+		return false
+	}
+	switch l.Tokens[0].Text {
+	case "integer", "real", "logical", "character":
+		return true
+	}
+	return false
+}
+
+// parseDeclLine parses `real(8), intent(in), allocatable :: a(:), b(n), s`.
+func (p *fparser) parseDeclLine(l Line) (*minic.ASTNode, error) {
+	toks := l.Tokens
+	i := 0
+	base := toks[i].Text
+	i++
+	kind := ""
+	if i < len(toks) && toks[i].IsPunct("(") {
+		depth := 0
+		for ; i < len(toks); i++ {
+			if toks[i].IsPunct("(") {
+				depth++
+			} else if toks[i].IsPunct(")") {
+				depth--
+				if depth == 0 {
+					i++
+					break
+				}
+			} else if toks[i].Kind == minic.TokNumber {
+				kind = toks[i].Text
+			}
+		}
+	}
+	var attrs []string
+	for i < len(toks) && toks[i].IsPunct(",") {
+		i++
+		if i < len(toks) && (toks[i].Kind == minic.TokKeyword || toks[i].Kind == minic.TokIdent) {
+			attrs = append(attrs, toks[i].Text)
+			i++
+			// skip attribute arguments like intent(in), dimension(:)
+			if i < len(toks) && toks[i].IsPunct("(") {
+				depth := 0
+				for ; i < len(toks); i++ {
+					if toks[i].IsPunct("(") {
+						depth++
+					} else if toks[i].IsPunct(")") {
+						depth--
+						if depth == 0 {
+							i++
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	if i < len(toks) && toks[i].IsPunct("::") {
+		i++
+	}
+	ds := minic.NewAST(minic.KDeclStmt, l.Pos)
+	allocatable := false
+	dimension := false
+	for _, a := range attrs {
+		if a == "allocatable" {
+			allocatable = true
+		}
+		if a == "dimension" {
+			dimension = true
+		}
+	}
+	// declarators
+	for i < len(toks) {
+		if toks[i].IsPunct(",") {
+			i++
+			continue
+		}
+		if toks[i].Kind != minic.TokIdent {
+			i++
+			continue
+		}
+		v := minic.NewAST(minic.KVarDecl, toks[i].Pos)
+		v.Name = toks[i].Text
+		ty := minic.NewAST(minic.KBuiltinType, toks[i].Pos)
+		ty.Extra = base
+		if kind != "" {
+			ty.Extra = base + kind
+		}
+		v.Add(ty)
+		i++
+		isArray := allocatable || dimension
+		if i < len(toks) && toks[i].IsPunct("(") {
+			isArray = true
+			depth := 0
+			for ; i < len(toks); i++ {
+				if toks[i].IsPunct("(") {
+					depth++
+				} else if toks[i].IsPunct(")") {
+					depth--
+					if depth == 0 {
+						i++
+						break
+					}
+				}
+			}
+		}
+		if isArray {
+			p.arrays[v.Name] = true
+			v.Add(minic.NewAST(minic.KPointerType, v.Pos)) // array-of shape marker
+		}
+		// initialiser: name = expr (up to next top-level comma)
+		if i < len(toks) && toks[i].IsPunct("=") {
+			i++
+			start := i
+			depth := 0
+			for ; i < len(toks); i++ {
+				if toks[i].IsPunct("(") {
+					depth++
+				} else if toks[i].IsPunct(")") {
+					depth--
+				} else if toks[i].IsPunct(",") && depth == 0 {
+					break
+				}
+			}
+			e := &exprParser{toks: toks[start:i], arrays: p.arrays}
+			init, err := e.parse()
+			if err != nil {
+				return nil, p.errorf(l.Pos, "%v", err)
+			}
+			v.Add(init)
+		}
+		ds.Add(v)
+	}
+	return ds, nil
+}
+
+// parseDo handles `do i = 1, n[, step]`, `do while (cond)`, and
+// `do concurrent (i = 1:n)`.
+func (p *fparser) parseDo() (*minic.ASTNode, error) {
+	l := p.advance()
+	toks := l.Tokens
+	if len(toks) >= 2 && toks[1].IsKeyword("while") {
+		// do while (cond)
+		e := &exprParser{toks: toks[2:], arrays: p.arrays}
+		cond, err := e.parse()
+		if err != nil {
+			return nil, p.errorf(l.Pos, "%v", err)
+		}
+		body, err := p.parseBlockUntilEndDo(l.Pos)
+		if err != nil {
+			return nil, err
+		}
+		return minic.NewAST(minic.KWhileStmt, l.Pos, cond, body), nil
+	}
+	concurrent := len(toks) >= 2 && toks[1].IsKeyword("concurrent")
+	// find `ident = lo , hi [, step]` or concurrent `( ident = lo : hi )`
+	i := 1
+	if concurrent {
+		i = 2
+	}
+	// skip optional (
+	for i < len(toks) && toks[i].IsPunct("(") {
+		i++
+	}
+	if i >= len(toks) || toks[i].Kind != minic.TokIdent {
+		return nil, p.errorf(l.Pos, "malformed do header: %q", lineText(l))
+	}
+	ivar := toks[i].Text
+	i++
+	if i < len(toks) && toks[i].IsPunct("=") {
+		i++
+	}
+	sep := ","
+	if concurrent {
+		sep = ":"
+	}
+	loToks, hiToks, stepToks := splitBounds(toks[i:], sep)
+	loE := &exprParser{toks: loToks, arrays: p.arrays}
+	lo, err := loE.parse()
+	if err != nil {
+		return nil, p.errorf(l.Pos, "%v", err)
+	}
+	hiE := &exprParser{toks: hiToks, arrays: p.arrays}
+	hi, err := hiE.parse()
+	if err != nil {
+		return nil, p.errorf(l.Pos, "%v", err)
+	}
+	body, err := p.parseBlockUntilEndDo(l.Pos)
+	if err != nil {
+		return nil, err
+	}
+
+	// synthesize the canonical ForStmt shape: init, cond, inc, body
+	n := minic.NewAST(minic.KForStmt, l.Pos)
+	if concurrent {
+		n.Extra = "concurrent"
+	}
+	iv := minic.NewAST(minic.KVarDecl, l.Pos)
+	iv.Name = ivar
+	ity := minic.NewAST(minic.KBuiltinType, l.Pos)
+	ity.Extra = "integer"
+	iv.Add(ity, lo)
+	init := minic.NewAST(minic.KDeclStmt, l.Pos, iv)
+
+	ref := minic.NewAST(minic.KDeclRefExpr, l.Pos)
+	ref.Name = ivar
+	cond := minic.NewAST(minic.KBinaryOperator, l.Pos, ref, hi)
+	cond.Extra = "<="
+
+	ref2 := minic.NewAST(minic.KDeclRefExpr, l.Pos)
+	ref2.Name = ivar
+	var inc *minic.ASTNode
+	if len(stepToks) > 0 {
+		stepE := &exprParser{toks: stepToks, arrays: p.arrays}
+		step, err := stepE.parse()
+		if err != nil {
+			return nil, p.errorf(l.Pos, "%v", err)
+		}
+		add := minic.NewAST(minic.KBinaryOperator, l.Pos, ref2, step)
+		add.Extra = "+="
+		inc = add
+	} else {
+		inc = minic.NewAST(minic.KUnaryOperator, l.Pos, ref2)
+		inc.Extra = "++"
+	}
+	n.Add(init, cond, inc, body)
+	return n, nil
+}
+
+// splitBounds splits `lo SEP hi [, step] [)]` token runs.
+func splitBounds(toks []minic.Token, sep string) (lo, hi, step []minic.Token) {
+	depth := 0
+	part := 0
+	for _, t := range toks {
+		if t.IsPunct("(") {
+			depth++
+		}
+		if t.IsPunct(")") {
+			if depth == 0 {
+				break // closing paren of do-concurrent header
+			}
+			depth--
+		}
+		if depth == 0 && (t.IsPunct(sep) || (part >= 1 && t.IsPunct(","))) {
+			part++
+			continue
+		}
+		switch part {
+		case 0:
+			lo = append(lo, t)
+		case 1:
+			hi = append(hi, t)
+		default:
+			step = append(step, t)
+		}
+	}
+	return lo, hi, step
+}
+
+func (p *fparser) parseBlockUntilEndDo(pos srcloc.Pos) (*minic.ASTNode, error) {
+	body := minic.NewAST(minic.KCompoundStmt, pos)
+	for !p.atEnd() {
+		cur := p.cur()
+		if isEndLine(cur, "do") {
+			p.advance()
+			return body, nil
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			body.Add(s)
+		}
+	}
+	return nil, p.errorf(pos, "unterminated do")
+}
+
+func (p *fparser) parseIf() (*minic.ASTNode, error) {
+	l := p.advance()
+	toks := l.Tokens
+	// extract (cond)
+	i := 1
+	if i >= len(toks) || !toks[i].IsPunct("(") {
+		return nil, p.errorf(l.Pos, "malformed if")
+	}
+	depth := 0
+	start := i + 1
+	condEnd := -1
+	for ; i < len(toks); i++ {
+		if toks[i].IsPunct("(") {
+			depth++
+		} else if toks[i].IsPunct(")") {
+			depth--
+			if depth == 0 {
+				condEnd = i
+				break
+			}
+		}
+	}
+	if condEnd < 0 {
+		return nil, p.errorf(l.Pos, "unbalanced if condition")
+	}
+	e := &exprParser{toks: toks[start:condEnd], arrays: p.arrays}
+	cond, err := e.parse()
+	if err != nil {
+		return nil, p.errorf(l.Pos, "%v", err)
+	}
+	rest := toks[condEnd+1:]
+	if len(rest) > 0 && rest[0].IsKeyword("then") {
+		// block if
+		thenB := minic.NewAST(minic.KCompoundStmt, l.Pos)
+		n := minic.NewAST(minic.KIfStmt, l.Pos, cond, thenB)
+		curBlock := thenB
+		for !p.atEnd() {
+			cur := p.cur()
+			if isEndLine(cur, "if") {
+				p.advance()
+				return n, nil
+			}
+			if lineStarts(cur, "else") {
+				p.advance()
+				elseB := minic.NewAST(minic.KCompoundStmt, cur.Pos)
+				n.Add(elseB)
+				curBlock = elseB
+				continue
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			if s != nil {
+				curBlock.Add(s)
+			}
+		}
+		return nil, p.errorf(l.Pos, "unterminated if")
+	}
+	// one-line if: `if (cond) stmt`
+	inner, err := p.parseAssignmentTokens(rest, l.Pos)
+	if err != nil {
+		return nil, err
+	}
+	return minic.NewAST(minic.KIfStmt, l.Pos, cond, inner), nil
+}
+
+// parseAssignmentLine parses `designator = expr` or a bare call expression.
+func (p *fparser) parseAssignmentLine(l Line) (*minic.ASTNode, error) {
+	return p.parseAssignmentTokens(l.Tokens, l.Pos)
+}
+
+func (p *fparser) parseAssignmentTokens(toks []minic.Token, pos srcloc.Pos) (*minic.ASTNode, error) {
+	if len(toks) == 0 {
+		return nil, nil
+	}
+	// special one-line statements reachable from one-line if
+	if toks[0].IsKeyword("exit") {
+		return minic.NewAST(minic.KBreakStmt, pos), nil
+	}
+	if toks[0].IsKeyword("cycle") {
+		return minic.NewAST(minic.KContinueStmt, pos), nil
+	}
+	if toks[0].IsKeyword("call") {
+		e := &exprParser{toks: toks[1:], arrays: p.arrays, forceCall: true}
+		callee, err := e.parse()
+		if err != nil {
+			return nil, p.errorf(pos, "%v", err)
+		}
+		return minic.NewAST(minic.KExprStmt, pos, callee), nil
+	}
+	// find top-level `=`
+	depth := 0
+	eq := -1
+	for i, t := range toks {
+		if t.IsPunct("(") {
+			depth++
+		} else if t.IsPunct(")") {
+			depth--
+		} else if t.IsPunct("=") && depth == 0 {
+			eq = i
+			break
+		}
+	}
+	if eq < 0 {
+		e := &exprParser{toks: toks, arrays: p.arrays}
+		ex, err := e.parse()
+		if err != nil {
+			return nil, p.errorf(pos, "%v", err)
+		}
+		return minic.NewAST(minic.KExprStmt, pos, ex), nil
+	}
+	le := &exprParser{toks: toks[:eq], arrays: p.arrays}
+	lhs, err := le.parse()
+	if err != nil {
+		return nil, p.errorf(pos, "%v", err)
+	}
+	re := &exprParser{toks: toks[eq+1:], arrays: p.arrays}
+	rhs, err := re.parse()
+	if err != nil {
+		return nil, p.errorf(pos, "%v", err)
+	}
+	assign := minic.NewAST(minic.KBinaryOperator, pos, lhs, rhs)
+	assign.Extra = "="
+	// whole-array or section assignment: a distinct semantic form — the
+	// frontend scalarises it into an implicit loop (GENERIC represents
+	// these with dedicated array-expression nodes).
+	if isArrayValued(lhs) {
+		assign.Extra = "=.array"
+	}
+	return minic.NewAST(minic.KExprStmt, pos, assign), nil
+}
+
+func isArrayValued(e *minic.ASTNode) bool {
+	switch e.Kind {
+	case "ArraySectionExpr":
+		return true
+	case minic.KDeclRefExpr:
+		return e.Extra == "array"
+	}
+	return false
+}
+
+// parseDirective converts a `!$omp` directive into the structured directive
+// node (attached to the following statement when one exists), and drops
+// `!$acc` directives from the AST entirely, matching GFortran's behaviour
+// when OpenACC lowering is inactive.
+func (p *fparser) parseDirective(l Line) (*minic.ASTNode, error) {
+	if strings.HasPrefix(l.Directive, "!$acc") {
+		return nil, nil // perceived-only: visible in T_src, absent from T_sem
+	}
+	text := "#pragma " + strings.TrimPrefix(strings.TrimPrefix(l.Directive, "!$"), " ")
+	if strings.HasPrefix(l.Directive, "!$omp end") {
+		return nil, nil // region close marker
+	}
+	var body *minic.ASTNode
+	if !p.atEnd() {
+		cur := p.cur()
+		if lineStarts(cur, "do") {
+			b, err := p.parseDo()
+			if err != nil {
+				return nil, err
+			}
+			body = b
+		} else if cur.Directive == "" && !lineStarts(cur, "end") {
+			b, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			body = b
+		}
+	}
+	return minic.ParsePragmaText(text, l.Pos, body), nil
+}
+
+func (p *fparser) directiveNode(l Line, body *minic.ASTNode) *minic.ASTNode {
+	n, err := p.parseDirectiveStandalone(l, body)
+	if err != nil || n == nil {
+		return minic.NewAST(minic.KNullStmt, l.Pos)
+	}
+	return n
+}
+
+func (p *fparser) parseDirectiveStandalone(l Line, body *minic.ASTNode) (*minic.ASTNode, error) {
+	if strings.HasPrefix(l.Directive, "!$acc") {
+		return nil, nil
+	}
+	text := "#pragma " + strings.TrimPrefix(l.Directive, "!$")
+	return minic.ParsePragmaText(text, l.Pos, body), nil
+}
+
+// --- expressions ------------------------------------------------------------
+
+type exprParser struct {
+	toks      []minic.Token
+	pos       int
+	arrays    map[string]bool
+	forceCall bool // first primary is a call even without array knowledge
+}
+
+func (e *exprParser) cur() minic.Token {
+	if e.pos < len(e.toks) {
+		return e.toks[e.pos]
+	}
+	return minic.Token{Kind: minic.TokEOF}
+}
+
+func (e *exprParser) next() minic.Token {
+	t := e.cur()
+	e.pos++
+	return t
+}
+
+func (e *exprParser) parse() (*minic.ASTNode, error) {
+	n, err := e.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if e.pos < len(e.toks) {
+		return nil, fmt.Errorf("trailing tokens at %s", e.cur().Pos)
+	}
+	return n, nil
+}
+
+var fortranPrec = map[string]int{
+	".or.": 1, ".and.": 2,
+	"==": 3, "/=": 3, "<": 3, ">": 3, "<=": 3, ">=": 3,
+	"+": 4, "-": 4,
+	"*": 5, "/": 5,
+	"**": 6,
+}
+
+// peekOp recognises an operator at the cursor, including the dotted logical
+// operators which arrive as three tokens.
+func (e *exprParser) peekOp() (string, int) {
+	t := e.cur()
+	if t.Kind == minic.TokPunct {
+		if t.Text == "." && e.pos+2 < len(e.toks) &&
+			e.toks[e.pos+1].Kind == minic.TokIdent && e.toks[e.pos+2].IsPunct(".") {
+			op := "." + e.toks[e.pos+1].Text + "."
+			if _, ok := fortranPrec[op]; ok {
+				return op, 3
+			}
+		}
+		if _, ok := fortranPrec[t.Text]; ok {
+			return t.Text, 1
+		}
+	}
+	return "", 0
+}
+
+func (e *exprParser) parseBinary(minPrec int) (*minic.ASTNode, error) {
+	lhs, err := e.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, width := e.peekOp()
+		if op == "" || fortranPrec[op] < minPrec {
+			return lhs, nil
+		}
+		pos := e.cur().Pos
+		e.pos += width
+		nextPrec := fortranPrec[op] + 1
+		if op == "**" {
+			nextPrec = fortranPrec[op] // right associative
+		}
+		rhs, err := e.parseBinary(nextPrec)
+		if err != nil {
+			return nil, err
+		}
+		n := minic.NewAST(minic.KBinaryOperator, pos, lhs, rhs)
+		n.Extra = op
+		lhs = n
+	}
+}
+
+func (e *exprParser) parseUnary() (*minic.ASTNode, error) {
+	t := e.cur()
+	if t.IsPunct("-") || t.IsPunct("+") {
+		e.next()
+		operand, err := e.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		n := minic.NewAST(minic.KUnaryOperator, t.Pos, operand)
+		n.Extra = t.Text
+		return n, nil
+	}
+	if t.IsPunct(".") && e.pos+2 < len(e.toks) && e.toks[e.pos+1].Text == "not" {
+		pos := t.Pos
+		e.pos += 3
+		operand, err := e.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		n := minic.NewAST(minic.KUnaryOperator, pos, operand)
+		n.Extra = "!"
+		return n, nil
+	}
+	return e.parsePrimary()
+}
+
+func (e *exprParser) parsePrimary() (*minic.ASTNode, error) {
+	t := e.next()
+	switch {
+	case t.Kind == minic.TokNumber:
+		if strings.ContainsAny(t.Text, ".ed") {
+			n := minic.NewAST(minic.KFloatingLiteral, t.Pos)
+			n.Extra = t.Text
+			return n, nil
+		}
+		n := minic.NewAST(minic.KIntegerLiteral, t.Pos)
+		n.Extra = t.Text
+		return n, nil
+	case t.Kind == minic.TokString:
+		return minic.NewAST(minic.KStringLiteral, t.Pos), nil
+	case t.IsPunct("("):
+		inner, err := e.parseBinary(0)
+		if err != nil {
+			return nil, err
+		}
+		if !e.cur().IsPunct(")") {
+			return nil, fmt.Errorf("expected ) at %s", e.cur().Pos)
+		}
+		e.next()
+		return minic.NewAST(minic.KParenExpr, t.Pos, inner), nil
+	case t.Kind == minic.TokIdent || t.Kind == minic.TokKeyword:
+		name := t.Text
+		if !e.cur().IsPunct("(") {
+			ref := minic.NewAST(minic.KDeclRefExpr, t.Pos)
+			ref.Name = name
+			if e.arrays[name] {
+				ref.Extra = "array"
+			}
+			return ref, nil
+		}
+		e.next() // (
+		var args []*minic.ASTNode
+		section := false
+		for !e.cur().IsPunct(")") && e.cur().Kind != minic.TokEOF {
+			if e.cur().IsPunct(":") {
+				// bare or bounded section marker
+				section = true
+				e.next()
+				continue
+			}
+			arg, err := e.parseBinary(0)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, arg)
+			if e.cur().IsPunct(",") || e.cur().IsPunct(":") {
+				if e.cur().IsPunct(":") {
+					section = true
+				}
+				e.next()
+			}
+		}
+		if e.cur().Kind == minic.TokEOF {
+			return nil, fmt.Errorf("unterminated argument list for %q", name)
+		}
+		e.next() // )
+		isArray := e.arrays[name]
+		switch {
+		case section:
+			n := minic.NewAST("ArraySectionExpr", t.Pos)
+			n.Name = name
+			n.Add(args...)
+			return n, nil
+		case isArray && !e.forceCallFirst():
+			sub := minic.NewAST(minic.KDeclRefExpr, t.Pos)
+			sub.Name = name
+			n := minic.NewAST(minic.KArraySubscript, t.Pos, sub)
+			n.Add(args...)
+			return n, nil
+		default:
+			ref := minic.NewAST(minic.KDeclRefExpr, t.Pos)
+			ref.Name = name
+			call := minic.NewAST(minic.KCallExpr, t.Pos, ref)
+			call.Add(args...)
+			return call, nil
+		}
+	default:
+		return nil, fmt.Errorf("unexpected token %s", t)
+	}
+}
+
+// forceCallFirst consumes the forceCall flag (used for `call sub(...)`
+// statements where the name is a subroutine even if not declared).
+func (e *exprParser) forceCallFirst() bool {
+	if e.forceCall {
+		e.forceCall = false
+		return true
+	}
+	return false
+}

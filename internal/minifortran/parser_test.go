@@ -1,0 +1,477 @@
+package minifortran
+
+import (
+	"strings"
+	"testing"
+
+	"silvervale/internal/minic"
+	"silvervale/internal/tree"
+)
+
+const streamTriad = `
+program stream
+  implicit none
+  integer, parameter :: n = 1024
+  real(8) :: a(n), b(n), c(n)
+  real(8) :: scalar
+  integer :: i
+  scalar = 0.4d0
+  do i = 1, n
+    a(i) = b(i) + scalar * c(i)
+  end do
+end program stream
+`
+
+func parse(t *testing.T, src string) *minic.ASTNode {
+	t.Helper()
+	unit, err := ParseUnit(src, "test.f90")
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	return unit
+}
+
+func countKind(n *minic.ASTNode, kind string) int {
+	c := 0
+	n.Walk(func(m *minic.ASTNode) bool {
+		if m.Kind == kind {
+			c++
+		}
+		return true
+	})
+	return c
+}
+
+func findKind(n *minic.ASTNode, kind string) *minic.ASTNode {
+	var out *minic.ASTNode
+	n.Walk(func(m *minic.ASTNode) bool {
+		if out == nil && m.Kind == kind {
+			out = m
+		}
+		return out == nil
+	})
+	return out
+}
+
+func TestParseProgram(t *testing.T) {
+	unit := parse(t, streamTriad)
+	if unit.Extra != "fortran" {
+		t.Fatal("unit not marked fortran")
+	}
+	fn := findKind(unit, minic.KFunctionDecl)
+	if fn == nil || fn.Name != "stream" || fn.Extra != "program" {
+		t.Fatalf("program unit = %v", fn)
+	}
+	if countKind(unit, minic.KForStmt) != 1 {
+		t.Fatal("do loop missing")
+	}
+	if countKind(unit, minic.KArraySubscript) != 3 {
+		t.Fatalf("array refs = %d, want 3", countKind(unit, minic.KArraySubscript))
+	}
+}
+
+func TestParseDoLoopShape(t *testing.T) {
+	unit := parse(t, streamTriad)
+	loop := findKind(unit, minic.KForStmt)
+	if len(loop.Children) != 4 {
+		t.Fatalf("ForStmt children = %d, want 4 (init, cond, inc, body)", len(loop.Children))
+	}
+	if loop.Children[0].Kind != minic.KDeclStmt {
+		t.Fatalf("init = %v", loop.Children[0].Kind)
+	}
+	if loop.Children[1].Kind != minic.KBinaryOperator || loop.Children[1].Extra != "<=" {
+		t.Fatalf("cond = %v %v", loop.Children[1].Kind, loop.Children[1].Extra)
+	}
+	if loop.Children[3].Kind != minic.KCompoundStmt {
+		t.Fatalf("body = %v", loop.Children[3].Kind)
+	}
+}
+
+func TestParseDoConcurrent(t *testing.T) {
+	unit := parse(t, `
+program p
+  real(8) :: a(100)
+  integer :: i
+  do concurrent (i = 1:100)
+    a(i) = 1.0d0
+  end do
+end program p
+`)
+	loop := findKind(unit, minic.KForStmt)
+	if loop == nil || loop.Extra != "concurrent" {
+		t.Fatalf("do concurrent not marked: %v", loop)
+	}
+}
+
+func TestParseDoWithStep(t *testing.T) {
+	unit := parse(t, `
+program p
+  integer :: i, s
+  s = 0
+  do i = 1, 100, 2
+    s = s + i
+  end do
+end program p
+`)
+	loop := findKind(unit, minic.KForStmt)
+	if loop.Children[2].Kind != minic.KBinaryOperator || loop.Children[2].Extra != "+=" {
+		t.Fatalf("step increment = %v %q", loop.Children[2].Kind, loop.Children[2].Extra)
+	}
+}
+
+func TestParseDoWhile(t *testing.T) {
+	unit := parse(t, `
+program p
+  integer :: i
+  i = 0
+  do while (i < 10)
+    i = i + 1
+  end do
+end program p
+`)
+	if findKind(unit, minic.KWhileStmt) == nil {
+		t.Fatal("do while missing")
+	}
+}
+
+func TestParseArrayAssignmentMarked(t *testing.T) {
+	unit := parse(t, `
+program p
+  real(8) :: a(100), b(100), c(100)
+  real(8) :: s
+  a = b + s * c
+  s = 1.0d0
+end program p
+`)
+	var arrayAssign, scalarAssign bool
+	unit.Walk(func(m *minic.ASTNode) bool {
+		if m.Kind == minic.KBinaryOperator {
+			if m.Extra == "=.array" {
+				arrayAssign = true
+			}
+			if m.Extra == "=" {
+				scalarAssign = true
+			}
+		}
+		return true
+	})
+	if !arrayAssign {
+		t.Fatal("whole-array assignment must carry a distinct semantic form")
+	}
+	if !scalarAssign {
+		t.Fatal("scalar assignment missing")
+	}
+}
+
+func TestParseArraySection(t *testing.T) {
+	unit := parse(t, `
+program p
+  real(8) :: a(100), b(100)
+  a(:) = b(1:50)
+end program p
+`)
+	if countKind(unit, "ArraySectionExpr") != 2 {
+		t.Fatalf("sections = %d, want 2", countKind(unit, "ArraySectionExpr"))
+	}
+}
+
+func TestParseOMPDirective(t *testing.T) {
+	unit := parse(t, `
+program p
+  real(8) :: a(100), b(100)
+  integer :: i
+  !$omp parallel do
+  do i = 1, 100
+    a(i) = b(i)
+  end do
+  !$omp end parallel do
+end program p
+`)
+	d := findKind(unit, minic.KOMPDirective)
+	if d == nil {
+		t.Fatal("OpenMP directive missing from Fortran AST")
+	}
+	if d.Extra != "omp_parallel_do" {
+		t.Fatalf("directive = %q", d.Extra)
+	}
+	if findKind(d, minic.KForStmt) == nil {
+		t.Fatal("loop not associated with directive")
+	}
+}
+
+func TestParseOMPReduction(t *testing.T) {
+	unit := parse(t, `
+program p
+  real(8) :: a(100), s
+  integer :: i
+  s = 0.0d0
+  !$omp parallel do reduction(+:s)
+  do i = 1, 100
+    s = s + a(i)
+  end do
+end program p
+`)
+	d := findKind(unit, minic.KOMPDirective)
+	var reduction *minic.ASTNode
+	d.Walk(func(m *minic.ASTNode) bool {
+		if m.Kind == minic.KOMPClause && m.Extra == "reduction" {
+			reduction = m
+		}
+		return true
+	})
+	if reduction == nil {
+		t.Fatal("reduction clause missing")
+	}
+}
+
+func TestOpenACCDroppedFromAST(t *testing.T) {
+	withACC := parse(t, `
+program p
+  real(8) :: a(100), b(100)
+  integer :: i
+  !$acc parallel loop
+  do i = 1, 100
+    a(i) = b(i)
+  end do
+  !$acc end parallel loop
+end program p
+`)
+	plain := parse(t, `
+program p
+  real(8) :: a(100), b(100)
+  integer :: i
+  do i = 1, 100
+    a(i) = b(i)
+  end do
+end program p
+`)
+	// GCC-faithful: OpenACC introduces no parallel tokens at the T_sem level
+	a := minic.BuildSemTree(withACC)
+	b := minic.BuildSemTree(plain)
+	if !tree.Equal(a, b) {
+		t.Fatalf("OpenACC must be invisible in T_sem:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestOpenACCVisibleInSrcTree(t *testing.T) {
+	src := `
+program p
+  real(8) :: a(100)
+  integer :: i
+  !$acc parallel loop
+  do i = 1, 100
+    a(i) = 1.0d0
+  end do
+end program p
+`
+	st := BuildSrcTree(src, "p.f90")
+	found := false
+	st.Walk(func(n *tree.Node) bool {
+		if strings.HasPrefix(n.Label, "directive-word:!$acc") {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatalf("OpenACC directive must remain visible in T_src:\n%s", st.Pretty())
+	}
+}
+
+func TestParseSubroutineAndCall(t *testing.T) {
+	unit := parse(t, `
+module kernels
+contains
+  subroutine triad(a, b, c, s, n)
+    integer, intent(in) :: n
+    real(8), intent(inout) :: a(n)
+    real(8), intent(in) :: b(n), c(n)
+    real(8), intent(in) :: s
+    integer :: i
+    do i = 1, n
+      a(i) = b(i) + s * c(i)
+    end do
+  end subroutine triad
+end module kernels
+
+program main
+  use kernels
+  real(8) :: x(10), y(10), z(10)
+  call triad(x, y, z, 0.4d0, 10)
+end program main
+`)
+	mod := findKind(unit, minic.KNamespaceDecl)
+	if mod == nil || mod.Name != "kernels" {
+		t.Fatalf("module = %v", mod)
+	}
+	sub := findKind(mod, minic.KFunctionDecl)
+	if sub == nil || sub.Name != "triad" || sub.Extra != "subroutine" {
+		t.Fatalf("subroutine = %v", sub)
+	}
+	if countKind(sub, minic.KParmVarDecl) != 5 {
+		t.Fatalf("params = %d, want 5", countKind(sub, minic.KParmVarDecl))
+	}
+	call := findKind(unit, minic.KCallExpr)
+	if call == nil {
+		t.Fatal("call missing")
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	unit := parse(t, `
+program p
+  integer :: x
+  x = 5
+  if (x > 3) then
+    x = 1
+  else
+    x = 2
+  end if
+  if (x == 1) x = 0
+end program p
+`)
+	if countKind(unit, minic.KIfStmt) != 2 {
+		t.Fatalf("ifs = %d", countKind(unit, minic.KIfStmt))
+	}
+	blockIf := findKind(unit, minic.KIfStmt)
+	if len(blockIf.Children) != 3 {
+		t.Fatalf("block if children = %d, want 3 (cond, then, else)", len(blockIf.Children))
+	}
+}
+
+func TestParseAllocate(t *testing.T) {
+	unit := parse(t, `
+program p
+  real(8), allocatable :: a(:)
+  allocate(a(1024))
+  a(1) = 0.0d0
+  deallocate(a)
+end program p
+`)
+	calls := countKind(unit, minic.KCallExpr)
+	if calls != 2 {
+		t.Fatalf("allocate/deallocate calls = %d", calls)
+	}
+	// `a` is allocatable, so a(1) is a subscript, not a call
+	if countKind(unit, minic.KArraySubscript) != 1 {
+		t.Fatal("allocatable array subscript misparsed")
+	}
+}
+
+func TestParseLogicalOps(t *testing.T) {
+	unit := parse(t, `
+program p
+  integer :: i, n
+  logical :: ok
+  i = 1
+  n = 2
+  ok = i < n .and. n > 0 .or. .not. (i == 0)
+end program p
+`)
+	ops := map[string]bool{}
+	unit.Walk(func(m *minic.ASTNode) bool {
+		if m.Kind == minic.KBinaryOperator {
+			ops[m.Extra] = true
+		}
+		if m.Kind == minic.KUnaryOperator {
+			ops[m.Extra] = true
+		}
+		return true
+	})
+	if !ops[".and."] || !ops[".or."] || !ops["!"] {
+		t.Fatalf("logical ops = %v", ops)
+	}
+}
+
+func TestParsePower(t *testing.T) {
+	unit := parse(t, `
+program p
+  real(8) :: x
+  x = 2.0d0 ** 3 ** 2
+end program p
+`)
+	// right-associative: 2 ** (3 ** 2)
+	var top *minic.ASTNode
+	unit.Walk(func(m *minic.ASTNode) bool {
+		if top == nil && m.Kind == minic.KBinaryOperator && m.Extra == "**" {
+			top = m
+		}
+		return top == nil
+	})
+	if top == nil || top.Children[1].Kind != minic.KBinaryOperator {
+		t.Fatal("** must be right associative")
+	}
+}
+
+func TestParseContinuationLines(t *testing.T) {
+	unit := parse(t, `
+program p
+  real(8) :: a, b, c, d
+  a = b + &
+      c + &
+      d
+end program p
+`)
+	if countKind(unit, minic.KBinaryOperator) != 3 { // =, +, +
+		t.Fatalf("binops = %d", countKind(unit, minic.KBinaryOperator))
+	}
+}
+
+func TestParseErrorsHavePositions(t *testing.T) {
+	_, err := ParseUnit("program p\n  do i = \n  end do\nend program\n", "bad.f90")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "bad.f90") {
+		t.Fatalf("error lacks file: %v", err)
+	}
+}
+
+func TestSemTreeDropsFortranNames(t *testing.T) {
+	a := parse(t, "program one\n  integer :: x\n  x = 1\nend program one\n")
+	b := parse(t, "program two\n  integer :: y\n  y = 1\nend program two\n")
+	if !tree.Equal(minic.BuildSemTree(a), minic.BuildSemTree(b)) {
+		t.Fatal("renamed Fortran programs must have identical T_sem")
+	}
+}
+
+func TestSrcTreeBlocks(t *testing.T) {
+	st := BuildSrcTree(streamTriad, "s.f90")
+	blocks := 0
+	st.Walk(func(n *tree.Node) bool {
+		if n.Label == "block" {
+			blocks++
+		}
+		return true
+	})
+	if blocks != 2 { // program, do
+		t.Fatalf("blocks = %d, want 2\n%s", blocks, st.Pretty())
+	}
+}
+
+func TestTaskloopDirective(t *testing.T) {
+	unit := parse(t, `
+program p
+  real(8) :: a(100)
+  integer :: i
+  !$omp parallel
+  !$omp master
+  !$omp taskloop
+  do i = 1, 100
+    a(i) = 1.0d0
+  end do
+  !$omp end taskloop
+  !$omp end master
+  !$omp end parallel
+end program p
+`)
+	found := false
+	unit.Walk(func(m *minic.ASTNode) bool {
+		if m.Kind == minic.KOMPDirective && strings.Contains(m.Extra, "taskloop") {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("taskloop directive missing")
+	}
+}

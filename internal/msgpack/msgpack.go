@@ -1,0 +1,494 @@
+// Package msgpack implements the subset of the MessagePack serialisation
+// format needed by the Codebase DB (package cbdb). The paper stores the
+// portable set of semantic-bearing trees and metadata as Zstd-compressed
+// MessagePack; this package provides the MessagePack half (compression is
+// gzip from the standard library — see DESIGN.md substitutions).
+//
+// Supported types: nil, bool, int64, uint64, float64, string, []byte,
+// arrays, and string-keyed maps. Values decode into any / []any /
+// map[string]any.
+package msgpack
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Encoder writes MessagePack values to an underlying writer.
+type Encoder struct {
+	w   io.Writer
+	buf [9]byte
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Encode writes a single value. Maps are written with sorted keys so output
+// is deterministic.
+func (e *Encoder) Encode(v any) error {
+	switch x := v.(type) {
+	case nil:
+		return e.writeByte(0xc0)
+	case bool:
+		if x {
+			return e.writeByte(0xc3)
+		}
+		return e.writeByte(0xc2)
+	case int:
+		return e.EncodeInt(int64(x))
+	case int32:
+		return e.EncodeInt(int64(x))
+	case int64:
+		return e.EncodeInt(x)
+	case uint:
+		return e.EncodeUint(uint64(x))
+	case uint64:
+		return e.EncodeUint(x)
+	case float64:
+		return e.EncodeFloat(x)
+	case float32:
+		return e.EncodeFloat(float64(x))
+	case string:
+		return e.EncodeString(x)
+	case []byte:
+		return e.EncodeBytes(x)
+	case []any:
+		if err := e.EncodeArrayLen(len(x)); err != nil {
+			return err
+		}
+		for _, it := range x {
+			if err := e.Encode(it); err != nil {
+				return err
+			}
+		}
+		return nil
+	case []string:
+		if err := e.EncodeArrayLen(len(x)); err != nil {
+			return err
+		}
+		for _, it := range x {
+			if err := e.EncodeString(it); err != nil {
+				return err
+			}
+		}
+		return nil
+	case []int:
+		if err := e.EncodeArrayLen(len(x)); err != nil {
+			return err
+		}
+		for _, it := range x {
+			if err := e.EncodeInt(int64(it)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case []float64:
+		if err := e.EncodeArrayLen(len(x)); err != nil {
+			return err
+		}
+		for _, it := range x {
+			if err := e.EncodeFloat(it); err != nil {
+				return err
+			}
+		}
+		return nil
+	case map[string]any:
+		if err := e.EncodeMapLen(len(x)); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := e.EncodeString(k); err != nil {
+				return err
+			}
+			if err := e.Encode(x[k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("msgpack: unsupported type %T", v)
+	}
+}
+
+func (e *Encoder) writeByte(b byte) error {
+	e.buf[0] = b
+	_, err := e.w.Write(e.buf[:1])
+	return err
+}
+
+func (e *Encoder) write(p []byte) error {
+	_, err := e.w.Write(p)
+	return err
+}
+
+// EncodeInt writes a signed integer using the shortest encoding.
+func (e *Encoder) EncodeInt(v int64) error {
+	switch {
+	case v >= 0:
+		return e.EncodeUint(uint64(v))
+	case v >= -32:
+		return e.writeByte(byte(v))
+	case v >= math.MinInt8:
+		e.buf[0] = 0xd0
+		e.buf[1] = byte(v)
+		return e.write(e.buf[:2])
+	case v >= math.MinInt16:
+		e.buf[0] = 0xd1
+		binary.BigEndian.PutUint16(e.buf[1:], uint16(v))
+		return e.write(e.buf[:3])
+	case v >= math.MinInt32:
+		e.buf[0] = 0xd2
+		binary.BigEndian.PutUint32(e.buf[1:], uint32(v))
+		return e.write(e.buf[:5])
+	default:
+		e.buf[0] = 0xd3
+		binary.BigEndian.PutUint64(e.buf[1:], uint64(v))
+		return e.write(e.buf[:9])
+	}
+}
+
+// EncodeUint writes an unsigned integer using the shortest encoding.
+func (e *Encoder) EncodeUint(v uint64) error {
+	switch {
+	case v <= 0x7f:
+		return e.writeByte(byte(v))
+	case v <= math.MaxUint8:
+		e.buf[0] = 0xcc
+		e.buf[1] = byte(v)
+		return e.write(e.buf[:2])
+	case v <= math.MaxUint16:
+		e.buf[0] = 0xcd
+		binary.BigEndian.PutUint16(e.buf[1:], uint16(v))
+		return e.write(e.buf[:3])
+	case v <= math.MaxUint32:
+		e.buf[0] = 0xce
+		binary.BigEndian.PutUint32(e.buf[1:], uint32(v))
+		return e.write(e.buf[:5])
+	default:
+		e.buf[0] = 0xcf
+		binary.BigEndian.PutUint64(e.buf[1:], v)
+		return e.write(e.buf[:9])
+	}
+}
+
+// EncodeFloat writes a float64.
+func (e *Encoder) EncodeFloat(v float64) error {
+	e.buf[0] = 0xcb
+	binary.BigEndian.PutUint64(e.buf[1:], math.Float64bits(v))
+	return e.write(e.buf[:9])
+}
+
+// EncodeString writes a string header and payload.
+func (e *Encoder) EncodeString(s string) error {
+	n := len(s)
+	switch {
+	case n <= 31:
+		if err := e.writeByte(0xa0 | byte(n)); err != nil {
+			return err
+		}
+	case n <= math.MaxUint8:
+		e.buf[0] = 0xd9
+		e.buf[1] = byte(n)
+		if err := e.write(e.buf[:2]); err != nil {
+			return err
+		}
+	case n <= math.MaxUint16:
+		e.buf[0] = 0xda
+		binary.BigEndian.PutUint16(e.buf[1:], uint16(n))
+		if err := e.write(e.buf[:3]); err != nil {
+			return err
+		}
+	default:
+		e.buf[0] = 0xdb
+		binary.BigEndian.PutUint32(e.buf[1:], uint32(n))
+		if err := e.write(e.buf[:5]); err != nil {
+			return err
+		}
+	}
+	return e.write([]byte(s))
+}
+
+// EncodeBytes writes a binary blob.
+func (e *Encoder) EncodeBytes(p []byte) error {
+	n := len(p)
+	switch {
+	case n <= math.MaxUint8:
+		e.buf[0] = 0xc4
+		e.buf[1] = byte(n)
+		if err := e.write(e.buf[:2]); err != nil {
+			return err
+		}
+	case n <= math.MaxUint16:
+		e.buf[0] = 0xc5
+		binary.BigEndian.PutUint16(e.buf[1:], uint16(n))
+		if err := e.write(e.buf[:3]); err != nil {
+			return err
+		}
+	default:
+		e.buf[0] = 0xc6
+		binary.BigEndian.PutUint32(e.buf[1:], uint32(n))
+		if err := e.write(e.buf[:5]); err != nil {
+			return err
+		}
+	}
+	return e.write(p)
+}
+
+// EncodeArrayLen writes an array header for n elements.
+func (e *Encoder) EncodeArrayLen(n int) error {
+	switch {
+	case n <= 15:
+		return e.writeByte(0x90 | byte(n))
+	case n <= math.MaxUint16:
+		e.buf[0] = 0xdc
+		binary.BigEndian.PutUint16(e.buf[1:], uint16(n))
+		return e.write(e.buf[:3])
+	default:
+		e.buf[0] = 0xdd
+		binary.BigEndian.PutUint32(e.buf[1:], uint32(n))
+		return e.write(e.buf[:5])
+	}
+}
+
+// EncodeMapLen writes a map header for n pairs.
+func (e *Encoder) EncodeMapLen(n int) error {
+	switch {
+	case n <= 15:
+		return e.writeByte(0x80 | byte(n))
+	case n <= math.MaxUint16:
+		e.buf[0] = 0xde
+		binary.BigEndian.PutUint16(e.buf[1:], uint16(n))
+		return e.write(e.buf[:3])
+	default:
+		e.buf[0] = 0xdf
+		binary.BigEndian.PutUint32(e.buf[1:], uint32(n))
+		return e.write(e.buf[:5])
+	}
+}
+
+// Decoder reads MessagePack values.
+type Decoder struct {
+	r   io.Reader
+	buf [9]byte
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// Decode reads the next value. Integers decode as int64 (or uint64 when out
+// of int64 range), strings as string, arrays as []any, maps as
+// map[string]any.
+func (d *Decoder) Decode() (any, error) {
+	b, err := d.readByte()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case b <= 0x7f: // positive fixint
+		return int64(b), nil
+	case b >= 0xe0: // negative fixint
+		return int64(int8(b)), nil
+	case b >= 0xa0 && b <= 0xbf: // fixstr
+		return d.readString(int(b & 0x1f))
+	case b >= 0x90 && b <= 0x9f: // fixarray
+		return d.readArray(int(b & 0x0f))
+	case b >= 0x80 && b <= 0x8f: // fixmap
+		return d.readMap(int(b & 0x0f))
+	}
+	switch b {
+	case 0xc0:
+		return nil, nil
+	case 0xc2:
+		return false, nil
+	case 0xc3:
+		return true, nil
+	case 0xcc:
+		n, err := d.readN(1)
+		if err != nil {
+			return nil, err
+		}
+		return int64(n[0]), nil
+	case 0xcd:
+		n, err := d.readN(2)
+		if err != nil {
+			return nil, err
+		}
+		return int64(binary.BigEndian.Uint16(n)), nil
+	case 0xce:
+		n, err := d.readN(4)
+		if err != nil {
+			return nil, err
+		}
+		return int64(binary.BigEndian.Uint32(n)), nil
+	case 0xcf:
+		n, err := d.readN(8)
+		if err != nil {
+			return nil, err
+		}
+		u := binary.BigEndian.Uint64(n)
+		if u > math.MaxInt64 {
+			return u, nil
+		}
+		return int64(u), nil
+	case 0xd0:
+		n, err := d.readN(1)
+		if err != nil {
+			return nil, err
+		}
+		return int64(int8(n[0])), nil
+	case 0xd1:
+		n, err := d.readN(2)
+		if err != nil {
+			return nil, err
+		}
+		return int64(int16(binary.BigEndian.Uint16(n))), nil
+	case 0xd2:
+		n, err := d.readN(4)
+		if err != nil {
+			return nil, err
+		}
+		return int64(int32(binary.BigEndian.Uint32(n))), nil
+	case 0xd3:
+		n, err := d.readN(8)
+		if err != nil {
+			return nil, err
+		}
+		return int64(binary.BigEndian.Uint64(n)), nil
+	case 0xca:
+		n, err := d.readN(4)
+		if err != nil {
+			return nil, err
+		}
+		return float64(math.Float32frombits(binary.BigEndian.Uint32(n))), nil
+	case 0xcb:
+		n, err := d.readN(8)
+		if err != nil {
+			return nil, err
+		}
+		return math.Float64frombits(binary.BigEndian.Uint64(n)), nil
+	case 0xd9:
+		n, err := d.readN(1)
+		if err != nil {
+			return nil, err
+		}
+		return d.readString(int(n[0]))
+	case 0xda:
+		n, err := d.readN(2)
+		if err != nil {
+			return nil, err
+		}
+		return d.readString(int(binary.BigEndian.Uint16(n)))
+	case 0xdb:
+		n, err := d.readN(4)
+		if err != nil {
+			return nil, err
+		}
+		return d.readString(int(binary.BigEndian.Uint32(n)))
+	case 0xc4:
+		n, err := d.readN(1)
+		if err != nil {
+			return nil, err
+		}
+		return d.readN(int(n[0]))
+	case 0xc5:
+		n, err := d.readN(2)
+		if err != nil {
+			return nil, err
+		}
+		return d.readN(int(binary.BigEndian.Uint16(n)))
+	case 0xc6:
+		n, err := d.readN(4)
+		if err != nil {
+			return nil, err
+		}
+		return d.readN(int(binary.BigEndian.Uint32(n)))
+	case 0xdc:
+		n, err := d.readN(2)
+		if err != nil {
+			return nil, err
+		}
+		return d.readArray(int(binary.BigEndian.Uint16(n)))
+	case 0xdd:
+		n, err := d.readN(4)
+		if err != nil {
+			return nil, err
+		}
+		return d.readArray(int(binary.BigEndian.Uint32(n)))
+	case 0xde:
+		n, err := d.readN(2)
+		if err != nil {
+			return nil, err
+		}
+		return d.readMap(int(binary.BigEndian.Uint16(n)))
+	case 0xdf:
+		n, err := d.readN(4)
+		if err != nil {
+			return nil, err
+		}
+		return d.readMap(int(binary.BigEndian.Uint32(n)))
+	}
+	return nil, fmt.Errorf("msgpack: unsupported tag 0x%02x", b)
+}
+
+func (d *Decoder) readByte() (byte, error) {
+	if _, err := io.ReadFull(d.r, d.buf[:1]); err != nil {
+		return 0, err
+	}
+	return d.buf[0], nil
+}
+
+func (d *Decoder) readN(n int) ([]byte, error) {
+	p := make([]byte, n)
+	if _, err := io.ReadFull(d.r, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (d *Decoder) readString(n int) (string, error) {
+	p, err := d.readN(n)
+	if err != nil {
+		return "", err
+	}
+	return string(p), nil
+}
+
+func (d *Decoder) readArray(n int) ([]any, error) {
+	out := make([]any, n)
+	for i := 0; i < n; i++ {
+		v, err := d.Decode()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (d *Decoder) readMap(n int) (map[string]any, error) {
+	out := make(map[string]any, n)
+	for i := 0; i < n; i++ {
+		k, err := d.Decode()
+		if err != nil {
+			return nil, err
+		}
+		ks, ok := k.(string)
+		if !ok {
+			return nil, fmt.Errorf("msgpack: non-string map key %T", k)
+		}
+		v, err := d.Decode()
+		if err != nil {
+			return nil, err
+		}
+		out[ks] = v
+	}
+	return out, nil
+}

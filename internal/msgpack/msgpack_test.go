@@ -1,0 +1,197 @@
+package msgpack
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, v any) any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatalf("encode %v: %v", v, err)
+	}
+	out, err := NewDecoder(&buf).Decode()
+	if err != nil {
+		t.Fatalf("decode %v: %v", v, err)
+	}
+	return out
+}
+
+func TestScalars(t *testing.T) {
+	cases := []struct {
+		in   any
+		want any
+	}{
+		{nil, nil},
+		{true, true},
+		{false, false},
+		{int64(0), int64(0)},
+		{int64(42), int64(42)},
+		{int64(-1), int64(-1)},
+		{int64(-32), int64(-32)},
+		{int64(-33), int64(-33)},
+		{int64(127), int64(127)},
+		{int64(128), int64(128)},
+		{int64(math.MaxInt64), int64(math.MaxInt64)},
+		{int64(math.MinInt64), int64(math.MinInt64)},
+		{uint64(math.MaxUint64), uint64(math.MaxUint64)},
+		{3.14159, 3.14159},
+		{"", ""},
+		{"hello", "hello"},
+		{strings.Repeat("x", 40), strings.Repeat("x", 40)},
+		{strings.Repeat("y", 300), strings.Repeat("y", 300)},
+		{strings.Repeat("z", 70000), strings.Repeat("z", 70000)},
+	}
+	for _, c := range cases {
+		got := roundTrip(t, c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("round trip %v (%T): got %v (%T)", c.in, c.in, got, got)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	for _, n := range []int{0, 10, 256, 70000} {
+		in := bytes.Repeat([]byte{0xAB}, n)
+		got := roundTrip(t, in)
+		if !bytes.Equal(got.([]byte), in) {
+			t.Fatalf("bytes round trip failed for n=%d", n)
+		}
+	}
+}
+
+func TestArraysAndMaps(t *testing.T) {
+	in := map[string]any{
+		"name":  "tealeaf",
+		"model": "cuda",
+		"sizes": []any{int64(1), int64(2), int64(3)},
+		"nested": map[string]any{
+			"pi":   3.5,
+			"flag": true,
+		},
+	}
+	got := roundTrip(t, in)
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("map round trip:\n got %#v\nwant %#v", got, in)
+	}
+}
+
+func TestTypedSliceHelpers(t *testing.T) {
+	got := roundTrip(t, []string{"a", "b"})
+	if !reflect.DeepEqual(got, []any{"a", "b"}) {
+		t.Fatalf("[]string: %#v", got)
+	}
+	got = roundTrip(t, []int{4, 5})
+	if !reflect.DeepEqual(got, []any{int64(4), int64(5)}) {
+		t.Fatalf("[]int: %#v", got)
+	}
+	got = roundTrip(t, []float64{1.5})
+	if !reflect.DeepEqual(got, []any{1.5}) {
+		t.Fatalf("[]float64: %#v", got)
+	}
+}
+
+func TestLargeArray(t *testing.T) {
+	in := make([]any, 70000)
+	for i := range in {
+		in[i] = int64(i % 100)
+	}
+	got := roundTrip(t, in)
+	if !reflect.DeepEqual(got, in) {
+		t.Fatal("large array round trip failed")
+	}
+}
+
+func TestLargeMap(t *testing.T) {
+	in := make(map[string]any, 20)
+	for i := 0; i < 20; i++ {
+		in[strings.Repeat("k", i+1)] = int64(i)
+	}
+	got := roundTrip(t, in)
+	if !reflect.DeepEqual(got, in) {
+		t.Fatal("map round trip failed")
+	}
+}
+
+func TestDeterministicMapEncoding(t *testing.T) {
+	in := map[string]any{"b": int64(1), "a": int64(2), "c": int64(3)}
+	var b1, b2 bytes.Buffer
+	if err := NewEncoder(&b1).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewEncoder(&b2).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("map encoding must be deterministic (sorted keys)")
+	}
+}
+
+func TestUnsupportedType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).Encode(struct{}{}); err == nil {
+		t.Fatal("expected error for unsupported type")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).Encode("hello world"); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := NewDecoder(bytes.NewReader(raw[:len(raw)-3])).Decode(); err == nil {
+		t.Fatal("expected error for truncated input")
+	}
+}
+
+func TestPropertyIntRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf).Encode(v); err != nil {
+			return false
+		}
+		got, err := NewDecoder(&buf).Decode()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf).Encode(s); err != nil {
+			return false
+		}
+		got, err := NewDecoder(&buf).Decode()
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyFloatRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf).Encode(v); err != nil {
+			return false
+		}
+		got, err := NewDecoder(&buf).Decode()
+		if err != nil {
+			return false
+		}
+		g := got.(float64)
+		return g == v || (math.IsNaN(g) && math.IsNaN(v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

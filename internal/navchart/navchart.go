@@ -1,0 +1,88 @@
+// Package navchart joins the model-divergence metric with performance
+// portability into the navigation charts of Section VI (Fig. 13–15): Φ on
+// the vertical axis against TBMD divergence-from-serial on the horizontal
+// axis, with each model contributing a connected (T_sem, T_src) point pair.
+// The ideal model sits in the top-right quadrant: close to serial and
+// performance-portable.
+package navchart
+
+import (
+	"fmt"
+	"sort"
+
+	"silvervale/internal/corpus"
+	"silvervale/internal/perf"
+)
+
+// Point is one model's entry on the chart.
+type Point struct {
+	Model string
+	Phi   float64
+	// Tsem and Tsrc are normalised divergences from the base model
+	// (serial). Both belong to the same model; the chart draws a line
+	// between them — the gap reads as perceived-vs-semantic complexity.
+	Tsem float64
+	Tsrc float64
+}
+
+// Chart is a fully assembled navigation chart.
+type Chart struct {
+	App       string
+	Base      string // divergence base model (serial, or CUDA in Fig. 15)
+	Platforms []string
+	Points    []Point
+}
+
+// Build assembles a navigation chart from per-model divergences and the
+// performance model over the given platform set.
+func Build(app string, base string, tsem, tsrc map[string]float64, models []corpus.Model, plats []perf.Platform) *Chart {
+	ch := &Chart{App: app, Base: base}
+	for _, p := range plats {
+		ch.Platforms = append(ch.Platforms, p.Abbr)
+	}
+	for _, m := range models {
+		ch.Points = append(ch.Points, Point{
+			Model: string(m),
+			Phi:   perf.AppPhi(app, m, plats),
+			Tsem:  tsem[string(m)],
+			Tsrc:  tsrc[string(m)],
+		})
+	}
+	sort.Slice(ch.Points, func(i, j int) bool { return ch.Points[i].Model < ch.Points[j].Model })
+	return ch
+}
+
+// Best returns the model closest to the ideal top-right corner using the
+// score Φ - w*min(Tsem, Tsrc, 1): the navigation chart's reading of "which
+// model lands best", with w trading productivity against portability.
+func (c *Chart) Best(w float64) (Point, error) {
+	if len(c.Points) == 0 {
+		return Point{}, fmt.Errorf("navchart: empty chart")
+	}
+	best := c.Points[0]
+	bestScore := score(best, w)
+	for _, p := range c.Points[1:] {
+		if s := score(p, w); s > bestScore {
+			best = p
+			bestScore = s
+		}
+	}
+	return best, nil
+}
+
+func score(p Point, w float64) float64 {
+	d := p.Tsem
+	if p.Tsrc < d {
+		d = p.Tsrc
+	}
+	if d > 1 {
+		d = 1
+	}
+	return p.Phi - w*d
+}
+
+// Row renders one point as the report line used by the CLI and
+// EXPERIMENTS.md.
+func (p Point) Row() string {
+	return fmt.Sprintf("%-12s phi=%.3f  tsem=%.3f  tsrc=%.3f", p.Model, p.Phi, p.Tsem, p.Tsrc)
+}

@@ -1,0 +1,103 @@
+package navchart
+
+import (
+	"strings"
+	"testing"
+
+	"silvervale/internal/corpus"
+	"silvervale/internal/perf"
+)
+
+func sampleChart() *Chart {
+	tsem := map[string]float64{
+		"serial": 0, "omp": 0.05, "omp-target": 0.14,
+		"cuda": 0.61, "kokkos": 0.56, "sycl-acc": 0.77,
+	}
+	tsrc := map[string]float64{
+		"serial": 0, "omp": 0.04, "omp-target": 0.07,
+		"cuda": 0.60, "kokkos": 0.54, "sycl-acc": 0.74,
+	}
+	models := []corpus.Model{
+		corpus.Serial, corpus.OpenMP, corpus.OpenMPTarget,
+		corpus.CUDA, corpus.Kokkos, corpus.SYCLACC,
+	}
+	return Build("cloverleaf", "serial", tsem, tsrc, models, perf.Platforms())
+}
+
+func TestBuildJoinsPhiAndDivergence(t *testing.T) {
+	ch := sampleChart()
+	if len(ch.Points) != 6 {
+		t.Fatalf("points = %d", len(ch.Points))
+	}
+	byModel := map[string]Point{}
+	for _, p := range ch.Points {
+		byModel[p.Model] = p
+	}
+	if byModel["cuda"].Phi != 0 {
+		t.Error("CUDA Φ over six platforms must be 0")
+	}
+	if byModel["omp-target"].Phi <= 0 || byModel["kokkos"].Phi <= 0 {
+		t.Error("portable models must carry Φ > 0")
+	}
+	if byModel["omp-target"].Tsem != 0.14 {
+		t.Error("divergence not joined")
+	}
+	if len(ch.Platforms) != 6 {
+		t.Error("platform list missing")
+	}
+}
+
+// TestOMPTargetNearIdealCorner: the paper's reading of Fig. 13/14 — OpenMP
+// target encodes Kokkos-level semantics at near-zero source cost and lands
+// closest to the ideal top-right corner among portable models.
+func TestOMPTargetNearIdealCorner(t *testing.T) {
+	ch := sampleChart()
+	best, err := ch.Best(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Model != "omp-target" {
+		t.Errorf("best = %s, want omp-target\n%+v", best.Model, ch.Points)
+	}
+}
+
+func TestBestEmptyChart(t *testing.T) {
+	ch := &Chart{}
+	if _, err := ch.Best(1); err == nil {
+		t.Fatal("expected error on empty chart")
+	}
+}
+
+func TestRow(t *testing.T) {
+	p := Point{Model: "kokkos", Phi: 0.5, Tsem: 0.6, Tsrc: 0.55}
+	row := p.Row()
+	for _, want := range []string{"kokkos", "0.500", "0.600", "0.550"} {
+		if !strings.Contains(row, want) {
+			t.Fatalf("row %q missing %q", row, want)
+		}
+	}
+}
+
+// TestScenarioFig15: the vendor-diversification story — CUDA has Φ = 1 on
+// the NVIDIA-only platform set, collapses to 0 when AMD arrives, and the
+// portable models keep a usable Φ.
+func TestScenarioFig15(t *testing.T) {
+	h100, _ := perf.PlatformByAbbr("H100")
+	mi, _ := perf.PlatformByAbbr("MI250X")
+	nvOnly := []perf.Platform{h100}
+	both := []perf.Platform{h100, mi}
+
+	phiNV := perf.AppPhi("cloverleaf", corpus.CUDA, nvOnly)
+	if phiNV <= 0.9 {
+		t.Errorf("point 1: CUDA Φ on NVIDIA-only = %v, want ~1", phiNV)
+	}
+	phiBoth := perf.AppPhi("cloverleaf", corpus.CUDA, both)
+	if phiBoth != 0 {
+		t.Errorf("point 2: CUDA Φ after AMD arrives = %v, want 0", phiBoth)
+	}
+	for _, m := range []corpus.Model{corpus.Kokkos, corpus.SYCLACC, corpus.OpenMPTarget} {
+		if perf.AppPhi("cloverleaf", m, both) <= 0.5 {
+			t.Errorf("point 3 candidate %s should retain high Φ", m)
+		}
+	}
+}

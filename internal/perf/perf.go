@@ -1,0 +1,263 @@
+// Package perf simulates the performance-portability leg of the paper
+// (Section VI). The original study ran CloverLeaf and TeaLeaf on six
+// hardware platforms (Table III); without that hardware, this package
+// substitutes a platform performance model — per-platform roofline
+// parameters combined with a model-support/efficiency matrix encoding the
+// published qualitative landscape (CUDA is NVIDIA-only, HIP is AMD-first,
+// SYCL spans CPUs and all three GPU vendors, host OpenMP/TBB never offload,
+// …) plus deterministic per-app jitter. Φ, cascade plots (Sewall et al.),
+// and the navigation charts consume only these efficiencies, so the shape
+// of every figure is preserved (see DESIGN.md substitutions).
+package perf
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"silvervale/internal/corpus"
+)
+
+// Platform describes one row of Table III.
+type Platform struct {
+	Vendor   string
+	Name     string
+	Abbr     string
+	Kind     string // "cpu" or "gpu"
+	Topology string
+	// MemBW is aggregate memory bandwidth (GB/s) of the benchmark node;
+	// Peak is FP64 peak (GFLOP/s). Values are representative publicly
+	// documented figures, used only to produce plausible runtimes.
+	MemBW float64
+	Peak  float64
+}
+
+// Platforms returns the six platforms of Table III.
+func Platforms() []Platform {
+	return []Platform{
+		{Vendor: "Intel", Name: "Xeon Platinum 8468", Abbr: "SPR", Kind: "cpu",
+			Topology: "8 nodes (32C*2)", MemBW: 600, Peak: 5200},
+		{Vendor: "AMD", Name: "EPYC 7713", Abbr: "Milan", Kind: "cpu",
+			Topology: "8 nodes (64C*2)", MemBW: 400, Peak: 4100},
+		{Vendor: "AWS", Name: "Graviton 3e", Abbr: "G3e", Kind: "cpu",
+			Topology: "8 nodes (64C*1)", MemBW: 300, Peak: 1900},
+		{Vendor: "NVIDIA", Name: "Tesla H100 (SXM 80GB)", Abbr: "H100", Kind: "gpu",
+			Topology: "2 nodes (4 GPUs)", MemBW: 3350, Peak: 34000},
+		{Vendor: "AMD", Name: "Instinct MI250X", Abbr: "MI250X", Kind: "gpu",
+			Topology: "2 nodes (4 GPUs)", MemBW: 3200, Peak: 24000},
+		{Vendor: "Intel", Name: "Data Center GPU Max 1550", Abbr: "PVC", Kind: "gpu",
+			Topology: "1 node (4 GPUs*)", MemBW: 3200, Peak: 26000},
+	}
+}
+
+// PlatformByAbbr looks a platform up.
+func PlatformByAbbr(abbr string) (Platform, error) {
+	for _, p := range Platforms() {
+		if p.Abbr == abbr {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("perf: unknown platform %q", abbr)
+}
+
+// baseEfficiency encodes the support/efficiency landscape: the fraction of
+// the best-achievable application performance each model reaches on each
+// platform, before per-app jitter. Zero means the model cannot target the
+// platform at all.
+func baseEfficiency(model corpus.Model, plat Platform) float64 {
+	cpu := plat.Kind == "cpu"
+	switch model {
+	case corpus.Serial:
+		if cpu {
+			return 0.05 // single core of a many-core node
+		}
+		return 0
+	case corpus.OpenMP:
+		if cpu {
+			return 0.97
+		}
+		return 0 // host-only model
+	case corpus.TBB:
+		if cpu {
+			return 0.90
+		}
+		return 0
+	case corpus.StdPar:
+		if cpu {
+			return 0.86
+		}
+		if plat.Abbr == "H100" {
+			return 0.88 // nvc++ -stdpar
+		}
+		return 0 // no production StdPar offload elsewhere at time of study
+	case corpus.OpenMPTarget:
+		if cpu {
+			return 0.55 // host fallback exists but underperforms
+		}
+		switch plat.Abbr {
+		case "H100":
+			return 0.86
+		case "MI250X":
+			return 0.80
+		case "PVC":
+			return 0.78
+		}
+		return 0
+	case corpus.CUDA:
+		if plat.Abbr == "H100" {
+			return 1.0
+		}
+		return 0
+	case corpus.HIP:
+		switch plat.Abbr {
+		case "MI250X":
+			return 1.0
+		case "H100":
+			return 0.93 // HIP's CUDA backend
+		}
+		return 0
+	case corpus.Kokkos:
+		if cpu {
+			return 0.88
+		}
+		switch plat.Abbr {
+		case "H100":
+			return 0.92
+		case "MI250X":
+			return 0.87
+		case "PVC":
+			return 0.72
+		}
+		return 0
+	case corpus.SYCLACC:
+		if cpu {
+			return 0.72
+		}
+		switch plat.Abbr {
+		case "H100":
+			return 0.82
+		case "MI250X":
+			return 0.78
+		case "PVC":
+			return 0.96
+		}
+		return 0
+	case corpus.SYCLUSM:
+		if cpu {
+			return 0.74
+		}
+		switch plat.Abbr {
+		case "H100":
+			return 0.80
+		case "MI250X":
+			return 0.76
+		case "PVC":
+			return 0.95
+		}
+		return 0
+	}
+	return 0
+}
+
+// jitter derives a deterministic per-(app, model, platform) factor in
+// [0.93, 1.07] so the two apps do not produce identical numbers.
+func jitter(app string, model corpus.Model, plat Platform) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(app))
+	_, _ = h.Write([]byte(model))
+	_, _ = h.Write([]byte(plat.Abbr))
+	v := float64(h.Sum64()%1000) / 1000.0
+	return 0.93 + 0.14*v
+}
+
+// Efficiency returns the application efficiency of (app, model) on a
+// platform in [0, 1]: performance relative to the best observed
+// performance on that platform, the quantity Φ consumes.
+func Efficiency(app string, model corpus.Model, plat Platform) float64 {
+	base := baseEfficiency(model, plat)
+	if base == 0 {
+		return 0
+	}
+	e := base * jitter(app, model, plat)
+	if e > 1 {
+		e = 1
+	}
+	return e
+}
+
+// Runtime models the wall-clock seconds of one benchmark run ("BM" deck
+// style: workBytes of memory traffic per iteration). Memory-bandwidth-bound
+// apps scale with MemBW; compute-bound apps (miniBUDE) with Peak.
+func Runtime(app string, model corpus.Model, plat Platform, workBytes, flops float64, iters int) float64 {
+	eff := Efficiency(app, model, plat)
+	if eff == 0 {
+		return math.Inf(1)
+	}
+	bwTime := workBytes / (plat.MemBW * 1e9)
+	flopTime := flops / (plat.Peak * 1e9)
+	per := math.Max(bwTime, flopTime)
+	return float64(iters) * per / eff
+}
+
+// Phi computes the performance-portability metric of Pennycook, Sewall and
+// Lee: the harmonic mean of an application's efficiency across the platform
+// set H, and zero when any platform in H is unsupported.
+func Phi(effs []float64) float64 {
+	if len(effs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range effs {
+		if e <= 0 {
+			return 0
+		}
+		sum += 1 / e
+	}
+	return float64(len(effs)) / sum
+}
+
+// AppPhi computes Φ of (app, model) across the given platforms.
+func AppPhi(app string, model corpus.Model, plats []Platform) float64 {
+	effs := make([]float64, len(plats))
+	for i, p := range plats {
+		effs[i] = Efficiency(app, model, p)
+	}
+	return Phi(effs)
+}
+
+// CascadePoint is one point of a cascade plot series.
+type CascadePoint struct {
+	Platform string
+	Eff      float64
+}
+
+// Cascade builds the cascade-plot series for a model (Sewall et al.):
+// efficiencies sorted in descending order, with the running Φ of the first
+// k platforms available via RunningPhi.
+func Cascade(app string, model corpus.Model, plats []Platform) []CascadePoint {
+	pts := make([]CascadePoint, 0, len(plats))
+	for _, p := range plats {
+		pts = append(pts, CascadePoint{Platform: p.Abbr, Eff: Efficiency(app, model, p)})
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Eff != pts[j].Eff {
+			return pts[i].Eff > pts[j].Eff
+		}
+		return pts[i].Platform < pts[j].Platform
+	})
+	return pts
+}
+
+// RunningPhi returns Φ over the first k points of a cascade (the cascade
+// plot's characteristic collapsing curve: Φ over the best-k platforms).
+func RunningPhi(pts []CascadePoint, k int) float64 {
+	if k > len(pts) {
+		k = len(pts)
+	}
+	effs := make([]float64, 0, k)
+	for _, p := range pts[:k] {
+		effs = append(effs, p.Eff)
+	}
+	return Phi(effs)
+}

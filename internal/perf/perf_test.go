@@ -1,0 +1,197 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"silvervale/internal/corpus"
+)
+
+func TestPlatformsTableIII(t *testing.T) {
+	plats := Platforms()
+	if len(plats) != 6 {
+		t.Fatalf("platforms = %d, want 6", len(plats))
+	}
+	byAbbr := map[string]Platform{}
+	for _, p := range plats {
+		byAbbr[p.Abbr] = p
+	}
+	for _, abbr := range []string{"SPR", "Milan", "G3e", "H100", "MI250X", "PVC"} {
+		if _, ok := byAbbr[abbr]; !ok {
+			t.Errorf("missing platform %s", abbr)
+		}
+	}
+	if byAbbr["SPR"].Kind != "cpu" || byAbbr["H100"].Kind != "gpu" {
+		t.Error("platform kinds wrong")
+	}
+	if _, err := PlatformByAbbr("H100"); err != nil {
+		t.Error(err)
+	}
+	if _, err := PlatformByAbbr("nope"); err == nil {
+		t.Error("expected error for unknown platform")
+	}
+}
+
+func TestSupportLandscape(t *testing.T) {
+	h100, _ := PlatformByAbbr("H100")
+	mi, _ := PlatformByAbbr("MI250X")
+	pvc, _ := PlatformByAbbr("PVC")
+	spr, _ := PlatformByAbbr("SPR")
+
+	// CUDA is NVIDIA-only
+	if Efficiency("tealeaf", corpus.CUDA, h100) == 0 {
+		t.Error("CUDA must run on H100")
+	}
+	if Efficiency("tealeaf", corpus.CUDA, mi) != 0 || Efficiency("tealeaf", corpus.CUDA, spr) != 0 {
+		t.Error("CUDA must not run off NVIDIA")
+	}
+	// HIP is AMD-first with a CUDA backend
+	if Efficiency("tealeaf", corpus.HIP, mi) == 0 || Efficiency("tealeaf", corpus.HIP, h100) == 0 {
+		t.Error("HIP must run on MI250X and H100")
+	}
+	if Efficiency("tealeaf", corpus.HIP, pvc) != 0 {
+		t.Error("HIP must not run on PVC")
+	}
+	// host models never offload
+	for _, m := range []corpus.Model{corpus.OpenMP, corpus.TBB, corpus.Serial} {
+		if Efficiency("tealeaf", m, h100) != 0 {
+			t.Errorf("%s must not run on GPUs", m)
+		}
+	}
+	// portable models cover everything
+	for _, m := range []corpus.Model{corpus.Kokkos, corpus.SYCLACC, corpus.SYCLUSM, corpus.OpenMPTarget} {
+		for _, p := range Platforms() {
+			if Efficiency("tealeaf", m, p) == 0 {
+				t.Errorf("%s should support %s", m, p.Abbr)
+			}
+		}
+	}
+	// vendor-native models win on their platform
+	if Efficiency("tealeaf", corpus.CUDA, h100) <= Efficiency("tealeaf", corpus.SYCLACC, h100) {
+		t.Error("CUDA should beat SYCL on H100")
+	}
+	if Efficiency("tealeaf", corpus.HIP, mi) <= Efficiency("tealeaf", corpus.Kokkos, mi) {
+		t.Error("HIP should beat Kokkos on MI250X")
+	}
+	if Efficiency("tealeaf", corpus.SYCLACC, pvc) <= Efficiency("tealeaf", corpus.Kokkos, pvc) {
+		t.Error("SYCL should beat Kokkos on PVC")
+	}
+}
+
+func TestPhiProperties(t *testing.T) {
+	if Phi(nil) != 0 {
+		t.Error("empty set Φ = 0")
+	}
+	if Phi([]float64{0.5, 0}) != 0 {
+		t.Error("any unsupported platform zeroes Φ")
+	}
+	if v := Phi([]float64{0.5, 0.5}); math.Abs(v-0.5) > 1e-12 {
+		t.Errorf("uniform Φ = %v", v)
+	}
+	// harmonic mean: dominated by the worst platform
+	if v := Phi([]float64{1.0, 0.1}); math.Abs(v-2.0/11.0) > 1e-12 {
+		t.Errorf("Φ = %v, want %v", v, 2.0/11.0)
+	}
+}
+
+func TestPhiBoundedByMin(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		e := []float64{float64(a%100)/100 + 0.01, float64(b%100)/100 + 0.01, float64(c%100)/100 + 0.01}
+		phi := Phi(e)
+		min, max := e[0], e[0]
+		for _, v := range e {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		return phi >= min-1e-12 && phi <= max+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppPhiOrdering(t *testing.T) {
+	plats := Platforms()
+	// CUDA cannot be portable across the full set; portable models must be
+	phiCUDA := AppPhi("tealeaf", corpus.CUDA, plats)
+	if phiCUDA != 0 {
+		t.Errorf("CUDA Φ over all platforms = %v, want 0", phiCUDA)
+	}
+	for _, m := range []corpus.Model{corpus.Kokkos, corpus.SYCLACC, corpus.SYCLUSM, corpus.OpenMPTarget} {
+		if AppPhi("tealeaf", m, plats) <= 0 {
+			t.Errorf("%s should have Φ > 0", m)
+		}
+	}
+	// On the NVIDIA-only subset, CUDA is king
+	h100, _ := PlatformByAbbr("H100")
+	sub := []Platform{h100}
+	if AppPhi("tealeaf", corpus.CUDA, sub) <= AppPhi("tealeaf", corpus.OpenMPTarget, sub) {
+		t.Error("CUDA should dominate on an NVIDIA-only platform set")
+	}
+}
+
+func TestCascadeSortedAndRunningPhi(t *testing.T) {
+	pts := Cascade("cloverleaf", corpus.Kokkos, Platforms())
+	if len(pts) != 6 {
+		t.Fatalf("cascade length = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Eff > pts[i-1].Eff {
+			t.Fatal("cascade must be sorted descending")
+		}
+	}
+	// running Φ is non-increasing as platforms are added
+	prev := math.Inf(1)
+	for k := 1; k <= len(pts); k++ {
+		phi := RunningPhi(pts, k)
+		if phi > prev+1e-12 {
+			t.Fatalf("running Φ increased at k=%d", k)
+		}
+		prev = phi
+	}
+	if RunningPhi(pts, 100) != RunningPhi(pts, len(pts)) {
+		t.Fatal("k beyond length must clamp")
+	}
+}
+
+func TestRuntimeModel(t *testing.T) {
+	h100, _ := PlatformByAbbr("H100")
+	spr, _ := PlatformByAbbr("SPR")
+	// unsupported → +Inf
+	if !math.IsInf(Runtime("tealeaf", corpus.CUDA, spr, 1e9, 1e9, 10), 1) {
+		t.Error("unsupported model should yield infinite runtime")
+	}
+	// the H100 should beat a CPU node on a bandwidth-bound app for a
+	// portable model
+	rGPU := Runtime("tealeaf", corpus.Kokkos, h100, 1e10, 1e9, 10)
+	rCPU := Runtime("tealeaf", corpus.Kokkos, spr, 1e10, 1e9, 10)
+	if rGPU >= rCPU {
+		t.Errorf("H100 (%v) should beat SPR (%v)", rGPU, rCPU)
+	}
+	// more iterations, more time
+	if Runtime("tealeaf", corpus.Kokkos, h100, 1e10, 1e9, 20) <= rGPU {
+		t.Error("runtime must scale with iterations")
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	h100, _ := PlatformByAbbr("H100")
+	a := Efficiency("tealeaf", corpus.Kokkos, h100)
+	b := Efficiency("tealeaf", corpus.Kokkos, h100)
+	if a != b {
+		t.Fatal("efficiency must be deterministic")
+	}
+	if a <= 0 || a > 1 {
+		t.Fatalf("efficiency out of range: %v", a)
+	}
+	// different apps see different numbers
+	c := Efficiency("cloverleaf", corpus.Kokkos, h100)
+	if a == c {
+		t.Error("apps should have distinct efficiencies (jitter)")
+	}
+}

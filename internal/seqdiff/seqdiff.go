@@ -1,0 +1,85 @@
+// Package seqdiff implements the O(NP) sequence comparison algorithm of
+// Wu, Manber, Myers and Miller ("An O(NP) sequence comparison algorithm",
+// Information Processing Letters 35(6), 1990). This is the algorithm used
+// internally by the Unix diff utility and by the dtl library the paper
+// integrates; the Source metric (Eq. 4) is built on it.
+//
+// For sequences A (length m) and B (length n), m <= n, the algorithm runs in
+// O(n*p) expected time where p is the number of deletions in the shortest
+// edit script; for similar inputs p is small and comparisons are near
+// linear.
+package seqdiff
+
+// EditDistance returns the length of the shortest edit script (insertions +
+// deletions, no substitutions) transforming a into b.
+func EditDistance[T comparable](a, b []T) int {
+	// The O(NP) algorithm requires m <= n; distance is symmetric.
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	m, n := len(a), len(b)
+	if m == 0 {
+		return n
+	}
+	delta := n - m
+	offset := m + 1
+	fp := make([]int, m+n+3)
+	for i := range fp {
+		fp[i] = -1
+	}
+	snake := func(k int) int {
+		y := maxInt(fp[k-1+offset]+1, fp[k+1+offset])
+		x := y - k
+		for x < m && y < n && a[x] == b[y] {
+			x++
+			y++
+		}
+		return y
+	}
+	p := -1
+	for {
+		p++
+		for k := -p; k <= delta-1; k++ {
+			fp[k+offset] = snake(k)
+		}
+		for k := delta + p; k >= delta+1; k-- {
+			fp[k+offset] = snake(k)
+		}
+		fp[delta+offset] = snake(delta)
+		if fp[delta+offset] >= n {
+			return delta + 2*p
+		}
+	}
+}
+
+// LCSLength returns the length of the longest common subsequence of a and
+// b. It follows from the edit distance: lcs = (m + n - d) / 2.
+func LCSLength[T comparable](a, b []T) int {
+	d := EditDistance(a, b)
+	return (len(a) + len(b) - d) / 2
+}
+
+// LCSStrings is LCSLength specialised for string slices (lines of source),
+// the form used by the Source metric.
+func LCSStrings(a, b []string) int { return LCSLength(a, b) }
+
+// Similarity returns a normalised similarity in [0, 1]:
+// 2*LCS / (len(a)+len(b)). Empty-vs-empty compares as identical (1).
+func Similarity[T comparable](a, b []T) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	return 2 * float64(LCSLength(a, b)) / float64(len(a)+len(b))
+}
+
+// Distance returns the normalised distance 1 - Similarity, the form used
+// when the Source metric joins the tree metrics in heatmaps (0 identical,
+// towards 1 no shared lines).
+func Distance[T comparable](a, b []T) float64 { return 1 - Similarity(a, b) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

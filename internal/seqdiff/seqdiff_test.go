@@ -1,0 +1,142 @@
+package seqdiff
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// naiveLCS is the classic O(mn) DP, used as the reference.
+func naiveLCS(a, b []byte) int {
+	m, n := len(a), len(b)
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+func TestEditDistanceBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"abc", "abd", 2},        // delete c, insert d
+		{"kitten", "sitting", 5}, // no substitutions: k->s costs 2
+		{"abcdef", "abdef", 1},
+		{"xabx", "abc", 3},
+	}
+	for _, c := range cases {
+		if got := EditDistance([]byte(c.a), []byte(c.b)); got != c.want {
+			t.Errorf("EditDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCSBasics(t *testing.T) {
+	if got := LCSLength([]byte("abcbdab"), []byte("bdcaba")); got != 4 {
+		t.Fatalf("LCS = %d, want 4", got)
+	}
+	if got := LCSStrings([]string{"x", "y", "z"}, []string{"x", "q", "z"}); got != 2 {
+		t.Fatalf("LCS lines = %d, want 2", got)
+	}
+}
+
+func TestSimilarityDistance(t *testing.T) {
+	if s := Similarity([]byte("abc"), []byte("abc")); s != 1 {
+		t.Fatalf("Similarity identical = %v, want 1", s)
+	}
+	if s := Similarity([]byte{}, []byte{}); s != 1 {
+		t.Fatalf("Similarity empty = %v, want 1", s)
+	}
+	if d := Distance([]byte("abc"), []byte("xyz")); d != 1 {
+		t.Fatalf("Distance disjoint = %v, want 1", d)
+	}
+}
+
+func randBytes(r *rand.Rand, n int) []byte {
+	out := make([]byte, r.Intn(n))
+	for i := range out {
+		out[i] = byte('a' + r.Intn(4))
+	}
+	return out
+}
+
+func TestPropertyAgainstNaiveDP(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randBytes(r, 40)
+		b := randBytes(r, 40)
+		want := naiveLCS(a, b)
+		return LCSLength(a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMetricAxioms(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randBytes(r, 30)
+		b := randBytes(r, 30)
+		c := randBytes(r, 30)
+		da := EditDistance(a, b)
+		// symmetry
+		if da != EditDistance(b, a) {
+			return false
+		}
+		// identity
+		if EditDistance(a, a) != 0 {
+			return false
+		}
+		// triangle inequality
+		if EditDistance(a, c) > da+EditDistance(b, c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDistanceLCSRelation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randBytes(r, 35)
+		b := randBytes(r, 35)
+		d := EditDistance(a, b)
+		l := LCSLength(a, b)
+		return d == len(a)+len(b)-2*l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongSimilarSequencesFast(t *testing.T) {
+	// O(NP) should handle long near-identical inputs comfortably.
+	base := strings.Repeat("the quick brown fox\n", 2000)
+	a := strings.Split(base, "\n")
+	b := append([]string{}, a...)
+	b[1000] = "jumped over"
+	if d := EditDistance(a, b); d != 2 {
+		t.Fatalf("distance = %d, want 2", d)
+	}
+}

@@ -1,0 +1,317 @@
+// Package sloc implements the SLOC and LLOC codebase summarisation metrics
+// (Table I of the paper) following the counting standard of Nguyen et al.
+//
+// Both metrics are "perceived, language agnostic" absolute measures applied
+// after normalisation of whitespace and comments: whitespace normalisation
+// removes consecutive whitespace characters while preserving all other
+// tokens, and comments are removed. Special provisions are made for
+// languages that store semantic-bearing information in unusual places:
+// OpenMP pragmas are identified and retained even after normalisation, and
+// languages that use special comment tokens for directives (Fortran's
+// `!$omp` / `!$acc`) are handled.
+package sloc
+
+import (
+	"strings"
+)
+
+// Lang selects the comment / directive syntax used during normalisation.
+type Lang int
+
+const (
+	// LangC covers the C-like MiniC dialects (serial, OpenMP, CUDA, HIP,
+	// SYCL, Kokkos, TBB, StdPar ports).
+	LangC Lang = iota
+	// LangFortran covers MiniFortran (fixed semantics, free form).
+	LangFortran
+)
+
+// Normalize returns the normalised source lines: comments stripped (except
+// directive comments), consecutive whitespace collapsed to one space, and
+// blank lines removed. SLOC is the length of this slice; the Source metric
+// runs its LCS over it.
+func Normalize(src string, lang Lang) []string {
+	switch lang {
+	case LangFortran:
+		return normalizeFortran(src)
+	default:
+		return normalizeC(src)
+	}
+}
+
+// SLOC returns the source-lines-of-code count of src.
+func SLOC(src string, lang Lang) int { return len(Normalize(src, lang)) }
+
+// NormalizeWithLines returns the normalised lines together with their
+// 1-based original line numbers, enabling the +coverage variants of the
+// perceived metrics (executed-line masks reference original locations).
+func NormalizeWithLines(src string, lang Lang) ([]string, []int) {
+	var rawLines []string
+	switch lang {
+	case LangFortran:
+		rawLines = strings.Split(src, "\n")
+		var out []string
+		var nums []int
+		for i, line := range rawLines {
+			trimmed := strings.TrimSpace(line)
+			if trimmed == "" {
+				continue
+			}
+			if strings.HasPrefix(trimmed, "!") && !isDirective(trimmed) {
+				continue
+			}
+			if idx := fortranCommentIndex(trimmed); idx >= 0 {
+				trimmed = strings.TrimSpace(trimmed[:idx])
+				if trimmed == "" {
+					continue
+				}
+			}
+			out = append(out, collapseWhitespace(trimmed))
+			nums = append(nums, i+1)
+		}
+		return out, nums
+	default:
+		stripped := stripCComments(src)
+		var out []string
+		var nums []int
+		for i, line := range strings.Split(stripped, "\n") {
+			n := collapseWhitespace(line)
+			if n != "" {
+				out = append(out, n)
+				nums = append(nums, i+1)
+			}
+		}
+		return out, nums
+	}
+}
+
+// LLOC returns the logical-lines-of-code count of src. A logical line is a
+// statement: in C, a semicolon-terminated statement (the two semicolons
+// inside a for-loop header do not count — "a for-loop header in C++ would
+// be counted as a single line regardless of linebreak"), each `for` header,
+// and each `#pragma` directive. In Fortran, each statement after joining
+// `&` continuations, and each `!$` directive.
+func LLOC(src string, lang Lang) int {
+	switch lang {
+	case LangFortran:
+		return llocFortran(src)
+	default:
+		return llocC(src)
+	}
+}
+
+// --- C-like normalisation -------------------------------------------------
+
+func normalizeC(src string) []string {
+	stripped := stripCComments(src)
+	var out []string
+	for _, line := range strings.Split(stripped, "\n") {
+		n := collapseWhitespace(line)
+		if n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// stripCComments removes // and /* */ comments while respecting string and
+// character literals. Newlines inside block comments are preserved so line
+// numbering stays stable.
+func stripCComments(src string) string {
+	var b strings.Builder
+	b.Grow(len(src))
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i < n {
+				if src[i] == '*' && i+1 < n && src[i+1] == '/' {
+					i += 2
+					break
+				}
+				if src[i] == '\n' {
+					b.WriteByte('\n')
+				}
+				i++
+			}
+		case c == '"' || c == '\'':
+			quote := c
+			b.WriteByte(c)
+			i++
+			for i < n {
+				b.WriteByte(src[i])
+				if src[i] == '\\' && i+1 < n {
+					i++
+					b.WriteByte(src[i])
+					i++
+					continue
+				}
+				if src[i] == quote {
+					i++
+					break
+				}
+				i++
+			}
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return b.String()
+}
+
+func collapseWhitespace(line string) string {
+	fields := strings.Fields(line)
+	return strings.Join(fields, " ")
+}
+
+func llocC(src string) int {
+	stripped := stripCComments(src)
+	count := 0
+	parenDepth := 0
+	inForHeader := false
+	forHeaderDepth := 0
+	i := 0
+	n := len(stripped)
+	for i < n {
+		c := stripped[i]
+		switch {
+		case c == '"' || c == '\'':
+			quote := c
+			i++
+			for i < n {
+				if stripped[i] == '\\' {
+					i += 2
+					continue
+				}
+				if stripped[i] == quote {
+					i++
+					break
+				}
+				i++
+			}
+			continue
+		case c == '#':
+			// preprocessor directive: #pragma counts as a logical line,
+			// other directives are configuration and do not.
+			j := i
+			for j < n && stripped[j] != '\n' {
+				j++
+			}
+			if strings.HasPrefix(strings.TrimSpace(stripped[i:j]), "#pragma") {
+				count++
+			}
+			i = j
+			continue
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentPart(stripped[j]) {
+				j++
+			}
+			if stripped[i:j] == "for" {
+				count++
+				inForHeader = true
+				forHeaderDepth = parenDepth
+			}
+			i = j
+			continue
+		case c == '(':
+			parenDepth++
+		case c == ')':
+			parenDepth--
+			if inForHeader && parenDepth == forHeaderDepth {
+				inForHeader = false
+			}
+		case c == ';':
+			if !inForHeader {
+				count++
+			}
+		}
+		i++
+	}
+	return count
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// --- Fortran normalisation -------------------------------------------------
+
+// isDirective reports whether a trimmed Fortran comment is a directive
+// comment that must be retained (`!$omp`, `!$acc`, or bare `!$` sentinels).
+func isDirective(trimmed string) bool {
+	return strings.HasPrefix(strings.ToLower(trimmed), "!$")
+}
+
+func normalizeFortran(src string) []string {
+	var out []string
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "!") && !isDirective(trimmed) {
+			continue
+		}
+		// strip trailing non-directive comment
+		if idx := fortranCommentIndex(trimmed); idx >= 0 {
+			trimmed = strings.TrimSpace(trimmed[:idx])
+			if trimmed == "" {
+				continue
+			}
+		}
+		out = append(out, collapseWhitespace(trimmed))
+	}
+	return out
+}
+
+// fortranCommentIndex finds the start of a trailing `!` comment outside
+// string literals, returning -1 if none or if the line is itself a
+// directive.
+func fortranCommentIndex(line string) int {
+	if isDirective(line) {
+		return -1
+	}
+	inStr := byte(0)
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if inStr != 0 {
+			if c == inStr {
+				inStr = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			inStr = c
+		case '!':
+			return i
+		}
+	}
+	return -1
+}
+
+func llocFortran(src string) int {
+	lines := normalizeFortran(src)
+	count := 0
+	continuing := false
+	for _, l := range lines {
+		if !continuing {
+			count++
+		}
+		continuing = strings.HasSuffix(l, "&")
+	}
+	return count
+}

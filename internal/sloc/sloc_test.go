@@ -1,0 +1,159 @@
+package sloc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const cSample = `// BabelStream-style triad kernel
+#include <stdio.h>
+
+/* block
+   comment */
+void triad(double *a, const double *b, const double *c, double scalar, int n) {
+	#pragma omp parallel for
+	for (int i = 0; i < n; i++) {
+		a[i] = b[i] + scalar * c[i]; // fused multiply-add
+	}
+}
+`
+
+func TestNormalizeCRemovesCommentsKeepsPragmas(t *testing.T) {
+	lines := Normalize(cSample, LangC)
+	joined := strings.Join(lines, "\n")
+	if strings.Contains(joined, "comment") || strings.Contains(joined, "triad kernel") {
+		t.Fatalf("comments not removed: %q", joined)
+	}
+	if !strings.Contains(joined, "#pragma omp parallel for") {
+		t.Fatalf("OpenMP pragma must be retained: %q", joined)
+	}
+	for _, l := range lines {
+		if l == "" {
+			t.Fatal("blank lines must be removed")
+		}
+		if strings.Contains(l, "  ") {
+			t.Fatalf("whitespace not collapsed: %q", l)
+		}
+	}
+}
+
+func TestSLOCC(t *testing.T) {
+	// Lines surviving: #include, void triad..., #pragma, for..., a[i]=...;, }, }
+	if got := SLOC(cSample, LangC); got != 7 {
+		t.Fatalf("SLOC = %d, want 7", got)
+	}
+}
+
+func TestLLOCCForHeaderCountsOnce(t *testing.T) {
+	src := `for (int i = 0;
+	 i < n;
+	 i++) { x; }`
+	// one for header + one statement
+	if got := LLOC(src, LangC); got != 2 {
+		t.Fatalf("LLOC = %d, want 2", got)
+	}
+}
+
+func TestLLOCCSample(t *testing.T) {
+	// pragma(1) + for header(1) + assignment(1) = 3
+	if got := LLOC(cSample, LangC); got != 3 {
+		t.Fatalf("LLOC = %d, want 3", got)
+	}
+}
+
+func TestLLOCIgnoresSemicolonsInStrings(t *testing.T) {
+	src := `printf("a;b;c"); x = ';';`
+	if got := LLOC(src, LangC); got != 2 {
+		t.Fatalf("LLOC = %d, want 2", got)
+	}
+}
+
+func TestLLOCLinebreakInsensitive(t *testing.T) {
+	a := "x = 1; y = 2; z = 3;"
+	b := "x = 1;\ny = 2;\nz = 3;"
+	if LLOC(a, LangC) != LLOC(b, LangC) {
+		t.Fatal("LLOC must be insensitive to linebreak preference")
+	}
+	// but SLOC is not — that is the anchoring problem the paper describes
+	if SLOC(a, LangC) == SLOC(b, LangC) {
+		t.Fatal("SLOC should differ with linebreak preference")
+	}
+}
+
+const fortranSample = `! plain comment
+program stream
+  implicit none
+  real(8) :: a(1024), b(1024), c(1024)  ! arrays
+  integer :: i
+  !$omp parallel do
+  do i = 1, 1024
+    a(i) = b(i) + 0.4 * c(i)
+  end do
+  !$omp end parallel do
+end program stream
+`
+
+func TestNormalizeFortranKeepsDirectives(t *testing.T) {
+	lines := Normalize(fortranSample, LangFortran)
+	joined := strings.Join(lines, "\n")
+	if strings.Contains(joined, "plain comment") || strings.Contains(joined, "! arrays") {
+		t.Fatalf("comments not removed: %q", joined)
+	}
+	if !strings.Contains(joined, "!$omp parallel do") {
+		t.Fatalf("directive comment must be retained: %q", joined)
+	}
+	if got := len(lines); got != 10 {
+		t.Fatalf("SLOC = %d, want 10 (%q)", got, joined)
+	}
+}
+
+func TestFortranContinuations(t *testing.T) {
+	src := "a = b + &\n    c + &\n    d\nx = 1\n"
+	if got := SLOC(src, LangFortran); got != 4 {
+		t.Fatalf("SLOC = %d, want 4", got)
+	}
+	if got := LLOC(src, LangFortran); got != 2 {
+		t.Fatalf("LLOC = %d, want 2", got)
+	}
+}
+
+func TestFortranStringWithBang(t *testing.T) {
+	src := "print *, 'hello ! world' ! trailing\n"
+	lines := Normalize(src, LangFortran)
+	if len(lines) != 1 || !strings.Contains(lines[0], "hello ! world") {
+		t.Fatalf("bang inside string mishandled: %v", lines)
+	}
+	if strings.Contains(lines[0], "trailing") {
+		t.Fatalf("trailing comment kept: %v", lines)
+	}
+}
+
+func TestEmptySources(t *testing.T) {
+	for _, lang := range []Lang{LangC, LangFortran} {
+		if SLOC("", lang) != 0 || LLOC("", lang) != 0 {
+			t.Fatalf("empty source should count zero for lang %v", lang)
+		}
+	}
+}
+
+func TestPropertySLOCBoundedByPhysicalLines(t *testing.T) {
+	f := func(s string) bool {
+		phys := strings.Count(s, "\n") + 1
+		return SLOC(s, LangC) <= phys && SLOC(s, LangFortran) <= phys
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := strings.Join(Normalize(s, LangC), "\n")
+		twice := strings.Join(Normalize(once, LangC), "\n")
+		return once == twice
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

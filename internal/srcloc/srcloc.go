@@ -1,0 +1,162 @@
+// Package srcloc provides source locations, spans, and per-file line masks.
+//
+// Every node in a semantic-bearing tree keeps a back-reference to its source
+// location (file and line). Back-references enable dependency
+// reconstruction, coverage masking, and pruning of tree regions by source
+// range, as described in Section III.A of the paper.
+package srcloc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pos is a position in a source file. Line and Col are 1-based; a zero Pos
+// means "unknown".
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsValid reports whether p refers to an actual location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as file:line:col.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	if p.Col > 0 {
+		return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d", p.File, p.Line)
+}
+
+// Before reports whether p is strictly before q, assuming the same file.
+func (p Pos) Before(q Pos) bool {
+	if p.Line != q.Line {
+		return p.Line < q.Line
+	}
+	return p.Col < q.Col
+}
+
+// Span is a half-open source range [Start, End) within a single file.
+type Span struct {
+	Start Pos
+	End   Pos
+}
+
+// SpanOf builds a span covering both positions.
+func SpanOf(a, b Pos) Span {
+	if b.Before(a) {
+		a, b = b, a
+	}
+	return Span{Start: a, End: b}
+}
+
+// Contains reports whether the span contains the given line of its file.
+func (s Span) Contains(file string, line int) bool {
+	if s.Start.File != file {
+		return false
+	}
+	return line >= s.Start.Line && line <= s.End.Line
+}
+
+// String renders the span.
+func (s Span) String() string {
+	return fmt.Sprintf("%s:%d-%d", s.Start.File, s.Start.Line, s.End.Line)
+}
+
+// LineMask records, per file, which lines are "live". It is the internal
+// representation of coverage data: the indexing step converts profiles into
+// a line-based mask that can be toggled for any tree or source file.
+type LineMask struct {
+	files map[string]map[int]bool
+}
+
+// NewLineMask returns an empty mask.
+func NewLineMask() *LineMask {
+	return &LineMask{files: make(map[string]map[int]bool)}
+}
+
+// Set marks a line of a file as live (true) or dead (false).
+func (m *LineMask) Set(file string, line int, live bool) {
+	f, ok := m.files[file]
+	if !ok {
+		f = make(map[int]bool)
+		m.files[file] = f
+	}
+	f[line] = live
+}
+
+// MarkRange marks all lines in [from, to] of a file as live.
+func (m *LineMask) MarkRange(file string, from, to int, live bool) {
+	for l := from; l <= to; l++ {
+		m.Set(file, l, live)
+	}
+}
+
+// Live reports whether the line is live. Lines never mentioned in the mask
+// are reported via the Default policy of the caller; Live returns (value,
+// known).
+func (m *LineMask) Live(file string, line int) (bool, bool) {
+	f, ok := m.files[file]
+	if !ok {
+		return false, false
+	}
+	v, ok := f[line]
+	return v, ok
+}
+
+// Files lists files mentioned by the mask, sorted.
+func (m *LineMask) Files() []string {
+	out := make([]string, 0, len(m.files))
+	for f := range m.files {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lines returns the sorted live lines for a file.
+func (m *LineMask) Lines(file string) []int {
+	f := m.files[file]
+	out := make([]int, 0, len(f))
+	for l, v := range f {
+		if v {
+			out = append(out, l)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CountLive returns the number of live lines across all files.
+func (m *LineMask) CountLive() int {
+	n := 0
+	for _, f := range m.files {
+		for _, v := range f {
+			if v {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Merge ORs another mask into m: a line is live if live in either.
+func (m *LineMask) Merge(other *LineMask) {
+	if other == nil {
+		return
+	}
+	for file, lines := range other.files {
+		for l, v := range lines {
+			if v {
+				m.Set(file, l, true)
+			} else if cur, known := m.Live(file, l); !known || !cur {
+				m.Set(file, l, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package srcloc
+
+import "testing"
+
+func TestPosBasics(t *testing.T) {
+	p := Pos{File: "a.c", Line: 3, Col: 7}
+	if !p.IsValid() {
+		t.Fatal("valid pos reported invalid")
+	}
+	if p.String() != "a.c:3:7" {
+		t.Fatalf("String = %q", p.String())
+	}
+	var zero Pos
+	if zero.IsValid() || zero.String() != "-" {
+		t.Fatal("zero pos should be invalid")
+	}
+	noCol := Pos{File: "a.c", Line: 3}
+	if noCol.String() != "a.c:3" {
+		t.Fatalf("String = %q", noCol.String())
+	}
+}
+
+func TestPosBefore(t *testing.T) {
+	a := Pos{Line: 1, Col: 5}
+	b := Pos{Line: 2, Col: 1}
+	c := Pos{Line: 1, Col: 9}
+	if !a.Before(b) || !a.Before(c) || b.Before(a) {
+		t.Fatal("Before ordering wrong")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	a := Pos{File: "x.c", Line: 4}
+	b := Pos{File: "x.c", Line: 2}
+	s := SpanOf(a, b) // must normalise ordering
+	if s.Start.Line != 2 || s.End.Line != 4 {
+		t.Fatalf("span = %v", s)
+	}
+	if !s.Contains("x.c", 3) || s.Contains("x.c", 5) || s.Contains("y.c", 3) {
+		t.Fatal("Contains wrong")
+	}
+	if s.String() != "x.c:2-4" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestLineMask(t *testing.T) {
+	m := NewLineMask()
+	m.MarkRange("a.c", 1, 3, true)
+	m.Set("a.c", 2, false)
+	m.Set("b.c", 10, true)
+
+	if live, known := m.Live("a.c", 1); !known || !live {
+		t.Fatal("a.c:1 should be live")
+	}
+	if live, known := m.Live("a.c", 2); !known || live {
+		t.Fatal("a.c:2 should be dead")
+	}
+	if _, known := m.Live("a.c", 99); known {
+		t.Fatal("a.c:99 should be unknown")
+	}
+	if got := m.CountLive(); got != 3 {
+		t.Fatalf("CountLive = %d, want 3", got)
+	}
+	files := m.Files()
+	if len(files) != 2 || files[0] != "a.c" || files[1] != "b.c" {
+		t.Fatalf("Files = %v", files)
+	}
+	lines := m.Lines("a.c")
+	if len(lines) != 2 || lines[0] != 1 || lines[1] != 3 {
+		t.Fatalf("Lines = %v", lines)
+	}
+}
+
+func TestLineMaskMerge(t *testing.T) {
+	a := NewLineMask()
+	a.Set("f.c", 1, true)
+	a.Set("f.c", 2, false)
+	b := NewLineMask()
+	b.Set("f.c", 2, true)
+	b.Set("f.c", 3, false)
+	a.Merge(b)
+	if live, _ := a.Live("f.c", 2); !live {
+		t.Fatal("merge should OR live lines")
+	}
+	if live, known := a.Live("f.c", 3); !known || live {
+		t.Fatal("merge should carry dead lines for unknown targets")
+	}
+	a.Merge(nil) // must not panic
+}

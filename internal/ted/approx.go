@@ -1,0 +1,117 @@
+package ted
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"silvervale/internal/tree"
+)
+
+// PQGramProfile is a multiset of pq-gram hashes of a tree. pq-grams
+// (Augsten, Böhlen, Gamper) approximate tree edit distance in O(n log n)
+// time and O(n) space; the paper's future-work section calls for exactly
+// this kind of memory reduction so that production-scale codebases (e.g.
+// GROMACS) can be analysed without exhausting workstation memory.
+type PQGramProfile struct {
+	grams []uint64 // sorted hashes
+}
+
+const (
+	pqP = 2 // stem length
+	pqQ = 3 // base length
+)
+
+// NewPQGramProfile computes the (2,3)-gram profile of a tree.
+func NewPQGramProfile(t *tree.Node) PQGramProfile {
+	if t == nil {
+		return PQGramProfile{}
+	}
+	var grams []uint64
+	stem := make([]string, pqP)
+	for i := range stem {
+		stem[i] = "*"
+	}
+	var visit func(n *tree.Node, anc []string)
+	visit = func(n *tree.Node, anc []string) {
+		a := append(append([]string{}, anc[1:]...), n.Label)
+		base := make([]string, pqQ)
+		for i := range base {
+			base[i] = "*"
+		}
+		if len(n.Children) == 0 {
+			grams = append(grams, hashGram(a, base))
+			return
+		}
+		// sliding window of width q over children padded with q-1 stars
+		win := make([]string, 0, pqQ)
+		for i := 0; i < pqQ-1; i++ {
+			win = append(win, "*")
+		}
+		kids := n.Children
+		for i := 0; i < len(kids)+pqQ-1; i++ {
+			if i < len(kids) {
+				win = append(win, kids[i].Label)
+			} else {
+				win = append(win, "*")
+			}
+			if len(win) > pqQ {
+				win = win[1:]
+			}
+			if len(win) == pqQ {
+				grams = append(grams, hashGram(a, win))
+			}
+		}
+		for _, c := range kids {
+			visit(c, a)
+		}
+	}
+	visit(t, stem)
+	sort.Slice(grams, func(i, j int) bool { return grams[i] < grams[j] })
+	return PQGramProfile{grams: grams}
+}
+
+func hashGram(stem, base []string) uint64 {
+	h := fnv.New64a()
+	for _, s := range stem {
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{0})
+	}
+	_, _ = h.Write([]byte{1})
+	for _, s := range base {
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// Size returns the number of pq-grams in the profile.
+func (p PQGramProfile) Size() int { return len(p.grams) }
+
+// PQGramDistance returns the pq-gram distance in [0, 1]:
+// 1 - 2*|P1 ∩ P2| / (|P1| + |P2|), the standard normalised form. Identical
+// trees yield 0; trees sharing no grams yield 1.
+func PQGramDistance(a, b PQGramProfile) float64 {
+	if len(a.grams) == 0 && len(b.grams) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a.grams) && j < len(b.grams) {
+		switch {
+		case a.grams[i] == b.grams[j]:
+			inter++
+			i++
+			j++
+		case a.grams[i] < b.grams[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return 1 - 2*float64(inter)/float64(len(a.grams)+len(b.grams))
+}
+
+// ApproxDistance computes the pq-gram distance of two trees directly.
+func ApproxDistance(t1, t2 *tree.Node) float64 {
+	return PQGramDistance(NewPQGramProfile(t1), NewPQGramProfile(t2))
+}

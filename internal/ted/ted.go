@@ -1,0 +1,243 @@
+// Package ted implements Tree Edit Distance (TED).
+//
+// TED is defined as the minimal total cost of deleting, inserting, and
+// relabelling tree nodes required to transform one ordered tree into another
+// (Section III.B of the paper; Bille's survey; Zhang & Shasha). The exact
+// algorithm implemented here is Zhang–Shasha with keyroots, which runs in
+// O(n1*n2*min(d1,l1)*min(d2,l2)) time and O(n1*n2) space. The paper uses
+// APTED, whose worst case is O(n^2) space as well; for the unit-sized trees
+// produced by the indexing step the Zhang–Shasha bound is equivalent in
+// practice, and the package additionally provides a pq-gram approximation
+// (see approx.go) as the memory-friendly mode the paper lists as future
+// work.
+//
+// By default every operation has unit cost, matching the evaluation setup
+// ("we use the unit weight of one for all nodes and operations"). Different
+// weights can be supplied via Costs; e.g. adding new code may have a
+// different productivity impact than removing existing code.
+package ted
+
+import (
+	"silvervale/internal/tree"
+)
+
+// Costs configures per-operation weights.
+type Costs struct {
+	Insert int
+	Delete int
+	Rename int // cost of relabelling when labels differ
+}
+
+// UnitCosts is the configuration used throughout the paper's evaluation.
+func UnitCosts() Costs { return Costs{Insert: 1, Delete: 1, Rename: 1} }
+
+// Distance computes the exact tree edit distance between two trees with unit
+// costs. Nil trees are treated as empty: the distance from nil to T is |T|.
+func Distance(t1, t2 *tree.Node) int {
+	return DistanceWithCosts(t1, t2, UnitCosts())
+}
+
+// DistanceWithCosts computes the exact tree edit distance under the given
+// cost model.
+func DistanceWithCosts(t1, t2 *tree.Node, c Costs) int {
+	if t1 == nil && t2 == nil {
+		return 0
+	}
+	if t1 == nil {
+		return t2.Size() * c.Insert
+	}
+	if t2 == nil {
+		return t1.Size() * c.Delete
+	}
+	in := newInterner()
+	f1 := flatten(t1, in)
+	f2 := flatten(t2, in)
+	z := &zhangShasha{a: f1, b: f2, c: c}
+	return z.run()
+}
+
+// interner maps labels to dense int ids so the inner loops compare ints.
+type interner struct {
+	ids map[string]int
+}
+
+func newInterner() *interner { return &interner{ids: make(map[string]int)} }
+
+func (in *interner) id(label string) int {
+	if id, ok := in.ids[label]; ok {
+		return id
+	}
+	id := len(in.ids)
+	in.ids[label] = id
+	return id
+}
+
+// flat is a tree flattened to post-order arrays, the representation
+// Zhang–Shasha operates on.
+type flat struct {
+	labels []int // label id per post-order index
+	lmld   []int // leftmost leaf descendant per post-order index
+	kr     []int // keyroots in increasing order
+}
+
+func flatten(t *tree.Node, in *interner) flat {
+	n := t.Size()
+	f := flat{
+		labels: make([]int, n),
+		lmld:   make([]int, n),
+	}
+	idx := 0
+	var visit func(node *tree.Node) int // returns post-order index of node
+	visit = func(node *tree.Node) int {
+		first := -1
+		for _, c := range node.Children {
+			ci := visit(c)
+			if first < 0 {
+				first = f.lmld[ci]
+			}
+		}
+		i := idx
+		idx++
+		f.labels[i] = in.id(node.Label)
+		if first < 0 {
+			f.lmld[i] = i
+		} else {
+			f.lmld[i] = first
+		}
+		return i
+	}
+	visit(t)
+
+	// Keyroots: nodes that either are the root or have a left sibling; in
+	// lmld terms, the highest node for each distinct leftmost-leaf value.
+	seen := make(map[int]int)
+	for i := 0; i < n; i++ {
+		seen[f.lmld[i]] = i
+	}
+	for _, i := range seen {
+		f.kr = append(f.kr, i)
+	}
+	sortInts(f.kr)
+	return f
+}
+
+func sortInts(a []int) {
+	// insertion sort is fine: keyroot counts are small relative to n
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+type zhangShasha struct {
+	a, b flat
+	c    Costs
+
+	td [][]int32 // treedist
+	fd [][]int32 // forestdist scratch
+}
+
+func (z *zhangShasha) run() int {
+	n1 := len(z.a.labels)
+	n2 := len(z.b.labels)
+	z.td = alloc2(n1, n2)
+	z.fd = alloc2(n1+1, n2+1)
+	for _, i := range z.a.kr {
+		for _, j := range z.b.kr {
+			z.treedist(i, j)
+		}
+	}
+	return int(z.td[n1-1][n2-1])
+}
+
+func alloc2(r, c int) [][]int32 {
+	backing := make([]int32, r*c)
+	out := make([][]int32, r)
+	for i := range out {
+		out[i] = backing[i*c : (i+1)*c]
+	}
+	return out
+}
+
+// treedist fills td for the subtree pair rooted at post-order indices (i, j)
+// following the classic Zhang–Shasha forest recurrence.
+func (z *zhangShasha) treedist(i, j int) {
+	li := z.a.lmld[i]
+	lj := z.b.lmld[j]
+	ins := int32(z.c.Insert)
+	del := int32(z.c.Delete)
+
+	fd := z.fd
+	fd[0][0] = 0
+	for di := li; di <= i; di++ {
+		fd[di-li+1][0] = fd[di-li][0] + del
+	}
+	row0 := fd[0]
+	for dj := lj; dj <= j; dj++ {
+		row0[dj-lj+1] = row0[dj-lj] + ins
+	}
+	aLmld, bLmld := z.a.lmld, z.b.lmld
+	aLabels, bLabels := z.a.labels, z.b.labels
+	ren := int32(z.c.Rename)
+	for di := li; di <= i; di++ {
+		prev := fd[di-li]  // row di-1 of the forest table
+		cur := fd[di-li+1] // row di
+		tdRow := z.td[di]  // treedist row for subtree rooted at di
+		aWhole := aLmld[di] == li
+		la := aLabels[di]
+		fdA := fd[aLmld[di]-li]
+		for dj := lj; dj <= j; dj++ {
+			cj := dj - lj
+			if aWhole && bLmld[dj] == lj {
+				// both forests are whole trees
+				r := int32(0)
+				if la != bLabels[dj] {
+					r = ren
+				}
+				d := min3(prev[cj+1]+del, cur[cj]+ins, prev[cj]+r)
+				cur[cj+1] = d
+				tdRow[dj] = d
+			} else {
+				d := min3(prev[cj+1]+del, cur[cj]+ins,
+					fdA[bLmld[dj]-lj]+tdRow[dj])
+				cur[cj+1] = d
+			}
+		}
+	}
+}
+
+func min3(a, b, c int32) int32 {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// MaxDistance returns dmax for a tree pair (Eq. 7): the size of the
+// right-hand tree, i.e. the distance at which the second codebase is
+// considered entirely different from the first. MaxDistance of a nil tree
+// is 0.
+func MaxDistance(t2 *tree.Node) int { return t2.Size() }
+
+// Normalized returns Distance(t1, t2) normalised into [0, ~]: distance
+// divided by dmax (Eq. 7). A value of 0 means identical; values can exceed 1
+// when |t1| > |t2| because dmax is not a strict upper bound ("this is
+// different from a divergence upper-bound, which we do not define").
+func Normalized(t1, t2 *tree.Node) float64 {
+	dm := MaxDistance(t2)
+	if dm == 0 {
+		if t1.Size() == 0 {
+			return 0
+		}
+		return 1
+	}
+	return float64(Distance(t1, t2)) / float64(dm)
+}

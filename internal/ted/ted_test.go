@@ -1,0 +1,311 @@
+package ted
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"silvervale/internal/tree"
+)
+
+func mustParse(t *testing.T, s string) *tree.Node {
+	t.Helper()
+	n, err := tree.ParseSexpr(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return n
+}
+
+func TestIdenticalTreesHaveZeroDistance(t *testing.T) {
+	a := mustParse(t, "(FunctionDecl (ParmVarDecl) (CompoundStmt (ReturnStmt IntegerLiteral)))")
+	if d := Distance(a, a.Clone()); d != 0 {
+		t.Fatalf("distance of identical trees = %d, want 0", d)
+	}
+}
+
+func TestSingleRelabel(t *testing.T) {
+	a := mustParse(t, "(A (B) (C))")
+	b := mustParse(t, "(A (B) (D))")
+	if d := Distance(a, b); d != 1 {
+		t.Fatalf("distance = %d, want 1", d)
+	}
+}
+
+func TestSingleInsertDelete(t *testing.T) {
+	a := mustParse(t, "(A (B))")
+	b := mustParse(t, "(A (B) (C))")
+	if d := Distance(a, b); d != 1 {
+		t.Fatalf("insert distance = %d, want 1", d)
+	}
+	if d := Distance(b, a); d != 1 {
+		t.Fatalf("delete distance = %d, want 1", d)
+	}
+}
+
+// TestFig1Example reconstructs the paper's Fig. 1: two ClangASTs with a TED
+// of five — four nodes inserted or deleted plus one relabelled node at the
+// top.
+func TestFig1Example(t *testing.T) {
+	t1 := mustParse(t,
+		"(FunctionDecl (ParmVarDecl) (CompoundStmt (ReturnStmt (IntegerLiteral))))")
+	t2 := mustParse(t,
+		"(FunctionTemplateDecl (ParmVarDecl) (CompoundStmt (DeclStmt (VarDecl (CallExpr (DeclRefExpr)))) (ReturnStmt (IntegerLiteral))))")
+	if d := Distance(t1, t2); d != 5 {
+		t.Fatalf("Fig. 1 distance = %d, want 5", d)
+	}
+}
+
+func TestNilTrees(t *testing.T) {
+	a := mustParse(t, "(A (B) (C (D)))")
+	if d := Distance(nil, a); d != 4 {
+		t.Fatalf("distance(nil, a) = %d, want |a| = 4", d)
+	}
+	if d := Distance(a, nil); d != 4 {
+		t.Fatalf("distance(a, nil) = %d, want |a| = 4", d)
+	}
+	if d := Distance(nil, nil); d != 0 {
+		t.Fatalf("distance(nil, nil) = %d, want 0", d)
+	}
+}
+
+func TestDisjointTrees(t *testing.T) {
+	a := mustParse(t, "(A (B) (C))")
+	b := mustParse(t, "(X (Y) (Z))")
+	// All three nodes can be relabelled in place.
+	if d := Distance(a, b); d != 3 {
+		t.Fatalf("distance = %d, want 3", d)
+	}
+}
+
+func TestCosts(t *testing.T) {
+	a := mustParse(t, "(A (B))")
+	b := mustParse(t, "(A (B) (C) (D))")
+	c := Costs{Insert: 3, Delete: 7, Rename: 5}
+	if d := DistanceWithCosts(a, b, c); d != 6 {
+		t.Fatalf("weighted insert distance = %d, want 6", d)
+	}
+	if d := DistanceWithCosts(b, a, c); d != 14 {
+		t.Fatalf("weighted delete distance = %d, want 14", d)
+	}
+	x := mustParse(t, "(A (B))")
+	y := mustParse(t, "(A (Q))")
+	if d := DistanceWithCosts(x, y, c); d != 5 {
+		t.Fatalf("weighted rename distance = %d, want 5", d)
+	}
+}
+
+func TestOrderedness(t *testing.T) {
+	// TED on ordered trees distinguishes sibling order: moving a leaf
+	// across one sibling costs one delete + one insert.
+	a := mustParse(t, "(A (B) (C))")
+	b := mustParse(t, "(A (C) (B))")
+	if d := Distance(a, b); d != 2 {
+		t.Fatalf("distance = %d, want 2", d)
+	}
+}
+
+func TestDeepChain(t *testing.T) {
+	a := mustParse(t, "(A (B (C (D (E)))))")
+	b := mustParse(t, "(A (B (C (D (E (F))))))")
+	if d := Distance(a, b); d != 1 {
+		t.Fatalf("distance = %d, want 1", d)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	a := mustParse(t, "(A (B) (C))")
+	if v := Normalized(a, a.Clone()); v != 0 {
+		t.Fatalf("normalized identical = %v, want 0", v)
+	}
+	b := mustParse(t, "(X (Y) (Z))")
+	if v := Normalized(a, b); v != 1 {
+		t.Fatalf("normalized disjoint = %v, want 1", v)
+	}
+	if v := Normalized(a, nil); v != 1 {
+		t.Fatalf("normalized vs nil = %v, want 1", v)
+	}
+	if v := Normalized(nil, nil); v != 0 {
+		t.Fatalf("normalized nil,nil = %v, want 0", v)
+	}
+}
+
+// randomTree builds a deterministic pseudo-random tree of roughly n nodes
+// from a limited label alphabet (collisions exercise the rename logic).
+func randomTree(r *rand.Rand, n int) *tree.Node {
+	labels := []string{"A", "B", "C", "D", "E"}
+	var build func(budget int) (*tree.Node, int)
+	build = func(budget int) (*tree.Node, int) {
+		node := tree.New(labels[r.Intn(len(labels))])
+		used := 1
+		for budget-used > 0 && r.Intn(3) != 0 {
+			c, u := build((budget - used) / 2)
+			node.Add(c)
+			used += u
+			if len(node.Children) > 4 {
+				break
+			}
+		}
+		return node, used
+	}
+	t, _ := build(n)
+	return t
+}
+
+func TestPropertySelfDistanceZero(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		tr := randomTree(rand.New(rand.NewSource(seed)), 20)
+		_ = r
+		return Distance(tr, tr.Clone()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySymmetry(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randomTree(rand.New(rand.NewSource(seedA)), 15)
+		b := randomTree(rand.New(rand.NewSource(seedB)), 15)
+		return Distance(a, b) == Distance(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTriangleInequality(t *testing.T) {
+	f := func(sa, sb, sc int64) bool {
+		a := randomTree(rand.New(rand.NewSource(sa)), 12)
+		b := randomTree(rand.New(rand.NewSource(sb)), 12)
+		c := randomTree(rand.New(rand.NewSource(sc)), 12)
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDistanceBounds(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randomTree(rand.New(rand.NewSource(seedA)), 18)
+		b := randomTree(rand.New(rand.NewSource(seedB)), 18)
+		d := Distance(a, b)
+		// Upper bound: delete all of a, insert all of b.
+		if d > a.Size()+b.Size() {
+			return false
+		}
+		// Lower bound: size difference.
+		diff := a.Size() - b.Size()
+		if diff < 0 {
+			diff = -diff
+		}
+		return d >= diff
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// naiveDistance is an exponential reference implementation of ordered TED
+// on forests, used to validate Zhang–Shasha on small trees.
+func naiveDistance(f1, f2 []*tree.Node) int {
+	if len(f1) == 0 && len(f2) == 0 {
+		return 0
+	}
+	if len(f1) == 0 {
+		n := 0
+		for _, t := range f2 {
+			n += t.Size()
+		}
+		return n
+	}
+	if len(f2) == 0 {
+		n := 0
+		for _, t := range f1 {
+			n += t.Size()
+		}
+		return n
+	}
+	a := f1[len(f1)-1]
+	b := f2[len(f2)-1]
+	// delete root of a
+	d1 := 1 + naiveDistance(append(append([]*tree.Node{}, f1[:len(f1)-1]...), a.Children...), f2)
+	// insert root of b
+	d2 := 1 + naiveDistance(f1, append(append([]*tree.Node{}, f2[:len(f2)-1]...), b.Children...))
+	// match roots
+	ren := 0
+	if a.Label != b.Label {
+		ren = 1
+	}
+	d3 := ren + naiveDistance(a.Children, b.Children) + naiveDistance(f1[:len(f1)-1], f2[:len(f2)-1])
+	m := d1
+	if d2 < m {
+		m = d2
+	}
+	if d3 < m {
+		m = d3
+	}
+	return m
+}
+
+func TestAgainstNaiveReference(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		a := randomTree(rand.New(rand.NewSource(seed)), 7)
+		b := randomTree(rand.New(rand.NewSource(seed+1000)), 7)
+		want := naiveDistance([]*tree.Node{a}, []*tree.Node{b})
+		got := Distance(a, b)
+		if got != want {
+			t.Fatalf("seed %d: Distance=%d naive=%d\na=%s\nb=%s", seed, got, want, a, b)
+		}
+	}
+}
+
+func TestPQGramIdentical(t *testing.T) {
+	a := mustParse(t, "(A (B (C) (D)) (E))")
+	if d := ApproxDistance(a, a.Clone()); d != 0 {
+		t.Fatalf("pq-gram distance of identical trees = %v, want 0", d)
+	}
+}
+
+func TestPQGramDisjoint(t *testing.T) {
+	a := mustParse(t, "(A (B) (C))")
+	b := mustParse(t, "(X (Y) (Z))")
+	if d := ApproxDistance(a, b); d != 1 {
+		t.Fatalf("pq-gram distance of disjoint trees = %v, want 1", d)
+	}
+}
+
+func TestPQGramMonotonicUnderGrowingEdit(t *testing.T) {
+	base := mustParse(t, "(A (B (C) (D)) (E (F) (G)) (H))")
+	small := mustParse(t, "(A (B (C) (D)) (E (F) (G)) (I))")
+	big := mustParse(t, "(A (B (X) (Y)) (Z (Q) (R)) (I))")
+	ds := ApproxDistance(base, small)
+	db := ApproxDistance(base, big)
+	if !(ds > 0 && db > ds) {
+		t.Fatalf("expected 0 < d(small)=%v < d(big)=%v", ds, db)
+	}
+}
+
+func TestPQGramProfileSize(t *testing.T) {
+	a := mustParse(t, "(A (B) (C))")
+	p := NewPQGramProfile(a)
+	if p.Size() == 0 {
+		t.Fatal("profile should not be empty")
+	}
+	if NewPQGramProfile(nil).Size() != 0 {
+		t.Fatal("nil tree should produce empty profile")
+	}
+}
+
+func TestPQGramSymmetry(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randomTree(rand.New(rand.NewSource(seedA)), 15)
+		b := randomTree(rand.New(rand.NewSource(seedB)), 15)
+		return ApproxDistance(a, b) == ApproxDistance(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

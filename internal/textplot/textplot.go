@@ -1,0 +1,217 @@
+// Package textplot renders the evaluation's visual artefacts as terminal
+// text: divergence heatmaps (Fig. 7/8), cascade plots (Fig. 11/12),
+// navigation charts (Fig. 13–15), and bar charts. Dendrograms are rendered
+// by package cluster.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// shades maps a value in [0, 1] to a density glyph.
+var shades = []rune{' ', '░', '▒', '▓', '█'}
+
+func shade(v float64) rune {
+	if math.IsNaN(v) {
+		return '?'
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	idx := int(v * float64(len(shades)-1))
+	if idx >= len(shades) {
+		idx = len(shades) - 1
+	}
+	return shades[idx]
+}
+
+// Heatmap renders a labelled matrix of values in [0, 1] with both glyph
+// shading and the numeric value per cell.
+func Heatmap(rowLabels, colLabels []string, m [][]float64) string {
+	var b strings.Builder
+	colw := 11
+	b.WriteString(pad("", 14))
+	for _, c := range colLabels {
+		b.WriteString(pad(truncate(c, colw-1), colw))
+	}
+	b.WriteByte('\n')
+	for i, r := range rowLabels {
+		b.WriteString(pad(truncate(r, 13), 14))
+		for j := range colLabels {
+			v := m[i][j]
+			cell := fmt.Sprintf("%c %.2f", shade(v), v)
+			b.WriteString(pad(cell, colw))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal bar chart of label -> value pairs scaled to the
+// maximum value.
+func Bar(labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		n := 0
+		if max > 0 {
+			n = int(values[i] / max * float64(width))
+		}
+		fmt.Fprintf(&b, "%-14s %s %.3f\n", truncate(l, 14), strings.Repeat("█", n), values[i])
+	}
+	return b.String()
+}
+
+// Cascade renders a cascade plot: one line per model, efficiencies across
+// the best-k platforms, ending in the model's Φ.
+func Cascade(models []string, series [][]float64, phis []float64) string {
+	var b strings.Builder
+	b.WriteString(pad("model", 14))
+	for k := range series[0] {
+		b.WriteString(pad(fmt.Sprintf("best-%d", k+1), 9))
+	}
+	b.WriteString("phi\n")
+	for i, m := range models {
+		b.WriteString(pad(truncate(m, 13), 14))
+		for _, e := range series[i] {
+			if e <= 0 {
+				b.WriteString(pad("-", 9))
+			} else {
+				b.WriteString(pad(fmt.Sprintf("%c %.2f", shade(e), e), 9))
+			}
+		}
+		fmt.Fprintf(&b, "%.3f\n", phis[i])
+	}
+	return b.String()
+}
+
+// Scatter renders points on a width×height canvas with axis ranges derived
+// from the data. Labels are drawn beside their marker when space allows.
+type ScatterPoint struct {
+	X, Y  float64
+	Glyph rune
+	Label string
+}
+
+// Scatter renders a scatter chart. X grows rightwards, Y upwards.
+func Scatter(points []ScatterPoint, width, height int, xlabel, ylabel string) string {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if len(points) == 0 || minX == maxX {
+		minX, maxX = 0, 1
+	}
+	if minY == maxY {
+		minY, maxY = 0, 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	place := func(p ScatterPoint) {
+		x := int((p.X - minX) / (maxX - minX) * float64(width-1))
+		y := int((p.Y - minY) / (maxY - minY) * float64(height-1))
+		row := height - 1 - y
+		grid[row][x] = p.Glyph
+		start := x + 2
+		if start+len(p.Label) > width { // no room right of the marker: go left
+			start = x - 2 - len(p.Label)
+		}
+		for k, r := range p.Label {
+			cx := start + k
+			if cx < 0 || cx >= width {
+				continue
+			}
+			if grid[row][cx] == ' ' {
+				grid[row][cx] = r
+			}
+		}
+	}
+	for _, p := range points {
+		place(p)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (y: %.2f..%.2f)\n", ylabel, minY, maxY)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, " %s (x: %.2f..%.2f)\n", xlabel, minX, maxX)
+	return b.String()
+}
+
+// Table renders rows of cells with padded columns.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, h := range header {
+		b.WriteString(pad(h, widths[i]+2))
+	}
+	b.WriteByte('\n')
+	for i := range header {
+		b.WriteString(pad(strings.Repeat("-", widths[i]), widths[i]+2))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) {
+				b.WriteString(pad(c, widths[i]+2))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func truncate(s string, w int) string {
+	if len(s) <= w {
+		return s
+	}
+	return s[:w]
+}

@@ -1,0 +1,92 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeatmap(t *testing.T) {
+	s := Heatmap(
+		[]string{"tsem", "tsrc"},
+		[]string{"omp", "cuda"},
+		[][]float64{{0.05, 0.61}, {0.04, 0.60}},
+	)
+	for _, want := range []string{"tsem", "tsrc", "omp", "cuda", "0.61", "0.05"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("heatmap missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("heatmap lines = %d", len(lines))
+	}
+}
+
+func TestHeatmapClampsAndNaN(t *testing.T) {
+	s := Heatmap([]string{"r"}, []string{"a", "b", "c"},
+		[][]float64{{-0.5, 1.7, math.NaN()}})
+	if !strings.Contains(s, "?") {
+		t.Fatalf("NaN glyph missing:\n%s", s)
+	}
+}
+
+func TestBar(t *testing.T) {
+	s := Bar([]string{"omp", "cuda"}, []float64{0.1, 0.9}, 20)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("bar lines = %d", len(lines))
+	}
+	if strings.Count(lines[1], "█") <= strings.Count(lines[0], "█") {
+		t.Fatalf("bar lengths not proportional:\n%s", s)
+	}
+	// zero max must not panic
+	_ = Bar([]string{"x"}, []float64{0}, 10)
+}
+
+func TestCascade(t *testing.T) {
+	s := Cascade(
+		[]string{"kokkos", "cuda"},
+		[][]float64{{0.9, 0.8, 0.7}, {1.0, 0, 0}},
+		[]float64{0.79, 0},
+	)
+	if !strings.Contains(s, "best-1") || !strings.Contains(s, "kokkos") {
+		t.Fatalf("cascade malformed:\n%s", s)
+	}
+	if !strings.Contains(s, "-") { // unsupported cells render as dashes
+		t.Fatalf("unsupported marker missing:\n%s", s)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	s := Scatter([]ScatterPoint{
+		{X: 0, Y: 0, Glyph: '*', Label: "serial"},
+		{X: 1, Y: 1, Glyph: 'o', Label: "kokkos"},
+	}, 40, 10, "divergence", "phi")
+	if !strings.Contains(s, "serial") || !strings.Contains(s, "kokkos") {
+		t.Fatalf("labels missing:\n%s", s)
+	}
+	if !strings.Contains(s, "divergence") || !strings.Contains(s, "phi") {
+		t.Fatalf("axis labels missing:\n%s", s)
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	// identical points and empty input must not panic or divide by zero
+	_ = Scatter(nil, 10, 5, "x", "y")
+	_ = Scatter([]ScatterPoint{{X: 1, Y: 1, Glyph: '*'}}, 10, 5, "x", "y")
+}
+
+func TestTable(t *testing.T) {
+	s := Table([]string{"Metric", "Measure"}, [][]string{
+		{"SLOC", "Absolute"},
+		{"T_sem", "Relative (TED)"},
+	})
+	if !strings.Contains(s, "Metric") || !strings.Contains(s, "T_sem") {
+		t.Fatalf("table malformed:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("table lines = %d:\n%s", len(lines), s)
+	}
+}

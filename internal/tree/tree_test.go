@@ -1,0 +1,207 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"silvervale/internal/srcloc"
+)
+
+func TestSizeDepthLeaves(t *testing.T) {
+	n := New("A", New("B", New("C")), New("D"))
+	if got := n.Size(); got != 4 {
+		t.Fatalf("Size = %d, want 4", got)
+	}
+	if got := n.Depth(); got != 3 {
+		t.Fatalf("Depth = %d, want 3", got)
+	}
+	if got := n.Leaves(); got != 2 {
+		t.Fatalf("Leaves = %d, want 2", got)
+	}
+	var nilNode *Node
+	if nilNode.Size() != 0 || nilNode.Depth() != 0 || nilNode.Leaves() != 0 {
+		t.Fatal("nil node should report zero size/depth/leaves")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	n := New("A", New("B"))
+	c := n.Clone()
+	c.Children[0].Label = "X"
+	if n.Children[0].Label != "B" {
+		t.Fatal("Clone is not deep")
+	}
+	if !Equal(n, n.Clone()) {
+		t.Fatal("clone should equal original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New("A", New("B"), New("C"))
+	b := New("A", New("B"), New("C"))
+	if !Equal(a, b) {
+		t.Fatal("identical trees should be Equal")
+	}
+	c := New("A", New("C"), New("B"))
+	if Equal(a, c) {
+		t.Fatal("reordered trees should not be Equal")
+	}
+	if !Equal(nil, nil) {
+		t.Fatal("nil trees are Equal")
+	}
+	if Equal(a, nil) {
+		t.Fatal("tree vs nil should not be Equal")
+	}
+}
+
+func TestPostorder(t *testing.T) {
+	n := New("A", New("B", New("C")), New("D"))
+	var labels []string
+	for _, m := range n.Postorder(nil) {
+		labels = append(labels, m.Label)
+	}
+	if got := strings.Join(labels, ""); got != "CBDA" {
+		t.Fatalf("postorder = %q, want CBDA", got)
+	}
+}
+
+func TestWalkPruning(t *testing.T) {
+	n := New("A", New("B", New("C")), New("D"))
+	var visited []string
+	n.Walk(func(m *Node) bool {
+		visited = append(visited, m.Label)
+		return m.Label != "B" // skip below B
+	})
+	if got := strings.Join(visited, ""); got != "ABD" {
+		t.Fatalf("walk = %q, want ABD", got)
+	}
+}
+
+func TestFilterHoistsChildren(t *testing.T) {
+	n := New("A", New("drop", New("C"), New("D")), New("E"))
+	out := n.Filter(func(m *Node) bool { return m.Label != "drop" })
+	want := New("A", New("C"), New("D"), New("E"))
+	if !Equal(out, want) {
+		t.Fatalf("filter = %s, want %s", out, want)
+	}
+}
+
+func TestFilterRootRemoved(t *testing.T) {
+	n := New("drop", New("C"), New("D"))
+	out := n.Filter(func(m *Node) bool { return m.Label != "drop" })
+	if out.Label != "pruned-root" || len(out.Children) != 2 {
+		t.Fatalf("expected synthetic pruned-root, got %s", out)
+	}
+	single := New("drop", New("C"))
+	out = single.Filter(func(m *Node) bool { return m.Label != "drop" })
+	if out.Label != "C" {
+		t.Fatalf("expected child promotion, got %s", out)
+	}
+	all := New("drop")
+	if out := all.Filter(func(m *Node) bool { return false }); out != nil {
+		t.Fatalf("expected nil when everything is filtered, got %s", out)
+	}
+}
+
+func TestHashDistinguishesStructure(t *testing.T) {
+	a := New("A", New("B"), New("C"))
+	b := New("A", New("B", New("C")))
+	if a.Hash() == b.Hash() {
+		t.Fatal("different shapes should hash differently")
+	}
+	if a.Hash() != a.Clone().Hash() {
+		t.Fatal("clones should hash identically")
+	}
+}
+
+func TestStringAndParseRoundTrip(t *testing.T) {
+	src := "(A (B (C) (D)) (E))"
+	n, err := ParseSexpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// String renders leaves bare; re-parse must be stable.
+	again, err := ParseSexpr(n.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(n, again) {
+		t.Fatalf("round trip mismatch: %s vs %s", n, again)
+	}
+}
+
+func TestParseSexprErrors(t *testing.T) {
+	for _, bad := range []string{"", "(", "(A", "(A))", "()", "(A) junk"} {
+		if _, err := ParseSexpr(bad); err == nil {
+			t.Fatalf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestPrettyIncludesPositions(t *testing.T) {
+	n := NewAt("A", srcloc.Pos{File: "x.c", Line: 3, Col: 1}, New("B"))
+	p := n.Pretty()
+	if !strings.Contains(p, "x.c:3") {
+		t.Fatalf("pretty output missing position: %q", p)
+	}
+}
+
+func TestLabelHistogram(t *testing.T) {
+	n := New("A", New("B"), New("B", New("A")))
+	h := n.LabelHistogram()
+	if h["A"] != 2 || h["B"] != 2 {
+		t.Fatalf("histogram = %v", h)
+	}
+	labels := n.Labels()
+	if len(labels) != 2 || labels[0] != "A" || labels[1] != "B" {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func randomTree(r *rand.Rand, budget int) *Node {
+	labels := []string{"A", "B", "C", "D"}
+	n := New(labels[r.Intn(len(labels))])
+	for budget > 1 && r.Intn(2) == 0 {
+		c := randomTree(r, budget/2)
+		n.Add(c)
+		budget -= c.Size()
+	}
+	return n
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		n := randomTree(rand.New(rand.NewSource(seed)), 20)
+		again, err := ParseSexpr(n.String())
+		if err != nil {
+			return false
+		}
+		return Equal(n, again)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySizeConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		n := randomTree(rand.New(rand.NewSource(seed)), 25)
+		return len(n.Postorder(nil)) == n.Size() && n.Clone().Size() == n.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyFilterNeverGrows(t *testing.T) {
+	f := func(seed int64) bool {
+		n := randomTree(rand.New(rand.NewSource(seed)), 25)
+		kept := n.Filter(func(m *Node) bool { return m.Label != "A" })
+		return kept.Size() <= n.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

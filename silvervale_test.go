@@ -1,0 +1,138 @@
+package silvervale
+
+import (
+	"strings"
+	"testing"
+)
+
+// Facade-level integration tests: the public API end to end.
+
+func TestFacadeGenerateIndexDiverge(t *testing.T) {
+	serial, err := Generate("babelstream", Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omp, err := Generate("babelstream", OpenMP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := IndexCodebase(serial, IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := IndexCodebase(omp, IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diverge(a, b, MetricTsem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Norm <= 0 || d.Norm > 0.5 {
+		t.Fatalf("OpenMP tsem divergence = %v, expected small positive", d.Norm)
+	}
+	if _, err := Diverge(a, b, "bogus"); err == nil {
+		t.Fatal("expected error for unknown metric")
+	}
+}
+
+func TestFacadeRegistry(t *testing.T) {
+	if len(Apps()) != 5 {
+		t.Fatalf("apps = %d", len(Apps()))
+	}
+	if len(Metrics()) != 9 {
+		t.Fatalf("metrics = %d", len(Metrics()))
+	}
+	if len(Platforms()) != 6 {
+		t.Fatalf("platforms = %d", len(Platforms()))
+	}
+	if len(ExperimentIDs()) != 18 {
+		t.Fatalf("experiments = %d", len(ExperimentIDs()))
+	}
+	if _, err := Generate("nope", Serial); err == nil {
+		t.Fatal("expected error for unknown app")
+	}
+}
+
+func TestFacadeClusterAndMatrix(t *testing.T) {
+	idxs := map[string]*Index{}
+	order := []string{"serial", "omp", "cuda"}
+	for _, m := range []Model{Serial, OpenMP, CUDA} {
+		cb, err := Generate("babelstream", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := IndexCodebase(cb, IndexOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idxs[string(m)] = idx
+	}
+	m, err := DivergenceMatrix(idxs, order, MetricTsem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][0] != 0 || m[1][2] <= m[0][1] {
+		t.Fatalf("matrix shape unexpected: %v", m)
+	}
+	root, err := Cluster(order, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := RenderDendrogram(root)
+	for _, l := range order {
+		if !strings.Contains(rendered, l) {
+			t.Fatalf("dendrogram missing %s:\n%s", l, rendered)
+		}
+	}
+	from, err := DivergenceFromBase(idxs, "serial", order, MetricTsem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from["serial"] != 0 || from["cuda"] <= from["omp"] {
+		t.Fatalf("from-base unexpected: %v", from)
+	}
+}
+
+func TestFacadePhiAndNavigation(t *testing.T) {
+	plats := Platforms()
+	if Phi("tealeaf", CUDA, plats) != 0 {
+		t.Fatal("CUDA cannot be portable across six platforms")
+	}
+	if Phi("tealeaf", Kokkos, plats) <= 0 {
+		t.Fatal("Kokkos should be portable")
+	}
+	ch := NavigationChart("tealeaf",
+		map[string]float64{"kokkos": 0.5}, map[string]float64{"kokkos": 0.45},
+		[]Model{Kokkos}, plats)
+	if len(ch.Points) != 1 || ch.Points[0].Phi <= 0 {
+		t.Fatalf("chart = %+v", ch.Points)
+	}
+}
+
+func TestFacadeCoverage(t *testing.T) {
+	cb, err := Generate("babelstream", Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := RunCoverage(cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Mask.CountLive() == 0 {
+		t.Fatal("empty coverage")
+	}
+}
+
+func TestFacadeExperiment(t *testing.T) {
+	out, err := RunExperiment("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "T_sem") {
+		t.Fatalf("experiment output: %q", out)
+	}
+	if _, err := RunExperiment("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
