@@ -15,6 +15,7 @@ package silvervale
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"silvervale/internal/core"
@@ -116,6 +117,146 @@ func BenchmarkTEDvsPQGramApprox(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = ted.ApproxDistance(t1, t2)
+	}
+}
+
+// --- divergence engine benchmarks ---------------------------------------------
+//
+// Serial vs parallel vs cached Matrix over the TeaLeaf and CloverLeaf
+// corpora (see EXPERIMENTS.md §Engine for recorded numbers). Serial is
+// the one-shot package path; Parallel is a fresh NumCPU engine per
+// iteration with caching disabled (pure worker-pool speedup); Cached
+// reuses one engine across iterations so every TED after the first
+// iteration is answered from the content-addressed memo.
+
+var engineBenchIndexes = struct {
+	sync.Once
+	idxs  map[string]map[string]*core.Index
+	order map[string][]string
+	err   error
+}{}
+
+func benchIndexesFor(b *testing.B, appName string) (map[string]*core.Index, []string) {
+	b.Helper()
+	engineBenchIndexes.Do(func() {
+		engineBenchIndexes.idxs = map[string]map[string]*core.Index{}
+		engineBenchIndexes.order = map[string][]string{}
+		for _, name := range []string{"tealeaf", "cloverleaf"} {
+			app, err := corpus.AppByName(name)
+			if err != nil {
+				engineBenchIndexes.err = err
+				return
+			}
+			idxs := map[string]*core.Index{}
+			var order []string
+			for _, m := range corpus.ModelsFor(app) {
+				cb, err := corpus.Generate(app, m)
+				if err != nil {
+					engineBenchIndexes.err = err
+					return
+				}
+				idx, err := core.IndexCodebase(cb, core.Options{})
+				if err != nil {
+					engineBenchIndexes.err = err
+					return
+				}
+				idxs[string(m)] = idx
+				order = append(order, string(m))
+			}
+			engineBenchIndexes.idxs[name] = idxs
+			engineBenchIndexes.order[name] = order
+		}
+	})
+	if engineBenchIndexes.err != nil {
+		b.Fatal(engineBenchIndexes.err)
+	}
+	return engineBenchIndexes.idxs[appName], engineBenchIndexes.order[appName]
+}
+
+func benchMatrix(b *testing.B, appName string, run func(idxs map[string]*core.Index, order []string) error) {
+	idxs, order := benchIndexesFor(b, appName)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(idxs, order); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatrixSerial(b *testing.B) {
+	benchMatrix(b, "tealeaf", func(idxs map[string]*core.Index, order []string) error {
+		_, err := core.Matrix(idxs, order, core.MetricTsem)
+		return err
+	})
+}
+
+func BenchmarkMatrixParallel(b *testing.B) {
+	benchMatrix(b, "tealeaf", func(idxs map[string]*core.Index, order []string) error {
+		engine := core.NewEngineWithCache(0, nil) // cold, uncached: pool speedup only
+		_, err := engine.Matrix(idxs, order, core.MetricTsem)
+		return err
+	})
+}
+
+func BenchmarkMatrixCached(b *testing.B) {
+	idxs, order := benchIndexesFor(b, "tealeaf")
+	engine := core.NewEngine(0)
+	if _, err := engine.Matrix(idxs, order, core.MetricTsem); err != nil {
+		b.Fatal(err) // warm the memo; iterations measure the repeated-sweep cost
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Matrix(idxs, order, core.MetricTsem); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatrixSerialCloverLeaf(b *testing.B) {
+	benchMatrix(b, "cloverleaf", func(idxs map[string]*core.Index, order []string) error {
+		_, err := core.Matrix(idxs, order, core.MetricTsem)
+		return err
+	})
+}
+
+func BenchmarkMatrixParallelCloverLeaf(b *testing.B) {
+	benchMatrix(b, "cloverleaf", func(idxs map[string]*core.Index, order []string) error {
+		engine := core.NewEngineWithCache(0, nil)
+		_, err := engine.Matrix(idxs, order, core.MetricTsem)
+		return err
+	})
+}
+
+func BenchmarkMatrixCachedCloverLeaf(b *testing.B) {
+	idxs, order := benchIndexesFor(b, "cloverleaf")
+	engine := core.NewEngine(0)
+	if _, err := engine.Matrix(idxs, order, core.MetricTsem); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Matrix(idxs, order, core.MetricTsem); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexSerialTeaLeafCUDA is the Workers:1 baseline for
+// BenchmarkIndexTeaLeafCUDA (which uses the default NumCPU pool).
+func BenchmarkIndexSerialTeaLeafCUDA(b *testing.B) {
+	app, err := corpus.AppByName("tealeaf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cb, err := corpus.Generate(app, corpus.CUDA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.IndexCodebase(cb, core.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

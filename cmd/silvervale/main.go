@@ -79,7 +79,11 @@ commands:
   phi <app>                              cascade plot and per-model phi
   experiment <id>|all                    regenerate a paper table/figure
   ingest <dir>                           index a directory via its compile_commands.json
-  dump <app> <model> [-tree m]           pretty-print a unit's tree`)
+  dump <app> <model> [-tree m]           pretty-print a unit's tree
+
+index, diverge, matrix, experiment, and ingest accept -workers <n> to bound
+the divergence engine's worker pool (default: all CPUs; 1 = serial).
+Results are identical for every value.`)
 	return nil
 }
 
@@ -144,6 +148,7 @@ func cmdIndex(args []string) error {
 	fs := flag.NewFlagSet("index", flag.ContinueOnError)
 	withCov := fs.Bool("coverage", false, "run the serial interpreter for a coverage mask")
 	dbOut := fs.String("db", "", "write the Codebase DB (gzip+msgpack) to this file")
+	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial)")
 	pos, err := splitArgs(fs, args, 2)
 	if err != nil {
 		return err
@@ -152,7 +157,7 @@ func cmdIndex(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := core.Options{}
+	opts := core.Options{Workers: *workers}
 	if *withCov {
 		prof, err := core.RunCoverage(cb)
 		if err != nil {
@@ -190,6 +195,7 @@ func cmdIndex(args []string) error {
 func cmdDiverge(args []string) error {
 	fs := flag.NewFlagSet("diverge", flag.ContinueOnError)
 	metric := fs.String("metric", "", "single metric (default: all)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial)")
 	pos, err := splitArgs(fs, args, 3)
 	if err != nil {
 		return err
@@ -202,11 +208,12 @@ func cmdDiverge(args []string) error {
 	if err != nil {
 		return err
 	}
-	ia, err := core.IndexCodebase(a, core.Options{})
+	engine := core.NewEngine(*workers)
+	ia, err := engine.IndexCodebase(a, core.Options{})
 	if err != nil {
 		return err
 	}
-	ib, err := core.IndexCodebase(b, core.Options{})
+	ib, err := engine.IndexCodebase(b, core.Options{})
 	if err != nil {
 		return err
 	}
@@ -215,7 +222,7 @@ func cmdDiverge(args []string) error {
 		metrics = []string{*metric}
 	}
 	for _, m := range metrics {
-		d, err := core.Diverge(ia, ib, m)
+		d, err := engine.Diverge(ia, ib, m)
 		if err != nil {
 			return err
 		}
@@ -227,11 +234,12 @@ func cmdDiverge(args []string) error {
 func cmdMatrix(args []string) error {
 	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
 	metric := fs.String("metric", core.MetricTsem, "metric")
+	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial)")
 	pos, err := splitArgs(fs, args, 1)
 	if err != nil {
 		return err
 	}
-	env := experiments.NewEnv()
+	env := experiments.NewEnvWorkers(*workers)
 	m, order, err := env.Matrix(pos[0], *metric)
 	if err != nil {
 		return err
@@ -265,12 +273,15 @@ func cmdPhi(args []string) error {
 }
 
 func cmdExperiment(args []string) error {
-	if len(args) != 1 {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial)")
+	pos, err := splitArgs(fs, args, 1)
+	if err != nil {
 		return fmt.Errorf("experiment: exactly one id (or 'all') required")
 	}
-	env := experiments.NewEnv()
-	ids := []string{args[0]}
-	if args[0] == "all" {
+	env := experiments.NewEnvWorkers(*workers)
+	ids := []string{pos[0]}
+	if pos[0] == "all" {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
@@ -285,11 +296,12 @@ func cmdExperiment(args []string) error {
 
 func cmdIngest(args []string) error {
 	fs := flag.NewFlagSet("ingest", flag.ContinueOnError)
+	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial)")
 	pos, err := splitArgs(fs, args, 1)
 	if err != nil {
 		return err
 	}
-	idx, err := core.IngestDirectory(pos[0], core.Options{})
+	idx, err := core.IngestDirectory(pos[0], core.Options{Workers: *workers})
 	if err != nil {
 		return err
 	}

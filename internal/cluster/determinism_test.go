@@ -1,0 +1,106 @@
+package cluster
+
+// Regression tests for reproducibility: the dendrogram pipeline sits
+// downstream of the (now parallel) divergence engine, so its own outputs
+// must be pure functions of the input matrix — identical renders across
+// repeated runs, no dependence on map iteration or scheduling. These
+// pin the determinism guarantee stated in DESIGN.md §Concurrency.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randDivergenceMatrix(r *rand.Rand, n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := r.Float64()
+			m[i][j] = v
+			m[j][i] = v * (0.8 + 0.4*r.Float64()) // asymmetric, like real TBMD
+		}
+	}
+	return m
+}
+
+func TestAgglomerateReproducible(t *testing.T) {
+	labels := []string{"serial", "omp", "cuda", "hip", "kokkos", "sycl", "tbb"}
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		m := randDivergenceMatrix(r, len(labels))
+		dist := EuclideanFromMatrix(m)
+		first, err := Agglomerate(labels, dist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Render(first)
+		for run := 0; run < 5; run++ {
+			root, err := Agglomerate(labels, EuclideanFromMatrix(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := Render(root); got != want {
+				t.Fatalf("trial %d run %d: dendrogram differs\nwant:\n%s\ngot:\n%s",
+					trial, run, want, got)
+			}
+		}
+	}
+}
+
+func TestCutAtOrderingStable(t *testing.T) {
+	labels := []string{"e", "a", "c", "b", "d"}
+	r := rand.New(rand.NewSource(22))
+	m := randDivergenceMatrix(r, len(labels))
+	root, err := Agglomerate(labels, EuclideanFromMatrix(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CutAt(root, 0.5)
+	for run := 0; run < 5; run++ {
+		got := CutAt(root, 0.5)
+		if len(got) != len(want) {
+			t.Fatalf("cut size changed: %v vs %v", got, want)
+		}
+		for i := range got {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("group %d changed: %v vs %v", i, got, want)
+			}
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("group %d changed: %v vs %v", i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPairAgreementReproducible(t *testing.T) {
+	labels := []string{"a", "b", "c", "d", "e", "f"}
+	r := rand.New(rand.NewSource(23))
+	ma := randDivergenceMatrix(r, len(labels))
+	mb := randDivergenceMatrix(r, len(labels))
+	ra, err := Agglomerate(labels, EuclideanFromMatrix(ma))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Agglomerate(labels, EuclideanFromMatrix(mb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := PairAgreement(ra, rb, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 5; run++ {
+		got, err := PairAgreement(ra, rb, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("agreement drifted: %v vs %v", got, want)
+		}
+	}
+}

@@ -3,10 +3,20 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"silvervale/internal/seqdiff"
 	"silvervale/internal/ted"
+	"silvervale/internal/tree"
 )
+
+// distFunc computes an exact TED; approxFunc a pq-gram distance. The
+// divergence recurrences are written against these so the serial one-shot
+// path (ted.Distance) and the cached engine path (ted.Cache) share one
+// implementation and produce bit-identical results.
+type distFunc func(t1, t2 *tree.Node) int
+
+type approxFunc func(t1, t2 *tree.Node) float64
 
 // Divergence is the result of comparing two indexed codebases under one
 // metric.
@@ -54,13 +64,17 @@ func match(a, b *Index) (pairs [][2]*UnitIndex, onlyA, onlyB []*UnitIndex) {
 // Diverge computes the divergence of codebase b from codebase a under the
 // named metric.
 func Diverge(a, b *Index, metric string) (Divergence, error) {
+	return divergeWith(a, b, metric, ted.Distance)
+}
+
+func divergeWith(a, b *Index, metric string, dist distFunc) (Divergence, error) {
 	switch metric {
 	case MetricSLOC, MetricLLOC:
 		return divergeAbsolute(a, b, metric), nil
 	case MetricSource, MetricSourcePP:
 		return divergeSource(a, b, metric), nil
 	case MetricTsrc, MetricTsrcPP, MetricTsem, MetricTsemI, MetricTir:
-		return divergeTrees(a, b, metric), nil
+		return divergeTrees(a, b, metric, dist), nil
 	default:
 		return Divergence{}, fmt.Errorf("core: unknown metric %q", metric)
 	}
@@ -125,13 +139,13 @@ func divergeSource(a, b *Index, metric string) Divergence {
 
 // divergeTrees: Eq. (6)/(7) — summed TED over matched tree pairs,
 // normalised by the total node count of b's trees.
-func divergeTrees(a, b *Index, metric string) Divergence {
+func divergeTrees(a, b *Index, metric string, dist distFunc) Divergence {
 	pairs, onlyA, onlyB := match(a, b)
 	raw, dmax := 0.0, 0.0
 	for _, p := range pairs {
 		ta := p[0].Trees[metric]
 		tb := p[1].Trees[metric]
-		raw += float64(ted.Distance(ta, tb))
+		raw += float64(dist(ta, tb))
 		dmax += float64(tb.Size())
 	}
 	for _, u := range onlyA {
@@ -150,6 +164,11 @@ func divergeTrees(a, b *Index, metric string) Divergence {
 // code may have a different productivity impact than removing existing
 // code".
 func DivergeWithCosts(a, b *Index, metric string, costs ted.Costs) (Divergence, error) {
+	return divergeWithCosts(a, b, metric, costs, ted.DistanceWithCosts)
+}
+
+func divergeWithCosts(a, b *Index, metric string, costs ted.Costs,
+	dist func(t1, t2 *tree.Node, c ted.Costs) int) (Divergence, error) {
 	switch metric {
 	case MetricTsrc, MetricTsrcPP, MetricTsem, MetricTsemI, MetricTir:
 	default:
@@ -160,7 +179,7 @@ func DivergeWithCosts(a, b *Index, metric string, costs ted.Costs) (Divergence, 
 	for _, p := range pairs {
 		ta := p[0].Trees[metric]
 		tb := p[1].Trees[metric]
-		raw += float64(ted.DistanceWithCosts(ta, tb, costs))
+		raw += float64(dist(ta, tb, costs))
 		dmax += float64(tb.Size() * costs.Insert)
 	}
 	for _, u := range onlyA {
@@ -180,6 +199,10 @@ func DivergeWithCosts(a, b *Index, metric string, costs ted.Costs) (Divergence, 
 // GROMACS) fit in workstation memory. The result is already normalised to
 // [0, 1]; Raw/DMax report the weighted profile sizes.
 func ApproxDiverge(a, b *Index, metric string) (Divergence, error) {
+	return approxDivergeWith(a, b, metric, ted.ApproxDistance)
+}
+
+func approxDivergeWith(a, b *Index, metric string, approx approxFunc) (Divergence, error) {
 	switch metric {
 	case MetricTsrc, MetricTsrcPP, MetricTsem, MetricTsemI, MetricTir:
 	default:
@@ -191,7 +214,7 @@ func ApproxDiverge(a, b *Index, metric string) (Divergence, error) {
 		ta := p[0].Trees[metric]
 		tb := p[1].Trees[metric]
 		w := float64(tb.Size())
-		num += ted.ApproxDistance(ta, tb) * w
+		num += approx(ta, tb) * w
 		den += w
 	}
 	for _, u := range onlyA {
@@ -218,15 +241,28 @@ func safeDiv(a, b float64) float64 {
 }
 
 // TreeSizes returns the per-metric total node counts of an index, used by
-// reports and by memory estimates.
+// reports and by memory estimates. Iteration is over sorted metric keys so
+// the computation order is reproducible across runs and schedulers.
 func TreeSizes(idx *Index) map[string]int {
 	out := map[string]int{}
 	for i := range idx.Units {
-		for k, t := range idx.Units[i].Trees {
-			out[k] += t.Size()
+		for _, k := range sortedTreeKeys(idx.Units[i].Trees) {
+			out[k] += idx.Units[i].Trees[k].Size()
 		}
 	}
 	return out
+}
+
+// sortedTreeKeys returns the metric keys of a unit's tree map in sorted
+// order — the fix for map-iteration nondeterminism anywhere per-metric
+// work or output depends on visit order.
+func sortedTreeKeys(m map[string]*tree.Node) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Weight returns the dmax denominator a codebase contributes when it is

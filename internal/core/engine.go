@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"silvervale/internal/corpus"
+	"silvervale/internal/ted"
+)
+
+// Engine is the concurrent divergence engine: a bounded worker pool plus a
+// shared content-addressed TED cache. It computes exactly the same numbers
+// as the serial package-level functions (Diverge, Matrix, FromBase,
+// ApproxDiverge) — every per-pair computation is self-contained and runs
+// its floating-point accumulation in the same order — but schedules
+// independent cells across workers and short-circuits repeated tree pairs
+// through the cache. One Engine can be shared freely across goroutines;
+// experiment sweeps and clustering runs should reuse a single Engine so
+// every Matrix/FromBase call amortises the same memo.
+type Engine struct {
+	workers int
+	cache   *ted.Cache
+}
+
+// NewEngine returns an engine with the given worker-pool bound and a fresh
+// shared cache. workers <= 0 selects runtime.NumCPU().
+func NewEngine(workers int) *Engine {
+	return NewEngineWithCache(workers, ted.NewCache())
+}
+
+// NewEngineWithCache returns an engine using an existing cache (pass nil
+// to disable caching, e.g. to benchmark raw parallel speedup).
+func NewEngineWithCache(workers int, cache *ted.Cache) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Engine{workers: workers, cache: cache}
+}
+
+// Workers returns the configured worker-pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Cache returns the engine's shared TED cache (nil when caching is off).
+func (e *Engine) Cache() *ted.Cache { return e.cache }
+
+// CacheStats reports the shared cache's effectiveness counters.
+func (e *Engine) CacheStats() ted.CacheStats {
+	if e.cache == nil {
+		return ted.CacheStats{}
+	}
+	return e.cache.Stats()
+}
+
+// dist returns the exact-TED function the engine's divergence calls use.
+func (e *Engine) dist() distFunc {
+	if e.cache == nil {
+		return ted.Distance
+	}
+	return e.cache.Distance
+}
+
+// Diverge is the engine form of Diverge: identical results, cached TED.
+func (e *Engine) Diverge(a, b *Index, metric string) (Divergence, error) {
+	return divergeWith(a, b, metric, e.dist())
+}
+
+// DivergeWithCosts is the engine form of DivergeWithCosts.
+func (e *Engine) DivergeWithCosts(a, b *Index, metric string, costs ted.Costs) (Divergence, error) {
+	if e.cache == nil {
+		return DivergeWithCosts(a, b, metric, costs)
+	}
+	return divergeWithCosts(a, b, metric, costs, e.cache.DistanceWithCosts)
+}
+
+// ApproxDiverge is the engine form of ApproxDiverge: pq-gram profiles and
+// pair distances are memoised in the shared cache.
+func (e *Engine) ApproxDiverge(a, b *Index, metric string) (Divergence, error) {
+	if e.cache == nil {
+		return ApproxDiverge(a, b, metric)
+	}
+	return approxDivergeWith(a, b, metric, e.cache.ApproxDistance)
+}
+
+// Matrix computes the same pairwise matrix as the package-level Matrix,
+// with the upper-triangle cells distributed over the worker pool. Output
+// is deterministic regardless of scheduling: every cell (i,j) is a pure
+// function of the pair, each worker writes only its own cells, and errors
+// are reported in the same order the serial loop would encounter them.
+func (e *Engine) Matrix(idxs map[string]*Index, order []string, metric string) ([][]float64, error) {
+	n := len(order)
+	for _, name := range order {
+		if _, ok := idxs[name]; !ok {
+			return nil, fmt.Errorf("core: no index for model %q", name)
+		}
+	}
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	type cell struct{ i, j int }
+	var cells []cell
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			cells = append(cells, cell{i, j})
+		}
+	}
+	errs := make([]error, len(cells))
+	e.runParallel(len(cells), func(k int) {
+		i, j := cells[k].i, cells[k].j
+		ia, ib := idxs[order[i]], idxs[order[j]]
+		d, err := e.Diverge(ia, ib, metric)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		switch metric {
+		case MetricSLOC, MetricLLOC:
+			m[i][j] = d.Norm
+			m[j][i] = d.Norm
+		default:
+			m[i][j] = d.Norm
+			m[j][i] = safeDiv(d.Raw, Weight(ia, metric))
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// FromBase computes the same per-model divergence-from-base map as the
+// package-level FromBase, one model per worker-pool task.
+func (e *Engine) FromBase(idxs map[string]*Index, base string, order []string, metric string) (map[string]float64, error) {
+	ib, ok := idxs[base]
+	if !ok {
+		return nil, fmt.Errorf("core: no index for base model %q", base)
+	}
+	for _, name := range order {
+		if _, ok := idxs[name]; !ok {
+			return nil, fmt.Errorf("core: no index for model %q", name)
+		}
+	}
+	vals := make([]float64, len(order))
+	errs := make([]error, len(order))
+	e.runParallel(len(order), func(k int) {
+		d, err := e.Diverge(ib, idxs[order[k]], metric)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		vals[k] = d.Norm
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[string]float64, len(order))
+	for k, name := range order {
+		out[name] = vals[k]
+	}
+	return out, nil
+}
+
+// IndexCodebase runs the extraction pipeline with the engine's worker
+// pool (equivalent to IndexCodebase with Options.Workers set).
+func (e *Engine) IndexCodebase(cb *corpus.Codebase, opts Options) (*Index, error) {
+	opts.Workers = e.workers
+	return IndexCodebase(cb, opts)
+}
+
+// runParallel executes fn(0..n-1) on at most e.workers goroutines. With a
+// single worker (or a single task) it degenerates to the serial loop — no
+// goroutines, no synchronisation — so serial baselines stay untouched.
+func (e *Engine) runParallel(n int, fn func(int)) {
+	runParallel(n, e.workers, fn)
+}
+
+// runParallel is the shared bounded pool: workers goroutines pull task
+// indices off an atomic counter until the range is drained. Tasks must
+// write only to their own slots; the final WaitGroup join publishes all
+// writes to the caller.
+func runParallel(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -83,27 +84,41 @@ type Options struct {
 	// KeepSystemHeaders includes true system headers in the unit instead
 	// of masking them out during analysis.
 	KeepSystemHeaders bool
+	// Workers bounds the worker pool that indexes units concurrently.
+	// 0 (the default) selects runtime.NumCPU(); 1 forces the serial path.
+	// The result is identical for every value: units are written into
+	// their input slots and sorted afterwards, so scheduling never leaks
+	// into the output.
+	Workers int
 }
 
 // IndexCodebase runs the full extraction pipeline over a generated
-// codebase.
+// codebase. Units are independent of each other (each builds its own
+// preprocessor, parser, and trees over the shared read-only file maps), so
+// they are indexed concurrently on the Options.Workers pool.
 func IndexCodebase(cb *corpus.Codebase, opts Options) (*Index, error) {
 	idx := &Index{Codebase: cb.App, Model: string(cb.Model), Lang: cb.Lang}
-	for _, u := range cb.Units {
-		var (
-			ui  UnitIndex
-			err error
-		)
-		if cb.Lang == corpus.LangFortran {
-			ui, err = indexFortranUnit(cb, u, opts)
-		} else {
-			ui, err = indexCXXUnit(cb, u, opts)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("core: %s/%s %s: %w", cb.App, cb.Model, u.File, err)
-		}
-		idx.Units = append(idx.Units, ui)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
 	}
+	units := make([]UnitIndex, len(cb.Units))
+	errs := make([]error, len(cb.Units))
+	runParallel(len(cb.Units), workers, func(i int) {
+		u := cb.Units[i]
+		if cb.Lang == corpus.LangFortran {
+			units[i], errs[i] = indexFortranUnit(cb, u, opts)
+		} else {
+			units[i], errs[i] = indexCXXUnit(cb, u, opts)
+		}
+	})
+	// report the first failure in input order, matching the serial loop
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: %s/%s %s: %w", cb.App, cb.Model, cb.Units[i].File, err)
+		}
+	}
+	idx.Units = units
 	sort.Slice(idx.Units, func(i, j int) bool { return idx.Units[i].Role < idx.Units[j].Role })
 	return idx, nil
 }
@@ -223,8 +238,8 @@ func applyCoverage(ui *UnitIndex, prof *coverage.Profile) {
 	if prof == nil {
 		return
 	}
-	for k, t := range ui.Trees {
-		ui.Trees[k] = prof.MaskTree(t)
+	for _, k := range sortedTreeKeys(ui.Trees) {
+		ui.Trees[k] = prof.MaskTree(ui.Trees[k])
 	}
 	// +coverage variants of the perceived metrics: keep only executed
 	// lines, recount SLOC, and scale LLOC by the surviving fraction (the

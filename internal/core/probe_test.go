@@ -54,7 +54,7 @@ func TestProbeDivergenceLandscape(t *testing.T) {
 	}
 	idxs, order := indexAll(t, "tealeaf", Options{})
 	for _, metric := range Metrics() {
-		from, err := FromBase(idxs, "serial", order, metric)
+		from, err := testEngine.FromBase(idxs, "serial", order, metric)
 		if err != nil {
 			t.Fatal(err)
 		}

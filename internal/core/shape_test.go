@@ -12,7 +12,7 @@ import (
 
 func divergeOrFatal(t *testing.T, a, b *Index, metric string) Divergence {
 	t.Helper()
-	d, err := Diverge(a, b, metric)
+	d, err := testEngine.Diverge(a, b, metric)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestOpenMPSemanticExceedsPerceived(t *testing.T) {
 func TestOffloadDivergenceOrdering(t *testing.T) {
 	idxs, order := indexAll(t, "tealeaf", Options{})
 	for _, metric := range []string{MetricTsrc, MetricTsem} {
-		from, err := FromBase(idxs, "serial", order, metric)
+		from, err := testEngine.FromBase(idxs, "serial", order, metric)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,7 +80,7 @@ func TestOffloadDivergenceOrdering(t *testing.T) {
 // the rest".
 func TestDeclarativeModelsLowDivergence(t *testing.T) {
 	idxs, order := indexAll(t, "tealeaf", Options{})
-	from, err := FromBase(idxs, "serial", order, MetricTsem)
+	from, err := testEngine.FromBase(idxs, "serial", order, MetricTsem)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +103,11 @@ func TestDeclarativeModelsLowDivergence(t *testing.T) {
 // change for T_sem+i"; HIP sits in between because of its runtime headers.
 func TestInliningJumpsForLibraryModels(t *testing.T) {
 	idxs, order := indexAll(t, "tealeaf", Options{})
-	sem, err := FromBase(idxs, "serial", order, MetricTsem)
+	sem, err := testEngine.FromBase(idxs, "serial", order, MetricTsem)
 	if err != nil {
 		t.Fatal(err)
 	}
-	semI, err := FromBase(idxs, "serial", order, MetricTsemI)
+	semI, err := testEngine.FromBase(idxs, "serial", order, MetricTsemI)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestInliningJumpsForLibraryModels(t *testing.T) {
 // the obtained IR contains multiple layers of driver code".
 func TestOffloadIRInflation(t *testing.T) {
 	idxs, order := indexAll(t, "tealeaf", Options{})
-	from, err := FromBase(idxs, "serial", order, MetricTir)
+	from, err := testEngine.FromBase(idxs, "serial", order, MetricTir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,11 +155,11 @@ func TestOffloadIRInflation(t *testing.T) {
 // platform-specific semantics other models don't share.
 func TestMigrationCostFromCUDA(t *testing.T) {
 	idxs, order := indexAll(t, "tealeaf", Options{})
-	fromSerial, err := FromBase(idxs, "serial", order, MetricTsem)
+	fromSerial, err := testEngine.FromBase(idxs, "serial", order, MetricTsem)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fromCUDA, err := FromBase(idxs, "cuda", order, MetricTsem)
+	fromCUDA, err := testEngine.FromBase(idxs, "cuda", order, MetricTsem)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestMigrationCostFromCUDA(t *testing.T) {
 // SYCL with SYCL, CUDA with HIP, serial with OpenMP, TBB with StdPar.
 func TestModelFamilyClustering(t *testing.T) {
 	idxs, order := indexAll(t, "babelstream", Options{})
-	m, err := Matrix(idxs, order, MetricTsem)
+	m, err := testEngine.Matrix(idxs, order, MetricTsem)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,11 +222,11 @@ func TestModelFamilyClustering(t *testing.T) {
 // robust property that SLOC ordering disagrees with T_sem somewhere).
 func TestSLOCClusteringUninformative(t *testing.T) {
 	idxs, order := indexAll(t, "babelstream", Options{})
-	mSem, err := Matrix(idxs, order, MetricTsem)
+	mSem, err := testEngine.Matrix(idxs, order, MetricTsem)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mSloc, err := Matrix(idxs, order, MetricSLOC)
+	mSloc, err := testEngine.Matrix(idxs, order, MetricSLOC)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,12 +286,12 @@ func TestFortranShapes(t *testing.T) {
 	}
 
 	// Fortran models are overall more T_sem-similar than the C++ ones
-	fFrom, err := FromBase(idxs, "f-sequential", order, MetricTsem)
+	fFrom, err := testEngine.FromBase(idxs, "f-sequential", order, MetricTsem)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cIdxs, cOrder := indexAll(t, "babelstream", Options{})
-	cFrom, err := FromBase(cIdxs, "serial", cOrder, MetricTsem)
+	cFrom, err := testEngine.FromBase(cIdxs, "serial", cOrder, MetricTsem)
 	if err != nil {
 		t.Fatal(err)
 	}

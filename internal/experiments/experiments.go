@@ -39,20 +39,34 @@ func IDs() []string {
 }
 
 // Env caches per-app indexes so a batch of experiments shares the indexing
-// work.
+// work. All divergence computation goes through one core.Engine, so every
+// experiment in a batch draws from the same worker pool and shares one
+// content-addressed TED cache — identical tree pairs recurring across
+// figures (navigation charts, dendrogram sweeps, ablations) are computed
+// once.
 type Env struct {
 	mu          sync.Mutex
+	engine      *core.Engine
 	cache       map[string]map[string]*core.Index
 	matrixCache map[string][][]float64
 }
 
-// NewEnv returns an empty experiment environment.
-func NewEnv() *Env {
+// NewEnv returns an experiment environment with a NumCPU-bounded engine.
+func NewEnv() *Env { return NewEnvWorkers(0) }
+
+// NewEnvWorkers returns an environment whose engine uses the given worker
+// bound (<= 0 selects runtime.NumCPU(); 1 forces the serial path).
+func NewEnvWorkers(workers int) *Env {
 	return &Env{
+		engine:      core.NewEngine(workers),
 		cache:       map[string]map[string]*core.Index{},
 		matrixCache: map[string][][]float64{},
 	}
 }
+
+// Engine exposes the environment's shared divergence engine (for cache
+// statistics and for callers that want to reuse the same memo).
+func (e *Env) Engine() *core.Engine { return e.engine }
 
 // Matrix returns (building and caching on first use) the cartesian
 // divergence matrix of an app under a metric, plus the model order.
@@ -68,7 +82,7 @@ func (e *Env) Matrix(appName, metric string) ([][]float64, []string, error) {
 	if ok {
 		return m, order, nil
 	}
-	m, err = core.Matrix(idxs, order, metric)
+	m, err = e.engine.Matrix(idxs, order, metric)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -99,7 +113,7 @@ func (e *Env) Indexes(appName string) (map[string]*core.Index, []string, error) 
 		if err != nil {
 			return nil, nil, err
 		}
-		idx, err := core.IndexCodebase(cb, core.Options{})
+		idx, err := e.engine.IndexCodebase(cb, core.Options{})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -301,7 +315,7 @@ func (e *Env) heatmapFigure(id, app, title string) (*Result, error) {
 	metrics := core.Metrics()
 	m := make([][]float64, len(metrics))
 	for i, metric := range metrics {
-		from, err := core.FromBase(idxs, "serial", order, metric)
+		from, err := e.engine.FromBase(idxs, "serial", order, metric)
 		if err != nil {
 			return nil, err
 		}
@@ -332,7 +346,7 @@ func (e *Env) migrationFigure(id, app, base, title string) (*Result, error) {
 	offload := []string{"cuda", "hip", "omp-target", "kokkos", "sycl-acc", "sycl-usm"}
 	var b strings.Builder
 	for _, metric := range migrationMetrics {
-		from, err := core.FromBase(idxs, base, order, metric)
+		from, err := e.engine.FromBase(idxs, base, order, metric)
 		if err != nil {
 			return nil, err
 		}
@@ -376,11 +390,11 @@ func (e *Env) navigationFigure(id, app, title string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tsem, err := core.FromBase(idxs, "serial", order, core.MetricTsem)
+	tsem, err := e.engine.FromBase(idxs, "serial", order, core.MetricTsem)
 	if err != nil {
 		return nil, err
 	}
-	tsrc, err := core.FromBase(idxs, "serial", order, core.MetricTsrc)
+	tsrc, err := e.engine.FromBase(idxs, "serial", order, core.MetricTsrc)
 	if err != nil {
 		return nil, err
 	}
@@ -425,7 +439,7 @@ func (e *Env) ablationCosts() (*Result, error) {
 	for _, m := range order {
 		row := []string{m}
 		for _, cfg := range configs {
-			d, err := core.DivergeWithCosts(serial, idxs[m], core.MetricTsem, cfg.costs)
+			d, err := e.engine.DivergeWithCosts(serial, idxs[m], core.MetricTsem, cfg.costs)
 			if err != nil {
 				return nil, err
 			}
@@ -453,11 +467,11 @@ func (e *Env) ablationApprox() (*Result, error) {
 	serial := idxs["serial"]
 	var rows [][]string
 	for _, m := range order {
-		ex, err := core.Diverge(serial, idxs[m], core.MetricTsem)
+		ex, err := e.engine.Diverge(serial, idxs[m], core.MetricTsem)
 		if err != nil {
 			return nil, err
 		}
-		ap, err := core.ApproxDiverge(serial, idxs[m], core.MetricTsem)
+		ap, err := e.engine.ApproxDiverge(serial, idxs[m], core.MetricTsem)
 		if err != nil {
 			return nil, err
 		}
@@ -500,7 +514,7 @@ func (e *Env) fig15() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	fromCUDA, err := core.FromBase(idxs, "cuda", order, core.MetricTsem)
+	fromCUDA, err := e.engine.FromBase(idxs, "cuda", order, core.MetricTsem)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,148 @@
+package ted
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"silvervale/internal/tree"
+)
+
+// Cache is a concurrency-safe, content-addressed memo for tree edit
+// distances. Entries are keyed by (Fingerprint(a), Fingerprint(b), Costs),
+// so the cache is shared safely across codebases, metrics, and goroutines:
+// any two structurally identical trees hit the same entry no matter where
+// they came from. pq-gram profiles and approximate distances are memoised
+// under the same addressing scheme.
+//
+// Identical-tree pairs short-circuit to distance 0 without running
+// Zhang–Shasha at all: on fingerprint equality the trees are verified with
+// tree.Equal (O(n), negligible next to the O(n^2+) distance computation),
+// so the shortcut is exact, not probabilistic. Distinct-pair hits rely on
+// fingerprint uniqueness, which holds up to a simultaneous collision of
+// two independent 64-bit hashes plus the node count.
+//
+// The zero value is not usable; call NewCache.
+type Cache struct {
+	mu       sync.RWMutex
+	dist     map[pairKey]int
+	approx   map[approxKey]float64
+	profiles map[tree.Fingerprint]PQGramProfile
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// pairKey addresses one exact-TED evaluation. When Insert == Delete the
+// distance is symmetric and the key is canonicalised so (a,b) and (b,a)
+// share an entry.
+type pairKey struct {
+	a, b  tree.Fingerprint
+	costs Costs
+}
+
+// approxKey addresses one pq-gram distance, which is always symmetric.
+type approxKey struct {
+	a, b tree.Fingerprint
+}
+
+// NewCache returns an empty cache ready for concurrent use.
+func NewCache() *Cache {
+	return &Cache{
+		dist:     map[pairKey]int{},
+		approx:   map[approxKey]float64{},
+		profiles: map[tree.Fingerprint]PQGramProfile{},
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits     uint64 // lookups answered from the memo or the identity shortcut
+	Misses   uint64 // lookups that ran the underlying algorithm
+	Entries  int    // stored exact distances
+	Profiles int    // stored pq-gram profiles
+}
+
+// Stats returns current counters. Hits include identity short-circuits.
+func (c *Cache) Stats() CacheStats {
+	c.mu.RLock()
+	entries, profiles := len(c.dist), len(c.profiles)
+	c.mu.RUnlock()
+	return CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Entries:  entries,
+		Profiles: profiles,
+	}
+}
+
+// Distance is the cached form of Distance (unit costs).
+func (c *Cache) Distance(t1, t2 *tree.Node) int {
+	return c.DistanceWithCosts(t1, t2, UnitCosts())
+}
+
+// DistanceWithCosts is the cached form of DistanceWithCosts. Results are
+// always identical to the uncached function.
+func (c *Cache) DistanceWithCosts(t1, t2 *tree.Node, costs Costs) int {
+	fa, fb := t1.Fingerprint(), t2.Fingerprint()
+	if fa == fb && tree.Equal(t1, t2) {
+		// d(t, t) == 0 under every cost model: the empty edit script.
+		c.hits.Add(1)
+		return 0
+	}
+	key := pairKey{a: fa, b: fb, costs: costs}
+	if costs.Insert == costs.Delete && fb.Less(fa) {
+		key.a, key.b = fb, fa
+	}
+	c.mu.RLock()
+	d, ok := c.dist[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return d
+	}
+	c.misses.Add(1)
+	d = DistanceWithCosts(t1, t2, costs)
+	c.mu.Lock()
+	c.dist[key] = d
+	c.mu.Unlock()
+	return d
+}
+
+// Profile returns the memoised pq-gram profile of a tree.
+func (c *Cache) Profile(t *tree.Node) PQGramProfile {
+	f := t.Fingerprint()
+	c.mu.RLock()
+	p, ok := c.profiles[f]
+	c.mu.RUnlock()
+	if ok {
+		return p
+	}
+	p = NewPQGramProfile(t)
+	c.mu.Lock()
+	c.profiles[f] = p
+	c.mu.Unlock()
+	return p
+}
+
+// ApproxDistance is the cached form of ApproxDistance: both the per-tree
+// pq-gram profiles and the per-pair distance are memoised.
+func (c *Cache) ApproxDistance(t1, t2 *tree.Node) float64 {
+	fa, fb := t1.Fingerprint(), t2.Fingerprint()
+	key := approxKey{a: fa, b: fb}
+	if fb.Less(fa) {
+		key.a, key.b = fb, fa
+	}
+	c.mu.RLock()
+	d, ok := c.approx[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return d
+	}
+	c.misses.Add(1)
+	d = PQGramDistance(c.Profile(t1), c.Profile(t2))
+	c.mu.Lock()
+	c.approx[key] = d
+	c.mu.Unlock()
+	return d
+}

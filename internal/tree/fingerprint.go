@@ -1,0 +1,79 @@
+package tree
+
+// Fingerprint is a content address for a tree: a stable structural hash
+// over node labels and shape. Source positions are ignored, exactly like
+// Equal. Structurally equal trees always produce the same Fingerprint;
+// distinct trees are separated by two independent 64-bit hashes plus the
+// node count, so accidental collisions need a simultaneous collision in a
+// ~128-bit space. The zero Fingerprint is reserved for the nil tree.
+//
+// Fingerprints are comparable and compact, which makes them usable as map
+// keys — the content-addressing scheme behind ted.Cache.
+type Fingerprint struct {
+	H1   uint64 // FNV-1a over the serialised structure
+	H2   uint64 // independent multiplicative hash over the same bytes
+	Size uint32 // node count, a cheap third separator
+}
+
+// IsZero reports whether the fingerprint is the nil-tree fingerprint.
+func (f Fingerprint) IsZero() bool { return f == Fingerprint{} }
+
+// Less orders fingerprints lexicographically by (H1, H2, Size). The order
+// carries no meaning beyond being total and deterministic; ted.Cache uses
+// it to canonicalise symmetric pair keys.
+func (f Fingerprint) Less(g Fingerprint) bool {
+	if f.H1 != g.H1 {
+		return f.H1 < g.H1
+	}
+	if f.H2 != g.H2 {
+		return f.H2 < g.H2
+	}
+	return f.Size < g.Size
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	djbOffset64 = 5381
+)
+
+// fpState accumulates both hashes in a single tree walk.
+type fpState struct {
+	h1, h2 uint64
+	size   uint32
+}
+
+func (s *fpState) writeByte(b byte) {
+	s.h1 = (s.h1 ^ uint64(b)) * fnvPrime64
+	s.h2 = s.h2*33 + uint64(b)
+}
+
+func (s *fpState) writeString(str string) {
+	for i := 0; i < len(str); i++ {
+		s.writeByte(str[i])
+	}
+}
+
+// Fingerprint computes the tree's content address in one pre-order walk.
+// A nil tree returns the zero Fingerprint.
+func (n *Node) Fingerprint() Fingerprint {
+	if n == nil {
+		return Fingerprint{}
+	}
+	s := fpState{h1: fnvOffset64, h2: djbOffset64}
+	n.fingerprintInto(&s)
+	return Fingerprint{H1: s.h1, H2: s.h2, Size: s.size}
+}
+
+// fingerprintInto serialises the node as label '(' children ')' — the same
+// shape encoding Hash uses — into both running hashes.
+func (n *Node) fingerprintInto(s *fpState) {
+	s.size++
+	s.writeString(n.Label)
+	s.writeByte('(')
+	for _, c := range n.Children {
+		c.fingerprintInto(s)
+		s.writeByte(',')
+	}
+	s.writeByte(')')
+}

@@ -25,6 +25,8 @@ import (
 	"silvervale/internal/experiments"
 	"silvervale/internal/navchart"
 	"silvervale/internal/perf"
+	"silvervale/internal/ted"
+	"silvervale/internal/tree"
 )
 
 // Re-exported types. The aliases keep the public API surface in one place
@@ -50,6 +52,17 @@ type (
 	CoverageProfile = coverage.Profile
 	// Dendrogram is a hierarchical clustering tree.
 	Dendrogram = cluster.Node
+	// Engine is the concurrent divergence engine: a bounded worker pool
+	// plus a shared content-addressed TED cache. It produces exactly the
+	// same numbers as the one-shot functions.
+	Engine = core.Engine
+	// TEDCache is the concurrency-safe content-addressed TED memo.
+	TEDCache = ted.Cache
+	// TEDCacheStats is a snapshot of cache effectiveness counters.
+	TEDCacheStats = ted.CacheStats
+	// TreeFingerprint is the stable structural hash (content address)
+	// cache keys are built from.
+	TreeFingerprint = tree.Fingerprint
 )
 
 // C++ programming models.
@@ -119,6 +132,12 @@ func IndexCodebase(cb *Codebase, opts IndexOptions) (*Index, error) {
 func Diverge(a, b *Index, metric string) (Divergence, error) {
 	return core.Diverge(a, b, metric)
 }
+
+// NewEngine returns a concurrent divergence engine with the given worker
+// bound (<= 0 selects runtime.NumCPU()) and a fresh shared TED cache.
+// Reuse one engine across Diverge/Matrix/FromBase sweeps so repeated tree
+// pairs are answered from the memo.
+func NewEngine(workers int) *Engine { return core.NewEngine(workers) }
 
 // DivergenceMatrix computes the pairwise normalised divergence matrix over
 // the given model order.
