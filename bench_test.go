@@ -22,6 +22,7 @@ import (
 	"silvervale/internal/corpus"
 	"silvervale/internal/experiments"
 	"silvervale/internal/minic"
+	"silvervale/internal/obs"
 	"silvervale/internal/seqdiff"
 	"silvervale/internal/ted"
 	"silvervale/internal/tree"
@@ -193,6 +194,21 @@ func BenchmarkMatrixSerial(b *testing.B) {
 func BenchmarkMatrixParallel(b *testing.B) {
 	benchMatrix(b, "tealeaf", func(idxs map[string]*core.Index, order []string) error {
 		engine := core.NewEngineWithCache(0, nil) // cold, uncached: pool speedup only
+		_, err := engine.Matrix(idxs, order, core.MetricTsem)
+		return err
+	})
+}
+
+// BenchmarkMatrixObsEnabled is BenchmarkMatrixParallel with a live
+// recorder: same cold uncached engine, but every cell emits spans and the
+// pool feeds the engine.* counters/histograms. BenchmarkMatrixParallel is
+// the obs-disabled baseline for both comparisons the observability design
+// budgets for (DESIGN.md §Observability): disabled overhead must be
+// indistinguishable from the pre-instrumentation engine (<2%), enabled
+// overhead a few percent.
+func BenchmarkMatrixObsEnabled(b *testing.B) {
+	benchMatrix(b, "tealeaf", func(idxs map[string]*core.Index, order []string) error {
+		engine := core.NewEngineObs(0, nil, obs.NewRecorder())
 		_, err := engine.Matrix(idxs, order, core.MetricTsem)
 		return err
 	})

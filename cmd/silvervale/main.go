@@ -13,11 +13,20 @@
 //	silvervale phi <app>
 //	silvervale experiment <id>|all
 //	silvervale dump <app> <model> [-tree <metric>]
+//
+// Observability flags (leading, or trailing after positionals):
+//
+//	silvervale -trace out.json -metrics matrix tealeaf
+//	silvervale experiment all -metrics -metrics-format=json
+//	silvervale -pprof 127.0.0.1:6060 experiment all
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,7 +35,9 @@ import (
 	"silvervale/internal/core"
 	"silvervale/internal/corpus"
 	"silvervale/internal/experiments"
+	"silvervale/internal/obs"
 	"silvervale/internal/perf"
+	"silvervale/internal/ted"
 	"silvervale/internal/textplot"
 )
 
@@ -37,34 +48,140 @@ func main() {
 	}
 }
 
+// obsConfig carries the observability surface: -trace emits a Chrome
+// trace_event file, -metrics prints a Prometheus-style summary (or JSON
+// with -metrics-format=json), -pprof serves net/http/pprof for the
+// duration of the command. The flags register both on the global (leading)
+// flag set and on each engine-backed subcommand, so they work in either
+// position. When none is set, no recorder is created and the pipeline runs
+// entirely uninstrumented.
+type obsConfig struct {
+	trace         string
+	metrics       bool
+	metricsFormat string
+	pprofAddr     string
+
+	rec          *obs.Recorder
+	pprofStarted bool
+}
+
+func (c *obsConfig) register(fs *flag.FlagSet) {
+	fs.StringVar(&c.trace, "trace", c.trace, "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
+	fs.BoolVar(&c.metrics, "metrics", c.metrics, "print a metrics summary after the command")
+	fs.StringVar(&c.metricsFormat, "metrics-format", c.metricsFormat, "metrics output format: text (Prometheus-style) or json")
+	fs.StringVar(&c.pprofAddr, "pprof", c.pprofAddr, "serve net/http/pprof on this address while the command runs")
+}
+
+func (c *obsConfig) enabled() bool {
+	return c.trace != "" || c.metrics || c.pprofAddr != ""
+}
+
+// recorder lazily creates the recorder (and starts the pprof server) once
+// a subcommand asks for it — after its flag set has parsed, so trailing
+// flags are honoured. Returns nil when observability is off.
+func (c *obsConfig) recorder() (*obs.Recorder, error) {
+	if !c.enabled() {
+		return nil, nil
+	}
+	if c.pprofAddr != "" && !c.pprofStarted {
+		ln, err := net.Listen("tcp", c.pprofAddr)
+		if err != nil {
+			return nil, fmt.Errorf("pprof: %w", err)
+		}
+		c.pprofStarted = true
+		fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, nil) //nolint — lives for the command's duration
+	}
+	if c.rec == nil && (c.trace != "" || c.metrics) {
+		c.rec = obs.NewRecorder()
+	}
+	return c.rec, nil
+}
+
+// finish writes the trace file and prints the metrics summary.
+func (c *obsConfig) finish() error {
+	if c.rec == nil {
+		return nil
+	}
+	if c.trace != "" {
+		f, err := os.Create(c.trace)
+		if err != nil {
+			return err
+		}
+		if err := c.rec.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", c.trace)
+	}
+	if c.metrics {
+		if c.metricsFormat == "json" {
+			return c.rec.WriteMetricsJSON(os.Stdout)
+		}
+		return c.rec.WriteMetrics(os.Stdout)
+	}
+	return nil
+}
+
+func (c *obsConfig) newEngine(workers int) (*core.Engine, error) {
+	rec, err := c.recorder()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEngineObs(workers, ted.NewCache(), rec), nil
+}
+
+func (c *obsConfig) newEnv(workers int) (*experiments.Env, error) {
+	rec, err := c.recorder()
+	if err != nil {
+		return nil, err
+	}
+	return experiments.NewEnvObs(workers, rec), nil
+}
+
 func run(args []string) error {
+	cfg := &obsConfig{metricsFormat: "text"}
+	gfs := flag.NewFlagSet("silvervale", flag.ContinueOnError)
+	cfg.register(gfs)
+	if err := gfs.Parse(args); err != nil {
+		return err
+	}
+	args = gfs.Args()
 	if len(args) == 0 {
 		return usage()
 	}
+	var err error
 	switch args[0] {
 	case "list":
-		return cmdList()
+		err = cmdList()
 	case "generate":
-		return cmdGenerate(args[1:])
+		err = cmdGenerate(args[1:])
 	case "index":
-		return cmdIndex(args[1:])
+		err = cmdIndex(args[1:], cfg)
 	case "diverge":
-		return cmdDiverge(args[1:])
+		err = cmdDiverge(args[1:], cfg)
 	case "matrix":
-		return cmdMatrix(args[1:])
+		err = cmdMatrix(args[1:], cfg)
 	case "phi":
-		return cmdPhi(args[1:])
+		err = cmdPhi(args[1:])
 	case "experiment":
-		return cmdExperiment(args[1:])
+		err = cmdExperiment(args[1:], cfg)
 	case "ingest":
-		return cmdIngest(args[1:])
+		err = cmdIngest(args[1:], cfg)
 	case "dump":
-		return cmdDump(args[1:])
+		err = cmdDump(args[1:])
 	case "help", "-h", "--help":
-		return usage()
+		err = usage()
 	default:
-		return fmt.Errorf("unknown command %q (try: silvervale help)", args[0])
+		err = fmt.Errorf("unknown command %q (try: silvervale help)", args[0])
 	}
+	if err != nil {
+		return err
+	}
+	return cfg.finish()
 }
 
 func usage() error {
@@ -83,7 +200,10 @@ commands:
 
 index, diverge, matrix, experiment, and ingest accept -workers <n> to bound
 the divergence engine's worker pool (default: all CPUs; 1 = serial).
-Results are identical for every value.`)
+Results are identical for every value. They also accept the observability
+flags (leading or trailing): -trace <file> writes a Chrome trace_event
+JSON, -metrics prints a metrics summary (-metrics-format=text|json), and
+-pprof <addr> serves net/http/pprof while the command runs.`)
 	return nil
 }
 
@@ -144,11 +264,12 @@ func cmdGenerate(args []string) error {
 	return nil
 }
 
-func cmdIndex(args []string) error {
+func cmdIndex(args []string, cfg *obsConfig) error {
 	fs := flag.NewFlagSet("index", flag.ContinueOnError)
 	withCov := fs.Bool("coverage", false, "run the serial interpreter for a coverage mask")
 	dbOut := fs.String("db", "", "write the Codebase DB (gzip+msgpack) to this file")
 	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial)")
+	cfg.register(fs)
 	pos, err := splitArgs(fs, args, 2)
 	if err != nil {
 		return err
@@ -157,7 +278,11 @@ func cmdIndex(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := core.Options{Workers: *workers}
+	rec, err := cfg.recorder()
+	if err != nil {
+		return err
+	}
+	opts := core.Options{Workers: *workers, Recorder: rec}
 	if *withCov {
 		prof, err := core.RunCoverage(cb)
 		if err != nil {
@@ -192,10 +317,11 @@ func cmdIndex(args []string) error {
 	return nil
 }
 
-func cmdDiverge(args []string) error {
+func cmdDiverge(args []string, cfg *obsConfig) error {
 	fs := flag.NewFlagSet("diverge", flag.ContinueOnError)
 	metric := fs.String("metric", "", "single metric (default: all)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial)")
+	cfg.register(fs)
 	pos, err := splitArgs(fs, args, 3)
 	if err != nil {
 		return err
@@ -208,7 +334,10 @@ func cmdDiverge(args []string) error {
 	if err != nil {
 		return err
 	}
-	engine := core.NewEngine(*workers)
+	engine, err := cfg.newEngine(*workers)
+	if err != nil {
+		return err
+	}
 	ia, err := engine.IndexCodebase(a, core.Options{})
 	if err != nil {
 		return err
@@ -231,15 +360,19 @@ func cmdDiverge(args []string) error {
 	return nil
 }
 
-func cmdMatrix(args []string) error {
+func cmdMatrix(args []string, cfg *obsConfig) error {
 	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
 	metric := fs.String("metric", core.MetricTsem, "metric")
 	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial)")
+	cfg.register(fs)
 	pos, err := splitArgs(fs, args, 1)
 	if err != nil {
 		return err
 	}
-	env := experiments.NewEnvWorkers(*workers)
+	env, err := cfg.newEnv(*workers)
+	if err != nil {
+		return err
+	}
 	m, order, err := env.Matrix(pos[0], *metric)
 	if err != nil {
 		return err
@@ -272,14 +405,18 @@ func cmdPhi(args []string) error {
 	return nil
 }
 
-func cmdExperiment(args []string) error {
+func cmdExperiment(args []string, cfg *obsConfig) error {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial)")
+	cfg.register(fs)
 	pos, err := splitArgs(fs, args, 1)
 	if err != nil {
 		return fmt.Errorf("experiment: exactly one id (or 'all') required")
 	}
-	env := experiments.NewEnvWorkers(*workers)
+	env, err := cfg.newEnv(*workers)
+	if err != nil {
+		return err
+	}
 	ids := []string{pos[0]}
 	if pos[0] == "all" {
 		ids = experiments.IDs()
@@ -291,17 +428,23 @@ func cmdExperiment(args []string) error {
 		}
 		fmt.Printf("==== %s: %s ====\n%s\n", res.ID, res.Title, res.Text)
 	}
+	fmt.Println(env.Engine().CacheStats())
 	return nil
 }
 
-func cmdIngest(args []string) error {
+func cmdIngest(args []string, cfg *obsConfig) error {
 	fs := flag.NewFlagSet("ingest", flag.ContinueOnError)
 	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial)")
+	cfg.register(fs)
 	pos, err := splitArgs(fs, args, 1)
 	if err != nil {
 		return err
 	}
-	idx, err := core.IngestDirectory(pos[0], core.Options{Workers: *workers})
+	rec, err := cfg.recorder()
+	if err != nil {
+		return err
+	}
+	idx, err := core.IngestDirectory(pos[0], core.Options{Workers: *workers, Recorder: rec})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// traceFileShape mirrors the Chrome trace_event JSON emitted by -trace.
+type traceFileShape struct {
+	TraceEvents []struct {
+		Name string   `json:"name"`
+		Ph   string   `json:"ph"`
+		Ts   float64  `json:"ts"`
+		Dur  *float64 `json:"dur"`
+	} `json:"traceEvents"`
+}
+
+func TestTraceAndMetricsFlags(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	out, err := capture(t, "matrix", "babelstream-fortran", "-trace", tracePath, "-metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"silvervale_ted_cache_hits",
+		"silvervale_ted_pair_nodes_bucket",
+		"silvervale_engine_tasks",
+		"silvervale_span_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFileShape
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// Every pipeline phase must appear as at least one complete ("X") event
+	// with an explicit non-negative duration. babelstream-fortran exercises
+	// the Fortran frontend, so frontend.preprocess (MiniC-only) is absent.
+	phases := []string{
+		"index.codebase", "index.unit",
+		"frontend.srctree", "frontend.lex", "frontend.parse",
+		"frontend.sem", "frontend.inline",
+		"ir.lower",
+		"ted.fingerprint", "ted.distance",
+		"engine.matrix", "engine.cell",
+	}
+	complete := map[string]int{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want complete event \"X\"", ev.Name, ev.Ph)
+		}
+		if ev.Dur == nil || *ev.Dur < 0 {
+			t.Fatalf("event %q lacks a non-negative dur", ev.Name)
+		}
+		complete[ev.Name]++
+	}
+	for _, p := range phases {
+		if complete[p] == 0 {
+			t.Errorf("trace has no complete span for phase %q", p)
+		}
+	}
+}
+
+func TestMetricsJSONWithLeadingFlags(t *testing.T) {
+	out, err := capture(t, "-metrics", "-metrics-format=json", "index", "babelstream-fortran", "f-sequential")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := strings.Index(out, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON object in output: %q", out)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+		Spans    map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(out[idx:]), &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if snap.Counters["index.units"] == 0 {
+		t.Errorf("index.units counter is zero: %v", snap.Counters)
+	}
+	if snap.Spans["frontend.parse"].Count == 0 {
+		t.Errorf("no frontend.parse spans recorded")
+	}
+}
+
+func TestPprofFlagBindsListener(t *testing.T) {
+	// Port 0 binds an ephemeral port; the command must run to completion
+	// with the profiler live.
+	if _, err := capture(t, "index", "babelstream-fortran", "f-sequential", "-pprof", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+}

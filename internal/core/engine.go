@@ -2,11 +2,14 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"silvervale/internal/corpus"
+	"silvervale/internal/obs"
 	"silvervale/internal/ted"
 )
 
@@ -22,6 +25,13 @@ import (
 type Engine struct {
 	workers int
 	cache   *ted.Cache
+
+	// observability (all nil when disabled — the no-op hot path)
+	rec        *obs.Recorder
+	tasks      *obs.Counter   // engine.tasks — worker-pool tasks executed
+	cells      *obs.Counter   // engine.cells — matrix cells scheduled
+	taskNS     *obs.Histogram // engine.task_ns — per-task latency
+	queueDepth *obs.Histogram // engine.queue_depth — remaining tasks at dequeue
 }
 
 // NewEngine returns an engine with the given worker-pool bound and a fresh
@@ -33,14 +43,57 @@ func NewEngine(workers int) *Engine {
 // NewEngineWithCache returns an engine using an existing cache (pass nil
 // to disable caching, e.g. to benchmark raw parallel speedup).
 func NewEngineWithCache(workers int, cache *ted.Cache) *Engine {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	return &Engine{workers: workers, cache: cache}
+	return NewEngineObs(workers, cache, nil)
 }
 
-// Workers returns the configured worker-pool bound.
+// NewEngineObs returns an engine wired to an observability recorder: the
+// worker pool records task latency and queue depth, Matrix/FromBase emit
+// span trees, and the cache (when non-nil) feeds the ted.* counters. A nil
+// recorder yields exactly the uninstrumented engine — the obs handles stay
+// nil and every hook is a pointer check.
+func NewEngineObs(workers int, cache *ted.Cache, rec *obs.Recorder) *Engine {
+	e := &Engine{workers: ResolveWorkers(workers), cache: cache, rec: rec}
+	if rec != nil {
+		if cache != nil {
+			cache.SetRecorder(rec)
+		}
+		e.tasks = rec.Counter("engine.tasks")
+		e.cells = rec.Counter("engine.cells")
+		e.taskNS = rec.Histogram("engine.task_ns")
+		e.queueDepth = rec.Histogram("engine.queue_depth")
+	}
+	return e
+}
+
+// workerLogOnce backs the log-once guarantee of ResolveWorkers.
+var workerLogOnce sync.Once
+
+// ResolveWorkers maps a requested worker count onto the bound the pool
+// actually uses: values <= 0 select runtime.NumCPU(), and values above
+// NumCPU clamp down to it (extra goroutines cannot speed up the CPU-bound
+// TED work). The first resolution that changes the requested value is
+// logged once per process, so `-workers 0` / oversubscribed runs say what
+// they actually got.
+func ResolveWorkers(requested int) int {
+	n := runtime.NumCPU()
+	resolved := requested
+	if requested <= 0 || requested > n {
+		resolved = n
+	}
+	if resolved != requested {
+		workerLogOnce.Do(func() {
+			log.Printf("core: worker pool resolved to %d (requested %d, NumCPU %d)", resolved, requested, n)
+		})
+	}
+	return resolved
+}
+
+// Workers returns the resolved worker-pool bound actually in use.
 func (e *Engine) Workers() int { return e.workers }
+
+// Recorder returns the engine's observability recorder (nil when
+// observability is off).
+func (e *Engine) Recorder() *obs.Recorder { return e.rec }
 
 // Cache returns the engine's shared TED cache (nil when caching is off).
 func (e *Engine) Cache() *ted.Cache { return e.cache }
@@ -106,8 +159,10 @@ func (e *Engine) Matrix(idxs map[string]*Index, order []string, metric string) (
 			cells = append(cells, cell{i, j})
 		}
 	}
+	sp := e.rec.Start("engine.matrix").Arg("metric", metric)
+	e.cells.Add(int64(len(cells)))
 	errs := make([]error, len(cells))
-	e.runParallel(len(cells), func(k int) {
+	e.runParallel(len(cells), sp, "engine.cell", func(k int) {
 		i, j := cells[k].i, cells[k].j
 		ia, ib := idxs[order[i]], idxs[order[j]]
 		d, err := e.Diverge(ia, ib, metric)
@@ -124,6 +179,7 @@ func (e *Engine) Matrix(idxs map[string]*Index, order []string, metric string) (
 			m[j][i] = safeDiv(d.Raw, Weight(ia, metric))
 		}
 	})
+	sp.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -144,9 +200,10 @@ func (e *Engine) FromBase(idxs map[string]*Index, base string, order []string, m
 			return nil, fmt.Errorf("core: no index for model %q", name)
 		}
 	}
+	sp := e.rec.Start("engine.frombase").Arg("metric", metric).Arg("base", base)
 	vals := make([]float64, len(order))
 	errs := make([]error, len(order))
-	e.runParallel(len(order), func(k int) {
+	e.runParallel(len(order), sp, "engine.compare", func(k int) {
 		d, err := e.Diverge(ib, idxs[order[k]], metric)
 		if err != nil {
 			errs[k] = err
@@ -154,6 +211,7 @@ func (e *Engine) FromBase(idxs map[string]*Index, base string, order []string, m
 		}
 		vals[k] = d.Norm
 	})
+	sp.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -167,16 +225,34 @@ func (e *Engine) FromBase(idxs map[string]*Index, base string, order []string, m
 }
 
 // IndexCodebase runs the extraction pipeline with the engine's worker
-// pool (equivalent to IndexCodebase with Options.Workers set).
+// pool and recorder (equivalent to IndexCodebase with Options.Workers and
+// Options.Recorder set).
 func (e *Engine) IndexCodebase(cb *corpus.Codebase, opts Options) (*Index, error) {
 	opts.Workers = e.workers
+	if opts.Recorder == nil {
+		opts.Recorder = e.rec
+	}
 	return IndexCodebase(cb, opts)
 }
 
 // runParallel executes fn(0..n-1) on at most e.workers goroutines. With a
 // single worker (or a single task) it degenerates to the serial loop — no
 // goroutines, no synchronisation — so serial baselines stay untouched.
-func (e *Engine) runParallel(n int, fn func(int)) {
+// When the engine carries a recorder, each task additionally records a
+// child span under parent, its latency, and the queue depth it observed.
+func (e *Engine) runParallel(n int, parent *obs.Span, spanName string, fn func(int)) {
+	if e.rec != nil {
+		inner := fn
+		fn = func(i int) {
+			e.queueDepth.Observe(int64(n - i))
+			start := time.Now()
+			tsp := parent.Start(spanName)
+			inner(i)
+			tsp.End()
+			e.taskNS.Observe(time.Since(start).Nanoseconds())
+			e.tasks.Add(1)
+		}
+	}
 	runParallel(n, e.workers, fn)
 }
 

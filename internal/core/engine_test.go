@@ -175,6 +175,8 @@ func TestSharedCacheConcurrentMatrix(t *testing.T) {
 	}
 	if st := engine.CacheStats(); st.Hits == 0 {
 		t.Fatalf("six identical sweeps over one cache produced no hits: %+v", st)
+	} else if st.HitRate() <= 0 {
+		t.Fatalf("cache stats report hits but a non-positive hit rate: %s", st)
 	}
 }
 

@@ -7,7 +7,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 
@@ -17,6 +16,7 @@ import (
 	"silvervale/internal/ir"
 	"silvervale/internal/minic"
 	"silvervale/internal/minifortran"
+	"silvervale/internal/obs"
 	"silvervale/internal/sloc"
 	"silvervale/internal/tree"
 )
@@ -90,7 +90,16 @@ type Options struct {
 	// their input slots and sorted afterwards, so scheduling never leaks
 	// into the output.
 	Workers int
+	// Recorder, when set, records per-unit pipeline spans (preprocess,
+	// lex, parse, sem, inline, IR lowering) and counters. nil disables
+	// observability at no hot-path cost.
+	Recorder *obs.Recorder
 }
+
+// ResolvedWorkers returns the worker count indexing will actually use:
+// Workers clamped per ResolveWorkers (<= 0 or above NumCPU resolve to
+// NumCPU).
+func (o Options) ResolvedWorkers() int { return ResolveWorkers(o.Workers) }
 
 // IndexCodebase runs the full extraction pipeline over a generated
 // codebase. Units are independent of each other (each builds its own
@@ -98,20 +107,23 @@ type Options struct {
 // they are indexed concurrently on the Options.Workers pool.
 func IndexCodebase(cb *corpus.Codebase, opts Options) (*Index, error) {
 	idx := &Index{Codebase: cb.App, Model: string(cb.Model), Lang: cb.Lang}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
+	workers := opts.ResolvedWorkers()
+	root := opts.Recorder.Start("index.codebase").
+		Arg("app", cb.App).Arg("model", string(cb.Model))
+	opts.Recorder.Counter("index.units").Add(int64(len(cb.Units)))
 	units := make([]UnitIndex, len(cb.Units))
 	errs := make([]error, len(cb.Units))
 	runParallel(len(cb.Units), workers, func(i int) {
 		u := cb.Units[i]
+		usp := root.Start("index.unit").Arg("file", u.File)
 		if cb.Lang == corpus.LangFortran {
-			units[i], errs[i] = indexFortranUnit(cb, u, opts)
+			units[i], errs[i] = indexFortranUnit(cb, u, opts, usp)
 		} else {
-			units[i], errs[i] = indexCXXUnit(cb, u, opts)
+			units[i], errs[i] = indexCXXUnit(cb, u, opts, usp)
 		}
+		usp.End()
 	})
+	root.End()
 	// report the first failure in input order, matching the serial loop
 	for i, err := range errs {
 		if err != nil {
@@ -123,11 +135,11 @@ func IndexCodebase(cb *corpus.Codebase, opts Options) (*Index, error) {
 	return idx, nil
 }
 
-func indexCXXUnit(cb *corpus.Codebase, u corpus.Unit, opts Options) (UnitIndex, error) {
+func indexCXXUnit(cb *corpus.Codebase, u corpus.Unit, opts Options, usp *obs.Span) (UnitIndex, error) {
 	ui := UnitIndex{File: u.File, Role: u.Role, Trees: map[string]*tree.Node{}}
 	provider := &minic.MapProvider{Files: cb.Files, System: cb.System}
 	pp := minic.NewPreprocessor(provider, nil)
-	res, err := pp.Preprocess(u.File)
+	res, err := pp.PreprocessObs(u.File, usp)
 	if err != nil {
 		return ui, err
 	}
@@ -172,6 +184,7 @@ func indexCXXUnit(cb *corpus.Codebase, u corpus.Unit, opts Options) (UnitIndex, 
 	}
 
 	// --- T_src --------------------------------------------------------------
+	ssp := usp.Start("frontend.srctree")
 	tsrc := tree.New("unit")
 	for _, f := range unitFiles {
 		tsrc.Add(minic.BuildSrcTree(cb.Files[f], f))
@@ -181,29 +194,34 @@ func indexCXXUnit(cb *corpus.Codebase, u corpus.Unit, opts Options) (UnitIndex, 
 	minic.ApplyLineOriginsTree(tsrcPP, res.LineOrigin)
 	tsrcPP = tsrcPP.Filter(func(n *tree.Node) bool { return !isSystem(n.Pos.File) })
 	ui.Trees[MetricTsrcPP] = tsrcPP
+	ssp.End()
 
 	// --- T_sem / T_sem+i ----------------------------------------------------
-	unit, err := minic.ParseUnit(res.Text, u.File)
+	unit, err := minic.ParseUnitObs(res.Text, u.File, usp)
 	if err != nil {
 		return ui, err
 	}
 	minic.ApplyLineOrigins(unit, res.LineOrigin)
 	pruned := pruneSystemDecls(unit, isSystem)
+	semsp := usp.Start("frontend.sem")
 	ui.Trees[MetricTsem] = minic.BuildSemTree(pruned)
+	semsp.End()
+	insp := usp.Start("frontend.inline")
 	inlined := minic.InlineUnit(unit, minic.InlineOptions{ExcludeFile: func(f string) bool {
 		return cb.System[f] // inlining never pulls true system code in
 	}})
 	ui.Trees[MetricTsemI] = minic.BuildSemTree(pruneSystemDecls(inlined, isSystem))
+	insp.End()
 
 	// --- T_ir ---------------------------------------------------------------
-	bundle := ir.LowerUnit(pruned, u.File)
+	bundle := ir.LowerUnitObs(pruned, u.File, usp)
 	ui.Trees[MetricTir] = bundle.Tree()
 
 	applyCoverage(&ui, opts.Coverage)
 	return ui, nil
 }
 
-func indexFortranUnit(cb *corpus.Codebase, u corpus.Unit, opts Options) (UnitIndex, error) {
+func indexFortranUnit(cb *corpus.Codebase, u corpus.Unit, opts Options, usp *obs.Span) (UnitIndex, error) {
 	ui := UnitIndex{File: u.File, Role: u.Role, Trees: map[string]*tree.Node{}}
 	src := cb.Files[u.File]
 	ui.SLOC = sloc.SLOC(src, sloc.LangFortran)
@@ -217,17 +235,23 @@ func indexFortranUnit(cb *corpus.Codebase, u corpus.Unit, opts Options) (UnitInd
 	// Fortran has no preprocessing phase in this dialect: +pp == plain
 	ui.SourceLinesPP = ui.SourceLines
 
+	ssp := usp.Start("frontend.srctree")
 	ui.Trees[MetricTsrc] = minifortran.BuildSrcTree(src, u.File)
 	ui.Trees[MetricTsrcPP] = ui.Trees[MetricTsrc]
+	ssp.End()
 
-	unit, err := minifortran.ParseUnit(src, u.File)
+	unit, err := minifortran.ParseUnitObs(src, u.File, usp)
 	if err != nil {
 		return ui, err
 	}
+	semsp := usp.Start("frontend.sem")
 	ui.Trees[MetricTsem] = minic.BuildSemTree(unit)
+	semsp.End()
+	insp := usp.Start("frontend.inline")
 	inlined := minic.InlineUnit(unit, minic.InlineOptions{})
 	ui.Trees[MetricTsemI] = minic.BuildSemTree(inlined)
-	bundle := ir.LowerUnit(unit, u.File)
+	insp.End()
+	bundle := ir.LowerUnitObs(unit, u.File, usp)
 	ui.Trees[MetricTir] = bundle.Tree()
 
 	applyCoverage(&ui, opts.Coverage)

@@ -15,6 +15,7 @@ import (
 	"silvervale/internal/core"
 	"silvervale/internal/corpus"
 	"silvervale/internal/navchart"
+	"silvervale/internal/obs"
 	"silvervale/internal/perf"
 	"silvervale/internal/ted"
 	"silvervale/internal/textplot"
@@ -47,6 +48,7 @@ func IDs() []string {
 type Env struct {
 	mu          sync.Mutex
 	engine      *core.Engine
+	rec         *obs.Recorder
 	cache       map[string]map[string]*core.Index
 	matrixCache map[string][][]float64
 }
@@ -57,8 +59,17 @@ func NewEnv() *Env { return NewEnvWorkers(0) }
 // NewEnvWorkers returns an environment whose engine uses the given worker
 // bound (<= 0 selects runtime.NumCPU(); 1 forces the serial path).
 func NewEnvWorkers(workers int) *Env {
+	return NewEnvObs(workers, nil)
+}
+
+// NewEnvObs returns an environment whose engine, indexing pipeline, and
+// per-figure runs record into rec: every Run(id) is wrapped in an
+// "experiment.<id>" span, so a sweep's trace and metrics aggregate
+// per-figure. A nil rec disables observability (the NewEnvWorkers path).
+func NewEnvObs(workers int, rec *obs.Recorder) *Env {
 	return &Env{
-		engine:      core.NewEngine(workers),
+		engine:      core.NewEngineObs(workers, ted.NewCache(), rec),
+		rec:         rec,
 		cache:       map[string]map[string]*core.Index{},
 		matrixCache: map[string][][]float64{},
 	}
@@ -67,6 +78,10 @@ func NewEnvWorkers(workers int) *Env {
 // Engine exposes the environment's shared divergence engine (for cache
 // statistics and for callers that want to reuse the same memo).
 func (e *Env) Engine() *core.Engine { return e.engine }
+
+// Recorder exposes the environment's observability recorder (nil when
+// observability is off).
+func (e *Env) Recorder() *obs.Recorder { return e.rec }
 
 // Matrix returns (building and caching on first use) the cartesian
 // divergence matrix of an app under a metric, plus the model order.
@@ -123,8 +138,16 @@ func (e *Env) Indexes(appName string) (map[string]*core.Index, []string, error) 
 	return idxs, order, nil
 }
 
-// Run regenerates one experiment by id.
+// Run regenerates one experiment by id. With a recorder attached, the
+// whole regeneration is wrapped in an "experiment.<id>" span, so sweeps
+// aggregate cost per figure.
 func (e *Env) Run(id string) (*Result, error) {
+	sp := e.rec.Start("experiment." + id)
+	defer sp.End()
+	return e.run(id)
+}
+
+func (e *Env) run(id string) (*Result, error) {
 	switch id {
 	case "table1":
 		return e.table1()

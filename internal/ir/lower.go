@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"silvervale/internal/minic"
+	"silvervale/internal/obs"
 )
 
 // LowerUnit lowers a parsed MiniC translation unit into an offload bundle.
@@ -13,6 +14,16 @@ import (
 // the synthesized registration/launch driver code that real offload
 // toolchains embed per file.
 func LowerUnit(unit *minic.ASTNode, name string) *Bundle {
+	return LowerUnitObs(unit, name, nil)
+}
+
+// LowerUnitObs is LowerUnit with observability: lowering records an
+// "ir.lower" child span under parent and an "ir.units" counter. A nil
+// parent is the plain uninstrumented LowerUnit.
+func LowerUnitObs(unit *minic.ASTNode, name string, parent *obs.Span) *Bundle {
+	sp := parent.Start("ir.lower")
+	defer sp.End()
+	parent.Recorder().Counter("ir.units").Add(1)
 	lw := &lowerer{
 		bundle: &Bundle{Host: &Module{Name: name, Target: "host"}},
 		unit:   unit,

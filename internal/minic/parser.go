@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"silvervale/internal/obs"
 	"silvervale/internal/srcloc"
 )
 
@@ -12,7 +13,20 @@ import (
 // source came out of the preprocessor, origins should be remapped with
 // PPResult.LineOrigin before coverage masking.
 func ParseUnit(src, file string) (*ASTNode, error) {
+	return ParseUnitObs(src, file, nil)
+}
+
+// ParseUnitObs is ParseUnit with per-phase observability: the lex and
+// parse phases record "frontend.lex" / "frontend.parse" child spans under
+// parent, plus a "frontend.tokens" counter. A nil parent is the plain
+// uninstrumented ParseUnit.
+func ParseUnitObs(src, file string, parent *obs.Span) (*ASTNode, error) {
+	lsp := parent.Start("frontend.lex")
 	toks := Lex(src, LexOptions{File: file})
+	lsp.End()
+	parent.Recorder().Counter("frontend.tokens").Add(int64(len(toks)))
+	psp := parent.Start("frontend.parse")
+	defer psp.End()
 	p := &parser{toks: toks, file: file}
 	unit := NewAST(KTranslationUnit, srcloc.Pos{File: file, Line: 1})
 	for !p.atEOF() {

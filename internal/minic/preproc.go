@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"silvervale/internal/obs"
 )
 
 // FileProvider resolves #include targets to source text. The corpus
@@ -98,6 +100,16 @@ func NewPreprocessor(provider FileProvider, defines map[string]string) *Preproce
 
 // Preprocess expands the named file into a single unit.
 func (pp *Preprocessor) Preprocess(file string) (*PPResult, error) {
+	return pp.PreprocessObs(file, nil)
+}
+
+// PreprocessObs is Preprocess with observability: the expansion records a
+// "frontend.preprocess" child span under parent plus counters for resolved
+// includes and emitted lines. A nil parent is the plain uninstrumented
+// Preprocess.
+func (pp *Preprocessor) PreprocessObs(file string, parent *obs.Span) (*PPResult, error) {
+	sp := parent.Start("frontend.preprocess").Arg("file", file)
+	defer sp.End()
 	src, err := pp.provider.ReadSource(file)
 	if err != nil {
 		return nil, err
@@ -108,6 +120,10 @@ func (pp *Preprocessor) Preprocess(file string) (*PPResult, error) {
 		return nil, err
 	}
 	pp.result.Text = b.String()
+	if rec := parent.Recorder(); rec != nil {
+		rec.Counter("frontend.includes").Add(int64(len(pp.result.Includes)))
+		rec.Counter("frontend.pp_lines").Add(int64(len(pp.result.LineOrigin)))
+	}
 	return pp.result, nil
 }
 

@@ -5,13 +5,27 @@ import (
 	"strings"
 
 	"silvervale/internal/minic"
+	"silvervale/internal/obs"
 	"silvervale/internal/srcloc"
 )
 
 // ParseUnit parses MiniFortran source into the uniform frontend AST. The
 // returned TranslationUnit has Extra set to "fortran".
 func ParseUnit(src, file string) (*minic.ASTNode, error) {
+	return ParseUnitObs(src, file, nil)
+}
+
+// ParseUnitObs is ParseUnit with per-phase observability: lexing and
+// parsing record "frontend.lex" / "frontend.parse" child spans under
+// parent (the same phase names the MiniC frontend uses, so traces and
+// metrics aggregate across languages). A nil parent is the plain
+// uninstrumented ParseUnit.
+func ParseUnitObs(src, file string, parent *obs.Span) (*minic.ASTNode, error) {
+	lsp := parent.Start("frontend.lex")
 	lines := LexLines(src, file)
+	lsp.End()
+	psp := parent.Start("frontend.parse")
+	defer psp.End()
 	p := &fparser{lines: lines, file: file, arrays: map[string]bool{}}
 	unit := minic.NewAST(minic.KTranslationUnit, srcloc.Pos{File: file, Line: 1})
 	unit.Extra = "fortran"

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// traceEvent is one Chrome trace_event entry ("X" = complete event, "M" =
+// metadata). Timestamps and durations are microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace renders every finished span as a Chrome trace_event JSON
+// document, loadable in chrome://tracing and Perfetto. Spans are laid out
+// on synthetic thread lanes so nesting renders correctly: a span reuses
+// its parent's lane when the lane's previous occupant is an ancestor or
+// has already ended (the sequential-phases case), and spills to a pool of
+// overflow lanes when siblings genuinely overlap (concurrent units, matrix
+// cells). Lane assignment is deterministic for a given span set.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	spans := r.Spans()
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].ID < spans[j].ID
+	})
+
+	byID := make(map[uint64]*SpanRecord, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	isAncestor := func(anc uint64, s *SpanRecord) bool {
+		for p := s.Parent; p != 0; {
+			if p == anc {
+				return true
+			}
+			ps, ok := byID[p]
+			if !ok {
+				return false
+			}
+			p = ps.Parent
+		}
+		return false
+	}
+
+	type laneState struct {
+		last    uint64 // span most recently placed on the lane
+		lastEnd int64  // its end time (ns)
+	}
+	lanes := []laneState{}     // index = tid - 1
+	laneOf := map[uint64]int{} // span ID -> lane index
+	place := func(s *SpanRecord, lane int) {
+		laneOf[s.ID] = lane
+		lanes[lane] = laneState{last: s.ID, lastEnd: (s.Start + s.Dur).Nanoseconds()}
+	}
+	newLane := func(s *SpanRecord) {
+		// reuse the first free lane whose occupant has ended
+		for i := range lanes {
+			if lanes[i].lastEnd <= s.Start.Nanoseconds() {
+				place(s, i)
+				return
+			}
+		}
+		lanes = append(lanes, laneState{})
+		place(s, len(lanes)-1)
+	}
+	for i := range spans {
+		s := &spans[i]
+		if s.Parent != 0 {
+			if lane, ok := laneOf[s.Parent]; ok {
+				prev := lanes[lane]
+				if prev.lastEnd <= s.Start.Nanoseconds() || isAncestor(prev.last, s) {
+					place(s, lane)
+					continue
+				}
+			}
+		}
+		newLane(s)
+	}
+
+	tf := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	for i := range spans {
+		s := &spans[i]
+		args := map[string]any{"id": s.ID}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent
+		}
+		for _, a := range s.Args {
+			args[a.Key] = a.Value
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  uint64(laneOf[s.ID]) + 1,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}

@@ -1,9 +1,11 @@
 package ted
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"silvervale/internal/obs"
 	"silvervale/internal/tree"
 )
 
@@ -28,8 +30,27 @@ type Cache struct {
 	approx   map[approxKey]float64
 	profiles map[tree.Fingerprint]PQGramProfile
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	identity  atomic.Uint64
+	symmetric atomic.Uint64
+
+	// obs holds the resolved observability handles (nil when disabled);
+	// an atomic pointer so SetRecorder is safe against in-flight lookups.
+	obs atomic.Pointer[cacheObs]
+}
+
+// cacheObs caches the recorder plus the counters/histograms the hot path
+// touches, resolved once in SetRecorder.
+type cacheObs struct {
+	rec         *obs.Recorder
+	calls       *obs.Counter   // ted.calls — exact-TED lookups
+	approxCalls *obs.Counter   // ted.approx.calls — pq-gram lookups
+	hits        *obs.Counter   // ted.cache.hits
+	misses      *obs.Counter   // ted.cache.misses
+	identity    *obs.Counter   // ted.cache.identity
+	symmetric   *obs.Counter   // ted.cache.symmetric
+	pairNodes   *obs.Histogram // ted.pair_nodes — size bucket per call
 }
 
 // pairKey addresses one exact-TED evaluation. When Insert == Delete the
@@ -54,12 +75,36 @@ func NewCache() *Cache {
 	}
 }
 
+// SetRecorder attaches an observability recorder: every subsequent lookup
+// also feeds the obs counters ("ted.calls", "ted.cache.*"), the
+// "ted.pair_nodes" size histogram, and — on misses — "ted.fingerprint" /
+// "ted.distance" spans. A nil recorder detaches (the default); the cache's
+// own CacheStats counters run regardless.
+func (c *Cache) SetRecorder(rec *obs.Recorder) {
+	if rec == nil {
+		c.obs.Store(nil)
+		return
+	}
+	c.obs.Store(&cacheObs{
+		rec:         rec,
+		calls:       rec.Counter("ted.calls"),
+		approxCalls: rec.Counter("ted.approx.calls"),
+		hits:        rec.Counter("ted.cache.hits"),
+		misses:      rec.Counter("ted.cache.misses"),
+		identity:    rec.Counter("ted.cache.identity"),
+		symmetric:   rec.Counter("ted.cache.symmetric"),
+		pairNodes:   rec.Histogram("ted.pair_nodes"),
+	})
+}
+
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 type CacheStats struct {
-	Hits     uint64 // lookups answered from the memo or the identity shortcut
-	Misses   uint64 // lookups that ran the underlying algorithm
-	Entries  int    // stored exact distances
-	Profiles int    // stored pq-gram profiles
+	Hits      uint64 // lookups answered from the memo or the identity shortcut
+	Misses    uint64 // lookups that ran the underlying algorithm
+	Identity  uint64 // hits answered by the identical-tree short-circuit
+	Symmetric uint64 // lookups whose key was canonicalised to the unordered pair
+	Entries   int    // stored exact distances
+	Profiles  int    // stored pq-gram profiles
 }
 
 // Stats returns current counters. Hits include identity short-circuits.
@@ -68,11 +113,30 @@ func (c *Cache) Stats() CacheStats {
 	entries, profiles := len(c.dist), len(c.profiles)
 	c.mu.RUnlock()
 	return CacheStats{
-		Hits:     c.hits.Load(),
-		Misses:   c.misses.Load(),
-		Entries:  entries,
-		Profiles: profiles,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Identity:  c.identity.Load(),
+		Symmetric: c.symmetric.Load(),
+		Entries:   entries,
+		Profiles:  profiles,
 	}
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// String renders the snapshot as the one-line summary the CLI prints after
+// experiment sweeps.
+func (s CacheStats) String() string {
+	return fmt.Sprintf(
+		"ted cache: %d hits (%d identity), %d misses, %d symmetric canonicalisations, %d entries, %d profiles, hit rate %.1f%%",
+		s.Hits, s.Identity, s.Misses, s.Symmetric, s.Entries, s.Profiles, 100*s.HitRate())
 }
 
 // Distance is the cached form of Distance (unit costs).
@@ -83,25 +147,54 @@ func (c *Cache) Distance(t1, t2 *tree.Node) int {
 // DistanceWithCosts is the cached form of DistanceWithCosts. Results are
 // always identical to the uncached function.
 func (c *Cache) DistanceWithCosts(t1, t2 *tree.Node, costs Costs) int {
-	fa, fb := t1.Fingerprint(), t2.Fingerprint()
+	o := c.obs.Load()
+	var fa, fb tree.Fingerprint
+	if o != nil {
+		o.calls.Add(1)
+		fsp := o.rec.Start("ted.fingerprint")
+		fa, fb = t1.Fingerprint(), t2.Fingerprint()
+		fsp.End()
+		o.pairNodes.Observe(int64(fa.Size) + int64(fb.Size))
+	} else {
+		fa, fb = t1.Fingerprint(), t2.Fingerprint()
+	}
 	if fa == fb && tree.Equal(t1, t2) {
 		// d(t, t) == 0 under every cost model: the empty edit script.
 		c.hits.Add(1)
+		c.identity.Add(1)
+		if o != nil {
+			o.hits.Add(1)
+			o.identity.Add(1)
+		}
 		return 0
 	}
 	key := pairKey{a: fa, b: fb, costs: costs}
 	if costs.Insert == costs.Delete && fb.Less(fa) {
 		key.a, key.b = fb, fa
+		c.symmetric.Add(1)
+		if o != nil {
+			o.symmetric.Add(1)
+		}
 	}
 	c.mu.RLock()
 	d, ok := c.dist[key]
 	c.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
+		if o != nil {
+			o.hits.Add(1)
+		}
 		return d
 	}
 	c.misses.Add(1)
-	d = DistanceWithCosts(t1, t2, costs)
+	if o != nil {
+		o.misses.Add(1)
+		dsp := o.rec.Start("ted.distance")
+		d = DistanceWithCosts(t1, t2, costs)
+		dsp.End()
+	} else {
+		d = DistanceWithCosts(t1, t2, costs)
+	}
 	c.mu.Lock()
 	c.dist[key] = d
 	c.mu.Unlock()
@@ -127,19 +220,33 @@ func (c *Cache) Profile(t *tree.Node) PQGramProfile {
 // ApproxDistance is the cached form of ApproxDistance: both the per-tree
 // pq-gram profiles and the per-pair distance are memoised.
 func (c *Cache) ApproxDistance(t1, t2 *tree.Node) float64 {
+	o := c.obs.Load()
+	if o != nil {
+		o.approxCalls.Add(1)
+	}
 	fa, fb := t1.Fingerprint(), t2.Fingerprint()
 	key := approxKey{a: fa, b: fb}
 	if fb.Less(fa) {
 		key.a, key.b = fb, fa
+		c.symmetric.Add(1)
+		if o != nil {
+			o.symmetric.Add(1)
+		}
 	}
 	c.mu.RLock()
 	d, ok := c.approx[key]
 	c.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
+		if o != nil {
+			o.hits.Add(1)
+		}
 		return d
 	}
 	c.misses.Add(1)
+	if o != nil {
+		o.misses.Add(1)
+	}
 	d = PQGramDistance(c.Profile(t1), c.Profile(t2))
 	c.mu.Lock()
 	c.approx[key] = d

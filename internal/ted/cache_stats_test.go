@@ -1,0 +1,54 @@
+package ted
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestCacheStatsAccounting pins the bookkeeping behind CacheStats: every
+// lookup is exactly one hit or one miss, identity short-circuits count as
+// hits, unit-cost (b,a) lookups canonicalise onto the (a,b) entry, and
+// HitRate/String agree with the raw counters.
+func TestCacheStatsAccounting(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	c := NewCache()
+	a, b := randTree(r, 30), randTree(r, 35)
+
+	c.Distance(a, b) // miss
+	c.Distance(a, b) // hit
+	c.Distance(b, a) // hit via symmetric canonicalisation
+	c.Distance(a, a.Clone())
+
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1: %+v", st.Misses, st)
+	}
+	if st.Hits != 3 {
+		t.Fatalf("hits = %d, want 3 (two memo, one identity): %+v", st.Hits, st)
+	}
+	if st.Identity != 1 {
+		t.Fatalf("identity = %d, want 1: %+v", st.Identity, st)
+	}
+	// Exactly one of the two orientations is reversed relative to the
+	// canonical fingerprint order; it was looked up either once (b,a) or
+	// twice (a,b twice).
+	if st.Symmetric != 1 && st.Symmetric != 2 {
+		t.Fatalf("symmetric = %d, want 1 or 2: %+v", st.Symmetric, st)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1: %+v", st.Entries, st)
+	}
+	if got, want := st.HitRate(), 3.0/4.0; got != want {
+		t.Fatalf("hit rate = %v, want %v", got, want)
+	}
+	s := st.String()
+	for _, frag := range []string{"3 hits", "(1 identity)", "1 misses", "hit rate 75.0%"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q, missing %q", s, frag)
+		}
+	}
+	if (CacheStats{}).HitRate() != 0 {
+		t.Errorf("zero-value hit rate should be 0")
+	}
+}
