@@ -1,0 +1,109 @@
+// Bench trajectory emitter (PR 3): one `go test -bench` invocation that
+// measures the divergence-matrix sweep in its three modes — serial
+// package path, cold parallel engine, warm cached engine — and writes the
+// numbers to a JSON file so successive PRs accumulate comparable
+// datapoints instead of prose-only benchmark notes.
+//
+// Run with (see EXPERIMENTS.md §Bench trajectory):
+//
+//	SILVERVALE_BENCH_JSON=BENCH_PR3.json \
+//	  go test -run '^$' -bench '^BenchmarkPR3Trajectory$' .
+//
+// Without SILVERVALE_BENCH_JSON set the benchmark skips, so plain
+// `go test -bench .` sweeps are not slowed down.
+package silvervale
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"silvervale/internal/core"
+)
+
+type pr3Bench struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+type pr3Trajectory struct {
+	PR         int        `json:"pr"`
+	GoVersion  string     `json:"go"`
+	NumCPU     int        `json:"num_cpu"`
+	App        string     `json:"app"`
+	Metric     string     `json:"metric"`
+	Benchmarks []pr3Bench `json:"benchmarks"`
+}
+
+func BenchmarkPR3Trajectory(b *testing.B) {
+	out := os.Getenv("SILVERVALE_BENCH_JSON")
+	if out == "" {
+		b.Skip("set SILVERVALE_BENCH_JSON=<path> to emit the bench trajectory")
+	}
+	idxs, order := benchIndexesFor(b, "tealeaf")
+
+	// testing.Benchmark deadlocks when invoked from inside a running
+	// benchmark (both take the package-global benchmark lock), so each mode
+	// is measured directly with wall-clock plus MemStats deltas — the same
+	// counters the -benchmem output is derived from.
+	measure := func(name string, iters int, fn func() error) pr3Bench {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := fn(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		n := int64(iters)
+		return pr3Bench{
+			Name:        name,
+			Iterations:  iters,
+			NsPerOp:     elapsed.Nanoseconds() / n,
+			BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
+			AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
+		}
+	}
+
+	traj := pr3Trajectory{
+		PR:        3,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		App:       "tealeaf",
+		Metric:    core.MetricTsem,
+	}
+	traj.Benchmarks = append(traj.Benchmarks, measure("MatrixSerial", 1, func() error {
+		_, err := core.Matrix(idxs, order, core.MetricTsem)
+		return err
+	}))
+	traj.Benchmarks = append(traj.Benchmarks, measure("MatrixParallel", 1, func() error {
+		engine := core.NewEngineWithCache(0, nil)
+		_, err := engine.Matrix(idxs, order, core.MetricTsem)
+		return err
+	}))
+	warm := core.NewEngine(0)
+	if _, err := warm.Matrix(idxs, order, core.MetricTsem); err != nil {
+		b.Fatal(err)
+	}
+	traj.Benchmarks = append(traj.Benchmarks, measure("MatrixCached", 50, func() error {
+		_, err := warm.Matrix(idxs, order, core.MetricTsem)
+		return err
+	}))
+
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("bench trajectory written to %s", out)
+}

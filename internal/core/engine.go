@@ -21,7 +21,10 @@ import (
 // independent cells across workers and short-circuits repeated tree pairs
 // through the cache. One Engine can be shared freely across goroutines;
 // experiment sweeps and clustering runs should reuse a single Engine so
-// every Matrix/FromBase call amortises the same memo.
+// every Matrix/FromBase call amortises the same memo — which includes the
+// per-tree flat memo (DESIGN.md §6): across a sweep each distinct tree is
+// flattened to its Zhang–Shasha form once, no matter how many cells
+// reference it.
 type Engine struct {
 	workers int
 	cache   *ted.Cache

@@ -109,7 +109,7 @@ func TestEngineMatrixMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, workers := range []int{1, 2, 8} {
+		for _, workers := range []int{1, 2, 4, 8} {
 			got, err := NewEngine(workers).Matrix(idxs, order, metric)
 			if err != nil {
 				t.Fatal(err)

@@ -44,7 +44,8 @@ func IDs() []string {
 // experiment in a batch draws from the same worker pool and shares one
 // content-addressed TED cache — identical tree pairs recurring across
 // figures (navigation charts, dendrogram sweeps, ablations) are computed
-// once.
+// once, and each distinct tree is flattened to its Zhang–Shasha form once
+// for the whole batch via the cache's flat memo (DESIGN.md §6).
 type Env struct {
 	mu          sync.Mutex
 	engine      *core.Engine

@@ -14,7 +14,8 @@
 //
 // Metric names are stable, dot-delimited identifiers (the full table lives
 // in DESIGN.md §"Observability"): counters like "ted.cache.hits",
-// histograms like "engine.task_ns", span names like "frontend.parse".
+// "ted.bound_pruned", or "ted.flat_memo.hits", histograms like
+// "engine.task_ns", span names like "frontend.parse".
 package obs
 
 import (

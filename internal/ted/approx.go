@@ -1,8 +1,7 @@
 package ted
 
 import (
-	"hash/fnv"
-	"sort"
+	"slices"
 
 	"silvervale/internal/tree"
 )
@@ -21,67 +20,103 @@ const (
 	pqQ = 3 // base length
 )
 
+// Gram hashes are FNV-1a over the gram's labels: each stem label followed
+// by a 0 separator, a 1 marker, then each base label followed by 0. The
+// hash is rolled inline — stem prefix once per node, base window per gram —
+// instead of materialising []string windows, but the byte stream is
+// exactly the one the hash/fnv-based implementation consumed, so profiles
+// are value-identical across versions.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvLabel(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	h ^= 0 // the 0 separator byte: XOR with 0 is identity…
+	h *= fnvPrime64
+	return h
+}
+
+type pqBuilder struct {
+	grams []uint64
+}
+
+// visit emits the grams anchored at n. anc is the stem context: the last
+// pqP-1 ancestor labels (star-padded at the top), passed by value so the
+// walk allocates nothing.
+func (b *pqBuilder) visit(n *tree.Node, anc [pqP]string) {
+	var a [pqP]string
+	copy(a[:], anc[1:])
+	a[pqP-1] = n.Label
+	h := uint64(fnvOffset64)
+	for _, s := range a {
+		h = fnvLabel(h, s)
+	}
+	h ^= 1 // stem/base marker byte
+	h *= fnvPrime64
+
+	kids := n.Children
+	if len(kids) == 0 {
+		g := h
+		for i := 0; i < pqQ; i++ {
+			g = fnvLabel(g, "*")
+		}
+		b.grams = append(b.grams, g)
+		return
+	}
+	// sliding window of width q over children padded with q-1 stars
+	var win [pqQ]string
+	for i := range win {
+		win[i] = "*"
+	}
+	for i := 0; i < len(kids)+pqQ-1; i++ {
+		copy(win[:], win[1:])
+		if i < len(kids) {
+			win[pqQ-1] = kids[i].Label
+		} else {
+			win[pqQ-1] = "*"
+		}
+		g := h
+		for _, s := range win {
+			g = fnvLabel(g, s)
+		}
+		b.grams = append(b.grams, g)
+	}
+	for _, c := range kids {
+		b.visit(c, a)
+	}
+}
+
+// countGrams sizes the profile exactly: one gram per leaf, and one per
+// child-window position (children + q - 1) per internal node.
+func countGrams(n *tree.Node) int {
+	c := pqQ - 1 + len(n.Children)
+	if len(n.Children) == 0 {
+		c = 1
+	}
+	for _, k := range n.Children {
+		c += countGrams(k)
+	}
+	return c
+}
+
 // NewPQGramProfile computes the (2,3)-gram profile of a tree.
 func NewPQGramProfile(t *tree.Node) PQGramProfile {
 	if t == nil {
 		return PQGramProfile{}
 	}
-	var grams []uint64
-	stem := make([]string, pqP)
+	b := pqBuilder{grams: make([]uint64, 0, countGrams(t))}
+	var stem [pqP]string
 	for i := range stem {
 		stem[i] = "*"
 	}
-	var visit func(n *tree.Node, anc []string)
-	visit = func(n *tree.Node, anc []string) {
-		a := append(append([]string{}, anc[1:]...), n.Label)
-		base := make([]string, pqQ)
-		for i := range base {
-			base[i] = "*"
-		}
-		if len(n.Children) == 0 {
-			grams = append(grams, hashGram(a, base))
-			return
-		}
-		// sliding window of width q over children padded with q-1 stars
-		win := make([]string, 0, pqQ)
-		for i := 0; i < pqQ-1; i++ {
-			win = append(win, "*")
-		}
-		kids := n.Children
-		for i := 0; i < len(kids)+pqQ-1; i++ {
-			if i < len(kids) {
-				win = append(win, kids[i].Label)
-			} else {
-				win = append(win, "*")
-			}
-			if len(win) > pqQ {
-				win = win[1:]
-			}
-			if len(win) == pqQ {
-				grams = append(grams, hashGram(a, win))
-			}
-		}
-		for _, c := range kids {
-			visit(c, a)
-		}
-	}
-	visit(t, stem)
-	sort.Slice(grams, func(i, j int) bool { return grams[i] < grams[j] })
-	return PQGramProfile{grams: grams}
-}
-
-func hashGram(stem, base []string) uint64 {
-	h := fnv.New64a()
-	for _, s := range stem {
-		_, _ = h.Write([]byte(s))
-		_, _ = h.Write([]byte{0})
-	}
-	_, _ = h.Write([]byte{1})
-	for _, s := range base {
-		_, _ = h.Write([]byte(s))
-		_, _ = h.Write([]byte{0})
-	}
-	return h.Sum64()
+	b.visit(t, stem)
+	slices.Sort(b.grams)
+	return PQGramProfile{grams: b.grams}
 }
 
 // Size returns the number of pq-grams in the profile.

@@ -1,0 +1,102 @@
+package ted
+
+import (
+	"math/rand"
+	"testing"
+
+	"silvervale/internal/tree"
+)
+
+// wideFlatTree builds the keyroot worst case: a root with n-1 leaf
+// children. Every leaf but the leftmost is a keyroot, so keyroot
+// collection degenerates to ~n elements — the shape that made the old
+// insertion-sort flattening O(n²).
+func wideFlatTree(n int) *tree.Node {
+	labels := []string{"A", "B", "C", "D", "E", "F"}
+	root := tree.New("R")
+	for i := 1; i < n; i++ {
+		root.Add(tree.New(labels[i%len(labels)]))
+	}
+	return root
+}
+
+// benchRandTree mirrors the generator used by the top-level TED
+// benchmarks: every new node attaches under a uniformly chosen existing
+// node, producing mixed chain/bush shapes.
+func benchRandTree(r *rand.Rand, n int) *tree.Node {
+	labels := []string{"A", "B", "C", "D", "E", "F"}
+	nodes := []*tree.Node{tree.New(labels[0])}
+	for i := 1; i < n; i++ {
+		parent := nodes[r.Intn(len(nodes))]
+		child := tree.New(labels[r.Intn(len(labels))])
+		parent.Add(child)
+		nodes = append(nodes, child)
+	}
+	return nodes[0]
+}
+
+// BenchmarkTEDWideFlat is the wide-tree regression benchmark: with the
+// old sortInts insertion sort, flattening alone was quadratic in the
+// keyroot count and dominated the run at this shape.
+func BenchmarkTEDWideFlat(b *testing.B) {
+	t1 := wideFlatTree(4000)
+	t2 := wideFlatTree(3900)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Distance(t1, t2)
+	}
+}
+
+// BenchmarkTEDDistanceAllocs tracks the steady-state allocation cost of
+// one uncached exact TED: with pooled DP scratch and the shared interner
+// it should sit near zero allocs/op.
+func BenchmarkTEDDistanceAllocs(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	t1 := benchRandTree(r, 300)
+	t2 := benchRandTree(r, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Distance(t1, t2)
+	}
+}
+
+// BenchmarkPQGramProfile tracks the allocation cost of building one
+// pq-gram profile (the per-tree half of ApproxDistance).
+func BenchmarkPQGramProfile(b *testing.B) {
+	r := rand.New(rand.NewSource(13))
+	t1 := benchRandTree(r, 1500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewPQGramProfile(t1)
+	}
+}
+
+// BenchmarkPQGramProfileWide is BenchmarkPQGramProfile on the wide flat
+// shape, where the sliding child window dominates.
+func BenchmarkPQGramProfileWide(b *testing.B) {
+	t1 := wideFlatTree(4000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewPQGramProfile(t1)
+	}
+}
+
+// BenchmarkCachedDistanceFlatMemo measures a warm cached lookup: both
+// fingerprints memoised, answered from the distance memo without
+// flattening or DP.
+func BenchmarkCachedDistanceFlatMemo(b *testing.B) {
+	r := rand.New(rand.NewSource(19))
+	t1 := benchRandTree(r, 300)
+	t2 := benchRandTree(r, 300)
+	c := NewCache()
+	_ = c.Distance(t1, t2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Distance(t1, t2)
+	}
+}

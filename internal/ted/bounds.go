@@ -1,0 +1,101 @@
+package ted
+
+// Bound gates: cheap O(n1+n2) pre-checks that answer a distance query
+// without running the O(n1·n2·...) DP. Every gate here is EXACT — it fires
+// only when a lower bound provably meets an upper bound (or when the
+// optimal mapping can be enumerated outright), so gated distances are
+// byte-identical to the full recurrence. The equivalence property test
+// compares every gate against the seed DP across cost models.
+//
+// Gates implemented:
+//
+//   - single-node: with one tree a lone node, every mapping is valid (no
+//     ancestry or ordering constraints remain), so the optimum is
+//     min(delete-it + insert-all, map-it-best + insert-rest) where
+//     map-it-best is 0 if the label occurs in the other tree and Rename
+//     otherwise. Exact under every cost model.
+//
+//   - lower-bound-meets-upper-bound: the trivial upper bound is
+//     n1·Delete + n2·Insert (delete everything, insert everything). The
+//     size-difference lower bound is |n1−n2|·min(Insert, Delete). When
+//     Rename ≥ Insert+Delete, mapping a pair never beats deleting and
+//     reinserting unless the labels match, which yields the interned-label
+//     multiset lower bound (n1−I)·Delete + (n2−I)·Insert with I the
+//     multiset intersection size; for label-disjoint trees (I = 0) that
+//     bound equals the upper bound and the gate answers immediately. When
+//     Rename < Insert+Delete the multiset bound degrades below the upper
+//     bound (a cheap rename can always undercut it), so the intersection
+//     is not even computed and unit-cost sweeps pay only the two size
+//     comparisons.
+
+// boundGate reports (distance, true) when the gates above determine the
+// exact distance for the flattened pair, and (0, false) when the caller
+// must run the DP. sc provides the stamp tables for the multiset count.
+func boundGate(a, b *flat, c Costs, sc *dpScratch) (int, bool) {
+	n1, n2 := len(a.labels), len(b.labels)
+	if n1 == 1 {
+		return singleNode(a.labels[0], b.labels, c.Delete, c.Insert, c.Rename), true
+	}
+	if n2 == 1 {
+		return singleNode(b.labels[0], a.labels, c.Insert, c.Delete, c.Rename), true
+	}
+	ub := n1*c.Delete + n2*c.Insert
+	diff := n1 - n2
+	if diff < 0 {
+		diff = -diff
+	}
+	lb := diff * min(c.Insert, c.Delete)
+	if c.Rename >= c.Insert+c.Delete {
+		i := multisetIntersection(a, b, sc)
+		if mlb := (n1-i)*c.Delete + (n2-i)*c.Insert; mlb > lb {
+			lb = mlb
+		}
+	}
+	if lb == ub {
+		return ub, true
+	}
+	return 0, false
+}
+
+// singleNode is the exact distance between a lone node with label `lone`
+// and a tree with the given labels, where `drop` is the cost of removing
+// the lone node from its own tree and `fill` the cost of inserting a node
+// into the other. Called with (Delete, Insert) when the left tree is the
+// single node and (Insert, Delete) when the right one is.
+func singleNode(lone int32, labels []int32, drop, fill, ren int) int {
+	best := ren
+	for _, l := range labels {
+		if l == lone {
+			best = 0
+			break
+		}
+	}
+	n := len(labels)
+	unmapped := drop + n*fill
+	mapped := (n-1)*fill + best
+	return min(unmapped, mapped)
+}
+
+// multisetIntersection counts, over interned label ids, the size of the
+// multiset intersection of the two trees' labels. The pooled stamp/count
+// tables make this allocation-free: ids touched by a stamp the current
+// epoch, so no clearing pass is needed between calls.
+func multisetIntersection(a, b *flat, sc *dpScratch) int {
+	stamp, cnt, epoch := sc.stampTables()
+	for _, id := range a.labels {
+		if stamp[id] != epoch {
+			stamp[id] = epoch
+			cnt[id] = 1
+		} else {
+			cnt[id]++
+		}
+	}
+	isect := 0
+	for _, id := range b.labels {
+		if stamp[id] == epoch && cnt[id] > 0 {
+			cnt[id]--
+			isect++
+		}
+	}
+	return isect
+}

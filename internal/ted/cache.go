@@ -23,17 +23,29 @@ import (
 // fingerprint uniqueness, which holds up to a simultaneous collision of
 // two independent 64-bit hashes plus the node count.
 //
+// Alongside the distance memo the cache keeps a per-tree flat memo: the
+// post-order labels/lmld/keyroot arrays Zhang–Shasha consumes, addressed
+// by the same content fingerprint. A matrix sweep over k codebases
+// compares every tree against O(k) others but flattens and interns it
+// exactly once; distance misses borrow the memoised flats and only the DP
+// itself runs per pair. Memoised flats are immutable and shared across
+// goroutines; they live as long as the cache (see DESIGN.md §6).
+//
 // The zero value is not usable; call NewCache.
 type Cache struct {
 	mu       sync.RWMutex
 	dist     map[pairKey]int
 	approx   map[approxKey]float64
 	profiles map[tree.Fingerprint]PQGramProfile
+	flats    map[tree.Fingerprint]*flat
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	identity  atomic.Uint64
-	symmetric atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	identity    atomic.Uint64
+	symmetric   atomic.Uint64
+	boundPruned atomic.Uint64
+	flatHits    atomic.Uint64
+	flatMisses  atomic.Uint64
 
 	// obs holds the resolved observability handles (nil when disabled);
 	// an atomic pointer so SetRecorder is safe against in-flight lookups.
@@ -50,6 +62,9 @@ type cacheObs struct {
 	misses      *obs.Counter   // ted.cache.misses
 	identity    *obs.Counter   // ted.cache.identity
 	symmetric   *obs.Counter   // ted.cache.symmetric
+	boundPruned *obs.Counter   // ted.bound_pruned — misses answered by a bound gate
+	flatHits    *obs.Counter   // ted.flat_memo.hits
+	flatMisses  *obs.Counter   // ted.flat_memo.misses
 	pairNodes   *obs.Histogram // ted.pair_nodes — size bucket per call
 }
 
@@ -72,6 +87,7 @@ func NewCache() *Cache {
 		dist:     map[pairKey]int{},
 		approx:   map[approxKey]float64{},
 		profiles: map[tree.Fingerprint]PQGramProfile{},
+		flats:    map[tree.Fingerprint]*flat{},
 	}
 }
 
@@ -93,32 +109,43 @@ func (c *Cache) SetRecorder(rec *obs.Recorder) {
 		misses:      rec.Counter("ted.cache.misses"),
 		identity:    rec.Counter("ted.cache.identity"),
 		symmetric:   rec.Counter("ted.cache.symmetric"),
+		boundPruned: rec.Counter("ted.bound_pruned"),
+		flatHits:    rec.Counter("ted.flat_memo.hits"),
+		flatMisses:  rec.Counter("ted.flat_memo.misses"),
 		pairNodes:   rec.Histogram("ted.pair_nodes"),
 	})
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 type CacheStats struct {
-	Hits      uint64 // lookups answered from the memo or the identity shortcut
-	Misses    uint64 // lookups that ran the underlying algorithm
-	Identity  uint64 // hits answered by the identical-tree short-circuit
-	Symmetric uint64 // lookups whose key was canonicalised to the unordered pair
-	Entries   int    // stored exact distances
-	Profiles  int    // stored pq-gram profiles
+	Hits        uint64 // lookups answered from the memo or the identity shortcut
+	Misses      uint64 // lookups that ran the underlying algorithm
+	Identity    uint64 // hits answered by the identical-tree short-circuit
+	Symmetric   uint64 // lookups whose key was canonicalised to the unordered pair
+	BoundPruned uint64 // misses answered by an exact bound gate, skipping the DP
+	FlatHits    uint64 // flattened-tree lookups served from the flat memo
+	FlatMisses  uint64 // trees flattened and interned for the first time
+	Entries     int    // stored exact distances
+	Profiles    int    // stored pq-gram profiles
+	Flats       int    // stored flattened trees
 }
 
 // Stats returns current counters. Hits include identity short-circuits.
 func (c *Cache) Stats() CacheStats {
 	c.mu.RLock()
-	entries, profiles := len(c.dist), len(c.profiles)
+	entries, profiles, flats := len(c.dist), len(c.profiles), len(c.flats)
 	c.mu.RUnlock()
 	return CacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Identity:  c.identity.Load(),
-		Symmetric: c.symmetric.Load(),
-		Entries:   entries,
-		Profiles:  profiles,
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Identity:    c.identity.Load(),
+		Symmetric:   c.symmetric.Load(),
+		BoundPruned: c.boundPruned.Load(),
+		FlatHits:    c.flatHits.Load(),
+		FlatMisses:  c.flatMisses.Load(),
+		Entries:     entries,
+		Profiles:    profiles,
+		Flats:       flats,
 	}
 }
 
@@ -131,12 +158,22 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// FlatHitRate returns the flat-memo hit ratio, or 0 before any flatten.
+func (s CacheStats) FlatHitRate() float64 {
+	total := s.FlatHits + s.FlatMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.FlatHits) / float64(total)
+}
+
 // String renders the snapshot as the one-line summary the CLI prints after
 // experiment sweeps.
 func (s CacheStats) String() string {
 	return fmt.Sprintf(
-		"ted cache: %d hits (%d identity), %d misses, %d symmetric canonicalisations, %d entries, %d profiles, hit rate %.1f%%",
-		s.Hits, s.Identity, s.Misses, s.Symmetric, s.Entries, s.Profiles, 100*s.HitRate())
+		"ted cache: %d hits (%d identity), %d misses, %d symmetric canonicalisations, %d entries, %d profiles, hit rate %.1f%%, %d bound-pruned, flat memo %d/%d hit rate %.1f%%",
+		s.Hits, s.Identity, s.Misses, s.Symmetric, s.Entries, s.Profiles, 100*s.HitRate(),
+		s.BoundPruned, s.FlatHits, s.FlatHits+s.FlatMisses, 100*s.FlatHitRate())
 }
 
 // Distance is the cached form of Distance (unit costs).
@@ -190,15 +227,72 @@ func (c *Cache) DistanceWithCosts(t1, t2 *tree.Node, costs Costs) int {
 	if o != nil {
 		o.misses.Add(1)
 		dsp := o.rec.Start("ted.distance")
-		d = DistanceWithCosts(t1, t2, costs)
+		d = c.compute(t1, t2, fa, fb, costs, o)
 		dsp.End()
 	} else {
-		d = DistanceWithCosts(t1, t2, costs)
+		d = c.compute(t1, t2, fa, fb, costs, o)
 	}
 	c.mu.Lock()
 	c.dist[key] = d
 	c.mu.Unlock()
 	return d
+}
+
+// compute evaluates one cache miss: memoised flats, then the bound gates,
+// then — only when no gate fires — the pooled Zhang–Shasha DP. Results are
+// identical to the package-level DistanceWithCosts by construction (same
+// gates, same kernel) and by the equivalence property test.
+func (c *Cache) compute(t1, t2 *tree.Node, fa, fb tree.Fingerprint, costs Costs, o *cacheObs) int {
+	if t1 == nil {
+		return t2.Size() * costs.Insert
+	}
+	if t2 == nil {
+		return t1.Size() * costs.Delete
+	}
+	a := c.flatFor(t1, fa, o)
+	b := c.flatFor(t2, fb, o)
+	sc := getScratch()
+	d, pruned := boundGate(a, b, costs, sc)
+	if pruned {
+		c.boundPruned.Add(1)
+		if o != nil {
+			o.boundPruned.Add(1)
+		}
+	} else {
+		d = zsDistance(a, b, costs, sc)
+	}
+	putScratch(sc)
+	return d
+}
+
+// flatFor returns the memoised flattened form of t, building it on first
+// sight of the fingerprint. Two goroutines racing on the same new tree may
+// both build; the store keeps the first and both results are identical, so
+// the loser's copy is just garbage.
+func (c *Cache) flatFor(t *tree.Node, fp tree.Fingerprint, o *cacheObs) *flat {
+	c.mu.RLock()
+	f, ok := c.flats[fp]
+	c.mu.RUnlock()
+	if ok {
+		c.flatHits.Add(1)
+		if o != nil {
+			o.flatHits.Add(1)
+		}
+		return f
+	}
+	c.flatMisses.Add(1)
+	if o != nil {
+		o.flatMisses.Add(1)
+	}
+	f = newFlat(t)
+	c.mu.Lock()
+	if prior, ok := c.flats[fp]; ok {
+		f = prior
+	} else {
+		c.flats[fp] = f
+	}
+	c.mu.Unlock()
+	return f
 }
 
 // Profile returns the memoised pq-gram profile of a tree.

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+
+	"silvervale/internal/tree"
 )
 
 // TestCacheStatsAccounting pins the bookkeeping behind CacheStats: every
@@ -42,6 +44,11 @@ func TestCacheStatsAccounting(t *testing.T) {
 	if got, want := st.HitRate(), 3.0/4.0; got != want {
 		t.Fatalf("hit rate = %v, want %v", got, want)
 	}
+	// The single miss flattened both trees for the first time.
+	if st.FlatMisses != 2 || st.FlatHits != 0 || st.Flats != 2 {
+		t.Fatalf("flat memo = %d hits / %d misses / %d stored, want 0/2/2: %+v",
+			st.FlatHits, st.FlatMisses, st.Flats, st)
+	}
 	s := st.String()
 	for _, frag := range []string{"3 hits", "(1 identity)", "1 misses", "hit rate 75.0%"} {
 		if !strings.Contains(s, frag) {
@@ -50,5 +57,32 @@ func TestCacheStatsAccounting(t *testing.T) {
 	}
 	if (CacheStats{}).HitRate() != 0 {
 		t.Errorf("zero-value hit rate should be 0")
+	}
+
+	// A third tree against a memoised one: a is served from the flat memo,
+	// the newcomer is flattened fresh.
+	d := randTree(r, 20)
+	c.Distance(a, d)
+	st = c.Stats()
+	if st.FlatHits != 1 || st.FlatMisses != 3 {
+		t.Fatalf("flat memo after third tree = %d hits / %d misses, want 1/3: %+v",
+			st.FlatHits, st.FlatMisses, st)
+	}
+	if got, want := st.FlatHitRate(), 1.0/4.0; got != want {
+		t.Fatalf("flat hit rate = %v, want %v", got, want)
+	}
+
+	// A lone node against a is answered by the single-node bound gate.
+	c.Distance(a, tree.New("lone"))
+	if st = c.Stats(); st.BoundPruned != 1 {
+		t.Fatalf("bound pruned = %d, want 1: %+v", st.BoundPruned, st)
+	}
+	for _, frag := range []string{"1 bound-pruned", "flat memo"} {
+		if s := st.String(); !strings.Contains(s, frag) {
+			t.Errorf("String() = %q, missing %q", s, frag)
+		}
+	}
+	if (CacheStats{}).FlatHitRate() != 0 {
+		t.Errorf("zero-value flat hit rate should be 0")
 	}
 }

@@ -1,0 +1,127 @@
+package ted
+
+import (
+	"sort"
+	"sync"
+
+	"silvervale/internal/tree"
+)
+
+// Label interning is shared process-wide: ids are only ever compared for
+// equality, so one append-only table serves every tree, every cache, and
+// every engine worker. Sharing is what makes per-tree flat memos reusable
+// across calls — a label id minted while flattening one tree means the
+// same byte string when it appears in any other tree. The table never
+// shrinks; the label universe (node roles and operation names emitted by
+// the indexer) is small and bounded in practice.
+var (
+	internMu  sync.RWMutex
+	internIDs = make(map[string]int32)
+)
+
+// internID returns the dense id for label, minting one on first sight.
+func internID(label string) int32 {
+	internMu.RLock()
+	id, ok := internIDs[label]
+	internMu.RUnlock()
+	if ok {
+		return id
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if id, ok := internIDs[label]; ok {
+		return id
+	}
+	id = int32(len(internIDs))
+	internIDs[label] = id
+	return id
+}
+
+// internTableSize reports the current id-space size; gate scratch arrays
+// indexed by label id are sized against it.
+func internTableSize() int {
+	internMu.RLock()
+	n := len(internIDs)
+	internMu.RUnlock()
+	return n
+}
+
+// flat is a tree flattened to post-order arrays, the representation
+// Zhang–Shasha operates on. A flat is immutable once built; memoised
+// flats (see Cache) are shared across goroutines on that basis.
+type flat struct {
+	labels []int32 // interned label id per post-order index
+	lmld   []int32 // leftmost leaf descendant per post-order index
+	kr     []int   // keyroots in increasing order
+}
+
+// flattener drives the post-order walk. A struct method recurses without
+// the closure allocation the seed paid per flatten.
+type flattener struct {
+	labels []int32
+	lmld   []int32
+	idx    int
+}
+
+// visit records node and returns its leftmost-leaf post-order index.
+func (fl *flattener) visit(node *tree.Node) int32 {
+	first := int32(-1)
+	for _, c := range node.Children {
+		l := fl.visit(c)
+		if first < 0 {
+			first = l
+		}
+	}
+	i := fl.idx
+	fl.idx++
+	fl.labels[i] = internID(node.Label)
+	if first < 0 {
+		first = int32(i)
+	}
+	fl.lmld[i] = first
+	return first
+}
+
+// fillFlat populates f (whose labels/lmld must already have length n) from
+// t and collects keyroots. seen must have length >= n and be all-false; it
+// is restored to all-false before returning, so callers can pool it.
+//
+// Keyroots are the root plus every node with a left sibling — equivalently
+// the highest node for each distinct lmld value. Scanning post-order
+// indices downward, the first node seen per lmld value is that highest
+// node, which yields the keyroots in one pass over a bool table instead of
+// the seed's map. The descending collection is then handed to sort.Ints:
+// keyroot count equals leaf count, so on wide flat trees the old insertion
+// sort was O(n²) while sort.Ints keeps this O(n log n).
+func fillFlat(f *flat, t *tree.Node, seen []bool) {
+	fl := flattener{labels: f.labels, lmld: f.lmld}
+	fl.visit(t)
+	f.kr = f.kr[:0]
+	for i := len(f.labels) - 1; i >= 0; i-- {
+		l := f.lmld[i]
+		if !seen[l] {
+			seen[l] = true
+			f.kr = append(f.kr, i)
+		}
+	}
+	sort.Ints(f.kr)
+	for _, k := range f.kr {
+		seen[f.lmld[k]] = false
+	}
+}
+
+// newFlat builds an exactly-sized, immutable flat for memoisation. Unlike
+// the pooled path it allocates fresh backing arrays so the result can
+// outlive any scratch buffers.
+func newFlat(t *tree.Node) *flat {
+	n := t.Size()
+	f := &flat{
+		labels: make([]int32, n),
+		lmld:   make([]int32, n),
+	}
+	fillFlat(f, t, make([]bool, n))
+	// Trim the keyroot slice to size: memoised flats live for the whole
+	// sweep, so the append slack is worth returning to the allocator.
+	f.kr = append(make([]int, 0, len(f.kr)), f.kr...)
+	return f
+}

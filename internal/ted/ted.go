@@ -11,6 +11,13 @@
 // (see approx.go) as the memory-friendly mode the paper lists as future
 // work.
 //
+// The hot path is organised around reuse (DESIGN.md §6): labels intern into
+// one process-wide table (flatten.go), per-call buffers — flattened trees,
+// DP matrices, gate tables — come from a sync.Pool sized by high-water mark
+// (pool.go), cheap exact bound gates run before the quadratic DP
+// (bounds.go), and Cache memoises the flattened form of each tree by
+// content fingerprint so a matrix sweep flattens every tree once.
+//
 // By default every operation has unit cost, matching the evaluation setup
 // ("we use the unit weight of one for all nodes and operations"). Different
 // weights can be supplied via Costs; e.g. adding new code may have a
@@ -49,163 +56,111 @@ func DistanceWithCosts(t1, t2 *tree.Node, c Costs) int {
 	if t2 == nil {
 		return t1.Size() * c.Delete
 	}
-	in := newInterner()
-	f1 := flatten(t1, in)
-	f2 := flatten(t2, in)
-	z := &zhangShasha{a: f1, b: f2, c: c}
-	return z.run()
-}
-
-// interner maps labels to dense int ids so the inner loops compare ints.
-type interner struct {
-	ids map[string]int
-}
-
-func newInterner() *interner { return &interner{ids: make(map[string]int)} }
-
-func (in *interner) id(label string) int {
-	if id, ok := in.ids[label]; ok {
-		return id
+	sc := getScratch()
+	sc.prepFlat(&sc.fa, t1.Size())
+	fillFlat(&sc.fa, t1, sc.seen)
+	sc.prepFlat(&sc.fb, t2.Size())
+	fillFlat(&sc.fb, t2, sc.seen)
+	d, pruned := boundGate(&sc.fa, &sc.fb, c, sc)
+	if !pruned {
+		d = zsDistance(&sc.fa, &sc.fb, c, sc)
 	}
-	id := len(in.ids)
-	in.ids[label] = id
-	return id
+	putScratch(sc)
+	return d
 }
 
-// flat is a tree flattened to post-order arrays, the representation
-// Zhang–Shasha operates on.
-type flat struct {
-	labels []int // label id per post-order index
-	lmld   []int // leftmost leaf descendant per post-order index
-	kr     []int // keyroots in increasing order
-}
-
-func flatten(t *tree.Node, in *interner) flat {
-	n := t.Size()
-	f := flat{
-		labels: make([]int, n),
-		lmld:   make([]int, n),
-	}
-	idx := 0
-	var visit func(node *tree.Node) int // returns post-order index of node
-	visit = func(node *tree.Node) int {
-		first := -1
-		for _, c := range node.Children {
-			ci := visit(c)
-			if first < 0 {
-				first = f.lmld[ci]
-			}
-		}
-		i := idx
-		idx++
-		f.labels[i] = in.id(node.Label)
-		if first < 0 {
-			f.lmld[i] = i
-		} else {
-			f.lmld[i] = first
-		}
-		return i
-	}
-	visit(t)
-
-	// Keyroots: nodes that either are the root or have a left sibling; in
-	// lmld terms, the highest node for each distinct leftmost-leaf value.
-	seen := make(map[int]int)
-	for i := 0; i < n; i++ {
-		seen[f.lmld[i]] = i
-	}
-	for _, i := range seen {
-		f.kr = append(f.kr, i)
-	}
-	sortInts(f.kr)
-	return f
-}
-
-func sortInts(a []int) {
-	// insertion sort is fine: keyroot counts are small relative to n
-	for i := 1; i < len(a); i++ {
-		v := a[i]
-		j := i - 1
-		for j >= 0 && a[j] > v {
-			a[j+1] = a[j]
-			j--
-		}
-		a[j+1] = v
-	}
-}
-
-type zhangShasha struct {
-	a, b flat
-	c    Costs
-
-	td [][]int32 // treedist
-	fd [][]int32 // forestdist scratch
-}
-
-func (z *zhangShasha) run() int {
-	n1 := len(z.a.labels)
-	n2 := len(z.b.labels)
-	z.td = alloc2(n1, n2)
-	z.fd = alloc2(n1+1, n2+1)
-	for _, i := range z.a.kr {
-		for _, j := range z.b.kr {
-			z.treedist(i, j)
+// zsDistance runs the Zhang–Shasha keyroot recurrence over two flattened
+// trees using sc's pooled DP matrices.
+func zsDistance(a, b *flat, c Costs, sc *dpScratch) int {
+	n1 := len(a.labels)
+	n2 := len(b.labels)
+	td := sc.matrix(&sc.td, &sc.tdRows, n1, n2)
+	fd := sc.matrix(&sc.fd, &sc.fdRows, n1+1, n2+1)
+	boff := grow32(sc.boff, n2)
+	sc.boff = boff
+	for _, i := range a.kr {
+		for _, j := range b.kr {
+			treedist(a, b, i, j, c, td, fd, boff)
 		}
 	}
-	return int(z.td[n1-1][n2-1])
-}
-
-func alloc2(r, c int) [][]int32 {
-	backing := make([]int32, r*c)
-	out := make([][]int32, r)
-	for i := range out {
-		out[i] = backing[i*c : (i+1)*c]
-	}
-	return out
+	return int(td[n1-1][n2-1])
 }
 
 // treedist fills td for the subtree pair rooted at post-order indices (i, j)
-// following the classic Zhang–Shasha forest recurrence.
-func (z *zhangShasha) treedist(i, j int) {
-	li := z.a.lmld[i]
-	lj := z.b.lmld[j]
-	ins := int32(z.c.Insert)
-	del := int32(z.c.Delete)
+// following the classic Zhang–Shasha forest recurrence. The inner loop is
+// restructured for the profile-measured hot path: the b-side lmld offsets
+// are precomputed once per keyroot pair into boff (so the per-cell whole-
+// forest test is a single compare against 0), rows where the a-forest is a
+// whole subtree are split from the common case (removing the branch from
+// the majority of cells), and the west/northwest neighbours are carried in
+// registers across the row instead of re-read from the matrix.
+func treedist(a, b *flat, i, j int, c Costs, td, fd [][]int32, boff []int32) {
+	li := int(a.lmld[i])
+	lj := int(b.lmld[j])
+	m1 := i - li + 1 // a-forest size (DP rows)
+	m2 := j - lj + 1 // b-forest size (DP cols)
+	ins := int32(c.Insert)
+	del := int32(c.Delete)
+	ren := int32(c.Rename)
 
-	fd := z.fd
 	fd[0][0] = 0
-	for di := li; di <= i; di++ {
-		fd[di-li+1][0] = fd[di-li][0] + del
+	col := int32(0)
+	for r := 1; r <= m1; r++ {
+		col += del
+		fd[r][0] = col
 	}
-	row0 := fd[0]
-	for dj := lj; dj <= j; dj++ {
-		row0[dj-lj+1] = row0[dj-lj] + ins
+	row0 := fd[0][:m2+1]
+	acc := int32(0)
+	for cj := 1; cj <= m2; cj++ {
+		acc += ins
+		row0[cj] = acc
 	}
-	aLmld, bLmld := z.a.lmld, z.b.lmld
-	aLabels, bLabels := z.a.labels, z.b.labels
-	ren := int32(z.c.Rename)
+
+	// boff[cj] is bLmld[lj+cj]-lj: 0 exactly when the b-forest ending at
+	// that node is a whole subtree, and otherwise the fd column where the
+	// left part of the split b-forest ends.
+	bl := b.lmld[lj : j+1]
+	bo := boff[:m2]
+	for cj := range bo {
+		bo[cj] = bl[cj] - int32(lj)
+	}
+	blab := b.labels[lj : j+1]
+
 	for di := li; di <= i; di++ {
-		prev := fd[di-li]  // row di-1 of the forest table
-		cur := fd[di-li+1] // row di
-		tdRow := z.td[di]  // treedist row for subtree rooted at di
-		aWhole := aLmld[di] == li
-		la := aLabels[di]
-		fdA := fd[aLmld[di]-li]
-		for dj := lj; dj <= j; dj++ {
-			cj := dj - lj
-			if aWhole && bLmld[dj] == lj {
-				// both forests are whole trees
-				r := int32(0)
-				if la != bLabels[dj] {
-					r = ren
+		r := di - li
+		prev := fd[r][:m2+1]
+		cur := fd[r+1][:m2+1]
+		tdRow := td[di][lj : j+1]
+		fdA := fd[int(a.lmld[di])-li]
+		left := cur[0]
+		if int(a.lmld[di]) == li {
+			// The a-forest is a whole subtree: cells where the b-forest is
+			// too (bo == 0) both close a treedist entry and use the rename
+			// recurrence.
+			la := a.labels[di]
+			diag := prev[0]
+			for cj := 0; cj < m2; cj++ {
+				up := prev[cj+1]
+				var d int32
+				if bo[cj] == 0 {
+					rc := int32(0)
+					if la != blab[cj] {
+						rc = ren
+					}
+					d = min3(up+del, left+ins, diag+rc)
+					tdRow[cj] = d
+				} else {
+					d = min3(up+del, left+ins, fdA[bo[cj]]+tdRow[cj])
 				}
-				d := min3(prev[cj+1]+del, cur[cj]+ins, prev[cj]+r)
 				cur[cj+1] = d
-				tdRow[dj] = d
-			} else {
-				d := min3(prev[cj+1]+del, cur[cj]+ins,
-					fdA[bLmld[dj]-lj]+tdRow[dj])
+				left = d
+				diag = up
+			}
+		} else {
+			for cj := 0; cj < m2; cj++ {
+				d := min3(prev[cj+1]+del, left+ins, fdA[bo[cj]]+tdRow[cj])
 				cur[cj+1] = d
+				left = d
 			}
 		}
 	}

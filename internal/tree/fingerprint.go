@@ -8,7 +8,11 @@ package tree
 // ~128-bit space. The zero Fingerprint is reserved for the nil tree.
 //
 // Fingerprints are comparable and compact, which makes them usable as map
-// keys — the content-addressing scheme behind ted.Cache.
+// keys — the content-addressing scheme behind ted.Cache, which keys both
+// its distance memo (per pair) and its flat memo of Zhang–Shasha
+// post-order forms (per tree) on fingerprints. That second use relies on
+// the same invariant: a mutated tree gets a new fingerprint, so memoised
+// derived forms can never go stale, only unreachable.
 type Fingerprint struct {
 	H1   uint64 // FNV-1a over the serialised structure
 	H2   uint64 // independent multiplicative hash over the same bytes
