@@ -1,0 +1,188 @@
+// Bench trajectory emitter (PR 4): one `go test -bench` invocation that
+// measures the full TeaLeaf T_sem sweep — generate, index, divergence
+// matrix — in its three persistence modes: cold (empty artifact store),
+// warm (second run over the same store), and readonly (warm lookups, no
+// write-back). The warm/readonly matrices are verified bit-identical to
+// the cold one before timings are written, so the JSON never reports a
+// speedup bought with changed numbers.
+//
+// Run with (see EXPERIMENTS.md §Bench trajectory):
+//
+//	SILVERVALE_BENCH_JSON=BENCH_PR4.json \
+//	  go test -run '^$' -bench '^BenchmarkPR4Trajectory$' .
+//
+// Without SILVERVALE_BENCH_JSON set the benchmark skips, so plain
+// `go test -bench .` sweeps are not slowed down.
+package silvervale
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"silvervale/internal/core"
+	"silvervale/internal/corpus"
+	"silvervale/internal/store"
+	"silvervale/internal/ted"
+)
+
+type pr4Bench struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	StoreHits   uint64 `json:"store_hits"`
+	StoreMisses uint64 `json:"store_misses"`
+}
+
+type pr4Trajectory struct {
+	PR            int        `json:"pr"`
+	GoVersion     string     `json:"go"`
+	NumCPU        int        `json:"num_cpu"`
+	App           string     `json:"app"`
+	Metric        string     `json:"metric"`
+	WarmSpeedup   float64    `json:"warm_speedup_vs_cold"`
+	BitIdentical  bool       `json:"warm_matrix_bit_identical"`
+	Benchmarks    []pr4Bench `json:"benchmarks"`
+	StoreDiskInfo string     `json:"store_disk_info"`
+}
+
+// pr4Sweep runs the whole pipeline against one store handle: generate and
+// index every TeaLeaf model through the engine (warm-starting from the
+// index tier when records exist), then compute the T_sem matrix (warm-
+// starting distances).
+func pr4Sweep(b *testing.B, st *store.Store) [][]float64 {
+	b.Helper()
+	app, err := corpus.AppByName("tealeaf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := core.NewEngineStore(0, ted.NewCache(), nil, st)
+	idxs := map[string]*core.Index{}
+	var order []string
+	for _, m := range corpus.ModelsFor(app) {
+		cb, err := corpus.Generate(app, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx, err := engine.IndexCodebase(cb, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		idxs[string(m)] = idx
+		order = append(order, string(m))
+	}
+	m, err := engine.Matrix(idxs, order, core.MetricTsem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func pr4SameBits(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func BenchmarkPR4Trajectory(b *testing.B) {
+	out := os.Getenv("SILVERVALE_BENCH_JSON")
+	if out == "" {
+		b.Skip("set SILVERVALE_BENCH_JSON=<path> to emit the bench trajectory")
+	}
+	dir := b.TempDir()
+
+	// Same direct measurement scheme as PR 3 (testing.Benchmark deadlocks
+	// inside a running benchmark): wall clock plus MemStats deltas.
+	measure := func(name string, iters int, ro bool, fn func(st *store.Store) [][]float64) (pr4Bench, [][]float64) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		var stats store.Stats
+		var m [][]float64
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			st, err := store.Open(dir, store.Options{Readonly: ro})
+			if err != nil {
+				b.Fatal(err)
+			}
+			m = fn(st)
+			stats = st.Stats()
+			if err := st.Close(); err != nil { // drain write-behind inside the timing
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		n := int64(iters)
+		return pr4Bench{
+			Name:        name,
+			Iterations:  iters,
+			NsPerOp:     elapsed.Nanoseconds() / n,
+			BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
+			AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
+			StoreHits:   stats.Hits,
+			StoreMisses: stats.Misses,
+		}, m
+	}
+
+	traj := pr4Trajectory{
+		PR:        4,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		App:       "tealeaf",
+		Metric:    core.MetricTsem,
+	}
+	cold, coldM := measure("MatrixCold", 1, false, func(st *store.Store) [][]float64 {
+		return pr4Sweep(b, st)
+	})
+	warm, warmM := measure("MatrixWarmStore", 3, false, func(st *store.Store) [][]float64 {
+		return pr4Sweep(b, st)
+	})
+	ro, roM := measure("MatrixReadonlyStore", 3, true, func(st *store.Store) [][]float64 {
+		return pr4Sweep(b, st)
+	})
+	traj.Benchmarks = append(traj.Benchmarks, cold, warm, ro)
+	traj.BitIdentical = pr4SameBits(coldM, warmM) && pr4SameBits(coldM, roM)
+	if !traj.BitIdentical {
+		b.Fatal("warm or readonly matrix differs from cold")
+	}
+	traj.WarmSpeedup = float64(cold.NsPerOp) / float64(warm.NsPerOp)
+
+	var files int
+	var bytes int64
+	filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && info != nil && !info.IsDir() {
+			files++
+			bytes += info.Size()
+		}
+		return nil
+	})
+	traj.StoreDiskInfo = fmt.Sprintf("%d records, %d bytes on disk", files, bytes)
+
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("bench trajectory written to %s (warm speedup %.1fx)", out, traj.WarmSpeedup)
+}

@@ -37,6 +37,7 @@ import (
 	"silvervale/internal/experiments"
 	"silvervale/internal/obs"
 	"silvervale/internal/perf"
+	"silvervale/internal/store"
 	"silvervale/internal/ted"
 	"silvervale/internal/textplot"
 )
@@ -60,8 +61,12 @@ type obsConfig struct {
 	metrics       bool
 	metricsFormat string
 	pprofAddr     string
+	cacheDir      string
+	cacheReadonly bool
+	cacheClear    bool
 
 	rec          *obs.Recorder
+	st           *store.Store
 	pprofStarted bool
 }
 
@@ -70,6 +75,9 @@ func (c *obsConfig) register(fs *flag.FlagSet) {
 	fs.BoolVar(&c.metrics, "metrics", c.metrics, "print a metrics summary after the command")
 	fs.StringVar(&c.metricsFormat, "metrics-format", c.metricsFormat, "metrics output format: text (Prometheus-style) or json")
 	fs.StringVar(&c.pprofAddr, "pprof", c.pprofAddr, "serve net/http/pprof on this address while the command runs")
+	fs.StringVar(&c.cacheDir, "cache-dir", c.cacheDir, "persistent artifact store: warm-start TED distances and indexes across runs")
+	fs.BoolVar(&c.cacheReadonly, "cache-readonly", c.cacheReadonly, "serve lookups from -cache-dir but write nothing back")
+	fs.BoolVar(&c.cacheClear, "cache-clear", c.cacheClear, "clear the -cache-dir record tiers before running")
 }
 
 func (c *obsConfig) enabled() bool {
@@ -98,8 +106,42 @@ func (c *obsConfig) recorder() (*obs.Recorder, error) {
 	return c.rec, nil
 }
 
-// finish writes the trace file and prints the metrics summary.
+// store lazily opens the persistent artifact store once a subcommand asks
+// for it (after flag parsing, so trailing flags are honoured), clearing
+// the record tiers first under -cache-clear. Returns nil when -cache-dir
+// is unset.
+func (c *obsConfig) store() (*store.Store, error) {
+	if c.cacheDir == "" {
+		return nil, nil
+	}
+	if c.st == nil {
+		if c.cacheClear {
+			if err := store.Clear(c.cacheDir); err != nil {
+				return nil, err
+			}
+		}
+		st, err := store.Open(c.cacheDir, store.Options{Readonly: c.cacheReadonly})
+		if err != nil {
+			return nil, err
+		}
+		c.st = st
+	}
+	return c.st, nil
+}
+
+// closeStore drains the store's write-behind queue. Idempotent, nil-safe,
+// and called before metrics are printed so the flush counters are final
+// (and deferred in run so error paths still drain).
+func (c *obsConfig) closeStore() error {
+	return c.st.Close()
+}
+
+// finish writes the trace file and prints the metrics summary. The store
+// is closed first so store.flushes / store.bytes_written are final.
 func (c *obsConfig) finish() error {
+	if err := c.closeStore(); err != nil {
+		return err
+	}
 	if c.rec == nil {
 		return nil
 	}
@@ -131,7 +173,11 @@ func (c *obsConfig) newEngine(workers int) (*core.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewEngineObs(workers, ted.NewCache(), rec), nil
+	st, err := c.store()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEngineStore(workers, ted.NewCache(), rec, st), nil
 }
 
 func (c *obsConfig) newEnv(workers int) (*experiments.Env, error) {
@@ -139,11 +185,16 @@ func (c *obsConfig) newEnv(workers int) (*experiments.Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return experiments.NewEnvObs(workers, rec), nil
+	st, err := c.store()
+	if err != nil {
+		return nil, err
+	}
+	return experiments.NewEnvStore(workers, rec, st), nil
 }
 
 func run(args []string) error {
 	cfg := &obsConfig{metricsFormat: "text"}
+	defer cfg.closeStore() // error paths still drain the write-behind queue
 	gfs := flag.NewFlagSet("silvervale", flag.ContinueOnError)
 	cfg.register(gfs)
 	if err := gfs.Parse(args); err != nil {
@@ -203,7 +254,15 @@ the divergence engine's worker pool (default: all CPUs; 1 = serial).
 Results are identical for every value. They also accept the observability
 flags (leading or trailing): -trace <file> writes a Chrome trace_event
 JSON, -metrics prints a metrics summary (-metrics-format=text|json), and
--pprof <addr> serves net/http/pprof while the command runs.`)
+-pprof <addr> serves net/http/pprof while the command runs.
+
+The same commands accept -cache-dir <dir>: a persistent content-addressed
+artifact store that warm-starts TED distances and codebase indexes across
+runs (results are byte-identical to a cold run). -cache-readonly serves
+lookups without writing back; -cache-clear empties the store first.
+
+  silvervale matrix tealeaf -cache-dir ~/.cache/silvervale   # cold: fills
+  silvervale matrix tealeaf -cache-dir ~/.cache/silvervale   # warm: fast`)
 	return nil
 }
 
@@ -278,11 +337,13 @@ func cmdIndex(args []string, cfg *obsConfig) error {
 	if err != nil {
 		return err
 	}
-	rec, err := cfg.recorder()
+	// The engine path lets -cache-dir warm-start the default-option index
+	// from the store's index tier (coverage runs always recompute).
+	engine, err := cfg.newEngine(*workers)
 	if err != nil {
 		return err
 	}
-	opts := core.Options{Workers: *workers, Recorder: rec}
+	var opts core.Options
 	if *withCov {
 		prof, err := core.RunCoverage(cb)
 		if err != nil {
@@ -290,7 +351,7 @@ func cmdIndex(args []string, cfg *obsConfig) error {
 		}
 		opts.Coverage = prof
 	}
-	idx, err := core.IndexCodebase(cb, opts)
+	idx, err := engine.IndexCodebase(cb, opts)
 	if err != nil {
 		return err
 	}
@@ -383,6 +444,15 @@ func cmdMatrix(args []string, cfg *obsConfig) error {
 		return err
 	}
 	fmt.Println(cluster.Render(root))
+	if env.Engine().Store() != nil {
+		// Drain the write-behind queue so the flush/bytes counters are
+		// final, then report to stderr, so matrix stdout stays
+		// byte-identical cold vs warm.
+		if err := cfg.closeStore(); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, env.Engine().CacheStats())
+	}
 	return nil
 }
 
@@ -427,6 +497,11 @@ func cmdExperiment(args []string, cfg *obsConfig) error {
 			return err
 		}
 		fmt.Printf("==== %s: %s ====\n%s\n", res.ID, res.Title, res.Text)
+	}
+	// Drain the store's write-behind queue (nil-safe no-op without
+	// -cache-dir) so the post-sweep line reports final store counters.
+	if err := cfg.closeStore(); err != nil {
+		return err
 	}
 	fmt.Println(env.Engine().CacheStats())
 	return nil

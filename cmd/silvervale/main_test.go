@@ -4,6 +4,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -133,6 +135,80 @@ func TestExperimentCommand(t *testing.T) {
 	}
 	if err := run([]string{"experiment"}); err == nil {
 		t.Fatal("expected error for missing id")
+	}
+}
+
+// storeHits extracts the silvervale_store_hits counter from -metrics
+// output.
+func storeHits(t *testing.T, metrics string) int {
+	t.Helper()
+	m := regexp.MustCompile(`(?m)^silvervale_store_hits (\d+)$`).FindStringSubmatch(metrics)
+	if m == nil {
+		t.Fatalf("no silvervale_store_hits counter in output:\n%s", metrics)
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestMatrixCacheDirColdThenWarm is the CLI smoke test for -cache-dir: a
+// cold run fills the store, the warm run produces byte-identical stdout,
+// and a readonly warm run reports store hits in -metrics.
+func TestMatrixCacheDirColdThenWarm(t *testing.T) {
+	dir := t.TempDir()
+	cold, err := capture(t, "matrix", "babelstream", "-metric", "tsem", "-cache-dir", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cold, "serial") {
+		t.Fatalf("matrix output: %q", cold)
+	}
+	warm, err := capture(t, "matrix", "babelstream", "-metric", "tsem", "-cache-dir", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != cold {
+		t.Fatalf("warm stdout differs from cold:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+	out, err := capture(t, "matrix", "babelstream", "-metric", "tsem",
+		"-cache-dir", dir, "-cache-readonly", "-metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := storeHits(t, out); hits == 0 {
+		t.Fatal("readonly warm run reported zero store hits")
+	}
+	// -cache-clear empties the tiers: the next run is cold again.
+	out, err = capture(t, "matrix", "babelstream", "-metric", "tsem",
+		"-cache-dir", dir, "-cache-clear", "-metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := storeHits(t, out); hits != 0 {
+		t.Fatalf("run after -cache-clear hit the store %d times", hits)
+	}
+}
+
+// TestExperimentCacheStatsLineGainsStore checks the post-sweep cache-stats
+// line: store-less runs keep the exact old shape, -cache-dir runs append
+// the store fragment.
+func TestExperimentCacheStatsLineGainsStore(t *testing.T) {
+	out, err := capture(t, "experiment", "fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ted cache:") || strings.Contains(out, "store") {
+		t.Fatalf("store-less cache-stats line changed: %q", out)
+	}
+	dir := t.TempDir()
+	out, err = capture(t, "experiment", "fig4", "-cache-dir", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "store ") || !strings.Contains(out, "corrupt-skipped") {
+		t.Fatalf("cache-stats line missing store fragment: %q", out)
 	}
 }
 

@@ -16,24 +16,33 @@ import (
 	"silvervale/internal/tree"
 )
 
-// FormatVersion is bumped on incompatible schema changes.
-const FormatVersion = 1
+// FormatVersion is bumped on incompatible schema changes. Version 2 adds
+// the post-preprocessor line set and the per-line origin attribution, which
+// makes a stored DB a lossless substitute for a live index: every metric —
+// including source+pp and the +coverage variants — computes identically
+// from a reloaded record. The persistent artifact store (internal/store)
+// relies on that for its warm-start determinism guarantee.
+const FormatVersion = 2
 
 // UnitRecord is the persisted form of one indexed unit (Eq. 1: a source
 // file plus its module dependencies).
 type UnitRecord struct {
-	File        string
-	Role        string // logical role used by the match function
-	SLOC        int
-	LLOC        int
-	SourceLines []string          // normalised source lines (Source metric)
-	Trees       map[string]string // metric name -> s-expression
+	File          string
+	Role          string // logical role used by the match function
+	SLOC          int
+	LLOC          int
+	SourceLines   []string          // normalised source lines (Source metric)
+	SourceLinesPP []string          // after preprocessing (source+pp metric)
+	LineFiles     []string          // originating file per SourceLines entry
+	LineNums      []int             // originating line per SourceLines entry
+	Trees         map[string]string // metric name -> s-expression
 }
 
 // DB is the persisted index of one codebase (one mini-app × model).
 type DB struct {
 	Codebase string
 	Model    string
+	Lang     string
 	Units    []UnitRecord
 }
 
@@ -49,36 +58,43 @@ func (u *UnitRecord) Tree(metric string) (*tree.Node, error) {
 // Write serialises the DB as gzip-compressed MessagePack.
 func (db *DB) Write(w io.Writer) error {
 	gz := gzip.NewWriter(w)
-	enc := msgpack.NewEncoder(gz)
+	if err := db.EncodeMsgpack(gz); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// EncodeMsgpack writes the DB's raw MessagePack payload without the gzip
+// framing. The artifact store embeds this form inside its own compressed
+// record envelope, so the bytes are compressed exactly once.
+func (db *DB) EncodeMsgpack(w io.Writer) error {
+	enc := msgpack.NewEncoder(w)
 	units := make([]any, len(db.Units))
 	for i, u := range db.Units {
 		trees := make(map[string]any, len(u.Trees))
 		for k, v := range u.Trees {
 			trees[k] = v
 		}
-		lines := make([]any, len(u.SourceLines))
-		for j, l := range u.SourceLines {
-			lines[j] = l
-		}
 		units[i] = map[string]any{
-			"file":  u.File,
-			"role":  u.Role,
-			"sloc":  int64(u.SLOC),
-			"lloc":  int64(u.LLOC),
-			"lines": lines,
-			"trees": trees,
+			"file":       u.File,
+			"role":       u.Role,
+			"sloc":       int64(u.SLOC),
+			"lloc":       int64(u.LLOC),
+			"lines":      u.SourceLines,
+			"lines_pp":   u.SourceLinesPP,
+			"line_files": u.LineFiles,
+			"line_nums":  u.LineNums,
+			"trees":      trees,
 		}
 	}
 	payload := map[string]any{
 		"version":  int64(FormatVersion),
 		"codebase": db.Codebase,
 		"model":    db.Model,
+		"lang":     db.Lang,
 		"units":    units,
 	}
-	if err := enc.Encode(payload); err != nil {
-		return err
-	}
-	return gz.Close()
+	return enc.Encode(payload)
 }
 
 // Read deserialises a DB written by Write.
@@ -88,7 +104,13 @@ func Read(r io.Reader) (*DB, error) {
 		return nil, fmt.Errorf("cbdb: %w", err)
 	}
 	defer gz.Close()
-	v, err := msgpack.NewDecoder(gz).Decode()
+	return DecodeMsgpack(gz)
+}
+
+// DecodeMsgpack deserialises the raw MessagePack payload EncodeMsgpack
+// produces (the un-gzipped half of Read).
+func DecodeMsgpack(r io.Reader) (*DB, error) {
+	v, err := msgpack.NewDecoder(r).Decode()
 	if err != nil {
 		return nil, fmt.Errorf("cbdb: %w", err)
 	}
@@ -102,6 +124,7 @@ func Read(r io.Reader) (*DB, error) {
 	db := &DB{}
 	db.Codebase, _ = m["codebase"].(string)
 	db.Model, _ = m["model"].(string)
+	db.Lang, _ = m["lang"].(string)
 	rawUnits, _ := m["units"].([]any)
 	for _, ru := range rawUnits {
 		um, ok := ru.(map[string]any)
@@ -117,10 +140,13 @@ func Read(r io.Reader) (*DB, error) {
 		if n, ok := um["lloc"].(int64); ok {
 			u.LLOC = int(n)
 		}
-		if lines, ok := um["lines"].([]any); ok {
-			for _, l := range lines {
-				if s, ok := l.(string); ok {
-					u.SourceLines = append(u.SourceLines, s)
+		u.SourceLines = stringSlice(um["lines"])
+		u.SourceLinesPP = stringSlice(um["lines_pp"])
+		u.LineFiles = stringSlice(um["line_files"])
+		if nums, ok := um["line_nums"].([]any); ok {
+			for _, n := range nums {
+				if v, ok := n.(int64); ok {
+					u.LineNums = append(u.LineNums, int(v))
 				}
 			}
 		}
@@ -135,6 +161,22 @@ func Read(r io.Reader) (*DB, error) {
 	}
 	sort.Slice(db.Units, func(i, j int) bool { return db.Units[i].File < db.Units[j].File })
 	return db, nil
+}
+
+// stringSlice extracts a []string from a decoded msgpack array, skipping
+// non-string elements.
+func stringSlice(v any) []string {
+	items, ok := v.([]any)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, it := range items {
+		if s, ok := it.(string); ok {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // Save writes the DB to a file.

@@ -14,11 +14,14 @@ func sample() *DB {
 		Model:    "cuda",
 		Units: []UnitRecord{
 			{
-				File:        "solver.cpp",
-				Role:        "solver",
-				SLOC:        120,
-				LLOC:        80,
-				SourceLines: []string{"int main() {", "return 0;", "}"},
+				File:          "solver.cpp",
+				Role:          "solver",
+				SLOC:          120,
+				LLOC:          80,
+				SourceLines:   []string{"int main() {", "return 0;", "}"},
+				SourceLinesPP: []string{"int main() {", "return 0;", "}", "int expanded;"},
+				LineFiles:     []string{"solver.cpp", "solver.cpp", "solver.cpp"},
+				LineNums:      []int{1, 2, 3},
 				Trees: map[string]string{
 					"sem": "(TranslationUnit (FunctionDecl (CompoundStmt (ReturnStmt IntegerLiteral:0))))",
 					"src": "(unit:src (stmt kw:int ident))",
@@ -62,6 +65,15 @@ func TestRoundTrip(t *testing.T) {
 	}
 	if len(solver.SourceLines) != 3 {
 		t.Fatalf("lines = %v", solver.SourceLines)
+	}
+	if len(solver.SourceLinesPP) != 4 || solver.SourceLinesPP[3] != "int expanded;" {
+		t.Fatalf("lines_pp = %v", solver.SourceLinesPP)
+	}
+	if len(solver.LineFiles) != 3 || solver.LineFiles[0] != "solver.cpp" {
+		t.Fatalf("line_files = %v", solver.LineFiles)
+	}
+	if len(solver.LineNums) != 3 || solver.LineNums[2] != 3 {
+		t.Fatalf("line_nums = %v", solver.LineNums)
 	}
 	tr, err := solver.Tree("sem")
 	if err != nil {
@@ -127,10 +139,26 @@ func TestReadGarbage(t *testing.T) {
 }
 
 func TestVersionCheck(t *testing.T) {
-	// hand-craft a payload with a wrong version by abusing Write then
-	// mutating is complex; simply ensure current version round trips and
-	// the constant is stable.
-	if FormatVersion != 1 {
+	// v2 added lines_pp/line_files/line_nums (lossless index records for
+	// the artifact store). Update version-compat tests when bumping again.
+	if FormatVersion != 2 {
 		t.Fatal("update version-compat tests when bumping FormatVersion")
+	}
+}
+
+// TestMsgpackHalfRoundTrips pins the un-gzipped encode/decode pair the
+// artifact store embeds in its record envelope.
+func TestMsgpackHalfRoundTrips(t *testing.T) {
+	db := sample()
+	var buf bytes.Buffer
+	if err := db.EncodeMsgpack(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMsgpack(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Codebase != db.Codebase || len(got.Units) != len(db.Units) {
+		t.Fatalf("msgpack half round trip: %+v", got)
 	}
 }

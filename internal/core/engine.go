@@ -10,6 +10,7 @@ import (
 
 	"silvervale/internal/corpus"
 	"silvervale/internal/obs"
+	"silvervale/internal/store"
 	"silvervale/internal/ted"
 )
 
@@ -28,6 +29,11 @@ import (
 type Engine struct {
 	workers int
 	cache   *ted.Cache
+
+	// astore is the optional persistent artifact store (nil when absent):
+	// IndexCodebase warm-starts from its index tier, and NewEngineStore
+	// wires the cache's distance tier through it.
+	astore *store.Store
 
 	// observability (all nil when disabled — the no-op hot path)
 	rec        *obs.Recorder
@@ -229,11 +235,17 @@ func (e *Engine) FromBase(idxs map[string]*Index, base string, order []string, m
 
 // IndexCodebase runs the extraction pipeline with the engine's worker
 // pool and recorder (equivalent to IndexCodebase with Options.Workers and
-// Options.Recorder set).
+// Options.Recorder set). With a persistent store attached and default
+// options (no coverage mask, system headers masked), the codebase is
+// first looked up in the store's index tier by content hash; misses run
+// the pipeline and persist the result for the next run.
 func (e *Engine) IndexCodebase(cb *corpus.Codebase, opts Options) (*Index, error) {
 	opts.Workers = e.workers
 	if opts.Recorder == nil {
 		opts.Recorder = e.rec
+	}
+	if e.astore != nil && opts.Coverage == nil && !opts.KeepSystemHeaders {
+		return e.indexCodebaseStored(cb, opts)
 	}
 	return IndexCodebase(cb, opts)
 }

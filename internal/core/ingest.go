@@ -113,12 +113,14 @@ func IngestDirectory(root string, opts Options) (*Index, error) {
 // ToDB converts an index into its portable Codebase DB form ("a portable
 // set of semantic-bearing trees and metadata files", Fig. 2).
 func (idx *Index) ToDB() *cbdb.DB {
-	db := &cbdb.DB{Codebase: idx.Codebase, Model: idx.Model}
+	db := &cbdb.DB{Codebase: idx.Codebase, Model: idx.Model, Lang: string(idx.Lang)}
 	for i := range idx.Units {
 		u := &idx.Units[i]
 		rec := cbdb.UnitRecord{
 			File: u.File, Role: u.Role, SLOC: u.SLOC, LLOC: u.LLOC,
-			SourceLines: u.SourceLines, Trees: map[string]string{},
+			SourceLines: u.SourceLines, SourceLinesPP: u.SourceLinesPP,
+			LineFiles: u.LineFiles, LineNums: u.LineNums,
+			Trees: map[string]string{},
 		}
 		for m, t := range u.Trees {
 			rec.Trees[m] = t.String()
@@ -130,16 +132,24 @@ func (idx *Index) ToDB() *cbdb.DB {
 
 // IndexFromDB reconstructs an index from a stored Codebase DB, so two
 // previously indexed codebases can be compared offline without their
-// sources. (The DB stores the plain Source lines; the +pp variant is not
-// persisted, matching the paper's portable-artefact scope.)
+// sources. Since cbdb format v2 the record is lossless: the +pp line set
+// and the per-line origin attribution round-trip, so every metric computes
+// identically from a reloaded index — the property the artifact store's
+// warm starts depend on. (Records missing the +pp set fall back to the
+// plain Source lines, the pre-v2 behaviour.)
 func IndexFromDB(db *cbdb.DB) (*Index, error) {
-	idx := &Index{Codebase: db.Codebase, Model: db.Model}
+	idx := &Index{Codebase: db.Codebase, Model: db.Model, Lang: corpus.Lang(db.Lang)}
 	for _, rec := range db.Units {
 		u := UnitIndex{
 			File: rec.File, Role: rec.Role, SLOC: rec.SLOC, LLOC: rec.LLOC,
 			SourceLines:   rec.SourceLines,
-			SourceLinesPP: rec.SourceLines,
+			SourceLinesPP: rec.SourceLinesPP,
+			LineFiles:     rec.LineFiles,
+			LineNums:      rec.LineNums,
 			Trees:         map[string]*tree.Node{},
+		}
+		if u.SourceLinesPP == nil {
+			u.SourceLinesPP = rec.SourceLines
 		}
 		for m, s := range rec.Trees {
 			t, err := tree.ParseSexpr(s)

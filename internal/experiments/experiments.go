@@ -17,6 +17,7 @@ import (
 	"silvervale/internal/navchart"
 	"silvervale/internal/obs"
 	"silvervale/internal/perf"
+	"silvervale/internal/store"
 	"silvervale/internal/ted"
 	"silvervale/internal/textplot"
 	"silvervale/internal/tree"
@@ -68,8 +69,18 @@ func NewEnvWorkers(workers int) *Env {
 // "experiment.<id>" span, so a sweep's trace and metrics aggregate
 // per-figure. A nil rec disables observability (the NewEnvWorkers path).
 func NewEnvObs(workers int, rec *obs.Recorder) *Env {
+	return NewEnvStore(workers, rec, nil)
+}
+
+// NewEnvStore returns an environment whose engine is additionally backed
+// by a persistent artifact store: app indexes warm-start from the store's
+// index tier and TED distances from its distance tier, so a repeat sweep
+// over the same corpus pays decode time instead of the pipeline and the
+// quadratic DP. The caller owns the store and must Close it to drain
+// write-behind records; a nil store yields exactly NewEnvObs.
+func NewEnvStore(workers int, rec *obs.Recorder, st *store.Store) *Env {
 	return &Env{
-		engine:      core.NewEngineObs(workers, ted.NewCache(), rec),
+		engine:      core.NewEngineStore(workers, ted.NewCache(), rec, st),
 		rec:         rec,
 		cache:       map[string]map[string]*core.Index{},
 		matrixCache: map[string][][]float64{},

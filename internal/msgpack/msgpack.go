@@ -10,6 +10,7 @@
 package msgpack
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -445,12 +446,30 @@ func (d *Decoder) readByte() (byte, error) {
 	return d.buf[0], nil
 }
 
+// maxPrealloc caps speculative allocation driven by a decoded length
+// prefix. A truncated or bit-flipped stream can claim a payload of up to
+// 4 GiB in a 5-byte header; trusting it would allocate the whole claim
+// before the read fails. Larger lengths allocate only as bytes (or
+// elements) actually materialise, so hostile prefixes fail at EOF having
+// cost no more memory than the input itself.
+const maxPrealloc = 1 << 16
+
 func (d *Decoder) readN(n int) ([]byte, error) {
-	p := make([]byte, n)
-	if _, err := io.ReadFull(d.r, p); err != nil {
+	if n < 0 {
+		return nil, fmt.Errorf("msgpack: negative length %d", n)
+	}
+	if n <= maxPrealloc {
+		p := make([]byte, n)
+		if _, err := io.ReadFull(d.r, p); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, d.r, int64(n)); err != nil {
 		return nil, err
 	}
-	return p, nil
+	return buf.Bytes(), nil
 }
 
 func (d *Decoder) readString(n int) (string, error) {
@@ -462,19 +481,19 @@ func (d *Decoder) readString(n int) (string, error) {
 }
 
 func (d *Decoder) readArray(n int) ([]any, error) {
-	out := make([]any, n)
+	out := make([]any, 0, min(n, maxPrealloc/16))
 	for i := 0; i < n; i++ {
 		v, err := d.Decode()
 		if err != nil {
 			return nil, err
 		}
-		out[i] = v
+		out = append(out, v)
 	}
 	return out, nil
 }
 
 func (d *Decoder) readMap(n int) (map[string]any, error) {
-	out := make(map[string]any, n)
+	out := make(map[string]any, min(n, maxPrealloc/16))
 	for i := 0; i < n; i++ {
 		k, err := d.Decode()
 		if err != nil {

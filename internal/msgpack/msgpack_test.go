@@ -195,3 +195,55 @@ func TestPropertyFloatRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHostileLengthPrefixes pins the decode-side hardening: a truncated or
+// bit-flipped stream whose header claims a near-4GiB payload must fail at
+// EOF without allocating anywhere near the claimed length. Before the fix
+// readN/readArray trusted the prefix and allocated the full claim up
+// front — a 9-byte input could demand a 64 GiB []any, which the runtime
+// aborts on rather than returning an error.
+func TestHostileLengthPrefixes(t *testing.T) {
+	huge := []byte{0xff, 0xff, 0xff, 0xf0}
+	cases := map[string][]byte{
+		"str32":  append([]byte{0xdb}, huge...),
+		"bin32":  append([]byte{0xc6}, huge...),
+		"arr32":  append([]byte{0xdd}, huge...),
+		"map32":  append([]byte{0xdf}, huge...),
+		"str16":  {0xda, 0xff, 0xff, 'a', 'b'},
+		"nested": {0x91, 0xdd, 0xff, 0xff, 0xff, 0xff},
+	}
+	for name, data := range cases {
+		if _, err := NewDecoder(bytes.NewReader(data)).Decode(); err == nil {
+			t.Errorf("%s: expected error for hostile length prefix", name)
+		}
+	}
+}
+
+// TestLargePayloadStillRoundTrips exercises the incremental-read path for
+// genuine payloads past the preallocation cap.
+func TestLargePayloadStillRoundTrips(t *testing.T) {
+	s := strings.Repeat("x", maxPrealloc+1234)
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewDecoder(&buf).Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("large string corrupted in round trip (len %d vs %d)", len(got.(string)), len(s))
+	}
+	p := bytes.Repeat([]byte{0x5a}, maxPrealloc+99)
+	buf.Reset()
+	if err := NewEncoder(&buf).Encode(p); err != nil {
+		t.Fatal(err)
+	}
+	gb, err := NewDecoder(&buf).Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gb.([]byte), p) {
+		t.Fatal("large binary corrupted in round trip")
+	}
+}

@@ -1,0 +1,80 @@
+package store
+
+import (
+	"bytes"
+	"compress/gzip"
+	"testing"
+
+	"silvervale/internal/msgpack"
+)
+
+// fuzzSeeds builds the seed corpus the issue calls for: a valid record of
+// each kind, truncated gzip, syntactically-broken msgpack inside valid
+// gzip, and a wrong-version record.
+func fuzzSeeds(t testing.TB) [][]byte {
+	t.Helper()
+	k := distKey(11)
+	valid, err := encodeDist(k, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validIdx, err := encodeIndex(IndexKey{App: "a", Model: "m"}, sampleDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gzWrap := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		gz := gzip.NewWriter(&buf)
+		gz.Write(payload)
+		gz.Close()
+		return buf.Bytes()
+	}
+	badMsgpack := gzWrap([]byte{0xd9, 0xff, 'x'}) // str8 claiming 255 bytes, 1 present
+	var wrongVer bytes.Buffer
+	{
+		gz := gzip.NewWriter(&wrongVer)
+		msgpack.NewEncoder(gz).Encode(map[string]any{"v": int64(FormatVersion + 1), "kind": kindDist})
+		gz.Close()
+	}
+	hostileLen := gzWrap([]byte{0xdd, 0xff, 0xff, 0xff, 0xff}) // array32 claiming 4G elements
+	return [][]byte{
+		valid,
+		validIdx,
+		valid[:len(valid)/2], // truncated gzip stream
+		valid[:2],            // bare gzip magic
+		badMsgpack,
+		wrongVer.Bytes(),
+		hostileLen,
+		gzWrap(nil),          // empty payload
+		[]byte("plain text"), // not gzip at all
+		nil,
+	}
+}
+
+// FuzzStoreRecord: arbitrary bytes fed to both record decoders must yield
+// error-or-value, never a panic, runaway allocation, or a value that
+// passes the key echo without actually matching.
+func FuzzStoreRecord(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	k := distKey(11)
+	ik := IndexKey{App: "a", Model: "m"}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if d, err := decodeDist(data, k); err == nil {
+			// The only bytes that decode cleanly for this key must carry
+			// the value a legitimate writer stored; anything else means
+			// the echo let a forgery through.
+			enc, encErr := encodeDist(k, d)
+			if encErr != nil {
+				t.Fatalf("decoded distance %d does not re-encode: %v", d, encErr)
+			}
+			if rd, rdErr := decodeDist(enc, k); rdErr != nil || rd != d {
+				t.Fatalf("re-encoded record does not round trip: %d %v", rd, rdErr)
+			}
+		}
+		if db, err := decodeIndex(data, ik); err == nil && db == nil {
+			t.Fatal("decodeIndex returned nil DB without error")
+		}
+	})
+}

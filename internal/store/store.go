@@ -1,0 +1,410 @@
+// Package store implements the persistent content-addressed artifact
+// store: cross-run warm starts for the two expensive products of the TBMD
+// pipeline — exact TED distances and indexed codebases. The paper's own
+// workflow already persists the index step as a portable Codebase DB
+// (Zstd+MessagePack, package cbdb); this package generalises that idea
+// into a two-tier on-disk cache addressed by content, so a repeat sweep
+// (re-running figures, CI checks, per-PR metric runs) is bounded by decode
+// time instead of the quadratic TED core.
+//
+// Layout: <root>/<tier>/<shard>/<name>, where tier is "ted" or "idx",
+// name is a 128-bit hash over the full record key (fingerprint pair +
+// cost model + format version for distances; app/model/content hash +
+// format versions for indexes) and shard is the name's first byte in hex
+// — a 256-way fan-out that keeps directories small at millions of
+// records.
+//
+// Durability model: records are immutable and written via temp-file +
+// rename, so a reader never observes a partial record under its final
+// name. Writes go through a background flusher goroutine behind a bounded
+// queue (write-behind); Close drains the queue synchronously. Loads are
+// corruption-tolerant: a truncated, bit-flipped, wrong-version, or
+// colliding record fails its envelope checks or key echo and is counted
+// in corrupt_skipped and treated as a miss — never a panic, never a wrong
+// answer. Killing a process mid-flush therefore costs at most the queued
+// records, not correctness.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"silvervale/internal/cbdb"
+	"silvervale/internal/obs"
+)
+
+// Tier directory names under the store root.
+const (
+	distDir  = "ted"
+	indexDir = "idx"
+)
+
+// maxBatch bounds how many queued records one flush writes; with the
+// queue non-empty the flusher coalesces up to this many puts into a
+// single pass (one flushes increment).
+const maxBatch = 256
+
+// defaultQueue is the write-behind queue bound when Options.QueueSize is
+// zero. Producers block once the queue is full — backpressure, not loss.
+const defaultQueue = 1024
+
+// Options configures Open.
+type Options struct {
+	// Readonly serves lookups but drops every Put, so shared or archived
+	// cache directories can back runs without being mutated.
+	Readonly bool
+	// QueueSize bounds the write-behind queue (0 selects the default).
+	QueueSize int
+}
+
+// pending is one queued write: the target path plus a deferred encoder,
+// so payload rendering happens on the flusher goroutine, off the TED hot
+// path.
+type pending struct {
+	tier, name string
+	encode     func() ([]byte, error)
+}
+
+// Store is a persistent content-addressed artifact store. All methods are
+// safe for concurrent use. A nil *Store is valid and behaves as an empty
+// read-through with dropped writes, so callers can thread an optional
+// store without nil checks at every site.
+type Store struct {
+	root     string
+	readonly bool
+
+	mu     sync.RWMutex // guards queue against Close; RLock to send
+	queue  chan pending
+	closed bool
+	wg     sync.WaitGroup
+
+	hits           atomic.Uint64
+	misses         atomic.Uint64
+	bytesRead      atomic.Uint64
+	bytesWritten   atomic.Uint64
+	flushes        atomic.Uint64
+	corruptSkipped atomic.Uint64
+	writeErrors    atomic.Uint64
+
+	obs atomic.Pointer[storeObs]
+}
+
+// storeObs caches the obs counters the store feeds when a recorder is
+// attached (nil when observability is off — the pointer-check path).
+type storeObs struct {
+	hits           *obs.Counter // store.hits
+	misses         *obs.Counter // store.misses
+	bytesRead      *obs.Counter // store.bytes_read
+	bytesWritten   *obs.Counter // store.bytes_written
+	flushes        *obs.Counter // store.flushes
+	corruptSkipped *obs.Counter // store.corrupt_skipped
+}
+
+// Open creates (or reuses) a store rooted at dir and starts the flusher
+// unless the store is readonly.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{root: dir, readonly: opts.Readonly}
+	if !opts.Readonly {
+		n := opts.QueueSize
+		if n <= 0 {
+			n = defaultQueue
+		}
+		s.queue = make(chan pending, n)
+		s.wg.Add(1)
+		go s.flusher()
+	}
+	return s, nil
+}
+
+// Clear removes both record tiers under dir. Only the store's own
+// directories are touched; anything else under dir survives.
+func Clear(dir string) error {
+	for _, tier := range []string{distDir, indexDir} {
+		if err := os.RemoveAll(filepath.Join(dir, tier)); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string {
+	if s == nil {
+		return ""
+	}
+	return s.root
+}
+
+// Readonly reports whether puts are dropped.
+func (s *Store) Readonly() bool { return s != nil && s.readonly }
+
+// SetRecorder attaches an observability recorder feeding the store.*
+// counters. A nil recorder detaches; the store's own Stats counters run
+// regardless.
+func (s *Store) SetRecorder(rec *obs.Recorder) {
+	if s == nil {
+		return
+	}
+	if rec == nil {
+		s.obs.Store(nil)
+		return
+	}
+	s.obs.Store(&storeObs{
+		hits:           rec.Counter("store.hits"),
+		misses:         rec.Counter("store.misses"),
+		bytesRead:      rec.Counter("store.bytes_read"),
+		bytesWritten:   rec.Counter("store.bytes_written"),
+		flushes:        rec.Counter("store.flushes"),
+		corruptSkipped: rec.Counter("store.corrupt_skipped"),
+	})
+}
+
+// Stats is a point-in-time snapshot of store traffic.
+type Stats struct {
+	Hits           uint64 // lookups answered from disk
+	Misses         uint64 // lookups with no (usable) record
+	BytesRead      uint64 // compressed bytes read by hits and skips
+	BytesWritten   uint64 // compressed bytes committed to disk
+	Flushes        uint64 // write-behind batches flushed
+	CorruptSkipped uint64 // undecodable or key-mismatched records skipped
+	WriteErrors    uint64 // failed record commits (records dropped)
+}
+
+// Stats returns current counters. A nil store returns zeros.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		BytesRead:      s.bytesRead.Load(),
+		BytesWritten:   s.bytesWritten.Load(),
+		Flushes:        s.flushes.Load(),
+		CorruptSkipped: s.corruptSkipped.Load(),
+		WriteErrors:    s.writeErrors.Load(),
+	}
+}
+
+// String renders the snapshot as the store fragment of the post-sweep
+// cache-stats line.
+func (s Stats) String() string {
+	return fmt.Sprintf("store %d hits, %d misses, %dB read, %dB written, %d flushes, %d corrupt-skipped",
+		s.Hits, s.Misses, s.BytesRead, s.BytesWritten, s.Flushes, s.CorruptSkipped)
+}
+
+// LookupDist returns the stored distance for a canonical key, if a valid
+// record exists.
+func (s *Store) LookupDist(k DistKey) (int, bool) {
+	if s == nil {
+		return 0, false
+	}
+	data, ok := s.load(distDir, distName(k))
+	if !ok {
+		return 0, false
+	}
+	d, err := decodeDist(data, k)
+	if err != nil {
+		s.skipCorrupt()
+		return 0, false
+	}
+	s.hit()
+	return d, true
+}
+
+// PutDist queues a distance record for write-behind. No-op on nil,
+// readonly, or closed stores.
+func (s *Store) PutDist(k DistKey, d int) {
+	if s == nil {
+		return
+	}
+	s.put(pending{
+		tier: distDir, name: distName(k),
+		encode: func() ([]byte, error) { return encodeDist(k, d) },
+	})
+}
+
+// LookupIndex returns the stored codebase DB for a key, if a valid record
+// exists.
+func (s *Store) LookupIndex(k IndexKey) (*cbdb.DB, bool) {
+	if s == nil {
+		return nil, false
+	}
+	data, ok := s.load(indexDir, indexName(k))
+	if !ok {
+		return nil, false
+	}
+	db, err := decodeIndex(data, k)
+	if err != nil {
+		s.skipCorrupt()
+		return nil, false
+	}
+	s.hit()
+	return db, true
+}
+
+// PutIndex queues an index record for write-behind. The DB must not be
+// mutated afterwards (core.Index.ToDB builds a fresh one).
+func (s *Store) PutIndex(k IndexKey, db *cbdb.DB) {
+	if s == nil {
+		return
+	}
+	s.put(pending{
+		tier: indexDir, name: indexName(k),
+		encode: func() ([]byte, error) { return encodeIndex(k, db) },
+	})
+}
+
+// Close stops accepting writes, drains the queue synchronously, and waits
+// for the flusher to commit every pending record. Safe to call more than
+// once and on nil/readonly stores.
+func (s *Store) Close() error {
+	if s == nil || s.readonly {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// load reads one record file. A missing file is a plain miss; an
+// unreadable one is a corrupt skip. Both return ok == false.
+func (s *Store) load(tier, name string) ([]byte, bool) {
+	path := filepath.Join(s.root, tier, name[:2], name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.skipCorrupt()
+			return nil, false
+		}
+		s.misses.Add(1)
+		if o := s.obs.Load(); o != nil {
+			o.misses.Add(1)
+		}
+		return nil, false
+	}
+	s.bytesRead.Add(uint64(len(data)))
+	if o := s.obs.Load(); o != nil {
+		o.bytesRead.Add(int64(len(data)))
+	}
+	return data, true
+}
+
+// hit records one successful lookup.
+func (s *Store) hit() {
+	s.hits.Add(1)
+	if o := s.obs.Load(); o != nil {
+		o.hits.Add(1)
+	}
+}
+
+// skipCorrupt records one record rejected by decode or key echo. The
+// lookup surfaces as a miss so the caller recomputes (and rewrites) it.
+func (s *Store) skipCorrupt() {
+	s.corruptSkipped.Add(1)
+	s.misses.Add(1)
+	if o := s.obs.Load(); o != nil {
+		o.corruptSkipped.Add(1)
+		o.misses.Add(1)
+	}
+}
+
+// put enqueues one record for the flusher, blocking when the queue is
+// full (backpressure). The RLock pairs with Close's Lock so a concurrent
+// Close never closes the channel under an in-flight send.
+func (s *Store) put(p pending) {
+	if s.readonly {
+		return
+	}
+	s.mu.RLock()
+	if !s.closed {
+		s.queue <- p
+	}
+	s.mu.RUnlock()
+}
+
+// flusher drains the queue in batches until Close. Each pass coalesces up
+// to maxBatch pending records and commits them one temp-file+rename at a
+// time; a failed commit drops that record only.
+func (s *Store) flusher() {
+	defer s.wg.Done()
+	for p := range s.queue {
+		batch := []pending{p}
+	coalesce:
+		for len(batch) < maxBatch {
+			select {
+			case q, ok := <-s.queue:
+				if !ok {
+					break coalesce
+				}
+				batch = append(batch, q)
+			default:
+				break coalesce
+			}
+		}
+		s.writeBatch(batch)
+	}
+}
+
+// writeBatch commits a batch of records and counts one flush.
+func (s *Store) writeBatch(batch []pending) {
+	for _, p := range batch {
+		if err := s.commit(p); err != nil {
+			s.writeErrors.Add(1)
+		}
+	}
+	s.flushes.Add(1)
+	if o := s.obs.Load(); o != nil {
+		o.flushes.Add(1)
+	}
+}
+
+// commit writes one record crash-safely: encode, write to a temp file in
+// the destination directory, rename into place. Concurrent writers of the
+// same key race benignly — the payloads are identical and rename is
+// atomic, so last-rename-wins leaves a valid record either way.
+func (s *Store) commit(p pending) error {
+	data, err := p.encode()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Join(s.root, p.tier, p.name[:2])
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, p.name)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	s.bytesWritten.Add(uint64(len(data)))
+	if o := s.obs.Load(); o != nil {
+		o.bytesWritten.Add(int64(len(data)))
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"silvervale/internal/obs"
+	"silvervale/internal/store"
 	"silvervale/internal/tree"
 )
 
@@ -50,6 +51,13 @@ type Cache struct {
 	// obs holds the resolved observability handles (nil when disabled);
 	// an atomic pointer so SetRecorder is safe against in-flight lookups.
 	obs atomic.Pointer[cacheObs]
+
+	// backing is the optional persistent artifact store (nil when absent);
+	// an atomic pointer so SetStore is safe against in-flight lookups.
+	// Memory misses consult it before computing, disk hits are promoted
+	// into the in-memory memo, and fresh results are queued to it
+	// write-behind (see DESIGN.md §7).
+	backing atomic.Pointer[store.Store]
 }
 
 // cacheObs caches the recorder plus the counters/histograms the hot path
@@ -116,6 +124,18 @@ func (c *Cache) SetRecorder(rec *obs.Recorder) {
 	})
 }
 
+// SetStore attaches a persistent backing store: memory misses consult it
+// before running the DP, disk hits are promoted into the in-memory memo,
+// and fresh distances are queued to it write-behind. A nil store detaches
+// (the default); the caller retains ownership and must Close the store
+// itself to drain pending writes.
+func (c *Cache) SetStore(s *store.Store) {
+	c.backing.Store(s)
+}
+
+// Store returns the attached backing store (nil when absent).
+func (c *Cache) Store() *store.Store { return c.backing.Load() }
+
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 type CacheStats struct {
 	Hits        uint64 // lookups answered from the memo or the identity shortcut
@@ -128,6 +148,12 @@ type CacheStats struct {
 	Entries     int    // stored exact distances
 	Profiles    int    // stored pq-gram profiles
 	Flats       int    // stored flattened trees
+
+	// StoreEnabled marks the persistent tier attached; Store then carries
+	// its traffic counters (zero-valued otherwise, so the no-store path is
+	// unchanged).
+	StoreEnabled bool
+	Store        store.Stats
 }
 
 // Stats returns current counters. Hits include identity short-circuits.
@@ -135,7 +161,7 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.RLock()
 	entries, profiles, flats := len(c.dist), len(c.profiles), len(c.flats)
 	c.mu.RUnlock()
-	return CacheStats{
+	st := CacheStats{
 		Hits:        c.hits.Load(),
 		Misses:      c.misses.Load(),
 		Identity:    c.identity.Load(),
@@ -147,6 +173,11 @@ func (c *Cache) Stats() CacheStats {
 		Profiles:    profiles,
 		Flats:       flats,
 	}
+	if s := c.backing.Load(); s != nil {
+		st.StoreEnabled = true
+		st.Store = s.Stats()
+	}
+	return st
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -168,12 +199,17 @@ func (s CacheStats) FlatHitRate() float64 {
 }
 
 // String renders the snapshot as the one-line summary the CLI prints after
-// experiment sweeps.
+// experiment sweeps. With a persistent store attached the line gains the
+// store tier's traffic.
 func (s CacheStats) String() string {
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"ted cache: %d hits (%d identity), %d misses, %d symmetric canonicalisations, %d entries, %d profiles, hit rate %.1f%%, %d bound-pruned, flat memo %d/%d hit rate %.1f%%",
 		s.Hits, s.Identity, s.Misses, s.Symmetric, s.Entries, s.Profiles, 100*s.HitRate(),
 		s.BoundPruned, s.FlatHits, s.FlatHits+s.FlatMisses, 100*s.FlatHitRate())
+	if s.StoreEnabled {
+		line += ", " + s.Store.String()
+	}
+	return line
 }
 
 // Distance is the cached form of Distance (unit costs).
@@ -226,6 +262,22 @@ func (c *Cache) DistanceWithCosts(t1, t2 *tree.Node, costs Costs) int {
 	c.misses.Add(1)
 	if o != nil {
 		o.misses.Add(1)
+	}
+	st := c.backing.Load()
+	var dk store.DistKey
+	if st != nil {
+		// The pair is already canonicalised, so both orientations of a
+		// symmetric pair resolve to the same on-disk record.
+		dk = store.DistKey{A: key.a, B: key.b,
+			Insert: costs.Insert, Delete: costs.Delete, Rename: costs.Rename}
+		if pd, ok := st.LookupDist(dk); ok {
+			c.mu.Lock()
+			c.dist[key] = pd
+			c.mu.Unlock()
+			return pd
+		}
+	}
+	if o != nil {
 		dsp := o.rec.Start("ted.distance")
 		d = c.compute(t1, t2, fa, fb, costs, o)
 		dsp.End()
@@ -235,6 +287,9 @@ func (c *Cache) DistanceWithCosts(t1, t2 *tree.Node, costs Costs) int {
 	c.mu.Lock()
 	c.dist[key] = d
 	c.mu.Unlock()
+	if st != nil {
+		st.PutDist(dk, d)
+	}
 	return d
 }
 

@@ -25,6 +25,7 @@ import (
 	"silvervale/internal/experiments"
 	"silvervale/internal/navchart"
 	"silvervale/internal/perf"
+	"silvervale/internal/store"
 	"silvervale/internal/ted"
 	"silvervale/internal/tree"
 )
@@ -63,6 +64,11 @@ type (
 	// TreeFingerprint is the stable structural hash (content address)
 	// cache keys are built from.
 	TreeFingerprint = tree.Fingerprint
+	// ArtifactStore is the persistent content-addressed artifact store:
+	// cross-run warm starts for TED distances and codebase indexes.
+	ArtifactStore = store.Store
+	// ArtifactStoreStats is a snapshot of store traffic counters.
+	ArtifactStoreStats = store.Stats
 )
 
 // C++ programming models.
@@ -138,6 +144,20 @@ func Diverge(a, b *Index, metric string) (Divergence, error) {
 // Reuse one engine across Diverge/Matrix/FromBase sweeps so repeated tree
 // pairs are answered from the memo.
 func NewEngine(workers int) *Engine { return core.NewEngine(workers) }
+
+// OpenArtifactStore opens (creating on first use) a persistent artifact
+// store rooted at dir. Close it to drain pending write-behind records.
+func OpenArtifactStore(dir string, readonly bool) (*ArtifactStore, error) {
+	return store.Open(dir, store.Options{Readonly: readonly})
+}
+
+// NewEngineWithStore returns a divergence engine whose TED cache and
+// indexing pipeline warm-start from (and persist into) an artifact store.
+// Results are always identical to a store-less engine; the caller owns the
+// store and must Close it.
+func NewEngineWithStore(workers int, st *ArtifactStore) *Engine {
+	return core.NewEngineStore(workers, ted.NewCache(), nil, st)
+}
 
 // DivergenceMatrix computes the pairwise normalised divergence matrix over
 // the given model order.
