@@ -1,0 +1,79 @@
+package main
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promCounter extracts a silvervale_* counter from -metrics output,
+// returning -1 when absent.
+func promCounter(t *testing.T, metrics, name string) int {
+	t.Helper()
+	m := regexp.MustCompile(`(?m)^` + name + ` (\d+)$`).FindStringSubmatch(metrics)
+	if m == nil {
+		return -1
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestFaultInjectedRunDegradesGracefully is the end-to-end
+// graceful-degradation contract: a matrix run over a cache whose disk
+// fails mid-sweep exits zero with stdout byte-identical to a fault-free
+// run, and -metrics reports exactly one breaker trip.
+func TestFaultInjectedRunDegradesGracefully(t *testing.T) {
+	clean, err := capture(t, "matrix", "babelstream", "-metric", "tsem", "-cache-dir", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Setenv("SILVERVALE_FAULTFS", "enospc@5+")
+	faulted, err := capture(t, "matrix", "babelstream", "-metric", "tsem", "-cache-dir", t.TempDir())
+	if err != nil {
+		t.Fatalf("fault-injected run must exit clean by default: %v", err)
+	}
+	if faulted != clean {
+		t.Fatalf("fault-injected stdout differs from clean:\nclean:\n%s\nfaulted:\n%s", clean, faulted)
+	}
+
+	out, err := capture(t, "matrix", "babelstream", "-metric", "tsem",
+		"-cache-dir", t.TempDir(), "-metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := promCounter(t, out, "silvervale_store_degraded"); got != 1 {
+		t.Fatalf("silvervale_store_degraded = %d, want 1\n%s", got, out)
+	}
+	if got := promCounter(t, out, "silvervale_store_fault_injected"); got < 1 {
+		t.Fatalf("silvervale_store_fault_injected = %d, want >= 1\n%s", got, out)
+	}
+}
+
+// TestCacheStrictMakesFaultsFatal: the same injected fault under
+// -cache-strict surfaces as a command error.
+func TestCacheStrictMakesFaultsFatal(t *testing.T) {
+	t.Setenv("SILVERVALE_FAULTFS", "enospc@5+")
+	_, err := capture(t, "matrix", "babelstream", "-metric", "tsem",
+		"-cache-dir", t.TempDir(), "-cache-strict")
+	if err == nil {
+		t.Fatal("-cache-strict run over a failing disk exited clean")
+	}
+	if !strings.Contains(err.Error(), "no space left") {
+		t.Fatalf("error does not carry the injected fault: %v", err)
+	}
+}
+
+// TestBadFaultSpecRejected: a malformed SILVERVALE_FAULTFS fails fast
+// with a parse error instead of silently running unfaulted.
+func TestBadFaultSpecRejected(t *testing.T) {
+	t.Setenv("SILVERVALE_FAULTFS", "bogus@nope")
+	_, err := capture(t, "matrix", "babelstream", "-metric", "tsem", "-cache-dir", t.TempDir())
+	if err == nil || !strings.Contains(err.Error(), "SILVERVALE_FAULTFS") {
+		t.Fatalf("bad spec not rejected: %v", err)
+	}
+}

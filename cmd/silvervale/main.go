@@ -35,6 +35,7 @@ import (
 	"silvervale/internal/core"
 	"silvervale/internal/corpus"
 	"silvervale/internal/experiments"
+	"silvervale/internal/faultfs"
 	"silvervale/internal/obs"
 	"silvervale/internal/perf"
 	"silvervale/internal/store"
@@ -64,6 +65,7 @@ type obsConfig struct {
 	cacheDir      string
 	cacheReadonly bool
 	cacheClear    bool
+	cacheStrict   bool
 
 	rec          *obs.Recorder
 	st           *store.Store
@@ -78,6 +80,7 @@ func (c *obsConfig) register(fs *flag.FlagSet) {
 	fs.StringVar(&c.cacheDir, "cache-dir", c.cacheDir, "persistent artifact store: warm-start TED distances and indexes across runs")
 	fs.BoolVar(&c.cacheReadonly, "cache-readonly", c.cacheReadonly, "serve lookups from -cache-dir but write nothing back")
 	fs.BoolVar(&c.cacheClear, "cache-clear", c.cacheClear, "clear the -cache-dir record tiers before running")
+	fs.BoolVar(&c.cacheStrict, "cache-strict", c.cacheStrict, "treat cache I/O errors as fatal instead of degrading to memory-only")
 }
 
 func (c *obsConfig) enabled() bool {
@@ -109,24 +112,49 @@ func (c *obsConfig) recorder() (*obs.Recorder, error) {
 // store lazily opens the persistent artifact store once a subcommand asks
 // for it (after flag parsing, so trailing flags are honoured), clearing
 // the record tiers first under -cache-clear. Returns nil when -cache-dir
-// is unset.
+// is unset. SILVERVALE_FAULTFS (a faultfs spec like "enospc@5+" or
+// "sync:eio@1") wraps the store's filesystem in the fault injector — the
+// crash-consistency harness for end-to-end runs; see DESIGN.md §9.
 func (c *obsConfig) store() (*store.Store, error) {
 	if c.cacheDir == "" {
 		return nil, nil
 	}
 	if c.st == nil {
+		fsys, err := cacheFS()
+		if err != nil {
+			return nil, err
+		}
 		if c.cacheClear {
-			if err := store.Clear(c.cacheDir); err != nil {
+			if err := store.ClearFS(fsys, c.cacheDir); err != nil {
 				return nil, err
 			}
 		}
-		st, err := store.Open(c.cacheDir, store.Options{Readonly: c.cacheReadonly})
+		st, err := store.Open(c.cacheDir, store.Options{
+			Readonly: c.cacheReadonly,
+			Strict:   c.cacheStrict,
+			FS:       fsys,
+		})
 		if err != nil {
 			return nil, err
 		}
 		c.st = st
 	}
 	return c.st, nil
+}
+
+// cacheFS resolves the filesystem the artifact store runs on: the real
+// one, unless SILVERVALE_FAULTFS schedules injected faults.
+func cacheFS() (faultfs.FS, error) {
+	spec := os.Getenv("SILVERVALE_FAULTFS")
+	if spec == "" {
+		return faultfs.OS{}, nil
+	}
+	faults, err := faultfs.ParseSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("SILVERVALE_FAULTFS: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "faultfs: injecting %q into the artifact store\n", spec)
+	return faultfs.New(faultfs.OS{}, faults...), nil
 }
 
 // closeStore drains the store's write-behind queue. Idempotent, nil-safe,
@@ -260,6 +288,13 @@ The same commands accept -cache-dir <dir>: a persistent content-addressed
 artifact store that warm-starts TED distances and codebase indexes across
 runs (results are byte-identical to a cold run). -cache-readonly serves
 lookups without writing back; -cache-clear empties the store first.
+
+Cache I/O errors never change results: past an error threshold the store
+degrades to memory-only (a one-line warning; results recompute). Pass
+-cache-strict to make the first cache fault fatal instead. The
+SILVERVALE_FAULTFS environment variable injects deterministic faults into
+the store's filesystem for crash-consistency testing ("enospc@5+",
+"sync:eio@1"; see DESIGN.md §9).
 
   silvervale matrix tealeaf -cache-dir ~/.cache/silvervale   # cold: fills
   silvervale matrix tealeaf -cache-dir ~/.cache/silvervale   # warm: fast`)

@@ -1,0 +1,271 @@
+package faultfs
+
+import (
+	"io/fs"
+	"path/filepath"
+	"sync"
+)
+
+// Op identifies one filesystem operation class for fault matching.
+type Op uint8
+
+const (
+	// OpAny matches every operation; a Fault with OpAny and N == 5 fires
+	// on the fifth filesystem call of any kind.
+	OpAny Op = iota
+	OpMkdirAll
+	OpReadFile
+	OpCreateTemp
+	OpWrite
+	OpSync
+	OpClose
+	OpRename
+	OpRemove
+	OpRemoveAll
+)
+
+var opNames = map[Op]string{
+	OpAny: "any", OpMkdirAll: "mkdirall", OpReadFile: "readfile",
+	OpCreateTemp: "createtemp", OpWrite: "write", OpSync: "sync",
+	OpClose: "close", OpRename: "rename", OpRemove: "remove",
+	OpRemoveAll: "removeall",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Class is the failure mode a matched Fault injects.
+type Class uint8
+
+const (
+	// ENOSPC fails the operation with ErrENOSPC; the tree is untouched
+	// (except a short write's prefix) and later operations proceed.
+	ENOSPC Class = iota
+	// EIO fails the operation with ErrEIO, same recoverable semantics.
+	EIO
+	// Crash is the "crash here" sentinel: the matched operation does not
+	// happen (a Write with ShortWrite > 0 lands its prefix first), the
+	// tree freezes in place, and every later operation fails with
+	// ErrCrashed — the state a killed process would leave for reopen.
+	Crash
+	// TornRename models a rename that was made durable before the file
+	// data (the classic rename-without-fsync crash): the destination
+	// appears with only a prefix of the source's bytes, the source is
+	// gone, and the tree freezes. On a non-rename operation it degrades
+	// to a plain Crash.
+	TornRename
+)
+
+var classNames = map[Class]string{
+	ENOSPC: "enospc", EIO: "eio", Crash: "crash", TornRename: "torn",
+}
+
+func (c Class) String() string { return classNames[c] }
+
+// Fault is one scheduled failure. The zero value (OpAny, N 0, ENOSPC)
+// fails every operation with ENOSPC.
+type Fault struct {
+	// Op restricts matching to one operation class (OpAny: all).
+	Op Op
+	// N is the 1-based index among matching operations at which the fault
+	// fires; 0 fires on every matching operation.
+	N int
+	// Sticky extends an N-indexed fault to every later matching
+	// operation as well ("from the Nth call onward").
+	Sticky bool
+	// Class selects the failure mode.
+	Class Class
+	// ShortWrite, on a matched Write, is how many bytes reach the
+	// underlying file before the fault fires (a torn page / partial
+	// flush). Ignored for other operations.
+	ShortWrite int
+}
+
+// FaultFS wraps a base FS with a deterministic fault schedule. With an
+// empty schedule it is a transparent pass-through that merely counts
+// operations — the counting mode the replay harness uses to enumerate
+// kill points. Safe for concurrent use; operation indexes are assigned
+// under one lock, so a serial caller sees a fully deterministic schedule.
+type FaultFS struct {
+	base FS
+
+	mu       sync.Mutex
+	schedule []Fault
+	total    int
+	perOp    map[Op]int
+	crashed  bool
+	injected int
+}
+
+// New returns a FaultFS over base with the given schedule.
+func New(base FS, schedule ...Fault) *FaultFS {
+	return &FaultFS{base: base, schedule: schedule, perOp: map[Op]int{}}
+}
+
+// Ops returns how many operations have been attempted (matched or not).
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Injected returns how many operations failed with an injected fault.
+func (f *FaultFS) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Crashed reports whether a Crash/TornRename sentinel has frozen the tree.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step assigns the next operation index and resolves the schedule: it
+// returns the matched fault (nil when the operation should pass through).
+// The caller still holds no lock when performing the real operation, so
+// base-FS latency never serialises unrelated callers.
+func (f *FaultFS) step(op Op) *Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.total++
+	f.perOp[op]++
+	if f.crashed {
+		f.injected++
+		return &Fault{Op: op, Class: Crash}
+	}
+	for i := range f.schedule {
+		flt := &f.schedule[i]
+		if flt.Op != OpAny && flt.Op != op {
+			continue
+		}
+		idx := f.total
+		if flt.Op != OpAny {
+			idx = f.perOp[op]
+		}
+		if flt.N != 0 && idx != flt.N && !(flt.Sticky && idx > flt.N) {
+			continue
+		}
+		f.injected++
+		if flt.Class == Crash || flt.Class == TornRename {
+			f.crashed = true
+		}
+		return flt
+	}
+	return nil
+}
+
+// classErr maps a failure class onto its sentinel error.
+func classErr(c Class) error {
+	switch c {
+	case ENOSPC:
+		return ErrENOSPC
+	case EIO:
+		return ErrEIO
+	default:
+		return ErrCrashed
+	}
+}
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	if flt := f.step(OpMkdirAll); flt != nil {
+		return classErr(flt.Class)
+	}
+	return f.base.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if flt := f.step(OpReadFile); flt != nil {
+		return nil, classErr(flt.Class)
+	}
+	return f.base.ReadFile(path)
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if flt := f.step(OpCreateTemp); flt != nil {
+		return nil, classErr(flt.Class)
+	}
+	file, err := f.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, file: file}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	flt := f.step(OpRename)
+	if flt == nil {
+		return f.base.Rename(oldpath, newpath)
+	}
+	if flt.Class == TornRename {
+		// The rename's directory entry survived the crash but the file
+		// data did not: materialise the destination as a prefix of the
+		// source, drop the source, and leave the tree frozen.
+		if data, err := f.base.ReadFile(oldpath); err == nil {
+			if tmp, err := f.base.CreateTemp(filepath.Dir(newpath), "torn-*"); err == nil {
+				tmp.Write(data[:len(data)/2])
+				tmp.Close()
+				f.base.Rename(tmp.Name(), newpath)
+			}
+		}
+		f.base.Remove(oldpath)
+	}
+	return classErr(flt.Class)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if flt := f.step(OpRemove); flt != nil {
+		return classErr(flt.Class)
+	}
+	return f.base.Remove(path)
+}
+
+func (f *FaultFS) RemoveAll(path string) error {
+	if flt := f.step(OpRemoveAll); flt != nil {
+		return classErr(flt.Class)
+	}
+	return f.base.RemoveAll(path)
+}
+
+// faultFile threads writes, syncs, and closes of a CreateTemp handle
+// through the owning FaultFS's schedule.
+type faultFile struct {
+	fs   *FaultFS
+	file File
+}
+
+func (f *faultFile) Name() string { return f.file.Name() }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	flt := f.fs.step(OpWrite)
+	if flt == nil {
+		return f.file.Write(p)
+	}
+	n := 0
+	if flt.ShortWrite > 0 {
+		k := flt.ShortWrite
+		if k > len(p) {
+			k = len(p)
+		}
+		n, _ = f.file.Write(p[:k])
+	}
+	return n, classErr(flt.Class)
+}
+
+func (f *faultFile) Sync() error {
+	if flt := f.fs.step(OpSync); flt != nil {
+		return classErr(flt.Class)
+	}
+	return f.file.Sync()
+}
+
+func (f *faultFile) Close() error {
+	if flt := f.fs.step(OpClose); flt != nil {
+		// Close the real handle regardless so tests do not leak file
+		// descriptors; the injected error is what the caller sees.
+		f.file.Close()
+		return classErr(flt.Class)
+	}
+	return f.file.Close()
+}

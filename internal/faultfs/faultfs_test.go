@@ -1,0 +1,233 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeThrough performs one full commit-shaped sequence (mkdir, create,
+// write, sync, close, rename) through fsys and returns the first error.
+func writeThrough(fsys FS, dir, name string, data []byte) error {
+	sub := filepath.Join(dir, "d")
+	if err := fsys.MkdirAll(sub, 0o755); err != nil {
+		return err
+	}
+	f, err := fsys.CreateTemp(sub, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(f.Name(), filepath.Join(sub, name))
+}
+
+// TestOSPassthroughRoundTrip: the passthrough writes real files readable
+// through the same interface.
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeThrough(OS{}, dir, "rec", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := (OS{}).ReadFile(filepath.Join(dir, "d", "rec"))
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	if err := (OS{}).Remove(filepath.Join(dir, "d", "rec")); err != nil {
+		t.Fatal(err)
+	}
+	if err := (OS{}).RemoveAll(filepath.Join(dir, "d")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCountingModeIsTransparent: an empty schedule passes everything
+// through and counts the exact operation sequence (the kill-point space).
+func TestCountingModeIsTransparent(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(OS{})
+	if err := writeThrough(fsys, dir, "rec", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// mkdir + createtemp + write + sync + close + rename
+	if got := fsys.Ops(); got != 6 {
+		t.Fatalf("ops = %d, want 6", got)
+	}
+	if fsys.Injected() != 0 || fsys.Crashed() {
+		t.Fatal("fault-free run injected or crashed")
+	}
+}
+
+// TestNthOpFault: a fault pinned to one global index fires exactly there,
+// with the scheduled class, and later operations proceed.
+func TestNthOpFault(t *testing.T) {
+	dir := t.TempDir()
+	// Op #4 of writeThrough is the Sync.
+	fsys := New(OS{}, Fault{N: 4, Class: ENOSPC})
+	err := writeThrough(fsys, dir, "rec", []byte("x"))
+	if !errors.Is(err, ErrENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if !IsInjected(err) {
+		t.Fatal("injected fault not recognised by IsInjected")
+	}
+	if fsys.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", fsys.Injected())
+	}
+	// A second sequence runs clean: the fault was index-pinned.
+	if err := writeThrough(fsys, dir, "rec2", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpClassFault: an Op-restricted fault indexes within its class.
+func TestOpClassFault(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(OS{}, Fault{Op: OpSync, N: 2, Class: EIO})
+	if err := writeThrough(fsys, dir, "a", []byte("x")); err != nil {
+		t.Fatalf("first sync should pass: %v", err)
+	}
+	err := writeThrough(fsys, dir, "b", []byte("y"))
+	if !errors.Is(err, ErrEIO) {
+		t.Fatalf("second sync err = %v, want EIO", err)
+	}
+}
+
+// TestStickyFault: N with Sticky fails everything from that index on.
+func TestStickyFault(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(OS{}, Fault{N: 3, Sticky: true, Class: ENOSPC})
+	if err := writeThrough(fsys, dir, "rec", []byte("x")); !errors.Is(err, ErrENOSPC) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := fsys.MkdirAll(filepath.Join(dir, "later"), 0o755); !errors.Is(err, ErrENOSPC) {
+		t.Fatalf("sticky fault released: %v", err)
+	}
+	if fsys.Crashed() {
+		t.Fatal("sticky error class must not freeze the tree")
+	}
+}
+
+// TestShortWriteLeavesPrefix: a crash during Write lands exactly the
+// scheduled prefix in the temp file, and the freeze keeps cleanup from
+// removing it — the torn page a killed process leaves behind.
+func TestShortWriteLeavesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(OS{}, Fault{Op: OpWrite, N: 1, Class: Crash, ShortWrite: 3})
+	err := writeThrough(fsys, dir, "rec", []byte("abcdef"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want crash", err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "d", "tmp-*"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("temp files after crash: %v, %v", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil || string(data) != "abc" {
+		t.Fatalf("partial temp = %q, %v", data, err)
+	}
+	// Frozen: every later operation fails, the tree state is preserved.
+	if err := fsys.Remove(matches[0]); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash remove = %v", err)
+	}
+	if !fsys.Crashed() {
+		t.Fatal("Crashed() false after crash")
+	}
+}
+
+// TestTornRename: the destination appears with a truncated prefix of the
+// source, the source is gone, and the tree freezes.
+func TestTornRename(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(OS{}, Fault{Op: OpRename, N: 1, Class: TornRename})
+	err := writeThrough(fsys, dir, "rec", []byte("0123456789"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want crash", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "d", "rec"))
+	if err != nil {
+		t.Fatalf("torn destination missing: %v", err)
+	}
+	if string(data) != "01234" {
+		t.Fatalf("torn destination = %q, want first half", data)
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "d", "tmp-*")); len(tmps) != 0 {
+		t.Fatalf("torn rename left the source: %v", tmps)
+	}
+	if !fsys.Crashed() {
+		t.Fatal("torn rename must freeze the tree")
+	}
+}
+
+// TestTornRenameOnNonRenameDegradesToCrash: the class is only meaningful
+// at renames; elsewhere it behaves as a plain freeze.
+func TestTornRenameOnNonRenameDegradesToCrash(t *testing.T) {
+	fsys := New(OS{}, Fault{N: 1, Class: TornRename})
+	err := fsys.MkdirAll(filepath.Join(t.TempDir(), "x"), 0o755)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v", err)
+	}
+	if !fsys.Crashed() {
+		t.Fatal("not frozen")
+	}
+}
+
+// TestParseSpec covers the CLI spec grammar.
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []Fault
+	}{
+		{"enospc", []Fault{{Class: ENOSPC}}},
+		{"eio@12", []Fault{{Class: EIO, N: 12}}},
+		{"enospc@5+", []Fault{{Class: ENOSPC, N: 5, Sticky: true}}},
+		{"sync:eio@1", []Fault{{Op: OpSync, Class: EIO, N: 1}}},
+		{"crash@30", []Fault{{Class: Crash, N: 30}}},
+		{"torn@7", []Fault{{Class: TornRename, N: 7}}},
+		{"enospc@5+, write:crash@2", []Fault{
+			{Class: ENOSPC, N: 5, Sticky: true},
+			{Op: OpWrite, Class: Crash, N: 2},
+		}},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tc.spec, err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("ParseSpec(%q)[%d] = %+v, want %+v", tc.spec, i, got[i], tc.want[i])
+			}
+		}
+	}
+	for _, bad := range []string{"", "bogus", "enospc@zero", "enospc@0", "flop:eio@1", "eio@-3"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestIsInjectedRejectsRealErrors: real filesystem errors never count as
+// scheduled faults (they must feed the breaker but not fault_injected).
+func TestIsInjectedRejectsRealErrors(t *testing.T) {
+	_, err := os.ReadFile(filepath.Join(t.TempDir(), "nope"))
+	if err == nil || IsInjected(err) {
+		t.Fatalf("real error misclassified: %v", err)
+	}
+	if IsInjected(nil) {
+		t.Fatal("nil misclassified")
+	}
+}

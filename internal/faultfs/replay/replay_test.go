@@ -1,0 +1,83 @@
+package replay
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"silvervale/internal/faultfs"
+)
+
+// twoFiles commits two records the way the store does: temp-file, write,
+// sync, close, rename, each under a shard directory.
+func twoFiles(fsys *faultfs.FaultFS, dir string) error {
+	for _, name := range []string{"alpha", "beta"} {
+		sub := filepath.Join(dir, name[:1])
+		if err := fsys.MkdirAll(sub, 0o755); err != nil {
+			return err
+		}
+		f, err := fsys.CreateTemp(sub, "tmp-*")
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("content of " + name)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := fsys.Rename(f.Name(), filepath.Join(sub, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestCount pins the kill-point space of the workload.
+func TestCount(t *testing.T) {
+	n, err := Count(twoFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 12 { // 2 × (mkdir, createtemp, write, sync, close, rename)
+		t.Fatalf("Count = %d, want 12", n)
+	}
+}
+
+// TestSweepVisitsEveryKillPoint: the harness replays every index × class
+// and every surviving final-name file is either complete or absent —
+// never partial — for non-torn classes (rename is atomic; only the
+// explicit torn class may leave a prefix).
+func TestSweepVisitsEveryKillPoint(t *testing.T) {
+	templates := []faultfs.Fault{
+		{Class: faultfs.ENOSPC},
+		{Class: faultfs.Crash},
+		{Class: faultfs.TornRename},
+	}
+	visited := map[string]bool{}
+	Sweep(t, templates, twoFiles, func(t *testing.T, dir string, p Point) {
+		visited[p.Fault.Class.String()+string(rune('0'+p.Index))] = true
+		for _, name := range []string{"a/alpha", "b/beta"} {
+			data, err := os.ReadFile(filepath.Join(dir, filepath.FromSlash(name)))
+			if err != nil {
+				continue // absent is a legal post-fault state
+			}
+			full := "content of " + filepath.Base(name)
+			if string(data) == full {
+				continue
+			}
+			if p.Fault.Class == faultfs.TornRename && len(data) < len(full) {
+				continue // the torn class is allowed to leave a prefix
+			}
+			t.Fatalf("%s holds partial content %q under class %s", name, data, p.Fault.Class)
+		}
+	})
+	if len(visited) != 3*12 {
+		t.Fatalf("visited %d kill points, want 36", len(visited))
+	}
+}

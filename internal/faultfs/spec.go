@@ -1,0 +1,88 @@
+package faultfs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses a compact fault-schedule spec, the format the CLI's
+// SILVERVALE_FAULTFS environment knob uses (testing/CI only — see the
+// verify skill's faultfs smoke run). The spec is a comma-separated list
+// of entries:
+//
+//	[op:]class[@N[+]]
+//
+// where class is enospc | eio | crash | torn, op optionally restricts
+// the fault to one operation kind (mkdirall, readfile, createtemp,
+// write, sync, close, rename, remove, removeall), N is the 1-based index
+// among matching operations (absent: every matching operation), and a
+// trailing + makes the fault sticky from the Nth operation onward.
+//
+//	enospc@5+        ENOSPC on every operation from the fifth onward
+//	sync:eio@1       EIO on the first fsync only
+//	crash@12         freeze the tree at the twelfth operation
+func ParseSpec(spec string) ([]Fault, error) {
+	var out []Fault
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		var f Fault
+		rest := entry
+		if op, tail, ok := strings.Cut(rest, ":"); ok {
+			parsed, err := parseOp(op)
+			if err != nil {
+				return nil, fmt.Errorf("faultfs: spec %q: %w", entry, err)
+			}
+			f.Op = parsed
+			rest = tail
+		}
+		if class, tail, ok := strings.Cut(rest, "@"); ok {
+			parsed, err := parseClass(class)
+			if err != nil {
+				return nil, fmt.Errorf("faultfs: spec %q: %w", entry, err)
+			}
+			f.Class = parsed
+			if strings.HasSuffix(tail, "+") {
+				f.Sticky = true
+				tail = strings.TrimSuffix(tail, "+")
+			}
+			n, err := strconv.Atoi(tail)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("faultfs: spec %q: index %q is not a positive integer", entry, tail)
+			}
+			f.N = n
+		} else {
+			parsed, err := parseClass(rest)
+			if err != nil {
+				return nil, fmt.Errorf("faultfs: spec %q: %w", entry, err)
+			}
+			f.Class = parsed
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("faultfs: empty fault spec")
+	}
+	return out, nil
+}
+
+func parseOp(s string) (Op, error) {
+	for op, name := range opNames {
+		if name == s && op != OpAny {
+			return op, nil
+		}
+	}
+	return OpAny, fmt.Errorf("unknown operation %q", s)
+}
+
+func parseClass(s string) (Class, error) {
+	for c, name := range classNames {
+		if name == s {
+			return c, nil
+		}
+	}
+	return ENOSPC, fmt.Errorf("unknown fault class %q", s)
+}

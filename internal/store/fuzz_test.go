@@ -3,14 +3,28 @@ package store
 import (
 	"bytes"
 	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"silvervale/internal/faultfs"
 	"silvervale/internal/msgpack"
 )
 
-// fuzzSeeds builds the seed corpus the issue calls for: a valid record of
-// each kind, truncated gzip, syntactically-broken msgpack inside valid
-// gzip, and a wrong-version record.
+// gzWrap wraps raw bytes in a well-formed gzip stream, so decode failures
+// past the gzip layer exercise the msgpack hardening.
+func gzWrap(payload []byte) []byte {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	gz.Write(payload)
+	gz.Close()
+	return buf.Bytes()
+}
+
+// fuzzSeeds builds the hand-crafted half of the seed corpus: a valid
+// record of each kind, truncated gzip, syntactically-broken msgpack
+// inside valid gzip, and a wrong-version record.
 func fuzzSeeds(t testing.TB) [][]byte {
 	t.Helper()
 	k := distKey(11)
@@ -21,13 +35,6 @@ func fuzzSeeds(t testing.TB) [][]byte {
 	validIdx, err := encodeIndex(IndexKey{App: "a", Model: "m"}, sampleDB())
 	if err != nil {
 		t.Fatal(err)
-	}
-	gzWrap := func(payload []byte) []byte {
-		var buf bytes.Buffer
-		gz := gzip.NewWriter(&buf)
-		gz.Write(payload)
-		gz.Close()
-		return buf.Bytes()
 	}
 	badMsgpack := gzWrap([]byte{0xd9, 0xff, 'x'}) // str8 claiming 255 bytes, 1 present
 	var wrongVer bytes.Buffer
@@ -51,11 +58,68 @@ func fuzzSeeds(t testing.TB) [][]byte {
 	}
 }
 
+// faultSeeds builds the faultfs-generated half of the corpus: real
+// partial files harvested from commits crashed mid-Write at several cut
+// points (short-written gzip envelopes, exactly the bytes a torn page
+// leaves on disk), plus valid-gzip envelopes whose msgpack payload is
+// truncated at kill points — the shapes the crash-replay sweep produces,
+// fed back as fuzz seeds instead of only hand-crafted hostile bytes.
+func faultSeeds(t testing.TB) [][]byte {
+	t.Helper()
+	k := distKey(11)
+	var seeds [][]byte
+	for _, cut := range []int{1, 3, 7, 19} {
+		dir := t.TempDir()
+		fsys := faultfs.New(faultfs.OS{},
+			faultfs.Fault{Op: faultfs.OpWrite, N: 1, Class: faultfs.Crash, ShortWrite: cut})
+		s, err := Open(dir, Options{FS: fsys})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.PutDist(k, 42)
+		s.Close()
+		temps, err := filepath.Glob(filepath.Join(dir, distDir, "*", "tmp-*"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(temps) != 1 {
+			t.Fatalf("crash at write cut %d left %d temp files", cut, len(temps))
+		}
+		data, err := os.ReadFile(temps[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != cut {
+			t.Fatalf("short write landed %d bytes, want %d", len(data), cut)
+		}
+		seeds = append(seeds, data)
+	}
+	valid, err := encodeDist(k, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, len(payload) / 4, len(payload) / 2, len(payload) - 1} {
+		seeds = append(seeds, gzWrap(payload[:cut]))
+	}
+	return seeds
+}
+
 // FuzzStoreRecord: arbitrary bytes fed to both record decoders must yield
 // error-or-value, never a panic, runaway allocation, or a value that
 // passes the key echo without actually matching.
 func FuzzStoreRecord(f *testing.F) {
 	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	for _, seed := range faultSeeds(f) {
 		f.Add(seed)
 	}
 	k := distKey(11)
@@ -77,4 +141,20 @@ func FuzzStoreRecord(f *testing.F) {
 			t.Fatal("decodeIndex returned nil DB without error")
 		}
 	})
+}
+
+// TestFaultSeedsNeverDecode pins the seed shapes themselves: every
+// faultfs-harvested partial must be rejected by both decoders (they are
+// by construction incomplete), exercising the corruption path without
+// the fuzzer.
+func TestFaultSeedsNeverDecode(t *testing.T) {
+	k := distKey(11)
+	for i, seed := range faultSeeds(t) {
+		if _, err := decodeDist(seed, k); err == nil {
+			t.Errorf("fault seed %d decoded as a distance record", i)
+		}
+		if _, err := decodeIndex(seed, IndexKey{App: "a", Model: "m"}); err == nil {
+			t.Errorf("fault seed %d decoded as an index record", i)
+		}
+	}
 }

@@ -15,24 +15,39 @@
 // records.
 //
 // Durability model: records are immutable and written via temp-file +
-// rename, so a reader never observes a partial record under its final
-// name. Writes go through a background flusher goroutine behind a bounded
-// queue (write-behind); Close drains the queue synchronously. Loads are
-// corruption-tolerant: a truncated, bit-flipped, wrong-version, or
-// colliding record fails its envelope checks or key echo and is counted
-// in corrupt_skipped and treated as a miss — never a panic, never a wrong
-// answer. Killing a process mid-flush therefore costs at most the queued
-// records, not correctness.
+// fsync + rename, so a reader never observes a partial record under its
+// final name. Writes go through a background flusher goroutine behind a
+// bounded queue (write-behind); Close drains the queue synchronously.
+// Loads are corruption-tolerant: a truncated, bit-flipped, wrong-version,
+// or colliding record fails its envelope checks or key echo and is
+// counted in corrupt_skipped and treated as a miss — never a panic, never
+// a wrong answer. Killing a process mid-flush therefore costs at most the
+// queued records, not correctness.
+//
+// Failure model (DESIGN.md §9): every filesystem call goes through a
+// faultfs.FS, so the whole write/read path is fault-injectable. I/O
+// errors are recoverable by construction — a failed read is a miss, a
+// failed commit drops that record — but a store that keeps erroring is
+// paying full syscall latency for nothing, so a breaker counts I/O errors
+// and past Options.DegradeThreshold trips the store into memory-only
+// degraded mode: lookups stop touching disk, puts are dropped, the trip
+// is logged once and counted via store.degraded, and the distance numbers
+// remain bit-identical to a store-less run. Options.Strict inverts the
+// trade: the first I/O fault is remembered and returned by Close, so CI
+// runs can fail loudly instead of degrading silently.
 package store
 
 import (
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
+	"log"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 
 	"silvervale/internal/cbdb"
+	"silvervale/internal/faultfs"
 	"silvervale/internal/obs"
 )
 
@@ -51,6 +66,12 @@ const maxBatch = 256
 // zero. Producers block once the queue is full — backpressure, not loss.
 const defaultQueue = 1024
 
+// defaultDegradeThreshold is how many I/O errors trip the breaker when
+// Options.DegradeThreshold is zero. Low enough that a dead disk stops
+// costing syscalls within one flush batch, high enough that a single
+// transient EIO does not give up the warm-start tier for the whole run.
+const defaultDegradeThreshold = 8
+
 // Options configures Open.
 type Options struct {
 	// Readonly serves lookups but drops every Put, so shared or archived
@@ -58,6 +79,17 @@ type Options struct {
 	Readonly bool
 	// QueueSize bounds the write-behind queue (0 selects the default).
 	QueueSize int
+	// FS is the filesystem the store performs all I/O through. Nil
+	// selects the passthrough faultfs.OS; tests inject a faultfs.FaultFS
+	// to script failures and crash points.
+	FS faultfs.FS
+	// Strict makes I/O faults fatal instead of degrading: the first
+	// fault still trips the breaker (so results stay correct), but it is
+	// remembered and returned by Close/Err, failing the run.
+	Strict bool
+	// DegradeThreshold is how many I/O errors trip the memory-only
+	// breaker (0 selects the default; Strict trips on the first).
+	DegradeThreshold int
 }
 
 // pending is one queued write: the target path plus a deferred encoder,
@@ -73,8 +105,11 @@ type pending struct {
 // read-through with dropped writes, so callers can thread an optional
 // store without nil checks at every site.
 type Store struct {
-	root     string
-	readonly bool
+	root      string
+	readonly  bool
+	strict    bool
+	threshold uint64
+	fs        faultfs.FS
 
 	mu     sync.RWMutex // guards queue against Close; RLock to send
 	queue  chan pending
@@ -89,6 +124,18 @@ type Store struct {
 	corruptSkipped atomic.Uint64
 	writeErrors    atomic.Uint64
 
+	// Breaker state: ioErrors counts every failed filesystem call,
+	// faultInjected the subset that faultfs scheduled; once ioErrors
+	// passes the threshold (or immediately under Strict) tripOnce fires,
+	// degraded flips, and the store stops touching disk.
+	ioErrors      atomic.Uint64
+	faultInjected atomic.Uint64
+	degraded      atomic.Bool
+	tripOnce      sync.Once
+
+	errMu    sync.Mutex
+	firstErr error // first I/O fault, surfaced by Err/Close under Strict
+
 	obs atomic.Pointer[storeObs]
 }
 
@@ -101,15 +148,33 @@ type storeObs struct {
 	bytesWritten   *obs.Counter // store.bytes_written
 	flushes        *obs.Counter // store.flushes
 	corruptSkipped *obs.Counter // store.corrupt_skipped
+	ioErrors       *obs.Counter // store.io_errors — failed filesystem calls
+	degraded       *obs.Counter // store.degraded — 1 once the breaker trips
+	faultInjected  *obs.Counter // store.fault_injected — scheduled faults observed
 }
 
 // Open creates (or reuses) a store rooted at dir and starts the flusher
-// unless the store is readonly.
+// unless the store is readonly. Open itself fails hard on error — an
+// unusable root is a configuration problem, not a mid-run fault.
 func Open(dir string, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{root: dir, readonly: opts.Readonly}
+	threshold := uint64(opts.DegradeThreshold)
+	if threshold == 0 {
+		threshold = defaultDegradeThreshold
+	}
+	s := &Store{
+		root:      dir,
+		readonly:  opts.Readonly,
+		strict:    opts.Strict,
+		threshold: threshold,
+		fs:        fsys,
+	}
 	if !opts.Readonly {
 		n := opts.QueueSize
 		if n <= 0 {
@@ -124,9 +189,12 @@ func Open(dir string, opts Options) (*Store, error) {
 
 // Clear removes both record tiers under dir. Only the store's own
 // directories are touched; anything else under dir survives.
-func Clear(dir string) error {
+func Clear(dir string) error { return ClearFS(faultfs.OS{}, dir) }
+
+// ClearFS is Clear over an explicit filesystem.
+func ClearFS(fsys faultfs.FS, dir string) error {
 	for _, tier := range []string{distDir, indexDir} {
-		if err := os.RemoveAll(filepath.Join(dir, tier)); err != nil {
+		if err := fsys.RemoveAll(filepath.Join(dir, tier)); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
 	}
@@ -143,6 +211,23 @@ func (s *Store) Root() string {
 
 // Readonly reports whether puts are dropped.
 func (s *Store) Readonly() bool { return s != nil && s.readonly }
+
+// Degraded reports whether the I/O-error breaker has tripped the store
+// into memory-only mode (lookups miss without touching disk, puts are
+// dropped). Results are unaffected — callers recompute exactly as they
+// would on a cold cache.
+func (s *Store) Degraded() bool { return s != nil && s.degraded.Load() }
+
+// Err returns the first I/O fault a Strict store observed (nil
+// otherwise, and always nil for non-strict stores).
+func (s *Store) Err() error {
+	if s == nil || !s.strict {
+		return nil
+	}
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.firstErr
+}
 
 // SetRecorder attaches an observability recorder feeding the store.*
 // counters. A nil recorder detaches; the store's own Stats counters run
@@ -162,6 +247,9 @@ func (s *Store) SetRecorder(rec *obs.Recorder) {
 		bytesWritten:   rec.Counter("store.bytes_written"),
 		flushes:        rec.Counter("store.flushes"),
 		corruptSkipped: rec.Counter("store.corrupt_skipped"),
+		ioErrors:       rec.Counter("store.io_errors"),
+		degraded:       rec.Counter("store.degraded"),
+		faultInjected:  rec.Counter("store.fault_injected"),
 	})
 }
 
@@ -174,6 +262,9 @@ type Stats struct {
 	Flushes        uint64 // write-behind batches flushed
 	CorruptSkipped uint64 // undecodable or key-mismatched records skipped
 	WriteErrors    uint64 // failed record commits (records dropped)
+	IOErrors       uint64 // failed filesystem calls (reads and writes)
+	FaultInjected  uint64 // I/O errors scheduled by faultfs injection
+	Degraded       bool   // breaker tripped: store is memory-only
 }
 
 // Stats returns current counters. A nil store returns zeros.
@@ -189,14 +280,26 @@ func (s *Store) Stats() Stats {
 		Flushes:        s.flushes.Load(),
 		CorruptSkipped: s.corruptSkipped.Load(),
 		WriteErrors:    s.writeErrors.Load(),
+		IOErrors:       s.ioErrors.Load(),
+		FaultInjected:  s.faultInjected.Load(),
+		Degraded:       s.degraded.Load(),
 	}
 }
 
 // String renders the snapshot as the store fragment of the post-sweep
-// cache-stats line.
+// cache-stats line. The base shape is stable; fault traffic and the
+// breaker only append fragments, so fault-free runs print exactly the
+// historical line.
 func (s Stats) String() string {
-	return fmt.Sprintf("store %d hits, %d misses, %dB read, %dB written, %d flushes, %d corrupt-skipped",
+	line := fmt.Sprintf("store %d hits, %d misses, %dB read, %dB written, %d flushes, %d corrupt-skipped",
 		s.Hits, s.Misses, s.BytesRead, s.BytesWritten, s.Flushes, s.CorruptSkipped)
+	if s.FaultInjected > 0 {
+		line += fmt.Sprintf(", %d faults injected", s.FaultInjected)
+	}
+	if s.Degraded {
+		line += ", DEGRADED (memory-only)"
+	}
+	return line
 }
 
 // LookupDist returns the stored distance for a canonical key, if a valid
@@ -219,7 +322,7 @@ func (s *Store) LookupDist(k DistKey) (int, bool) {
 }
 
 // PutDist queues a distance record for write-behind. No-op on nil,
-// readonly, or closed stores.
+// readonly, degraded, or closed stores.
 func (s *Store) PutDist(k DistKey, d int) {
 	if s == nil {
 		return
@@ -263,37 +366,39 @@ func (s *Store) PutIndex(k IndexKey, db *cbdb.DB) {
 
 // Close stops accepting writes, drains the queue synchronously, and waits
 // for the flusher to commit every pending record. Safe to call more than
-// once and on nil/readonly stores.
+// once and on nil/readonly stores. Under Options.Strict it returns the
+// first I/O fault the store observed, so fault-intolerant runs fail here.
 func (s *Store) Close() error {
 	if s == nil || s.readonly {
-		return nil
+		return s.Err()
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil
+		return s.Err()
 	}
 	s.closed = true
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
-	return nil
+	return s.Err()
 }
 
-// load reads one record file. A missing file is a plain miss; an
-// unreadable one is a corrupt skip. Both return ok == false.
+// load reads one record file. A missing file is a plain miss; a read
+// error feeds the breaker and surfaces as a miss. A degraded store never
+// touches disk.
 func (s *Store) load(tier, name string) ([]byte, bool) {
+	if s.degraded.Load() {
+		s.miss()
+		return nil, false
+	}
 	path := filepath.Join(s.root, tier, name[:2], name)
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
-		if !os.IsNotExist(err) {
-			s.skipCorrupt()
-			return nil, false
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.ioError(err)
 		}
-		s.misses.Add(1)
-		if o := s.obs.Load(); o != nil {
-			o.misses.Add(1)
-		}
+		s.miss()
 		return nil, false
 	}
 	s.bytesRead.Add(uint64(len(data)))
@@ -311,22 +416,73 @@ func (s *Store) hit() {
 	}
 }
 
+// miss records one lookup with no usable record.
+func (s *Store) miss() {
+	s.misses.Add(1)
+	if o := s.obs.Load(); o != nil {
+		o.misses.Add(1)
+	}
+}
+
 // skipCorrupt records one record rejected by decode or key echo. The
 // lookup surfaces as a miss so the caller recomputes (and rewrites) it.
 func (s *Store) skipCorrupt() {
 	s.corruptSkipped.Add(1)
-	s.misses.Add(1)
 	if o := s.obs.Load(); o != nil {
 		o.corruptSkipped.Add(1)
-		o.misses.Add(1)
 	}
+	s.miss()
+}
+
+// ioError feeds the breaker with one failed filesystem call. Under
+// Strict the first fault is remembered (for Err/Close) and trips the
+// breaker immediately; otherwise the breaker trips once the error count
+// passes the threshold.
+func (s *Store) ioError(err error) {
+	if faultfs.IsInjected(err) {
+		s.faultInjected.Add(1)
+		if o := s.obs.Load(); o != nil {
+			o.faultInjected.Add(1)
+		}
+	}
+	n := s.ioErrors.Add(1)
+	if o := s.obs.Load(); o != nil {
+		o.ioErrors.Add(1)
+	}
+	if s.strict {
+		s.errMu.Lock()
+		if s.firstErr == nil {
+			s.firstErr = err
+		}
+		s.errMu.Unlock()
+		s.trip(err)
+		return
+	}
+	if n >= s.threshold {
+		s.trip(err)
+	}
+}
+
+// trip flips the store into memory-only degraded mode: exactly once per
+// store, logged once, counted once (store.degraded). Correctness is
+// untouched — every lookup from here on is a miss and the caller
+// recomputes, so a degraded sweep stays bit-identical to a cold one.
+func (s *Store) trip(err error) {
+	s.tripOnce.Do(func() {
+		s.degraded.Store(true)
+		if o := s.obs.Load(); o != nil {
+			o.degraded.Add(1)
+		}
+		log.Printf("store: degraded to memory-only after %d I/O error(s): %v (results unaffected; writes dropped)",
+			s.ioErrors.Load(), err)
+	})
 }
 
 // put enqueues one record for the flusher, blocking when the queue is
 // full (backpressure). The RLock pairs with Close's Lock so a concurrent
 // Close never closes the channel under an in-flight send.
 func (s *Store) put(p pending) {
-	if s.readonly {
+	if s.readonly || s.degraded.Load() {
 		return
 	}
 	s.mu.RLock()
@@ -359,11 +515,18 @@ func (s *Store) flusher() {
 	}
 }
 
-// writeBatch commits a batch of records and counts one flush.
+// writeBatch commits a batch of records and counts one flush. Once the
+// breaker has tripped, remaining records are dropped without touching
+// disk (each failed syscall already cost latency and fed the breaker).
 func (s *Store) writeBatch(batch []pending) {
 	for _, p := range batch {
+		if s.degraded.Load() {
+			s.writeErrors.Add(1)
+			continue
+		}
 		if err := s.commit(p); err != nil {
 			s.writeErrors.Add(1)
+			s.ioError(err)
 		}
 	}
 	s.flushes.Add(1)
@@ -373,33 +536,42 @@ func (s *Store) writeBatch(batch []pending) {
 }
 
 // commit writes one record crash-safely: encode, write to a temp file in
-// the destination directory, rename into place. Concurrent writers of the
-// same key race benignly — the payloads are identical and rename is
-// atomic, so last-rename-wins leaves a valid record either way.
+// the destination directory, fsync, rename into place. Every failure
+// path removes the temp file — including a failed Sync between write and
+// rename, the leak the faultfs regression suite pins — so an erroring
+// disk never accumulates orphaned tmp-* files on top of its real
+// problem. Concurrent writers of the same key race benignly — the
+// payloads are identical and rename is atomic, so last-rename-wins
+// leaves a valid record either way.
 func (s *Store) commit(p pending) error {
 	data, err := p.encode()
 	if err != nil {
 		return err
 	}
 	dir := filepath.Join(s.root, p.tier, p.name[:2])
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, "tmp-*")
+	tmp, err := s.fs.CreateTemp(dir, "tmp-*")
 	if err != nil {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		s.fs.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, p.name)); err != nil {
-		os.Remove(tmp.Name())
+	if err := s.fs.Rename(tmp.Name(), filepath.Join(dir, p.name)); err != nil {
+		s.fs.Remove(tmp.Name())
 		return err
 	}
 	s.bytesWritten.Add(uint64(len(data)))

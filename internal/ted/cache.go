@@ -129,6 +129,11 @@ func (c *Cache) SetRecorder(rec *obs.Recorder) {
 // and fresh distances are queued to it write-behind. A nil store detaches
 // (the default); the caller retains ownership and must Close the store
 // itself to drain pending writes.
+//
+// The cache needs no fault handling of its own: a store that has degraded
+// to memory-only (see store.Store.Degraded and DESIGN.md §9) answers every
+// lookup with a miss and drops every put, so the cache transparently falls
+// back to computing — distances are unaffected, only warm starts are lost.
 func (c *Cache) SetStore(s *store.Store) {
 	c.backing.Store(s)
 }

@@ -1,0 +1,51 @@
+package ted
+
+import (
+	"testing"
+
+	"silvervale/internal/faultfs"
+	"silvervale/internal/obs"
+	"silvervale/internal/store"
+)
+
+// TestCacheOverFailingStoreComputesCorrectly: a cache attached to a store
+// whose disk fails on every operation must produce exactly the distances
+// a storeless cache produces — the degraded store answers misses, the
+// cache recomputes, and nothing surfaces to the caller.
+func TestCacheOverFailingStoreComputesCorrectly(t *testing.T) {
+	pairs := [][2]string{
+		{"(a (b (c) (d)) (e (f)))", "(a (b (c)) (g (f) (h)))"},
+		{"(x)", "(x (y))"},
+		{"(r (s) (t (u)))", "(r (t (u)) (s))"},
+	}
+	plain := NewCache()
+	var want []int
+	for _, p := range pairs {
+		want = append(want, plain.Distance(storeParse(t, p[0]), storeParse(t, p[1])))
+	}
+
+	// Every op after Open's MkdirAll fails.
+	fsys := faultfs.New(faultfs.OS{}, faultfs.Fault{N: 2, Sticky: true, Class: faultfs.EIO})
+	st, err := store.Open(t.TempDir(), store.Options{FS: fsys, DegradeThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	st.SetRecorder(rec)
+	c := NewCache()
+	c.SetStore(st)
+	for i, p := range pairs {
+		if got := c.Distance(storeParse(t, p[0]), storeParse(t, p[1])); got != want[i] {
+			t.Fatalf("pair %d: failing-store distance %d, storeless %d", i, got, want[i])
+		}
+	}
+	if !st.Degraded() {
+		t.Fatal("store did not degrade")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("non-strict Close over failing disk: %v", err)
+	}
+	if got := rec.Snapshot().Counters["store.degraded"]; got != 1 {
+		t.Fatalf("store.degraded = %d, want exactly 1", got)
+	}
+}

@@ -69,6 +69,10 @@ type (
 	ArtifactStore = store.Store
 	// ArtifactStoreStats is a snapshot of store traffic counters.
 	ArtifactStoreStats = store.Stats
+	// ArtifactStoreOptions configures OpenArtifactStoreWith: readonly
+	// mode, strict fault handling, the degrade threshold, and an
+	// injectable filesystem (see internal/faultfs and DESIGN.md §9).
+	ArtifactStoreOptions = store.Options
 )
 
 // C++ programming models.
@@ -149,6 +153,14 @@ func NewEngine(workers int) *Engine { return core.NewEngine(workers) }
 // store rooted at dir. Close it to drain pending write-behind records.
 func OpenArtifactStore(dir string, readonly bool) (*ArtifactStore, error) {
 	return store.Open(dir, store.Options{Readonly: readonly})
+}
+
+// OpenArtifactStoreWith opens an artifact store with full options —
+// notably Strict (the first I/O fault surfaces from Close instead of
+// degrading to memory-only) and FS (a faultfs filesystem, for fault
+// injection in tests).
+func OpenArtifactStoreWith(dir string, opts ArtifactStoreOptions) (*ArtifactStore, error) {
+	return store.Open(dir, opts)
 }
 
 // NewEngineWithStore returns a divergence engine whose TED cache and
