@@ -1,0 +1,268 @@
+// Bench trajectory emitter (PR 6): one `go test -bench` invocation that
+// measures the tiered divergence engine on the corpus-scale sweep the
+// tiering exists for — the all-pairs unit matrix over every unit tree of
+// every app × model in the seed corpus (the near-duplicate screening
+// workload). Three claims are measured and written to JSON:
+//
+//  1. equal-corpus speedup: the screening-budget tiered sweep covers the
+//     same M-unit corpus in a fraction of the exact sweep's wall-clock;
+//  2. equivalence: the budget-0 tiered sweep is bit-identical to exact;
+//  3. error: every cell's |tiered − exact| over the full corpus stays
+//     within the screening budget (hard assert).
+//
+// Run with (see EXPERIMENTS.md §Bench trajectory):
+//
+//	SILVERVALE_BENCH_JSON=BENCH_PR6.json \
+//	  go test -run '^$' -bench '^BenchmarkPR6Trajectory$' -timeout 40m .
+//
+// Without SILVERVALE_BENCH_JSON set the benchmark skips, so plain
+// `go test -bench .` sweeps are not slowed down.
+package silvervale
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"silvervale/internal/core"
+	"silvervale/internal/corpus"
+	"silvervale/internal/ted"
+)
+
+type pr6Bench struct {
+	Name       string `json:"name"`
+	Units      int    `json:"units"`
+	Cells      int    `json:"cells"`
+	Iterations int    `json:"iterations"`
+	NsPerOp    int64  `json:"ns_per_op"`
+}
+
+// pr6Sweep reports one tiered full-corpus sweep against the exact
+// reference: wall-clock speedup, the worst and mean per-cell error, and
+// the tier routing split.
+type pr6Sweep struct {
+	Budget        float64 `json:"budget"`
+	Policy        string  `json:"policy"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	Speedup       float64 `json:"speedup_vs_exact"`
+	MaxCellError  float64 `json:"max_cell_error"`
+	MeanCellError float64 `json:"mean_cell_error"`
+	TierPairs     uint64  `json:"tier_pairs"`
+	TierExact     uint64  `json:"tier_exact"`
+	TierEstimated uint64  `json:"tier_estimated"`
+	TierFar       uint64  `json:"tier_far"`
+}
+
+type pr6Trajectory struct {
+	PR        int    `json:"pr"`
+	GoVersion string `json:"go"`
+	NumCPU    int    `json:"num_cpu"`
+	Metric    string `json:"metric"`
+	Units     int    `json:"units"`
+	Cells     int    `json:"cells"`
+
+	ExactNs          int64    `json:"exact_ns"`
+	Screening        pr6Sweep `json:"screening"`
+	Fidelity         pr6Sweep `json:"fidelity"`
+	Budget0Identical bool     `json:"budget0_bit_identical"`
+
+	// UnitsRatioEqualWallclock is derived from the screening speedup: the
+	// exact engine's all-pairs cost is ~quadratic in unit count, so at
+	// the tiered sweep's wall-clock the exact sweep handles M/√speedup
+	// units — the tiered sweep holds √speedup× more units per sweep.
+	UnitsRatioEqualWallclock float64 `json:"units_ratio_equal_wallclock"`
+
+	Benchmarks []pr6Bench `json:"benchmarks"`
+}
+
+// pr6Units builds the corpus-scale unit population: every unit of every
+// app × model wrapped as a single-unit Index under one shared role, so
+// the engine's matrix sweep pairs all of them — the all-pairs
+// near-duplicate workload. Order is the deterministic corpus iteration
+// order.
+func pr6Units(b testing.TB) (map[string]*core.Index, []string) {
+	b.Helper()
+	idxs := map[string]*core.Index{}
+	var order []string
+	for _, app := range corpus.Apps() {
+		for _, m := range corpus.ModelsFor(app) {
+			cb, err := corpus.Generate(app, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			idx, err := core.IndexCodebase(cb, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := range idx.Units {
+				u := idx.Units[i]
+				if u.Trees[core.MetricTsem] == nil {
+					continue
+				}
+				u.Role = "unit" // one shared role: match() pairs every unit
+				name := fmt.Sprintf("%s/%s/%s", app.Name, m, u.File)
+				idxs[name] = &core.Index{
+					Codebase: app.Name, Model: string(m), Lang: idx.Lang,
+					Units: []core.UnitIndex{u},
+				}
+				order = append(order, name)
+			}
+		}
+	}
+	return idxs, order
+}
+
+func pr6SameBits(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func pr6Errors(tiered, exact [][]float64) (maxErr, meanErr float64) {
+	var sum float64
+	var cells int
+	for i := range exact {
+		for j := range exact[i] {
+			if i == j {
+				continue
+			}
+			e := math.Abs(tiered[i][j] - exact[i][j])
+			if e > maxErr {
+				maxErr = e
+			}
+			sum += e
+			cells++
+		}
+	}
+	return maxErr, sum / float64(cells)
+}
+
+func BenchmarkPR6Trajectory(b *testing.B) {
+	out := os.Getenv("SILVERVALE_BENCH_JSON")
+	if out == "" {
+		b.Skip("set SILVERVALE_BENCH_JSON=<path> to emit the bench trajectory")
+	}
+	const (
+		screeningBudget = 0.5  // unit-granularity screening regime
+		fidelityBudget  = 0.05 // high-fidelity regime, for the error table
+	)
+
+	idxs, order := pr6Units(b)
+	m := len(order)
+
+	// Direct measurement (testing.Benchmark deadlocks inside a running
+	// benchmark), same scheme as the PR 3/4 trajectories. Every sweep
+	// starts from a fresh cache: the workload is one cold corpus pass.
+	measure := func(name string, units []string, fn func() [][]float64) (pr6Bench, [][]float64) {
+		runtime.GC()
+		start := time.Now()
+		vals := fn()
+		elapsed := time.Since(start)
+		return pr6Bench{
+			Name:       name,
+			Units:      len(units),
+			Cells:      len(units) * (len(units) - 1) / 2,
+			Iterations: 1,
+			NsPerOp:    elapsed.Nanoseconds(),
+		}, vals
+	}
+	tieredSweep := func(name string, budget float64) (pr6Bench, pr6Sweep, [][]float64) {
+		policy := ted.NewTierPolicy(budget)
+		e := core.NewEngineWithCache(0, ted.NewCache())
+		var stats core.TierStats
+		bench, vals := measure(name, order, func() [][]float64 {
+			tm, err := e.MatrixTiered(idxs, order, core.MetricTsem, policy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stats = tm.Stats
+			return tm.Values
+		})
+		return bench, pr6Sweep{
+			Budget: budget, Policy: policy.String(), NsPerOp: bench.NsPerOp,
+			TierPairs: stats.Pairs, TierExact: stats.Exact,
+			TierEstimated: stats.Estimated, TierFar: stats.Far,
+		}, vals
+	}
+
+	traj := pr6Trajectory{
+		PR: 6, GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(),
+		Metric: core.MetricTsem, Units: m, Cells: m * (m - 1) / 2,
+	}
+
+	// 1. Exact all-pairs reference over the full corpus.
+	exactFull, exactM := measure("ExactFullCorpus", order, func() [][]float64 {
+		vals, err := core.NewEngineWithCache(0, ted.NewCache()).Matrix(idxs, order, core.MetricTsem)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return vals
+	})
+	traj.ExactNs = exactFull.NsPerOp
+
+	// 2. Screening-budget tiered sweep — the equal-corpus speedup claim,
+	// with every cell's error hard-checked against the budget.
+	screenBench, screen, screenM := tieredSweep("TieredScreening", screeningBudget)
+	screen.Speedup = float64(exactFull.NsPerOp) / float64(screen.NsPerOp)
+	screen.MaxCellError, screen.MeanCellError = pr6Errors(screenM, exactM)
+	if screen.MaxCellError > screeningBudget {
+		b.Fatalf("screening sweep: max cell error %v exceeds budget %v", screen.MaxCellError, screeningBudget)
+	}
+	traj.Screening = screen
+	traj.UnitsRatioEqualWallclock = math.Sqrt(screen.Speedup)
+
+	// 3. High-fidelity tiered sweep, recorded for the error table. Its
+	// budget is calibrated for matched-pair app sweeps, not unit-singleton
+	// cells, so errors are recorded but not asserted against it.
+	fidBench, fid, fidM := tieredSweep("TieredFidelity", fidelityBudget)
+	fid.Speedup = float64(exactFull.NsPerOp) / float64(fid.NsPerOp)
+	fid.MaxCellError, fid.MeanCellError = pr6Errors(fidM, exactM)
+	traj.Fidelity = fid
+
+	// 4. Budget-0 tiered sweep on a base slice — must be bit-identical.
+	base := order[:m/10]
+	exactBase, exactBaseM := measure("ExactBase", base, func() [][]float64 {
+		vals, err := core.NewEngineWithCache(0, ted.NewCache()).Matrix(idxs, base, core.MetricTsem)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return vals
+	})
+	zeroBench, zeroM := measure("TieredBaseBudget0", base, func() [][]float64 {
+		tm, err := core.NewEngineWithCache(0, ted.NewCache()).MatrixTiered(idxs, base, core.MetricTsem, ted.NewTierPolicy(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return tm.Values
+	})
+	traj.Budget0Identical = pr6SameBits(exactBaseM, zeroM)
+	if !traj.Budget0Identical {
+		b.Fatal("budget-0 tiered matrix differs from exact")
+	}
+
+	traj.Benchmarks = []pr6Bench{exactFull, screenBench, fidBench, exactBase, zeroBench}
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("bench trajectory written to %s (screening %.1fx speedup at budget %g, max err %.3f; fidelity %.1fx at %g, max err %.3f)",
+		out, screen.Speedup, screeningBudget, screen.MaxCellError, fid.Speedup, fidelityBudget, fid.MaxCellError)
+}

@@ -66,6 +66,7 @@ type obsConfig struct {
 	cacheReadonly bool
 	cacheClear    bool
 	cacheStrict   bool
+	tierBudget    float64
 
 	rec          *obs.Recorder
 	st           *store.Store
@@ -81,6 +82,7 @@ func (c *obsConfig) register(fs *flag.FlagSet) {
 	fs.BoolVar(&c.cacheReadonly, "cache-readonly", c.cacheReadonly, "serve lookups from -cache-dir but write nothing back")
 	fs.BoolVar(&c.cacheClear, "cache-clear", c.cacheClear, "clear the -cache-dir record tiers before running")
 	fs.BoolVar(&c.cacheStrict, "cache-strict", c.cacheStrict, "treat cache I/O errors as fatal instead of degrading to memory-only")
+	fs.Float64Var(&c.tierBudget, "tier-budget", c.tierBudget, "tiered matrix sweeps: per-cell error budget (0 = exact; <0 = off, no stats line)")
 }
 
 func (c *obsConfig) enabled() bool {
@@ -217,11 +219,28 @@ func (c *obsConfig) newEnv(workers int) (*experiments.Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return experiments.NewEnvStore(workers, rec, st), nil
+	env := experiments.NewEnvStore(workers, rec, st)
+	if c.tierRequested() {
+		env.SetTierPolicy(c.tierPolicy())
+	}
+	return env, nil
+}
+
+// tierRequested reports whether -tier-budget was given (>= 0): the tiered
+// matrix path is engaged (budget 0 = the exact-equivalent policy) and the
+// post-sweep tier stats line is printed.
+func (c *obsConfig) tierRequested() bool { return c.tierBudget >= 0 }
+
+// tierPolicy maps the -tier-budget flag onto the engine policy.
+func (c *obsConfig) tierPolicy() ted.TierPolicy {
+	if !c.tierRequested() {
+		return ted.TierPolicy{}
+	}
+	return ted.NewTierPolicy(c.tierBudget)
 }
 
 func run(args []string) error {
-	cfg := &obsConfig{metricsFormat: "text"}
+	cfg := &obsConfig{metricsFormat: "text", tierBudget: -1}
 	defer cfg.closeStore() // error paths still drain the write-behind queue
 	gfs := flag.NewFlagSet("silvervale", flag.ContinueOnError)
 	cfg.register(gfs)
@@ -288,6 +307,14 @@ The same commands accept -cache-dir <dir>: a persistent content-addressed
 artifact store that warm-starts TED distances and codebase indexes across
 runs (results are byte-identical to a cold run). -cache-readonly serves
 lookups without writing back; -cache-clear empties the store first.
+
+matrix and experiment additionally accept -tier-budget <b>: route the
+all-pairs sweep through the tiered engine (LSH + pq-gram prefilter, exact
+Zhang–Shasha only for close/borderline pairs) under a per-cell error
+budget, and print a post-sweep tier stats line. -tier-budget 0 engages the
+tiered path in exact mode — output is byte-identical to the exact sweep.
+
+  silvervale matrix tealeaf -tier-budget 0.05   # ~10x more units/sweep
 
 Cache I/O errors never change results: past an error threshold the store
 degrades to memory-only (a one-line warning; results recompute). Pass
@@ -488,6 +515,11 @@ func cmdMatrix(args []string, cfg *obsConfig) error {
 		}
 		fmt.Fprintln(os.Stderr, env.Engine().CacheStats())
 	}
+	if cfg.tierRequested() {
+		// Tier stats go to stderr for the same reason the cache stats do:
+		// matrix stdout stays byte-identical exact vs tiered at budget 0.
+		fmt.Fprintln(os.Stderr, env.Engine().TierStats().Line(env.TierPolicy()))
+	}
 	return nil
 }
 
@@ -539,6 +571,9 @@ func cmdExperiment(args []string, cfg *obsConfig) error {
 		return err
 	}
 	fmt.Println(env.Engine().CacheStats())
+	if cfg.tierRequested() {
+		fmt.Println(env.Engine().TierStats().Line(env.TierPolicy()))
+	}
 	return nil
 }
 

@@ -41,6 +41,18 @@ type Engine struct {
 	cells      *obs.Counter   // engine.cells — matrix cells scheduled
 	taskNS     *obs.Histogram // engine.task_ns — per-task latency
 	queueDepth *obs.Histogram // engine.queue_depth — remaining tasks at dequeue
+
+	// tier accounting: cumulative routing counts across every tiered
+	// sweep this engine ran (the post-sweep tier stats line), plus the
+	// ted.tier_* obs counters (nil when observability is off).
+	tierPairs     atomic.Uint64
+	tierExact     atomic.Uint64
+	tierEstimated atomic.Uint64
+	tierFar       atomic.Uint64
+	obsTierPairs  *obs.Counter // ted.tier_pairs — pairs routed by a tier policy
+	obsTierExact  *obs.Counter // ted.tier_exact — pairs refined with exact Zhang–Shasha
+	obsTierEst    *obs.Counter // ted.tier_estimated — pairs estimated from the pq-gram distance
+	obsTierFar    *obs.Counter // ted.tier_far — pairs estimated from LSH signatures alone
 }
 
 // NewEngine returns an engine with the given worker-pool bound and a fresh
@@ -70,6 +82,10 @@ func NewEngineObs(workers int, cache *ted.Cache, rec *obs.Recorder) *Engine {
 		e.cells = rec.Counter("engine.cells")
 		e.taskNS = rec.Histogram("engine.task_ns")
 		e.queueDepth = rec.Histogram("engine.queue_depth")
+		e.obsTierPairs = rec.Counter("ted.tier_pairs")
+		e.obsTierExact = rec.Counter("ted.tier_exact")
+		e.obsTierEst = rec.Counter("ted.tier_estimated")
+		e.obsTierFar = rec.Counter("ted.tier_far")
 	}
 	return e
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled mirrors the race detector state so heavyweight DP gates can
+// trim their corpus: the detector multiplies Zhang–Shasha cost ~10x and
+// the full cross product would blow the package test timeout.
+const raceEnabled = true

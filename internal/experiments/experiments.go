@@ -51,6 +51,8 @@ type Env struct {
 	mu          sync.Mutex
 	engine      *core.Engine
 	rec         *obs.Recorder
+	policy      ted.TierPolicy
+	tiered      bool
 	cache       map[string]map[string]*core.Index
 	matrixCache map[string][][]float64
 }
@@ -91,6 +93,26 @@ func NewEnvStore(workers int, rec *obs.Recorder, st *store.Store) *Env {
 // statistics and for callers that want to reuse the same memo).
 func (e *Env) Engine() *core.Engine { return e.engine }
 
+// SetTierPolicy routes all subsequent matrix sweeps through the tiered
+// engine path (core.MatrixTiered) under the given policy. The zero policy
+// (budget 0) delegates to the exact path — byte-identical values — but
+// still reports routing provenance in the engine's tier stats. Matrices
+// are cached per policy, so an environment never serves a tiered matrix
+// to an exact request or across budgets.
+func (e *Env) SetTierPolicy(p ted.TierPolicy) {
+	e.mu.Lock()
+	e.policy = p
+	e.tiered = true
+	e.mu.Unlock()
+}
+
+// TierPolicy returns the environment's active tier policy.
+func (e *Env) TierPolicy() ted.TierPolicy {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.policy
+}
+
 // Recorder exposes the environment's observability recorder (nil when
 // observability is off).
 func (e *Env) Recorder() *obs.Recorder { return e.rec }
@@ -102,16 +124,33 @@ func (e *Env) Matrix(appName, metric string) ([][]float64, []string, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	key := appName + "|" + metric
+	e.mu.Lock()
+	policy, tiered := e.policy, e.tiered
+	e.mu.Unlock()
+	// The policy is part of the cache key: a tiered sweep must never be
+	// served a matrix computed under a different budget (or the exact one),
+	// mirroring the persistent store's tier-key separation.
+	key := appName + "|" + metric + "|" + policy.String()
+	if !tiered {
+		key = appName + "|" + metric
+	}
 	e.mu.Lock()
 	m, ok := e.matrixCache[key]
 	e.mu.Unlock()
 	if ok {
 		return m, order, nil
 	}
-	m, err = e.engine.Matrix(idxs, order, metric)
-	if err != nil {
-		return nil, nil, err
+	if tiered {
+		tm, err := e.engine.MatrixTiered(idxs, order, metric, policy)
+		if err != nil {
+			return nil, nil, err
+		}
+		m = tm.Values
+	} else {
+		m, err = e.engine.Matrix(idxs, order, metric)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	e.mu.Lock()
 	e.matrixCache[key] = m

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"compress/gzip"
 	"fmt"
+	"math"
 
 	"silvervale/internal/cbdb"
 	"silvervale/internal/msgpack"
@@ -21,8 +22,9 @@ const FormatVersion = 1
 
 // Record kinds, one per store tier.
 const (
-	kindDist  = "ted" // exact TED distance for one canonical tree pair
-	kindIndex = "idx" // indexed codebase in cbdb encoding
+	kindDist  = "ted"  // exact TED distance for one canonical tree pair
+	kindIndex = "idx"  // indexed codebase in cbdb encoding
+	kindTier  = "tier" // tiered (estimated) distance under one tier policy
 )
 
 // DistKey addresses one exact tree-edit distance: the canonical fingerprint
@@ -32,6 +34,22 @@ const (
 type DistKey struct {
 	A, B                   tree.Fingerprint
 	Insert, Delete, Rename int
+}
+
+// TierKey addresses one tiered (estimated) distance: the canonical
+// fingerprint pair and cost model — exactly as DistKey — plus every
+// parameter of the tier policy that produced the estimate (budget,
+// routing threshold, LSH signature shape, and which routing tier fired).
+// Exact and tiered records live in different store tiers under different
+// kinds, and two tiered runs only share records when their whole policy
+// matches, so a warm start can never serve an exact run an estimate, nor
+// serve one budget's estimates to another.
+type TierKey struct {
+	A, B                   tree.Fingerprint
+	Insert, Delete, Rename int
+	Budget, Threshold      float64
+	Bands, Rows            int
+	Tier                   uint8
 }
 
 // ContentHash is a 128-bit content address over arbitrary input bytes,
@@ -116,6 +134,32 @@ func distName(k DistKey) string {
 	return fmt.Sprintf("%016x%016x", s.H1, s.H2)
 }
 
+// tierName derives the record file name for a tiered-distance key. Every
+// policy parameter is hashed (floats by their IEEE-754 bits), so records
+// from different budgets or signature shapes land under different names
+// and can never shadow one another.
+func tierName(k TierKey) string {
+	h := NewHasher()
+	h.WriteUint64(FormatVersion)
+	h.WriteString(kindTier)
+	h.WriteUint64(k.A.H1)
+	h.WriteUint64(k.A.H2)
+	h.WriteUint64(uint64(k.A.Size))
+	h.WriteUint64(k.B.H1)
+	h.WriteUint64(k.B.H2)
+	h.WriteUint64(uint64(k.B.Size))
+	h.WriteUint64(uint64(k.Insert))
+	h.WriteUint64(uint64(k.Delete))
+	h.WriteUint64(uint64(k.Rename))
+	h.WriteUint64(math.Float64bits(k.Budget))
+	h.WriteUint64(math.Float64bits(k.Threshold))
+	h.WriteUint64(uint64(k.Bands))
+	h.WriteUint64(uint64(k.Rows))
+	h.WriteUint64(uint64(k.Tier))
+	s := h.Sum()
+	return fmt.Sprintf("%016x%016x", s.H1, s.H2)
+}
+
 // indexName derives the record file name for an index key.
 func indexName(k IndexKey) string {
 	h := NewHasher()
@@ -170,6 +214,54 @@ func decodeDist(data []byte, k DistKey) (int, error) {
 		return 0, fmt.Errorf("store: distance record has no distance")
 	}
 	return int(d), nil
+}
+
+// encodeTier renders a tiered-distance record: the full key echo —
+// fingerprints, costs, and every policy parameter — alongside the
+// estimate (as IEEE-754 bits, so the round trip is exact).
+func encodeTier(k TierKey, d float64) ([]byte, error) {
+	payload := map[string]any{
+		"v":    int64(FormatVersion),
+		"kind": kindTier,
+		"a1":   k.A.H1, "a2": k.A.H2, "as": int64(k.A.Size),
+		"b1": k.B.H1, "b2": k.B.H2, "bs": int64(k.B.Size),
+		"ci": int64(k.Insert), "cd": int64(k.Delete), "cr": int64(k.Rename),
+		"bud": math.Float64bits(k.Budget), "thr": math.Float64bits(k.Threshold),
+		"lb": int64(k.Bands), "lr": int64(k.Rows), "tr": int64(k.Tier),
+		"d": math.Float64bits(d),
+	}
+	return encodeEnvelope(payload)
+}
+
+// decodeTier parses and verifies a tiered-distance record against the key
+// it was looked up under. As with distances, any decode failure or field
+// mismatch — including a policy parameter — is an error the caller counts
+// as corrupt-skipped, never a wrong answer.
+func decodeTier(data []byte, k TierKey) (float64, error) {
+	m, err := decodeEnvelope(data, kindTier)
+	if err != nil {
+		return 0, err
+	}
+	ok := matchU64(m["a1"], k.A.H1) && matchU64(m["a2"], k.A.H2) &&
+		matchU64(m["as"], uint64(k.A.Size)) &&
+		matchU64(m["b1"], k.B.H1) && matchU64(m["b2"], k.B.H2) &&
+		matchU64(m["bs"], uint64(k.B.Size)) &&
+		matchU64(m["ci"], uint64(k.Insert)) &&
+		matchU64(m["cd"], uint64(k.Delete)) &&
+		matchU64(m["cr"], uint64(k.Rename)) &&
+		matchU64(m["bud"], math.Float64bits(k.Budget)) &&
+		matchU64(m["thr"], math.Float64bits(k.Threshold)) &&
+		matchU64(m["lb"], uint64(k.Bands)) &&
+		matchU64(m["lr"], uint64(k.Rows)) &&
+		matchU64(m["tr"], uint64(k.Tier))
+	if !ok {
+		return 0, fmt.Errorf("store: tier record key mismatch")
+	}
+	bits, ok := asU64(m["d"])
+	if !ok {
+		return 0, fmt.Errorf("store: tier record has no distance")
+	}
+	return math.Float64frombits(bits), nil
 }
 
 // encodeIndex renders an index record: the key echo plus the codebase DB
@@ -252,11 +344,17 @@ func decodeEnvelope(data []byte, kind string) (map[string]any, error) {
 // decoder returns int64 for values within int64 range and uint64 beyond
 // it, so both arrivals are accepted.
 func matchU64(v any, want uint64) bool {
+	got, ok := asU64(v)
+	return ok && got == want
+}
+
+// asU64 widens a decoded msgpack integer to its uint64 bit pattern.
+func asU64(v any) (uint64, bool) {
 	switch x := v.(type) {
 	case int64:
-		return x >= 0 && uint64(x) == want || x < 0 && want == uint64(x)
+		return uint64(x), true
 	case uint64:
-		return x == want
+		return x, true
 	}
-	return false
+	return 0, false
 }

@@ -55,6 +55,7 @@ import (
 const (
 	distDir  = "ted"
 	indexDir = "idx"
+	tierDir  = "tier"
 )
 
 // maxBatch bounds how many queued records one flush writes; with the
@@ -193,7 +194,7 @@ func Clear(dir string) error { return ClearFS(faultfs.OS{}, dir) }
 
 // ClearFS is Clear over an explicit filesystem.
 func ClearFS(fsys faultfs.FS, dir string) error {
-	for _, tier := range []string{distDir, indexDir} {
+	for _, tier := range []string{distDir, indexDir, tierDir} {
 		if err := fsys.RemoveAll(filepath.Join(dir, tier)); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
@@ -330,6 +331,41 @@ func (s *Store) PutDist(k DistKey, d int) {
 	s.put(pending{
 		tier: distDir, name: distName(k),
 		encode: func() ([]byte, error) { return encodeDist(k, d) },
+	})
+}
+
+// LookupTierDist returns the stored tiered-distance estimate for a
+// policy-qualified key, if a valid record exists. A record written under
+// any other policy (different budget, threshold, signature shape, or
+// routing tier) hashes to a different name and can never be served here;
+// a corrupted or colliding record fails its key echo and is counted in
+// corrupt_skipped, surfacing as a miss.
+func (s *Store) LookupTierDist(k TierKey) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	data, ok := s.load(tierDir, tierName(k))
+	if !ok {
+		return 0, false
+	}
+	d, err := decodeTier(data, k)
+	if err != nil {
+		s.skipCorrupt()
+		return 0, false
+	}
+	s.hit()
+	return d, true
+}
+
+// PutTierDist queues a tiered-distance record for write-behind. No-op on
+// nil, readonly, degraded, or closed stores.
+func (s *Store) PutTierDist(k TierKey, d float64) {
+	if s == nil {
+		return
+	}
+	s.put(pending{
+		tier: tierDir, name: tierName(k),
+		encode: func() ([]byte, error) { return encodeTier(k, d) },
 	})
 }
 

@@ -39,6 +39,7 @@ type Cache struct {
 	approx   map[approxKey]float64
 	profiles map[tree.Fingerprint]PQGramProfile
 	flats    map[tree.Fingerprint]*flat
+	sigs     map[sigKey]Signature
 
 	hits        atomic.Uint64
 	misses      atomic.Uint64
@@ -96,6 +97,7 @@ func NewCache() *Cache {
 		approx:   map[approxKey]float64{},
 		profiles: map[tree.Fingerprint]PQGramProfile{},
 		flats:    map[tree.Fingerprint]*flat{},
+		sigs:     map[sigKey]Signature{},
 	}
 }
 
