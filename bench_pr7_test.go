@@ -1,0 +1,216 @@
+// Bench trajectory emitter (PR 7): one `go test -bench` invocation that
+// measures the interpreter instrumentation substrate end to end and
+// writes the numbers to JSON:
+//
+//  1. profiling overhead on the coverage pipeline: the serial ports of
+//     every C++ app run through the profile-off coverage path and the
+//     profile-on (coverage + cost vectors) path — one execution now
+//     yields both artifacts, so the on-path should cost roughly the same
+//     wall-clock as coverage alone;
+//  2. measured-set build cost: profiling all ten ports of each C++ app
+//     into a perf.MeasuredSet (the substrate behind -phi-source=measured);
+//  3. navigation-chart cost, modeled vs measured source (the measured
+//     chart pays the profiling cost on top of the shared TED work);
+//  4. determinism: two independently built measured charts must be
+//     bit-identical (hard assert).
+//
+// Run with (see EXPERIMENTS.md §Bench trajectory):
+//
+//	SILVERVALE_BENCH_JSON=BENCH_PR7.json \
+//	  go test -run '^$' -bench '^BenchmarkPR7Trajectory$' -timeout 20m .
+//
+// Without SILVERVALE_BENCH_JSON set the benchmark skips, so plain
+// `go test -bench .` sweeps are not slowed down.
+package silvervale
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"silvervale/internal/core"
+	"silvervale/internal/corpus"
+	"silvervale/internal/experiments"
+)
+
+type pr7Bench struct {
+	Name       string `json:"name"`
+	Iterations int    `json:"iterations"`
+	NsPerOp    int64  `json:"ns_per_op"`
+}
+
+type pr7AppCost struct {
+	App     string `json:"app"`
+	Ports   int    `json:"ports"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
+type pr7Trajectory struct {
+	PR        int    `json:"pr"`
+	GoVersion string `json:"go"`
+	NumCPU    int    `json:"num_cpu"`
+	Apps      int    `json:"apps"`
+
+	// Coverage pipeline (generate + parse + interpret the serial port),
+	// profile off vs on, summed over every C++ app.
+	CoverageOffNs int64   `json:"coverage_off_ns"`
+	CoverageOnNs  int64   `json:"coverage_on_ns"`
+	OverheadPct   float64 `json:"profile_overhead_pct"`
+
+	MeasuredSets []pr7AppCost `json:"measured_sets"`
+
+	NavChartModeledNs       int64 `json:"navchart_modeled_ns"`
+	NavChartMeasuredNs      int64 `json:"navchart_measured_ns"`
+	MeasuredChartsIdentical bool  `json:"measured_charts_bit_identical"`
+
+	Benchmarks []pr7Bench `json:"benchmarks"`
+}
+
+func pr7CXXApps(b testing.TB) []corpus.App {
+	b.Helper()
+	var apps []corpus.App
+	for _, a := range corpus.Apps() {
+		if a.Lang == corpus.LangCXX {
+			apps = append(apps, a)
+		}
+	}
+	if len(apps) == 0 {
+		b.Fatal("no C++ apps in corpus")
+	}
+	return apps
+}
+
+func BenchmarkPR7Trajectory(b *testing.B) {
+	out := os.Getenv("SILVERVALE_BENCH_JSON")
+	if out == "" {
+		b.Skip("set SILVERVALE_BENCH_JSON=<path> to emit the bench trajectory")
+	}
+	const iters = 5 // per-leg repetitions; direct measurement, PR 3/4/6 scheme
+
+	apps := pr7CXXApps(b)
+	traj := pr7Trajectory{
+		PR: 7, GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(), Apps: len(apps),
+	}
+
+	measure := func(name string, fn func()) pr7Bench {
+		runtime.GC()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		return pr7Bench{Name: name, Iterations: iters, NsPerOp: elapsed.Nanoseconds() / iters}
+	}
+
+	// 1. Coverage pipeline, profile off vs on, serial ports of every app.
+	serialCBs := make([]*corpus.Codebase, len(apps))
+	for i, app := range apps {
+		cb, err := corpus.Generate(app, corpus.Serial)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialCBs[i] = cb
+	}
+	off := measure("CoverageSerialProfileOff", func() {
+		for _, cb := range serialCBs {
+			if _, err := core.RunCoverage(cb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	on := measure("CoverageSerialProfileOn", func() {
+		for _, cb := range serialCBs {
+			rp, err := core.ProfileCodebase(cb, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rp.Cost == nil || rp.Coverage == nil {
+				b.Fatal("profile-on run missing an artifact")
+			}
+		}
+	})
+	traj.CoverageOffNs = off.NsPerOp
+	traj.CoverageOnNs = on.NsPerOp
+	traj.OverheadPct = 100 * (float64(on.NsPerOp) - float64(off.NsPerOp)) / float64(off.NsPerOp)
+
+	// 2. Measured-set build: all ten ports of each app, fresh env per rep
+	// so the per-app cache never short-circuits the work being measured.
+	benches := []pr7Bench{off, on}
+	for _, app := range apps {
+		name := app.Name
+		bench := measure("MeasuredSet/"+name, func() {
+			env := experiments.NewEnvWorkers(1)
+			set, err := env.MeasuredSet(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(set.Models) == 0 {
+				b.Fatal("empty measured set")
+			}
+		})
+		traj.MeasuredSets = append(traj.MeasuredSets,
+			pr7AppCost{App: name, Ports: len(corpus.CXXModels()), NsPerOp: bench.NsPerOp})
+		benches = append(benches, bench)
+	}
+
+	// 3. Navigation chart, modeled vs measured source (babelstream; fresh
+	// env per rep, so each rep pays the full TED + profiling cost).
+	navModeled := measure("NavChartModeled", func() {
+		env := experiments.NewEnvWorkers(1)
+		if _, err := env.NavChart("babelstream"); err != nil {
+			b.Fatal(err)
+		}
+	})
+	navMeasured := measure("NavChartMeasured", func() {
+		env := experiments.NewEnvWorkers(1)
+		if err := env.SetPhiSource(experiments.PhiSourceMeasured); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := env.NavChart("babelstream"); err != nil {
+			b.Fatal(err)
+		}
+	})
+	traj.NavChartModeledNs = navModeled.NsPerOp
+	traj.NavChartMeasuredNs = navMeasured.NsPerOp
+	benches = append(benches, navModeled, navMeasured)
+
+	// 4. Determinism: two independently built measured charts, bit-identical
+	// both structurally and as serialized JSON.
+	var charts [2]interface{}
+	var blobs [2][]byte
+	for i := range charts {
+		env := experiments.NewEnvWorkers(1)
+		if err := env.SetPhiSource(experiments.PhiSourceMeasured); err != nil {
+			b.Fatal(err)
+		}
+		ch, err := env.NavChart("babelstream")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ch.WriteJSON(&buf); err != nil {
+			b.Fatal(err)
+		}
+		charts[i], blobs[i] = ch, buf.Bytes()
+	}
+	traj.MeasuredChartsIdentical = reflect.DeepEqual(charts[0], charts[1]) && bytes.Equal(blobs[0], blobs[1])
+	if !traj.MeasuredChartsIdentical {
+		b.Fatal("measured navigation charts differ between independent builds")
+	}
+
+	traj.Benchmarks = benches
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("bench trajectory written to %s (profile overhead %+.1f%%, measured navchart %.2fs vs modeled %.2fs)",
+		out, traj.OverheadPct,
+		time.Duration(traj.NavChartMeasuredNs).Seconds(), time.Duration(traj.NavChartModeledNs).Seconds())
+}

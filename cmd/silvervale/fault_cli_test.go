@@ -27,13 +27,13 @@ func promCounter(t *testing.T, metrics, name string) int {
 // fails mid-sweep exits zero with stdout byte-identical to a fault-free
 // run, and -metrics reports exactly one breaker trip.
 func TestFaultInjectedRunDegradesGracefully(t *testing.T) {
-	clean, err := capture(t, "matrix", "babelstream", "-metric", "tsem", "-cache-dir", t.TempDir())
+	clean, err := capture(t, "matrix", trimApp, "-metric", "tsem", "-cache-dir", t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	t.Setenv("SILVERVALE_FAULTFS", "enospc@5+")
-	faulted, err := capture(t, "matrix", "babelstream", "-metric", "tsem", "-cache-dir", t.TempDir())
+	faulted, err := capture(t, "matrix", trimApp, "-metric", "tsem", "-cache-dir", t.TempDir())
 	if err != nil {
 		t.Fatalf("fault-injected run must exit clean by default: %v", err)
 	}
@@ -41,7 +41,7 @@ func TestFaultInjectedRunDegradesGracefully(t *testing.T) {
 		t.Fatalf("fault-injected stdout differs from clean:\nclean:\n%s\nfaulted:\n%s", clean, faulted)
 	}
 
-	out, err := capture(t, "matrix", "babelstream", "-metric", "tsem",
+	out, err := capture(t, "matrix", trimApp, "-metric", "tsem",
 		"-cache-dir", t.TempDir(), "-metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -58,7 +58,7 @@ func TestFaultInjectedRunDegradesGracefully(t *testing.T) {
 // -cache-strict surfaces as a command error.
 func TestCacheStrictMakesFaultsFatal(t *testing.T) {
 	t.Setenv("SILVERVALE_FAULTFS", "enospc@5+")
-	_, err := capture(t, "matrix", "babelstream", "-metric", "tsem",
+	_, err := capture(t, "matrix", trimApp, "-metric", "tsem",
 		"-cache-dir", t.TempDir(), "-cache-strict")
 	if err == nil {
 		t.Fatal("-cache-strict run over a failing disk exited clean")

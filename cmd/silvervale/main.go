@@ -10,8 +10,8 @@
 //	silvervale index <app> <model> [-coverage] [-db <file>]
 //	silvervale diverge <app> <modelA> <modelB> [-metric <m>]
 //	silvervale matrix <app> [-metric <m>]
-//	silvervale phi <app>
-//	silvervale experiment <id>|all
+//	silvervale phi <app> [-phi-source modeled|measured] [-json <file>]
+//	silvervale experiment <id>|all [-phi-source modeled|measured]
 //	silvervale dump <app> <model> [-tree <metric>]
 //
 // Observability flags (leading, or trailing after positionals):
@@ -264,7 +264,7 @@ func run(args []string) error {
 	case "matrix":
 		err = cmdMatrix(args[1:], cfg)
 	case "phi":
-		err = cmdPhi(args[1:])
+		err = cmdPhi(args[1:], cfg)
 	case "experiment":
 		err = cmdExperiment(args[1:], cfg)
 	case "ingest":
@@ -291,8 +291,8 @@ commands:
   index <app> <model> [-coverage] [-db]  index into semantic-bearing trees
   diverge <app> <A> <B> [-metric m]      divergence of B from A
   matrix <app> [-metric m]               cartesian divergence, heatmap, dendrogram
-  phi <app>                              cascade plot and per-model phi
-  experiment <id>|all                    regenerate a paper table/figure
+  phi <app> [-phi-source s] [-json f]    cascade plot and per-model phi
+  experiment <id>|all [-phi-source s]    regenerate a paper table/figure
   ingest <dir>                           index a directory via its compile_commands.json
   dump <app> <model> [-tree m]           pretty-print a unit's tree
 
@@ -315,6 +315,16 @@ budget, and print a post-sweep tier stats line. -tier-budget 0 engages the
 tiered path in exact mode — output is byte-identical to the exact sweep.
 
   silvervale matrix tealeaf -tier-budget 0.05   # ~10x more units/sweep
+
+phi and experiment accept -phi-source measured: performance figures are
+derived from interpreter-measured cost vectors (statements, loop trips,
+memory bytes, flops, kernel launches) priced on each platform's roofline
+instead of the hand-written support-matrix landscape. The support matrix
+still gates which platforms a model can target. phi -json <file> also
+writes the app's navigation chart as JSON ("-" = stdout); under the
+measured source each point carries its cost summary. See DESIGN.md §11.
+
+  silvervale phi babelstream -phi-source measured -json chart.json
 
 Cache I/O errors never change results: past an error threshold the store
 degrades to memory-only (a one-line warning; results recompute). Pass
@@ -523,21 +533,66 @@ func cmdMatrix(args []string, cfg *obsConfig) error {
 	return nil
 }
 
-func cmdPhi(args []string) error {
+func cmdPhi(args []string, cfg *obsConfig) error {
 	fs := flag.NewFlagSet("phi", flag.ContinueOnError)
+	src := fs.String("phi-source", experiments.PhiSourceModeled,
+		"phi source: modeled (support-matrix landscape) or measured (interpreter cost vectors)")
+	jsonOut := fs.String("json", "", "also write the app's navigation chart JSON to this file (\"-\" = stdout)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial)")
+	cfg.register(fs)
 	pos, err := splitArgs(fs, args, 1)
 	if err != nil {
 		return err
 	}
 	app := pos[0]
+	env, err := cfg.newEnv(*workers)
+	if err != nil {
+		return err
+	}
+	if err := env.SetPhiSource(*src); err != nil {
+		return err
+	}
 	plats := perf.Platforms()
+	eff := func(m corpus.Model, p perf.Platform) float64 { return perf.Efficiency(app, m, p) }
+	phi := func(m corpus.Model) float64 { return perf.AppPhi(app, m, plats) }
+	if *src == experiments.PhiSourceMeasured {
+		set, err := env.MeasuredSet(app)
+		if err != nil {
+			return err
+		}
+		eff = set.Efficiency
+		phi = func(m corpus.Model) float64 { return set.AppPhi(m, plats) }
+		fmt.Println("phi source: measured (interpreter cost vectors, DESIGN.md §11)")
+	}
 	for _, m := range corpus.CXXModels() {
-		pts := perf.Cascade(app, m, plats)
-		fmt.Printf("%-12s phi=%.3f cascade:", m, perf.AppPhi(app, m, plats))
+		mm := m
+		pts := perf.CascadeOf(func(p perf.Platform) float64 { return eff(mm, p) }, plats)
+		fmt.Printf("%-12s phi=%.3f cascade:", m, phi(m))
 		for _, p := range pts {
 			fmt.Printf(" %s=%.2f", p.Platform, p.Eff)
 		}
 		fmt.Println()
+	}
+	if *jsonOut != "" {
+		ch, err := env.NavChart(app)
+		if err != nil {
+			return err
+		}
+		if *jsonOut == "-" {
+			return ch.WriteJSON(os.Stdout)
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := ch.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "navigation chart written to %s\n", *jsonOut)
 	}
 	return nil
 }
@@ -545,6 +600,8 @@ func cmdPhi(args []string) error {
 func cmdExperiment(args []string, cfg *obsConfig) error {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial)")
+	src := fs.String("phi-source", experiments.PhiSourceModeled,
+		"phi source for performance figures: modeled or measured")
 	cfg.register(fs)
 	pos, err := splitArgs(fs, args, 1)
 	if err != nil {
@@ -552,6 +609,9 @@ func cmdExperiment(args []string, cfg *obsConfig) error {
 	}
 	env, err := cfg.newEnv(*workers)
 	if err != nil {
+		return err
+	}
+	if err := env.SetPhiSource(*src); err != nil {
 		return err
 	}
 	ids := []string{pos[0]}

@@ -158,21 +158,21 @@ func storeHits(t *testing.T, metrics string) int {
 // and a readonly warm run reports store hits in -metrics.
 func TestMatrixCacheDirColdThenWarm(t *testing.T) {
 	dir := t.TempDir()
-	cold, err := capture(t, "matrix", "babelstream", "-metric", "tsem", "-cache-dir", dir)
+	cold, err := capture(t, "matrix", trimApp, "-metric", "tsem", "-cache-dir", dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(cold, "serial") {
+	if !strings.Contains(cold, trimAppMarker) {
 		t.Fatalf("matrix output: %q", cold)
 	}
-	warm, err := capture(t, "matrix", "babelstream", "-metric", "tsem", "-cache-dir", dir)
+	warm, err := capture(t, "matrix", trimApp, "-metric", "tsem", "-cache-dir", dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if warm != cold {
 		t.Fatalf("warm stdout differs from cold:\ncold:\n%s\nwarm:\n%s", cold, warm)
 	}
-	out, err := capture(t, "matrix", "babelstream", "-metric", "tsem",
+	out, err := capture(t, "matrix", trimApp, "-metric", "tsem",
 		"-cache-dir", dir, "-cache-readonly", "-metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -181,7 +181,7 @@ func TestMatrixCacheDirColdThenWarm(t *testing.T) {
 		t.Fatal("readonly warm run reported zero store hits")
 	}
 	// -cache-clear empties the tiers: the next run is cold again.
-	out, err = capture(t, "matrix", "babelstream", "-metric", "tsem",
+	out, err = capture(t, "matrix", trimApp, "-metric", "tsem",
 		"-cache-dir", dir, "-cache-clear", "-metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -195,7 +195,7 @@ func TestMatrixCacheDirColdThenWarm(t *testing.T) {
 // line: store-less runs keep the exact old shape, -cache-dir runs append
 // the store fragment.
 func TestExperimentCacheStatsLineGainsStore(t *testing.T) {
-	out, err := capture(t, "experiment", "fig4")
+	out, err := capture(t, "experiment", trimExperiment)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestExperimentCacheStatsLineGainsStore(t *testing.T) {
 		t.Fatalf("store-less cache-stats line changed: %q", out)
 	}
 	dir := t.TempDir()
-	out, err = capture(t, "experiment", "fig4", "-cache-dir", dir)
+	out, err = capture(t, "experiment", trimExperiment, "-cache-dir", dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"silvervale/internal/corpus"
+	"silvervale/internal/perf"
+)
+
+// TestPhiDefaultOutputUnchanged: without -phi-source the phi subcommand
+// must print byte-for-byte what it always printed (the modeled cascade
+// table) — the measured path is strictly opt-in.
+func TestPhiDefaultOutputUnchanged(t *testing.T) {
+	out, err := capture(t, "phi", "tealeaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	plats := perf.Platforms()
+	for _, m := range corpus.CXXModels() {
+		pts := perf.Cascade("tealeaf", m, plats)
+		fmt.Fprintf(&want, "%-12s phi=%.3f cascade:", m, perf.AppPhi("tealeaf", m, plats))
+		for _, p := range pts {
+			fmt.Fprintf(&want, " %s=%.2f", p.Platform, p.Eff)
+		}
+		want.WriteByte('\n')
+	}
+	if out != want.String() {
+		t.Fatalf("default phi output changed:\n got: %q\nwant: %q", out, want.String())
+	}
+}
+
+func TestPhiMeasured(t *testing.T) {
+	out, err := capture(t, "phi", "babelstream", "-phi-source", "measured")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "phi source: measured") {
+		t.Fatalf("missing provenance line: %q", out)
+	}
+	// host-only models stay gated to zero; at least one offload-capable
+	// model earns a nonzero measured phi
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "omp ") && !strings.Contains(line, "phi=0.000") {
+			t.Errorf("host-only omp should have phi=0.000: %q", line)
+		}
+	}
+	if !regexp.MustCompile(`(?m)^(kokkos|sycl-acc|sycl-usm|omp-target)\s+phi=0\.[1-9]|phi=1\.000`).MatchString(out) {
+		t.Errorf("no nonzero measured phi in output:\n%s", out)
+	}
+}
+
+func TestPhiRejectsBadSource(t *testing.T) {
+	if err := run([]string{"phi", "babelstream", "-phi-source", "vibes"}); err == nil {
+		t.Fatal("bogus -phi-source accepted")
+	}
+	if err := run([]string{"phi", "babelstream-fortran", "-phi-source", "measured"}); err == nil {
+		t.Fatal("measured phi for a Fortran app should fail")
+	}
+}
+
+// chartJSON is the subset of the navigation-chart JSON the CLI tests check.
+type chartJSON struct {
+	App       string   `json:"app"`
+	PhiSource string   `json:"phi_source"`
+	Platforms []string `json:"platforms"`
+	Points    []struct {
+		Model string          `json:"model"`
+		Phi   float64         `json:"phi"`
+		Effs  []float64       `json:"effs"`
+		Cost  json.RawMessage `json:"cost"`
+	} `json:"points"`
+}
+
+func readChart(t *testing.T, path string) chartJSON {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ch chartJSON
+	if err := json.Unmarshal(data, &ch); err != nil {
+		t.Fatalf("chart JSON does not parse: %v", err)
+	}
+	return ch
+}
+
+func TestPhiJSONChart(t *testing.T) {
+	if raceEnabled {
+		t.Skip("navigation-chart TED under the race detector blows the package timeout; the chart path is race-covered in internal/experiments")
+	}
+	dir := t.TempDir()
+
+	measured := filepath.Join(dir, "measured.json")
+	if _, err := capture(t, "phi", "babelstream", "-phi-source", "measured", "-json", measured); err != nil {
+		t.Fatal(err)
+	}
+	ch := readChart(t, measured)
+	if ch.App != "babelstream" || ch.PhiSource != "measured" {
+		t.Fatalf("chart header: app=%q phi_source=%q", ch.App, ch.PhiSource)
+	}
+	if len(ch.Points) != len(corpus.CXXModels()) {
+		t.Fatalf("%d points for %d models", len(ch.Points), len(corpus.CXXModels()))
+	}
+	for _, p := range ch.Points {
+		if len(p.Effs) != len(ch.Platforms) {
+			t.Fatalf("%s: %d effs for %d platforms", p.Model, len(p.Effs), len(ch.Platforms))
+		}
+		if len(p.Cost) == 0 || string(p.Cost) == "null" {
+			t.Fatalf("%s: measured chart point has no cost summary", p.Model)
+		}
+	}
+
+	modeled := filepath.Join(dir, "modeled.json")
+	if _, err := capture(t, "phi", "babelstream", "-json", modeled); err != nil {
+		t.Fatal(err)
+	}
+	mch := readChart(t, modeled)
+	if mch.PhiSource != "modeled" {
+		t.Fatalf("modeled chart phi_source = %q", mch.PhiSource)
+	}
+	for _, p := range mch.Points {
+		if len(p.Cost) != 0 {
+			t.Fatalf("%s: modeled chart point must not carry cost", p.Model)
+		}
+	}
+}
+
+// TestPhiMeasuredMetrics: the verify-skill smoke — a measured phi run with
+// -metrics exposes nonzero interp.* counters (the instrumentation substrate
+// actually ran and was observed).
+func TestPhiMeasuredMetrics(t *testing.T) {
+	out, err := capture(t, "phi", "babelstream", "-phi-source", "measured", "-metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"runs", "steps", "stmts", "loop_trips", "mem_bytes", "flops", "calls"} {
+		re := regexp.MustCompile(`(?m)^silvervale_interp_` + c + ` (\d+)$`)
+		m := re.FindStringSubmatch(out)
+		if m == nil {
+			t.Errorf("metrics output missing silvervale_interp_%s", c)
+			continue
+		}
+		if n, _ := strconv.Atoi(m[1]); n == 0 {
+			t.Errorf("silvervale_interp_%s is zero", c)
+		}
+	}
+}
+
+func TestExperimentPhiSourceFlag(t *testing.T) {
+	if err := run([]string{"experiment", "fig11", "-phi-source", "vibes"}); err == nil {
+		t.Fatal("bogus -phi-source accepted by experiment")
+	}
+	if raceEnabled {
+		t.Skip("figure sweep under the race detector blows the package timeout; measured figures are race-covered in internal/experiments")
+	}
+	out, err := capture(t, "experiment", "fig11", "-phi-source", "measured")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "phi source: measured") {
+		t.Errorf("fig11 under -phi-source=measured lacks provenance line:\n%s", out)
+	}
+}

@@ -1,0 +1,13 @@
+//go:build !race
+
+package main
+
+// Full-size fixtures for the plain suite; see race_on_test.go for why
+// -race runs swap in the Fortran corpus.
+const (
+	raceEnabled = false
+
+	trimApp        = "babelstream"
+	trimAppMarker  = "serial"
+	trimExperiment = "fig4"
+)

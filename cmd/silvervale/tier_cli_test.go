@@ -54,7 +54,7 @@ func tierCounter(t *testing.T, metrics, name string) int {
 // the stats line with its policy and registers nonzero ted.tier_*
 // counters; without -tier-budget neither appears.
 func TestExperimentTierStatsLineAndMetrics(t *testing.T) {
-	out, err := capture(t, "experiment", "fig4", "-tier-budget", "0.2", "-metrics")
+	out, err := capture(t, "experiment", trimExperiment, "-tier-budget", "0.2", "-metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestExperimentTierStatsLineAndMetrics(t *testing.T) {
 		t.Fatal("tier counters do not sum to routed pairs")
 	}
 
-	out, err = capture(t, "experiment", "fig4", "-metrics")
+	out, err = capture(t, "experiment", trimExperiment, "-metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,14 +86,14 @@ func TestExperimentTierStatsLineAndMetrics(t *testing.T) {
 // exact-equivalent configuration — stdout matrix identical to the exact
 // run, stats line on stderr reporting every routed pair as exact.
 func TestMatrixTierBudgetZeroSmoke(t *testing.T) {
-	plain, plainErr, err := captureBoth(t, "matrix", "babelstream", "-metric", "tsem")
+	plain, plainErr, err := captureBoth(t, "matrix", trimApp, "-metric", "tsem")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(plainErr, "ted tiering") {
 		t.Fatalf("untiered matrix printed a tier stats line: %q", plainErr)
 	}
-	tiered, tieredErr, err := captureBoth(t, "matrix", "babelstream", "-metric", "tsem", "-tier-budget", "0")
+	tiered, tieredErr, err := captureBoth(t, "matrix", trimApp, "-metric", "tsem", "-tier-budget", "0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -311,11 +311,11 @@ func pruneSystemDecls(unit *minic.ASTNode, isSystem func(string) bool) *minic.AS
 	return out
 }
 
-// RunCoverage executes the serial port of an app in the interpreter on the
-// reduced problem size and returns its coverage profile, implementing the
-// "recompile with coverage flags and run with a reduced problem set" leg of
-// the workflow.
-func RunCoverage(cb *corpus.Codebase) (*coverage.Profile, error) {
+// combinedUnit preprocesses and parses a whole C++ codebase as one
+// translation unit (every unit file included into a synthetic
+// __combined.cpp, main last), the executable form both the coverage and
+// profiling runs interpret.
+func combinedUnit(cb *corpus.Codebase) (*minic.ASTNode, error) {
 	if cb.Lang == corpus.LangFortran {
 		return nil, fmt.Errorf("core: coverage runs require the C++ interpreter")
 	}
@@ -340,6 +340,18 @@ func RunCoverage(cb *corpus.Codebase) (*coverage.Profile, error) {
 		return nil, err
 	}
 	minic.ApplyLineOrigins(unit, res.LineOrigin)
+	return unit, nil
+}
+
+// RunCoverage executes the serial port of an app in the interpreter on the
+// reduced problem size and returns its coverage profile, implementing the
+// "recompile with coverage flags and run with a reduced problem set" leg of
+// the workflow.
+func RunCoverage(cb *corpus.Codebase) (*coverage.Profile, error) {
+	unit, err := combinedUnit(cb)
+	if err != nil {
+		return nil, err
+	}
 	out, err := interp.Run(unit, interp.Options{})
 	if err != nil {
 		return nil, err

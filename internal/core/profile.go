@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"silvervale/internal/corpus"
+	"silvervale/internal/coverage"
+	"silvervale/internal/interp"
+	"silvervale/internal/obs"
+)
+
+// RunProfile is the outcome of one profiled interpreter execution: the
+// coverage mask and the per-function cost profile from the same single
+// pass, so measured-Φ sweeps never re-run an app the coverage workflow
+// already executed (DESIGN.md §11).
+type RunProfile struct {
+	// Coverage is the executed-line mask (what RunCoverage returns).
+	Coverage *coverage.Profile
+	// Cost is the per-function cost profile of the same execution.
+	Cost *interp.Profile
+	// Output is the program's captured printf output (validation lines).
+	Output []string
+	// Steps is the interpreter step count.
+	Steps int
+	// Err records a non-fatal execution fault. Profiled runs are lenient —
+	// ports whose device abstractions the serial dialect cannot model
+	// (SYCL accessors) keep going past subscript faults — but a run can
+	// still end early (step limit); the partial profile is kept and the
+	// fault is surfaced here rather than discarding the measurement.
+	Err error
+}
+
+// ProfileCodebase executes a C++ codebase once in the interpreter with
+// cost profiling enabled and returns both the coverage profile and the
+// cost profile from that single pass. Execution is lenient (see
+// interp.Options.Lenient) so every port in the corpus completes
+// deterministically. The optional span receives an "interp.run" child
+// with per-kernel spans and interp.* counters.
+func ProfileCodebase(cb *corpus.Codebase, span *obs.Span) (*RunProfile, error) {
+	unit, err := combinedUnit(cb)
+	if err != nil {
+		return nil, err
+	}
+	rsp := span.Start("interp.run").
+		Arg("app", cb.App).Arg("model", string(cb.Model))
+	out, runErr := interp.Run(unit, interp.Options{
+		Profile: true,
+		Lenient: true,
+		Span:    rsp,
+	})
+	rsp.End()
+	if out == nil {
+		return nil, fmt.Errorf("core: profile %s/%s: %w", cb.App, cb.Model, runErr)
+	}
+	return &RunProfile{
+		Coverage: coverage.NewProfile(out.Coverage),
+		Cost:     out.Profile,
+		Output:   out.Output,
+		Steps:    out.Steps,
+		Err:      runErr,
+	}, nil
+}

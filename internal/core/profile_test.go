@@ -1,0 +1,134 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"silvervale/internal/corpus"
+	"silvervale/internal/obs"
+)
+
+func genCB(t *testing.T, app corpus.App, model corpus.Model) *corpus.Codebase {
+	t.Helper()
+	cb, err := corpus.Generate(app, model)
+	if err != nil {
+		t.Fatalf("generate %s/%s: %v", app.Name, model, err)
+	}
+	return cb
+}
+
+func appByName(t *testing.T, name string) corpus.App {
+	t.Helper()
+	for _, a := range corpus.Apps() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no app %q", name)
+	return corpus.App{}
+}
+
+// TestProfileCodebaseSinglePass: the profiled run's coverage must equal
+// what RunCoverage produces — one execution serves both consumers.
+func TestProfileCodebaseSinglePass(t *testing.T) {
+	app := appByName(t, "babelstream")
+	cb := genCB(t, app, corpus.Serial)
+	cov, err := RunCoverage(cb)
+	if err != nil {
+		t.Fatalf("RunCoverage: %v", err)
+	}
+	rp, err := ProfileCodebase(cb, nil)
+	if err != nil {
+		t.Fatalf("ProfileCodebase: %v", err)
+	}
+	if rp.Err != nil {
+		t.Fatalf("serial run faulted: %v", rp.Err)
+	}
+	if !reflect.DeepEqual(cov, rp.Coverage) {
+		t.Fatal("profiled coverage differs from RunCoverage")
+	}
+	if rp.Cost == nil || rp.Cost.Total.IsZero() {
+		t.Fatal("cost profile empty")
+	}
+	// the serial port's kernels execute fully: each must show real work
+	for _, k := range app.Kernels {
+		cv := rp.Cost.Func(k.Name)
+		if cv.Calls == 0 || cv.LoopTrips == 0 || cv.MemBytes == 0 {
+			t.Fatalf("kernel %s vector empty: %+v", k.Name, cv)
+		}
+	}
+}
+
+// TestProfileCodebaseAllModels: every C++ port in the corpus must profile
+// without a fatal error (lenient mode carries the SYCL accessor ports
+// past subscript faults) and attribute calls to every kernel wrapper.
+func TestProfileCodebaseAllModels(t *testing.T) {
+	for _, app := range corpus.Apps() {
+		if app.Lang == corpus.LangFortran {
+			continue
+		}
+		for _, m := range corpus.CXXModels() {
+			cb := genCB(t, app, m)
+			rp, err := ProfileCodebase(cb, nil)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", app.Name, m, err)
+			}
+			for _, k := range app.Kernels {
+				if rp.Cost.Func(k.Name).Calls == 0 {
+					t.Errorf("%s/%s: kernel %s never called", app.Name, m, k.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestProfileCodebaseDeterministic: cost profiles are bit-identical
+// across repeated runs.
+func TestProfileCodebaseDeterministic(t *testing.T) {
+	app := appByName(t, "tealeaf")
+	cb := genCB(t, app, corpus.SYCLACC)
+	a, err := ProfileCodebase(cb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ProfileCodebase(cb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Cost, b.Cost) {
+		t.Fatal("cost profiles differ across identical runs")
+	}
+	if a.Steps != b.Steps {
+		t.Fatalf("steps differ: %d vs %d", a.Steps, b.Steps)
+	}
+}
+
+// TestProfileCodebaseObs: the interp.run span and interp.* counters land
+// on the provided span's recorder.
+func TestProfileCodebaseObs(t *testing.T) {
+	rec := obs.NewRecorder()
+	root := rec.Start("test.root")
+	cb := genCB(t, appByName(t, "babelstream"), corpus.Serial)
+	if _, err := ProfileCodebase(cb, root); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	for _, name := range []string{"interp.runs", "interp.stmts", "interp.loop_trips",
+		"interp.mem_bytes", "interp.flops", "interp.calls"} {
+		if rec.Counter(name).Value() == 0 {
+			t.Errorf("counter %s is zero", name)
+		}
+	}
+	var runSpans, kernelSpans int
+	for _, s := range rec.Spans() {
+		switch s.Name {
+		case "interp.run":
+			runSpans++
+		case "interp.kernel":
+			kernelSpans++
+		}
+	}
+	if runSpans != 1 || kernelSpans == 0 {
+		t.Fatalf("spans: interp.run=%d interp.kernel=%d", runSpans, kernelSpans)
+	}
+}

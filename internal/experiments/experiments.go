@@ -14,7 +14,6 @@ import (
 	"silvervale/internal/cluster"
 	"silvervale/internal/core"
 	"silvervale/internal/corpus"
-	"silvervale/internal/navchart"
 	"silvervale/internal/obs"
 	"silvervale/internal/perf"
 	"silvervale/internal/store"
@@ -55,6 +54,14 @@ type Env struct {
 	tiered      bool
 	cache       map[string]map[string]*core.Index
 	matrixCache map[string][][]float64
+	// phiSource selects where performance figures draw Φ from: "modeled"
+	// (default, the hand-written landscape) or "measured" (interpreter
+	// cost vectors; DESIGN.md §11). measured caches one MeasuredSet per
+	// app so a sweep profiles each port exactly once; profileRuns counts
+	// interpreter executions for the single-pass regression gate.
+	phiSource   string
+	measured    map[string]*perf.MeasuredSet
+	profileRuns int64
 }
 
 // NewEnv returns an experiment environment with a NumCPU-bounded engine.
@@ -86,6 +93,8 @@ func NewEnvStore(workers int, rec *obs.Recorder, st *store.Store) *Env {
 		rec:         rec,
 		cache:       map[string]map[string]*core.Index{},
 		matrixCache: map[string][][]float64{},
+		phiSource:   PhiSourceModeled,
+		measured:    map[string]*perf.MeasuredSet{},
 	}
 }
 
@@ -443,37 +452,40 @@ func (e *Env) migrationFigure(id, app, base, title string) (*Result, error) {
 func (e *Env) cascadeFigure(id, app, title string) (*Result, error) {
 	plats := perf.Platforms()
 	models := corpus.CXXModels()
+	eff, phi, err := e.phiFns(app)
+	if err != nil {
+		return nil, err
+	}
 	var names []string
 	var series [][]float64
 	var phis []float64
 	for _, m := range models {
-		pts := perf.Cascade(app, m, plats)
+		m := m
+		pts := perf.CascadeOf(func(p perf.Platform) float64 { return eff(m, p) }, plats)
 		row := make([]float64, len(pts))
 		for i, p := range pts {
 			row[i] = p.Eff
 		}
 		names = append(names, string(m))
 		series = append(series, row)
-		phis = append(phis, perf.AppPhi(app, m, plats))
+		phis = append(phis, phi(m, plats))
 	}
-	return &Result{ID: id, Title: title, Text: textplot.Cascade(names, series, phis)}, nil
+	text := textplot.Cascade(names, series, phis)
+	if e.PhiSource() == PhiSourceMeasured {
+		text += "\nphi source: measured (interpreter cost vectors, DESIGN.md §11)\n"
+	}
+	return &Result{ID: id, Title: title, Text: text}, nil
 }
 
 func (e *Env) navigationFigure(id, app, title string) (*Result, error) {
-	idxs, order, err := e.Indexes(app)
+	ch, err := e.NavChart(app)
 	if err != nil {
 		return nil, err
 	}
-	tsem, err := e.engine.FromBase(idxs, "serial", order, core.MetricTsem)
-	if err != nil {
-		return nil, err
-	}
-	tsrc, err := e.engine.FromBase(idxs, "serial", order, core.MetricTsrc)
-	if err != nil {
-		return nil, err
-	}
-	ch := navchart.Build(app, "serial", tsem, tsrc, corpus.CXXModels(), perf.Platforms())
 	var b strings.Builder
+	if ch.PhiSource == PhiSourceMeasured {
+		b.WriteString("phi source: measured (interpreter cost vectors, DESIGN.md §11)\n")
+	}
 	var pts []textplot.ScatterPoint
 	for _, p := range ch.Points {
 		b.WriteString(p.Row() + "\n")
@@ -578,11 +590,18 @@ func (e *Env) fig15() (*Result, error) {
 	}
 	nvOnly := []perf.Platform{h100}
 	both := []perf.Platform{h100, mi}
+	_, phi, err := e.phiFns("cloverleaf")
+	if err != nil {
+		return nil, err
+	}
 	var b strings.Builder
+	if e.PhiSource() == PhiSourceMeasured {
+		b.WriteString("phi source: measured (interpreter cost vectors, DESIGN.md §11)\n")
+	}
 	fmt.Fprintf(&b, "Point 1: CUDA codebase, NVIDIA-only platform set: phi = %.3f\n",
-		perf.AppPhi("cloverleaf", corpus.CUDA, nvOnly))
+		phi(corpus.CUDA, nvOnly))
 	fmt.Fprintf(&b, "Point 2: AMD GPUs arrive, CUDA codebase:          phi = %.3f\n",
-		perf.AppPhi("cloverleaf", corpus.CUDA, both))
+		phi(corpus.CUDA, both))
 	b.WriteString("Point 3 candidates (phi on {H100, MI250X}, divergence from CUDA):\n")
 	idxs, order, err := e.Indexes("cloverleaf")
 	if err != nil {
@@ -599,7 +618,7 @@ func (e *Env) fig15() (*Result, error) {
 	}
 	var cands []cand
 	for _, m := range []corpus.Model{corpus.HIP, corpus.Kokkos, corpus.SYCLACC, corpus.SYCLUSM, corpus.OpenMPTarget} {
-		cands = append(cands, cand{string(m), perf.AppPhi("cloverleaf", m, both), fromCUDA[string(m)]})
+		cands = append(cands, cand{string(m), phi(m, both), fromCUDA[string(m)]})
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].phi-cands[i].div > cands[j].phi-cands[j].div })
 	for _, c := range cands {

@@ -1,0 +1,67 @@
+package interp
+
+import (
+	"testing"
+
+	"silvervale/internal/minic"
+)
+
+// benchProg exercises every instrumented site: statements, loop
+// back-edges, subscript reads/writes, float arithmetic, math builtins,
+// and user-function calls.
+const benchProg = `
+double stencil(double* a, double* b, int n) {
+	double acc = 0.0;
+	for (int i = 1; i < n - 1; i++) {
+		b[i] = 0.5 * (a[i - 1] + a[i + 1]) - a[i];
+		acc += sqrt(fabs(b[i]) + 1.0);
+	}
+	return acc;
+}
+
+int main() {
+	int n = 256;
+	double* a = new double[n];
+	double* b = new double[n];
+	for (int i = 0; i < n; i++) { a[i] = 0.001 * i; }
+	double acc = 0.0;
+	for (int it = 0; it < 50; it++) {
+		acc = stencil(a, b, n);
+	}
+	if (acc < 0.0) { return 1; }
+	return 0;
+}
+`
+
+// BenchmarkInterpInstrumentation pins the cost of the profiling
+// substrate, mirroring the PR 2 BenchmarkMatrixObsEnabled pattern:
+// "off" is the default path where every instrumented site is a single
+// nil-pointer check (must stay within ~2% of the pre-instrumentation
+// interpreter; EXPERIMENTS.md §Interp instrumentation overhead), "on"
+// is the fully profiled run.
+func BenchmarkInterpInstrumentation(b *testing.B) {
+	unit, err := minic.ParseUnit(benchProg, "bench.c")
+	if err != nil {
+		b.Fatalf("parse: %v", err)
+	}
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"off", Options{}},
+		{"on", Options{Profile: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(unit, mode.opts)
+				if err != nil {
+					b.Fatalf("run: %v", err)
+				}
+				if res.Exit.AsInt() != 0 {
+					b.Fatalf("exit = %v", res.Exit)
+				}
+			}
+		})
+	}
+}

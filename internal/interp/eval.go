@@ -62,6 +62,10 @@ func (in *interp) evalExpr(e *minic.ASTNode) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
+		if arr == nil { // lenient skip: unmodelable access reads undef
+			return Value{Undef: true}, nil
+		}
+		in.prof.mem(ElemBytes)
 		return FloatV(arr.Data[idx]), nil
 	case minic.KCallExpr:
 		return in.evalCall(e)
@@ -102,12 +106,23 @@ func (in *interp) evalExpr(e *minic.ASTNode) (Value, error) {
 	}
 }
 
+// evalSubscript resolves an array access. In lenient mode, subscript
+// faults (non-array base, index out of range) return a nil array with a
+// nil error — callers treat that as an undef read / dropped write — while
+// genuine evaluation errors (step limit, ...) still propagate.
 func (in *interp) evalSubscript(e *minic.ASTNode) (*Array, int64, error) {
 	base, err := in.evalExpr(e.Children[0])
 	if err != nil {
 		return nil, 0, err
 	}
 	if base.Kind != ValArray || base.Arr == nil {
+		if in.lenient {
+			// still evaluate the index for its side effects (i++ patterns)
+			if _, err := in.evalExpr(e.Children[1]); err != nil {
+				return nil, 0, err
+			}
+			return nil, 0, nil
+		}
 		return nil, 0, fmt.Errorf("interp: subscript of non-array at %s", e.Pos)
 	}
 	idx, err := in.evalExpr(e.Children[1])
@@ -116,6 +131,9 @@ func (in *interp) evalSubscript(e *minic.ASTNode) (*Array, int64, error) {
 	}
 	i := idx.AsInt()
 	if i < 0 || i >= int64(len(base.Arr.Data)) {
+		if in.lenient {
+			return nil, 0, nil
+		}
 		return nil, 0, fmt.Errorf("interp: index %d out of range [0,%d) at %s",
 			i, len(base.Arr.Data), e.Pos)
 	}
@@ -141,6 +159,10 @@ func (in *interp) assignTo(lhs *minic.ASTNode, v Value) error {
 		if err != nil {
 			return err
 		}
+		if arr == nil { // lenient skip: unmodelable access drops the write
+			return nil
+		}
+		in.prof.mem(ElemBytes)
 		arr.Data[idx] = v.AsFloat()
 		return nil
 	case minic.KParenExpr:
@@ -173,7 +195,7 @@ func (in *interp) evalBinary(e *minic.ASTNode) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		v, err := arith(base, cur, rhs, e.Pos)
+		v, err := in.arith(base, cur, rhs, e.Pos)
 		if err != nil {
 			return Value{}, err
 		}
@@ -205,10 +227,10 @@ func (in *interp) evalBinary(e *minic.ASTNode) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	return arith(op, a, b, e.Pos)
+	return in.arith(op, a, b, e.Pos)
 }
 
-func arith(op string, a, b Value, pos interface{ String() string }) (Value, error) {
+func (in *interp) arith(op string, a, b Value, pos interface{ String() string }) (Value, error) {
 	bothInt := a.Kind == ValInt && b.Kind == ValInt
 	switch op {
 	case "+", "-", "*", "/", "%":
@@ -233,6 +255,7 @@ func arith(op string, a, b Value, pos interface{ String() string }) (Value, erro
 			}
 		}
 		af, bf := a.AsFloat(), b.AsFloat()
+		in.prof.flop(1)
 		switch op {
 		case "+":
 			return FloatV(af + bf), nil
@@ -295,6 +318,7 @@ func (in *interp) evalUnary(e *minic.ASTNode) (Value, error) {
 		if v.Kind == ValInt {
 			return IntV(-v.I), nil
 		}
+		in.prof.flop(1)
 		return FloatV(-v.AsFloat()), nil
 	case "+":
 		return in.evalExpr(e.Children[0])
@@ -321,6 +345,7 @@ func (in *interp) evalUnary(e *minic.ASTNode) (Value, error) {
 		}
 		var next Value
 		if cur.Kind == ValFloat {
+			in.prof.flop(1)
 			next = FloatV(cur.AsFloat() + float64(delta))
 		} else {
 			next = IntV(cur.AsInt() + delta)
@@ -362,24 +387,34 @@ func (in *interp) evalCall(e *minic.ASTNode) (Value, error) {
 	}
 	switch short {
 	case "sqrt", "sqrtf":
+		in.prof.flop(1)
 		return FloatV(math.Sqrt(argF(args, 0))), nil
 	case "fabs", "abs", "fabsf":
+		in.prof.flop(1)
 		return FloatV(math.Abs(argF(args, 0))), nil
 	case "exp":
+		in.prof.flop(1)
 		return FloatV(math.Exp(argF(args, 0))), nil
 	case "log":
+		in.prof.flop(1)
 		return FloatV(math.Log(argF(args, 0))), nil
 	case "pow":
+		in.prof.flop(1)
 		return FloatV(math.Pow(argF(args, 0), argF(args, 1))), nil
 	case "sin":
+		in.prof.flop(1)
 		return FloatV(math.Sin(argF(args, 0))), nil
 	case "cos":
+		in.prof.flop(1)
 		return FloatV(math.Cos(argF(args, 0))), nil
 	case "floor":
+		in.prof.flop(1)
 		return FloatV(math.Floor(argF(args, 0))), nil
 	case "min", "fmin":
+		in.prof.flop(1)
 		return FloatV(math.Min(argF(args, 0), argF(args, 1))), nil
 	case "max", "fmax":
+		in.prof.flop(1)
 		return FloatV(math.Max(argF(args, 0), argF(args, 1))), nil
 	case "printf", "print", "puts", "fprintf":
 		var parts []string

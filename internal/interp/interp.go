@@ -13,9 +13,11 @@ package interp
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"silvervale/internal/minic"
+	"silvervale/internal/obs"
 	"silvervale/internal/srcloc"
 )
 
@@ -110,6 +112,8 @@ type Result struct {
 	Coverage *srcloc.LineMask
 	Output   []string // lines printed via printf/print
 	Steps    int
+	// Profile is the per-function cost profile (nil unless Options.Profile).
+	Profile *Profile
 }
 
 // Options configures execution.
@@ -120,10 +124,24 @@ type Options struct {
 	Args []Value
 	// Entry is the function to run (default "main").
 	Entry string
+	// Profile enables per-function cost counters (Result.Profile). Off by
+	// default; the disabled path costs one nil-pointer check per event.
+	Profile bool
+	// Lenient downgrades subscript faults (non-array base, index out of
+	// range) to undef reads / dropped writes instead of aborting, so ports
+	// whose device abstractions the serial dialect cannot model (e.g. SYCL
+	// accessors) still complete deterministically. Step-limit and other
+	// errors still abort.
+	Lenient bool
+	// Span, when non-nil, receives per-kernel child spans plus interp.*
+	// counters on its Recorder at the end of the run (DESIGN.md §5, §11).
+	Span *obs.Span
 }
 
 // Run executes a translation unit and returns the exit value, coverage and
-// captured output.
+// captured output. On error the returned Result is still populated with
+// whatever coverage, output and profile accumulated up to the fault, so
+// profiled runs keep their partial measurements.
 func Run(unit *minic.ASTNode, opts Options) (*Result, error) {
 	if opts.MaxSteps <= 0 {
 		opts.MaxSteps = 20_000_000
@@ -136,24 +154,69 @@ func Run(unit *minic.ASTNode, opts Options) (*Result, error) {
 		maxSteps: opts.MaxSteps,
 		cov:      srcloc.NewLineMask(),
 		globals:  map[string]*Value{},
+		lenient:  opts.Lenient,
 	}
+	if opts.Profile {
+		in.prof = newProfiler()
+	}
+	var exit Value
+	var runErr error
 	// evaluate global variable initialisers
 	for _, d := range unit.Children {
 		if d.Kind == minic.KDeclStmt {
-			if err := in.execGlobalDecl(d); err != nil {
-				return nil, err
+			if runErr = in.execGlobalDecl(d); runErr != nil {
+				break
 			}
 		}
 	}
-	entry, ok := in.funcs[opts.Entry]
-	if !ok {
-		return nil, fmt.Errorf("interp: no entry function %q", opts.Entry)
+	if runErr == nil {
+		if entry, ok := in.funcs[opts.Entry]; ok {
+			exit, runErr = in.callFunction(entry, opts.Args)
+		} else {
+			runErr = fmt.Errorf("interp: no entry function %q", opts.Entry)
+		}
 	}
-	v, err := in.callFunction(entry, opts.Args)
-	if err != nil {
-		return nil, err
+	res := &Result{
+		Exit:     exit,
+		Coverage: in.cov,
+		Output:   in.output,
+		Steps:    in.steps,
+		Profile:  in.prof.profile(),
 	}
-	return &Result{Exit: v, Coverage: in.cov, Output: in.output, Steps: in.steps}, nil
+	emitObs(opts.Span, res)
+	return res, runErr
+}
+
+// emitObs publishes a finished run to an observability span: one
+// "interp.kernel" child span per profiled function (cost vector carried as
+// span args, deterministic order) and the run-level interp.* counters on
+// the span's recorder (stable names, DESIGN.md §5).
+func emitObs(span *obs.Span, res *Result) {
+	if span == nil {
+		return
+	}
+	p := res.Profile
+	for _, name := range p.Names() {
+		cv := p.Func(name)
+		ks := span.Start("interp.kernel")
+		ks.Arg("fn", name)
+		ks.Arg("stmts", strconv.FormatInt(cv.Stmts, 10))
+		ks.Arg("loop_trips", strconv.FormatInt(cv.LoopTrips, 10))
+		ks.Arg("mem_bytes", strconv.FormatInt(cv.MemBytes, 10))
+		ks.Arg("flops", strconv.FormatInt(cv.Flops, 10))
+		ks.Arg("calls", strconv.FormatInt(cv.Calls, 10))
+		ks.End()
+	}
+	rec := span.Recorder()
+	rec.Counter("interp.runs").Add(1)
+	rec.Counter("interp.steps").Add(int64(res.Steps))
+	if p != nil {
+		rec.Counter("interp.stmts").Add(p.Total.Stmts)
+		rec.Counter("interp.loop_trips").Add(p.Total.LoopTrips)
+		rec.Counter("interp.mem_bytes").Add(p.Total.MemBytes)
+		rec.Counter("interp.flops").Add(p.Total.Flops)
+		rec.Counter("interp.calls").Add(p.Total.Calls)
+	}
 }
 
 type interp struct {
@@ -164,6 +227,8 @@ type interp struct {
 	steps    int
 	maxSteps int
 	output   []string
+	prof     *profiler
+	lenient  bool
 }
 
 type ctrl int
@@ -232,6 +297,8 @@ func (in *interp) callFunction(fn *minic.ASTNode, args []Value) (Value, error) {
 			body = c
 		}
 	}
+	in.prof.enter(fn.Name)
+	defer in.prof.leave()
 	in.pushScope()
 	defer in.popScope()
 	for i, p := range params {
@@ -259,6 +326,9 @@ func (in *interp) execStmt(s *minic.ASTNode) (ctrl, Value, error) {
 	}
 	if err := in.step(s.Pos); err != nil {
 		return ctrlNone, Value{}, err
+	}
+	if s.Kind != minic.KCompoundStmt && s.Kind != minic.KNullStmt {
+		in.prof.stmt()
 	}
 	switch s.Kind {
 	case minic.KCompoundStmt:
@@ -325,6 +395,7 @@ func (in *interp) execStmt(s *minic.ASTNode) (ctrl, Value, error) {
 			if !cond.Truthy() {
 				return ctrlNone, Value{}, nil
 			}
+			in.prof.trip()
 			ct, v, err := in.execStmt(s.Children[1])
 			if err != nil {
 				return ctrlNone, Value{}, err
@@ -338,6 +409,7 @@ func (in *interp) execStmt(s *minic.ASTNode) (ctrl, Value, error) {
 		}
 	case minic.KDoStmt:
 		for {
+			in.prof.trip()
 			ct, v, err := in.execStmt(s.Children[0])
 			if err != nil {
 				return ctrlNone, Value{}, err
@@ -388,6 +460,7 @@ func (in *interp) execFor(s *minic.ASTNode) (ctrl, Value, error) {
 				return ctrlNone, Value{}, nil
 			}
 		}
+		in.prof.trip()
 		ct, v, err := in.execStmt(s.Children[3])
 		if err != nil {
 			return ctrlNone, Value{}, err

@@ -1,0 +1,177 @@
+// Cost-profiling substrate: per-function cost counters accumulated during
+// the coverage runs the interpreter already performs, so one execution
+// yields both the line mask and the cost profile (Perfrewrite-style source
+// instrumentation — derive cost functions by counting executed work).
+//
+// The substrate follows the obs package's one invariant: a nil *profiler
+// is the fully disabled profiler. Every recording method no-ops on a nil
+// receiver, so the counters-off interpreter path carries exactly one
+// pointer check per event and nothing else (BenchmarkInterpInstrumentation
+// pins the overhead; DESIGN.md §11).
+package interp
+
+import "sort"
+
+// ElemBytes is the simulated size of one array element. The interpreter's
+// arrays are float64 storage, so every element read or write moves eight
+// bytes of simulated memory traffic.
+const ElemBytes = 8
+
+// CostVector is the measured cost of one kernel (function) over a run:
+// the quantities a roofline model consumes (MemBytes, Flops) plus the
+// work-shape counters (statements, loop back-edges, calls) the measured-Φ
+// path uses to price model boilerplate. All counts are exact and
+// deterministic: the interpreter is sequential and the corpus inputs are
+// fixed, so repeated runs produce bit-identical vectors.
+type CostVector struct {
+	// Stmts counts executed statement nodes (compound/null statements and
+	// expression re-evaluations excluded).
+	Stmts int64 `json:"stmts"`
+	// LoopTrips counts loop back-edges: one per executed iteration of a
+	// for/while/do body.
+	LoopTrips int64 `json:"loop_trips"`
+	// MemBytes is simulated memory traffic: ElemBytes per array element
+	// read or written.
+	MemBytes int64 `json:"mem_bytes"`
+	// Flops counts floating-point operations: binary float arithmetic,
+	// float negation, and math builtins (sqrt, exp, ...).
+	Flops int64 `json:"flops"`
+	// Calls counts invocations of this function.
+	Calls int64 `json:"calls"`
+}
+
+// Add accumulates another vector into this one.
+func (c *CostVector) Add(o CostVector) {
+	c.Stmts += o.Stmts
+	c.LoopTrips += o.LoopTrips
+	c.MemBytes += o.MemBytes
+	c.Flops += o.Flops
+	c.Calls += o.Calls
+}
+
+// IsZero reports whether the vector recorded no work at all.
+func (c CostVector) IsZero() bool {
+	return c.Stmts == 0 && c.LoopTrips == 0 && c.MemBytes == 0 && c.Flops == 0 && c.Calls == 0
+}
+
+// Profile is the cost profile of one run: a CostVector per executed
+// function (keyed by function name; global initialisers accumulate under
+// GlobalScope) plus the run total.
+type Profile struct {
+	Funcs map[string]CostVector
+	Total CostVector
+}
+
+// GlobalScope is the Profile.Funcs key that collects work performed
+// outside any function (global variable initialisers).
+const GlobalScope = "(globals)"
+
+// Names returns the profiled function names, sorted.
+func (p *Profile) Names() []string {
+	if p == nil {
+		return nil
+	}
+	out := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Func returns the cost vector of one function (zero when absent).
+func (p *Profile) Func(name string) CostVector {
+	if p == nil {
+		return CostVector{}
+	}
+	return p.Funcs[name]
+}
+
+// profiler accumulates per-function cost vectors during execution. A nil
+// *profiler is the disabled profiler: every method no-ops after one
+// pointer check, mirroring obs.Recorder's nil-receiver contract, so the
+// instrumented interpreter never branches on an "enabled" flag.
+type profiler struct {
+	cur   *CostVector
+	stack []*CostVector
+	funcs map[string]*CostVector
+}
+
+func newProfiler() *profiler {
+	p := &profiler{funcs: map[string]*CostVector{}}
+	p.cur = p.vec(GlobalScope)
+	return p
+}
+
+func (p *profiler) vec(name string) *CostVector {
+	v, ok := p.funcs[name]
+	if !ok {
+		v = &CostVector{}
+		p.funcs[name] = v
+	}
+	return v
+}
+
+// enter pushes the attribution scope of a function invocation and counts
+// the call.
+func (p *profiler) enter(name string) {
+	if p == nil {
+		return
+	}
+	p.stack = append(p.stack, p.cur)
+	p.cur = p.vec(name)
+	p.cur.Calls++
+}
+
+// leave pops back to the caller's scope.
+func (p *profiler) leave() {
+	if p == nil {
+		return
+	}
+	p.cur = p.stack[len(p.stack)-1]
+	p.stack = p.stack[:len(p.stack)-1]
+}
+
+func (p *profiler) stmt() {
+	if p == nil {
+		return
+	}
+	p.cur.Stmts++
+}
+
+func (p *profiler) trip() {
+	if p == nil {
+		return
+	}
+	p.cur.LoopTrips++
+}
+
+func (p *profiler) mem(bytes int64) {
+	if p == nil {
+		return
+	}
+	p.cur.MemBytes += bytes
+}
+
+func (p *profiler) flop(n int64) {
+	if p == nil {
+		return
+	}
+	p.cur.Flops += n
+}
+
+// profile snapshots the accumulated vectors into an exported Profile.
+func (p *profiler) profile() *Profile {
+	if p == nil {
+		return nil
+	}
+	out := &Profile{Funcs: make(map[string]CostVector, len(p.funcs))}
+	for name, v := range p.funcs {
+		if v.IsZero() {
+			continue
+		}
+		out.Funcs[name] = *v
+		out.Total.Add(*v)
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package interp
+
+import (
+	"reflect"
+	"testing"
+
+	"silvervale/internal/minic"
+	"silvervale/internal/obs"
+)
+
+const profProg = `
+double saxpy(double a, double* x, double* y, int n) {
+	double sum = 0.0;
+	for (int i = 0; i < n; i++) {
+		y[i] = a * x[i] + y[i];
+		sum += y[i];
+	}
+	return sum;
+}
+
+int main() {
+	int n = 16;
+	double* x = new double[n];
+	double* y = new double[n];
+	for (int i = 0; i < n; i++) {
+		x[i] = 1.0;
+		y[i] = 2.0;
+	}
+	double s = saxpy(3.0, x, y, n);
+	if (s != 80.0) { return 1; }
+	return 0;
+}
+`
+
+func TestProfileCounts(t *testing.T) {
+	res := run(t, profProg, Options{Profile: true})
+	if res.Exit.AsInt() != 0 {
+		t.Fatalf("exit = %v", res.Exit)
+	}
+	p := res.Profile
+	if p == nil {
+		t.Fatal("Profile nil with Options.Profile")
+	}
+	k := p.Func("saxpy")
+	if k.Calls != 1 {
+		t.Fatalf("saxpy calls = %d, want 1", k.Calls)
+	}
+	if k.LoopTrips != 16 {
+		t.Fatalf("saxpy loop trips = %d, want 16", k.LoopTrips)
+	}
+	// per iteration: reads x[i], y[i] (rhs), y[i] (sum +=), write y[i] → 4
+	// accesses × 8 bytes × 16 iters = 512
+	if k.MemBytes != 4*ElemBytes*16 {
+		t.Fatalf("saxpy mem bytes = %d, want %d", k.MemBytes, 4*ElemBytes*16)
+	}
+	// per iteration: a*x[i], +y[i], sum+=y[i] → 3 flops × 16 iters = 48
+	if k.Flops != 3*16 {
+		t.Fatalf("saxpy flops = %d, want %d", k.Flops, 3*16)
+	}
+	if k.Stmts == 0 {
+		t.Fatal("saxpy stmts = 0")
+	}
+	m := p.Func("main")
+	// main writes x[i], y[i] 16 times each = 256 bytes; no float reads
+	// besides the comparison (comparisons are not flops)
+	if m.MemBytes != 2*ElemBytes*16 {
+		t.Fatalf("main mem bytes = %d, want %d", m.MemBytes, 2*ElemBytes*16)
+	}
+	if m.LoopTrips != 16 {
+		t.Fatalf("main loop trips = %d, want 16", m.LoopTrips)
+	}
+	var sum CostVector
+	for _, name := range p.Names() {
+		sum.Add(p.Func(name))
+	}
+	if sum != p.Total {
+		t.Fatalf("Total %+v != sum of funcs %+v", p.Total, sum)
+	}
+}
+
+func TestProfileOffByDefault(t *testing.T) {
+	res := run(t, profProg, Options{})
+	if res.Profile != nil {
+		t.Fatalf("Profile = %+v without Options.Profile, want nil", res.Profile)
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	a := run(t, profProg, Options{Profile: true}).Profile
+	b := run(t, profProg, Options{Profile: true}).Profile
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("profiles differ across identical runs:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestProfileCoverageSamePass asserts profiling does not perturb the
+// coverage mask or the step count: one execution yields both artifacts.
+func TestProfileCoverageSamePass(t *testing.T) {
+	plain := run(t, profProg, Options{})
+	prof := run(t, profProg, Options{Profile: true})
+	if plain.Steps != prof.Steps {
+		t.Fatalf("steps differ: plain %d, profiled %d", plain.Steps, prof.Steps)
+	}
+	if !reflect.DeepEqual(plain.Coverage, prof.Coverage) {
+		t.Fatal("coverage masks differ between plain and profiled runs")
+	}
+	if plain.Exit != prof.Exit {
+		t.Fatalf("exit differs: %v vs %v", plain.Exit, prof.Exit)
+	}
+}
+
+func TestLenientSubscript(t *testing.T) {
+	src := `
+int main() {
+	double v = 1.5;
+	double r = v[3];
+	double* a = new double[4];
+	a[99] = 2.0;
+	a[0] = 3.0;
+	return 7;
+}
+`
+	unit, err := minic.ParseUnit(src, "prog.c")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Run(unit, Options{}); err == nil {
+		t.Fatal("strict run succeeded, want subscript error")
+	}
+	res, err := Run(unit, Options{Lenient: true, Profile: true})
+	if err != nil {
+		t.Fatalf("lenient run: %v", err)
+	}
+	if res.Exit.AsInt() != 7 {
+		t.Fatalf("exit = %v, want 7", res.Exit)
+	}
+	// only the one real access (a[0] write) counts as memory traffic
+	if res.Profile.Total.MemBytes != ElemBytes {
+		t.Fatalf("mem bytes = %d, want %d", res.Profile.Total.MemBytes, ElemBytes)
+	}
+}
+
+// TestLenientStillAbortsOnStepLimit: leniency only covers subscript
+// faults — resource limits must still stop execution.
+func TestLenientStillAbortsOnStepLimit(t *testing.T) {
+	src := `
+int main() {
+	while (1) { int x = 1; }
+	return 0;
+}
+`
+	unit, err := minic.ParseUnit(src, "prog.c")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Run(unit, Options{Lenient: true, MaxSteps: 1000})
+	if err == nil {
+		t.Fatal("lenient run ignored step limit")
+	}
+	if res == nil || res.Steps == 0 {
+		t.Fatal("partial result missing after step-limit abort")
+	}
+}
+
+// TestPartialResultOnError: Run returns accumulated coverage/profile
+// alongside the error so profiled sweeps keep partial measurements.
+func TestPartialResultOnError(t *testing.T) {
+	src := `
+int main() {
+	double* a = new double[4];
+	a[0] = 1.0;
+	a[9] = 2.0;
+	return 0;
+}
+`
+	unit, err := minic.ParseUnit(src, "prog.c")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Run(unit, Options{Profile: true})
+	if err == nil {
+		t.Fatal("strict run succeeded, want index error")
+	}
+	if res == nil {
+		t.Fatal("nil result on error, want partial result")
+	}
+	if res.Profile == nil || res.Profile.Total.MemBytes != ElemBytes {
+		t.Fatalf("partial profile = %+v, want the pre-fault a[0] write", res.Profile)
+	}
+}
+
+func TestProfileObsEmission(t *testing.T) {
+	rec := obs.NewRecorder()
+	root := rec.Start("test.root")
+	unit, err := minic.ParseUnit(profProg, "prog.c")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Run(unit, Options{Profile: true, Span: root})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	root.End()
+	if got := rec.Counter("interp.runs").Value(); got != 1 {
+		t.Fatalf("interp.runs = %d, want 1", got)
+	}
+	want := map[string]int64{
+		"interp.stmts":      res.Profile.Total.Stmts,
+		"interp.loop_trips": res.Profile.Total.LoopTrips,
+		"interp.mem_bytes":  res.Profile.Total.MemBytes,
+		"interp.flops":      res.Profile.Total.Flops,
+		"interp.calls":      res.Profile.Total.Calls,
+	}
+	for name, w := range want {
+		if w == 0 {
+			t.Fatalf("profile total for %s is zero — weak test program", name)
+		}
+		if got := rec.Counter(name).Value(); got != w {
+			t.Fatalf("%s = %d, want %d", name, got, w)
+		}
+	}
+	kernels := map[string]bool{}
+	for _, s := range rec.Spans() {
+		if s.Name != "interp.kernel" {
+			continue
+		}
+		for _, a := range s.Args {
+			if a.Key == "fn" {
+				kernels[a.Value] = true
+			}
+		}
+	}
+	if !kernels["saxpy"] || !kernels["main"] {
+		t.Fatalf("interp.kernel spans missing functions: %v", kernels)
+	}
+}
+
+// TestNilProfilerSafe: every profiler method must no-op on the nil
+// receiver (the counters-off hot path is nothing but these calls).
+func TestNilProfilerSafe(t *testing.T) {
+	var p *profiler
+	p.stmt()
+	p.trip()
+	p.mem(8)
+	p.flop(2)
+	p.enter("f")
+	p.leave()
+	if got := p.profile(); got != nil {
+		t.Fatalf("nil profiler profile() = %+v, want nil", got)
+	}
+	var prof *Profile
+	if prof.Names() != nil || !prof.Func("x").IsZero() {
+		t.Fatal("nil Profile accessors not nil-safe")
+	}
+}

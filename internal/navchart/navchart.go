@@ -7,49 +7,93 @@
 package navchart
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 
 	"silvervale/internal/corpus"
 	"silvervale/internal/perf"
 )
 
+// CostSummary carries a model's interpreter-measured total cost vector
+// into the chart JSON (measured charts only), so emitted charts are
+// self-documenting about the signal behind their Φ axis.
+type CostSummary struct {
+	Stmts       int64 `json:"stmts"`
+	LoopTrips   int64 `json:"loop_trips"`
+	MemBytes    int64 `json:"mem_bytes"`
+	Flops       int64 `json:"flops"`
+	KernelCalls int64 `json:"kernel_calls"`
+}
+
 // Point is one model's entry on the chart.
 type Point struct {
-	Model string
-	Phi   float64
+	Model string  `json:"model"`
+	Phi   float64 `json:"phi"`
 	// Tsem and Tsrc are normalised divergences from the base model
 	// (serial). Both belong to the same model; the chart draws a line
 	// between them — the gap reads as perceived-vs-semantic complexity.
-	Tsem float64
-	Tsrc float64
+	Tsem float64 `json:"tsem"`
+	Tsrc float64 `json:"tsrc"`
+	// Effs are per-platform efficiencies aligned with Chart.Platforms.
+	Effs []float64 `json:"effs,omitempty"`
+	// Cost is the measured total cost vector (measured charts only).
+	Cost *CostSummary `json:"cost,omitempty"`
 }
 
 // Chart is a fully assembled navigation chart.
 type Chart struct {
-	App       string
-	Base      string // divergence base model (serial, or CUDA in Fig. 15)
-	Platforms []string
-	Points    []Point
+	App  string `json:"app"`
+	Base string `json:"base"` // divergence base model (serial, or CUDA in Fig. 15)
+	// PhiSource records where the Φ axis came from: "modeled" (support
+	// matrix) or "measured" (interpreter cost vectors, DESIGN.md §11).
+	PhiSource string   `json:"phi_source"`
+	Platforms []string `json:"platforms"`
+	Points    []Point  `json:"points"`
 }
 
 // Build assembles a navigation chart from per-model divergences and the
-// performance model over the given platform set.
+// modeled performance landscape over the given platform set.
 func Build(app string, base string, tsem, tsrc map[string]float64, models []corpus.Model, plats []perf.Platform) *Chart {
-	ch := &Chart{App: app, Base: base}
+	return BuildPhi(app, base, tsem, tsrc, models, plats, "modeled",
+		func(m corpus.Model, p perf.Platform) float64 { return perf.Efficiency(app, m, p) })
+}
+
+// BuildPhi assembles a navigation chart with an injected efficiency
+// function, so the Φ axis can come from either the modeled landscape or
+// interpreter-measured cost vectors (perf.MeasuredSet.Efficiency). Φ per
+// point is the harmonic mean of the efficiencies over plats, matching
+// perf.AppPhi semantics.
+func BuildPhi(app string, base string, tsem, tsrc map[string]float64, models []corpus.Model,
+	plats []perf.Platform, phiSource string, eff func(corpus.Model, perf.Platform) float64) *Chart {
+	ch := &Chart{App: app, Base: base, PhiSource: phiSource}
 	for _, p := range plats {
 		ch.Platforms = append(ch.Platforms, p.Abbr)
 	}
 	for _, m := range models {
+		effs := make([]float64, len(plats))
+		for i, p := range plats {
+			effs[i] = eff(m, p)
+		}
 		ch.Points = append(ch.Points, Point{
 			Model: string(m),
-			Phi:   perf.AppPhi(app, m, plats),
+			Phi:   perf.Phi(effs),
 			Tsem:  tsem[string(m)],
 			Tsrc:  tsrc[string(m)],
+			Effs:  effs,
 		})
 	}
 	sort.Slice(ch.Points, func(i, j int) bool { return ch.Points[i].Model < ch.Points[j].Model })
 	return ch
+}
+
+// WriteJSON emits the chart as deterministic indented JSON (fixed field
+// order, points sorted by model).
+func (c *Chart) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
 }
 
 // Best returns the model closest to the ideal top-right corner using the

@@ -1,0 +1,192 @@
+// Measured efficiencies: the -phi-source=measured leg of the navigation
+// charts (DESIGN.md §11). Where perf.Efficiency fabricates efficiencies
+// from the hand-written support matrix alone, this file derives them from
+// interpreter-measured cost vectors (internal/interp profiling substrate):
+// each (app, model) port is priced on each platform with the existing
+// roofline parameters — bytes/MemBW vs flops/Peak — plus calibrated
+// charges for model boilerplate (extra kernel-scope statements, kernel
+// launches, host-side statements). Efficiency keeps the paper's own
+// definition: performance relative to the best supported model on that
+// platform, so values land in (0,1] by construction and the support
+// matrix still gates which platforms a model can target at all.
+package perf
+
+import (
+	"math"
+
+	"silvervale/internal/corpus"
+	"silvervale/internal/interp"
+)
+
+// Calibration constants for pricing measured counts as roofline traffic.
+// They are substitutions, not measurements (DESIGN.md §11): one executed
+// statement of boilerplate costs a cache line of instruction/control
+// traffic; one kernel invocation costs LaunchBytes of equivalent traffic
+// (launch latency, parallel-region setup).
+const (
+	StmtBytes   = 64
+	LaunchBytes = 512
+)
+
+// Supports reports whether a model can target a platform at all — the
+// support matrix that gates both the modeled and the measured paths.
+func Supports(model corpus.Model, plat Platform) bool {
+	return baseEfficiency(model, plat) > 0
+}
+
+// KernelCost pairs one kernel's reference cost vector (the serial port,
+// whose loop bodies the interpreter executes fully) with the same
+// kernel's vector measured in this model's port. Offload ports execute
+// only their host-side wrappers, so Ref supplies the algorithmic work
+// and Model supplies the port's own measured shape (wrapper statements,
+// invocation counts).
+type KernelCost struct {
+	Name  string
+	Ref   interp.CostVector
+	Model interp.CostVector
+}
+
+// AppCost is the measured cost of one (app, model) port: per-kernel
+// vectors plus the host-side remainder (main, helpers, globals).
+type AppCost struct {
+	App     string
+	Model   corpus.Model
+	Kernels []KernelCost
+	Host    interp.CostVector
+}
+
+// BuildAppCost splits a port's cost profile into per-kernel vectors and
+// the host remainder. A profiled function belongs to kernel k when its
+// name is k.Name or extends it with an underscore suffix (the corpus
+// convention: CUDA device bodies are <kernel>_kernel, wrappers are the
+// kernel name itself); the longest matching kernel name wins, so
+// tealeaf's copy_u never swallows an unrelated copy_* helper of a
+// hypothetical copy kernel. ref is the serial port's profile supplying
+// the per-kernel reference vectors.
+func BuildAppCost(app corpus.App, model corpus.Model, ref, prof *interp.Profile) AppCost {
+	ac := AppCost{App: app.Name, Model: model}
+	kidx := make(map[string]int, len(app.Kernels))
+	ac.Kernels = make([]KernelCost, len(app.Kernels))
+	for i, k := range app.Kernels {
+		kidx[k.Name] = i
+		ac.Kernels[i] = KernelCost{Name: k.Name}
+	}
+	assign := func(p *interp.Profile, pick func(i int) *interp.CostVector, host *interp.CostVector) {
+		for _, fn := range p.Names() {
+			cv := p.Func(fn)
+			best := -1
+			bestLen := -1
+			for _, k := range app.Kernels {
+				if fn != k.Name && !hasKernelPrefix(fn, k.Name) {
+					continue
+				}
+				if len(k.Name) > bestLen {
+					best, bestLen = kidx[k.Name], len(k.Name)
+				}
+			}
+			if best >= 0 {
+				pick(best).Add(cv)
+			} else if host != nil {
+				host.Add(cv)
+			}
+		}
+	}
+	assign(prof, func(i int) *interp.CostVector { return &ac.Kernels[i].Model }, &ac.Host)
+	assign(ref, func(i int) *interp.CostVector { return &ac.Kernels[i].Ref }, nil)
+	return ac
+}
+
+func hasKernelPrefix(fn, kernel string) bool {
+	return len(fn) > len(kernel)+1 && fn[:len(kernel)] == kernel && fn[len(kernel)] == '_'
+}
+
+// Time prices the port on a platform in roofline seconds: per kernel the
+// larger of the memory and compute legs over the larger of the reference
+// and measured work (offload ports never escape the algorithm's work by
+// not executing it host-side), plus boilerplate charges — kernel-scope
+// statements the port adds over the reference, kernel launches, and
+// host-side statements.
+func (c AppCost) Time(plat Platform) float64 {
+	bw := plat.MemBW * 1e9
+	peak := plat.Peak * 1e9
+	t := 0.0
+	for _, k := range c.Kernels {
+		bytes := math.Max(float64(k.Ref.MemBytes), float64(k.Model.MemBytes))
+		flops := math.Max(float64(k.Ref.Flops), float64(k.Model.Flops))
+		t += math.Max(bytes/bw, flops/peak)
+		if ds := k.Model.Stmts - k.Ref.Stmts; ds > 0 {
+			t += float64(ds) * StmtBytes / bw
+		}
+		t += float64(k.Model.Calls) * LaunchBytes / bw
+	}
+	t += float64(c.Host.Stmts) * StmtBytes / bw
+	return t
+}
+
+// MeasuredSet holds every port's measured cost for one app and answers
+// the same questions the modeled path does (Efficiency, AppPhi, Cascade),
+// so Φ consumers can switch source without changing shape.
+type MeasuredSet struct {
+	App    string
+	Models []corpus.Model // deterministic iteration order
+	Costs  map[corpus.Model]AppCost
+}
+
+// NewMeasuredSet assembles a set from per-model costs in the given order.
+func NewMeasuredSet(app string, models []corpus.Model, costs map[corpus.Model]AppCost) *MeasuredSet {
+	return &MeasuredSet{App: app, Models: models, Costs: costs}
+}
+
+// bestTime is the fastest supported port's time on a platform (Inf when
+// nothing is supported). Iteration follows s.Models, so the value never
+// depends on map order.
+func (s *MeasuredSet) bestTime(plat Platform) float64 {
+	best := math.Inf(1)
+	for _, m := range s.Models {
+		if !Supports(m, plat) {
+			continue
+		}
+		if c, ok := s.Costs[m]; ok {
+			if t := c.Time(plat); t < best {
+				best = t
+			}
+		}
+	}
+	return best
+}
+
+// Efficiency is the measured application efficiency of a model on a
+// platform: its roofline time relative to the best supported port there,
+// gated to 0 by the support matrix. Supported models land in (0,1] with
+// the best port at exactly 1.
+func (s *MeasuredSet) Efficiency(model corpus.Model, plat Platform) float64 {
+	if !Supports(model, plat) {
+		return 0
+	}
+	c, ok := s.Costs[model]
+	if !ok {
+		return 0
+	}
+	best := s.bestTime(plat)
+	t := c.Time(plat)
+	if math.IsInf(best, 1) || t <= 0 {
+		return 0
+	}
+	return best / t
+}
+
+// AppPhi computes measured Φ across the given platforms (harmonic mean,
+// 0 when any platform is unsupported — same semantics as perf.AppPhi).
+func (s *MeasuredSet) AppPhi(model corpus.Model, plats []Platform) float64 {
+	effs := make([]float64, len(plats))
+	for i, p := range plats {
+		effs[i] = s.Efficiency(model, p)
+	}
+	return Phi(effs)
+}
+
+// Cascade builds the cascade-plot series from measured efficiencies
+// (same convention as the modeled Cascade).
+func (s *MeasuredSet) Cascade(model corpus.Model, plats []Platform) []CascadePoint {
+	return CascadeOf(func(p Platform) float64 { return s.Efficiency(model, p) }, plats)
+}

@@ -1,0 +1,186 @@
+package perf
+
+import (
+	"testing"
+
+	"silvervale/internal/core"
+	"silvervale/internal/corpus"
+	"silvervale/internal/interp"
+)
+
+func appByName(t *testing.T, name string) corpus.App {
+	t.Helper()
+	for _, a := range corpus.Apps() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no app %q", name)
+	return corpus.App{}
+}
+
+// measuredSet profiles every C++ port of an app and assembles the
+// MeasuredSet the way the experiments layer does.
+func measuredSet(t *testing.T, app corpus.App) *MeasuredSet {
+	t.Helper()
+	models := corpus.CXXModels()
+	profs := make(map[corpus.Model]*interp.Profile, len(models))
+	for _, m := range models {
+		cb, err := corpus.Generate(app, m)
+		if err != nil {
+			t.Fatalf("generate %s/%s: %v", app.Name, m, err)
+		}
+		rp, err := core.ProfileCodebase(cb, nil)
+		if err != nil {
+			t.Fatalf("profile %s/%s: %v", app.Name, m, err)
+		}
+		profs[m] = rp.Cost
+	}
+	costs := make(map[corpus.Model]AppCost, len(models))
+	for _, m := range models {
+		costs[m] = BuildAppCost(app, m, profs[corpus.Serial], profs[m])
+	}
+	return NewMeasuredSet(app.Name, models, costs)
+}
+
+// TestMeasuredEfficiencyProperties: support-matrix zeros stay zero,
+// supported efficiencies land in (0,1], and each platform's best
+// supported port scores exactly 1.
+func TestMeasuredEfficiencyProperties(t *testing.T) {
+	set := measuredSet(t, appByName(t, "tealeaf"))
+	for _, plat := range Platforms() {
+		best := 0.0
+		for _, m := range corpus.CXXModels() {
+			eff := set.Efficiency(m, plat)
+			if !Supports(m, plat) {
+				if eff != 0 {
+					t.Errorf("%s on %s: unsupported but eff=%g", m, plat.Abbr, eff)
+				}
+				continue
+			}
+			if eff <= 0 || eff > 1 {
+				t.Errorf("%s on %s: eff=%g outside (0,1]", m, plat.Abbr, eff)
+			}
+			if eff > best {
+				best = eff
+			}
+		}
+		if best != 1.0 {
+			t.Errorf("%s: best supported efficiency %g, want exactly 1", plat.Abbr, best)
+		}
+	}
+}
+
+// TestMeasuredSupportGateZeros: CUDA prices to zero on every CPU platform
+// and off NVIDIA, so its Φ contribution is zero there — and Φ over any
+// platform set containing an unsupported platform collapses to 0.
+func TestMeasuredSupportGateZeros(t *testing.T) {
+	set := measuredSet(t, appByName(t, "babelstream"))
+	var h100 Platform
+	for _, plat := range Platforms() {
+		if plat.Abbr == "H100" {
+			h100 = plat
+			continue
+		}
+		if eff := set.Efficiency(corpus.CUDA, plat); eff != 0 {
+			t.Errorf("CUDA on %s: eff=%g, want 0", plat.Abbr, eff)
+		}
+	}
+	if eff := set.Efficiency(corpus.CUDA, h100); eff <= 0 {
+		t.Fatalf("CUDA on H100: eff=%g, want > 0", eff)
+	}
+	if phi := set.AppPhi(corpus.CUDA, Platforms()); phi != 0 {
+		t.Errorf("CUDA Φ over all platforms = %g, want 0", phi)
+	}
+	if phi := set.AppPhi(corpus.CUDA, []Platform{h100}); phi <= 0 || phi > 1 {
+		t.Errorf("CUDA Φ on H100 = %g, want (0,1]", phi)
+	}
+}
+
+// TestMeasuredPhiOrderingSanity: over the full platform set, measured Φ
+// is nonzero for exactly the models the modeled path scores nonzero —
+// the support matrix gates both paths identically on TeaLeaf.
+func TestMeasuredPhiOrderingSanity(t *testing.T) {
+	app := appByName(t, "tealeaf")
+	set := measuredSet(t, app)
+	plats := Platforms()
+	for _, m := range corpus.CXXModels() {
+		measured := set.AppPhi(m, plats)
+		modeled := AppPhi(app.Name, m, plats)
+		if (measured > 0) != (modeled > 0) {
+			t.Errorf("%s: measured Φ=%g vs modeled Φ=%g disagree on portability", m, measured, modeled)
+		}
+		if measured < 0 || measured > 1 {
+			t.Errorf("%s: measured Φ=%g outside [0,1]", m, measured)
+		}
+	}
+}
+
+// TestMeasuredDeterministic: two independently profiled sets produce
+// bit-identical efficiencies and Φ.
+func TestMeasuredDeterministic(t *testing.T) {
+	app := appByName(t, "babelstream")
+	a := measuredSet(t, app)
+	b := measuredSet(t, app)
+	for _, m := range corpus.CXXModels() {
+		if pa, pb := a.AppPhi(m, Platforms()), b.AppPhi(m, Platforms()); pa != pb {
+			t.Errorf("%s: Φ differs across runs: %v vs %v", m, pa, pb)
+		}
+		for _, plat := range Platforms() {
+			if ea, eb := a.Efficiency(m, plat), b.Efficiency(m, plat); ea != eb {
+				t.Errorf("%s on %s: eff differs: %v vs %v", m, plat.Abbr, ea, eb)
+			}
+		}
+	}
+}
+
+// TestBuildAppCostKernelMatching: function-to-kernel attribution follows
+// the name / name+"_" convention with the longest kernel name winning.
+func TestBuildAppCostKernelMatching(t *testing.T) {
+	app := corpus.App{Name: "toy", Kernels: []corpus.Kernel{{Name: "copy"}, {Name: "copy_u"}}}
+	prof := &interp.Profile{Funcs: map[string]interp.CostVector{
+		"copy":          {Stmts: 1, Calls: 1},
+		"copy_kernel":   {Stmts: 2, Calls: 1},
+		"copy_u":        {Stmts: 4, Calls: 1},
+		"copy_u_kernel": {Stmts: 8, Calls: 1}, // longest match: copy_u, not copy
+		"main":          {Stmts: 16, Calls: 1},
+		"helper":        {Stmts: 32, Calls: 1},
+	}}
+	ac := BuildAppCost(app, corpus.Serial, prof, prof)
+	got := map[string]int64{}
+	for _, k := range ac.Kernels {
+		got[k.Name] = k.Model.Stmts
+	}
+	if got["copy"] != 3 {
+		t.Errorf("copy stmts = %d, want 3 (copy + copy_kernel)", got["copy"])
+	}
+	if got["copy_u"] != 12 {
+		t.Errorf("copy_u stmts = %d, want 12 (copy_u + copy_u_kernel)", got["copy_u"])
+	}
+	if ac.Host.Stmts != 48 {
+		t.Errorf("host stmts = %d, want 48 (main + helper)", ac.Host.Stmts)
+	}
+	for _, k := range ac.Kernels {
+		if k.Ref != k.Model {
+			t.Errorf("kernel %s: ref %+v != model %+v for identical profiles", k.Name, k.Ref, k.Model)
+		}
+	}
+}
+
+// TestMeasuredCascadeShape: cascade points are sorted descending and the
+// running Φ over all supported platforms matches AppPhi on that subset.
+func TestMeasuredCascadeShape(t *testing.T) {
+	set := measuredSet(t, appByName(t, "babelstream"))
+	pts := set.Cascade(corpus.Kokkos, Platforms())
+	if len(pts) != len(Platforms()) {
+		t.Fatalf("cascade has %d points, want %d", len(pts), len(Platforms()))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Eff > pts[i-1].Eff {
+			t.Fatalf("cascade not descending at %d: %v", i, pts)
+		}
+	}
+	if phi := RunningPhi(pts, len(pts)); phi != set.AppPhi(corpus.Kokkos, Platforms()) {
+		t.Errorf("running Φ %g != AppPhi %g", phi, set.AppPhi(corpus.Kokkos, Platforms()))
+	}
+}

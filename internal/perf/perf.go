@@ -236,9 +236,16 @@ type CascadePoint struct {
 // efficiencies sorted in descending order, with the running Φ of the first
 // k platforms available via RunningPhi.
 func Cascade(app string, model corpus.Model, plats []Platform) []CascadePoint {
+	return CascadeOf(func(p Platform) float64 { return Efficiency(app, model, p) }, plats)
+}
+
+// CascadeOf builds a cascade series from an arbitrary efficiency
+// function — the shared shape of the modeled and measured paths
+// (descending efficiency, ties broken by platform abbreviation).
+func CascadeOf(eff func(Platform) float64, plats []Platform) []CascadePoint {
 	pts := make([]CascadePoint, 0, len(plats))
 	for _, p := range plats {
-		pts = append(pts, CascadePoint{Platform: p.Abbr, Eff: Efficiency(app, model, p)})
+		pts = append(pts, CascadePoint{Platform: p.Abbr, Eff: eff(p)})
 	}
 	sort.Slice(pts, func(i, j int) bool {
 		if pts[i].Eff != pts[j].Eff {
