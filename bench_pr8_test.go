@@ -1,0 +1,255 @@
+// Bench trajectory emitter (PR 8): one `go test -bench` invocation that
+// measures the incremental recomputation engine end to end and writes the
+// numbers to JSON:
+//
+//  1. cold sweep: fresh engine, index every TeaLeaf port, full tsem
+//     matrix — the baseline a CI run pays today;
+//  2. whole-unit-warm re-sweep: nothing edited, every unit served from
+//     the prior index and every cell from the engine's memo (hard assert:
+//     zero reparses, zero recomputes, ≥ 100× faster than cold);
+//  3. incremental one-function-edit re-sweep: a function appended to the
+//     TeaLeaf driver unit; hard asserts that exactly one unit reparses
+//     and exactly the n−1 cells touching the edited port recompute (the
+//     per-cell TED for the unchanged kernels role pair is served by the
+//     distance memo; the changed driver pair recomputes exactly);
+//  4. determinism: the final warm matrix must be bit-identical to a
+//     fresh cold engine's sweep of the edited corpus (hard assert).
+//
+// Run with (see EXPERIMENTS.md §Bench trajectory):
+//
+//	SILVERVALE_BENCH_JSON=BENCH_PR8.json \
+//	  go test -run '^$' -bench '^BenchmarkPR8Trajectory$' -timeout 20m .
+//
+// Without SILVERVALE_BENCH_JSON set the benchmark skips, so plain
+// `go test -bench .` sweeps are not slowed down.
+package silvervale
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"silvervale/internal/core"
+	"silvervale/internal/corpus"
+)
+
+type pr8Bench struct {
+	Name       string `json:"name"`
+	Iterations int    `json:"iterations"`
+	NsPerOp    int64  `json:"ns_per_op"`
+}
+
+type pr8Trajectory struct {
+	PR        int    `json:"pr"`
+	GoVersion string `json:"go"`
+	NumCPU    int    `json:"num_cpu"`
+
+	App   string `json:"app"`
+	Ports int    `json:"ports"`
+	Units int    `json:"units"`
+	Cells int    `json:"cells"`
+
+	ColdNs       int64 `json:"cold_ns"`
+	WarmNoEditNs int64 `json:"warm_no_edit_ns"`
+	IncrEditNs   int64 `json:"incr_edit_ns"`
+
+	WarmSpeedup float64 `json:"warm_speedup"`
+	EditSpeedup float64 `json:"edit_speedup"`
+
+	EditUnitsReparsed   int `json:"edit_units_reparsed"`
+	EditCellsRecomputed int `json:"edit_cells_recomputed"`
+	EditCellsReused     int `json:"edit_cells_reused"`
+
+	BitIdentical bool `json:"warm_matrix_bit_identical_to_cold"`
+
+	Benchmarks []pr8Bench `json:"benchmarks"`
+}
+
+func pr8SameBits(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pr8Codebases generates every TeaLeaf port once; edits mutate the
+// in-memory file map, the same thing the watch loop sees after a reload.
+func pr8Codebases(b *testing.B) (map[string]*corpus.Codebase, []string) {
+	b.Helper()
+	app, err := corpus.AppByName("tealeaf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cbs := map[string]*corpus.Codebase{}
+	var order []string
+	for _, m := range corpus.ModelsFor(app) {
+		cb, err := corpus.Generate(app, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cbs[string(m)] = cb
+		order = append(order, string(m))
+	}
+	return cbs, order
+}
+
+// pr8Sweep runs one incremental index-and-matrix pass.
+func pr8Sweep(b *testing.B, e *core.Engine, cbs map[string]*corpus.Codebase,
+	prior map[string]*core.Index, order []string) (map[string]*core.Index, [][]float64) {
+	b.Helper()
+	idxs := map[string]*core.Index{}
+	for _, name := range order {
+		idx, _, err := e.IndexCodebaseIncremental(cbs[name], prior[name], core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		idxs[name] = idx
+	}
+	m, err := e.Matrix(idxs, order, core.MetricTsem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idxs, m
+}
+
+func BenchmarkPR8Trajectory(b *testing.B) {
+	out := os.Getenv("SILVERVALE_BENCH_JSON")
+	if out == "" {
+		b.Skip("set SILVERVALE_BENCH_JSON=<path> to emit the bench trajectory")
+	}
+	const iters = 3 // per-leg repetitions; direct measurement, PR 3/4/6/7 scheme
+
+	cbs, order := pr8Codebases(b)
+	n := len(order)
+	cells := n * (n - 1) / 2
+	units := 0
+	for _, cb := range cbs {
+		units += len(cb.Units)
+	}
+	traj := pr8Trajectory{
+		PR: 8, GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(),
+		App: "tealeaf", Ports: n, Units: units, Cells: cells,
+	}
+
+	measure := func(name string, fn func(rep int)) pr8Bench {
+		runtime.GC()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn(i)
+		}
+		elapsed := time.Since(start)
+		return pr8Bench{Name: name, Iterations: iters, NsPerOp: elapsed.Nanoseconds() / iters}
+	}
+
+	// 1. Cold: fresh engine per rep, full frontend + full matrix.
+	cold := measure("ColdSweep", func(int) {
+		e := core.NewEngine(1)
+		pr8Sweep(b, e, cbs, nil, order)
+	})
+
+	// The resident engine the warm legs run against.
+	e := core.NewEngine(1)
+	prior, _ := pr8Sweep(b, e, cbs, nil, order)
+
+	// 2. Whole-unit-warm: nothing edited — every unit and every cell
+	// must be served from the warm state.
+	warm := measure("WarmNoEditResweep", func(int) {
+		before := e.IncrStats()
+		prior, _ = pr8Sweep(b, e, cbs, prior, order)
+		d := e.IncrStats().Delta(before)
+		if d.UnitsReparsed != 0 || d.CellsRecomputed != 0 {
+			b.Fatalf("no-edit re-sweep did work: %+v", d)
+		}
+	})
+
+	// 3. One-function edit to the TeaLeaf driver unit. Each rep appends
+	// a distinct function so every rep pays the dirty work (instead of
+	// hitting the cells memoised by the previous rep).
+	victim := cbs["serial"]
+	var driverFile string
+	for _, u := range victim.Units {
+		if u.Role == "driver" {
+			driverFile = u.File
+		}
+	}
+	if driverFile == "" {
+		b.Fatal("no driver unit in tealeaf serial")
+	}
+	baseSrc := victim.Files[driverFile]
+	var lastDelta core.IncrStats
+	edit := measure("IncrementalOneFunctionEdit", func(rep int) {
+		victim.Files[driverFile] = baseSrc +
+			fmt.Sprintf("\ndouble pr8_extra_%d(double x) {\n\treturn x * %d.0;\n}\n", rep, rep+2)
+		before := e.IncrStats()
+		prior, _ = pr8Sweep(b, e, cbs, prior, order)
+		lastDelta = e.IncrStats().Delta(before)
+		// Hard asserts: exactly the edited unit reparses; exactly the
+		// n−1 cells pairing the edited port recompute.
+		if lastDelta.UnitsReparsed != 1 {
+			b.Fatalf("edit reparsed %d units, want 1", lastDelta.UnitsReparsed)
+		}
+		if lastDelta.CellsRecomputed != n-1 {
+			b.Fatalf("edit recomputed %d cells, want %d", lastDelta.CellsRecomputed, n-1)
+		}
+		if lastDelta.CellsReused != cells-(n-1) {
+			b.Fatalf("edit reused %d cells, want %d", lastDelta.CellsReused, cells-(n-1))
+		}
+	})
+	traj.EditUnitsReparsed = lastDelta.UnitsReparsed
+	traj.EditCellsRecomputed = lastDelta.CellsRecomputed
+	traj.EditCellsReused = lastDelta.CellsReused
+
+	// 4. Determinism: the resident engine's final matrix vs a fresh cold
+	// engine over the edited corpus, bit for bit.
+	_, warmMatrix := pr8Sweep(b, e, cbs, prior, order)
+	fresh := core.NewEngine(1)
+	_, coldMatrix := pr8Sweep(b, fresh, cbs, nil, order)
+	traj.BitIdentical = pr8SameBits(warmMatrix, coldMatrix)
+	if !traj.BitIdentical {
+		b.Fatal("warm incremental matrix differs from a cold sweep of the edited corpus")
+	}
+
+	traj.ColdNs = cold.NsPerOp
+	traj.WarmNoEditNs = warm.NsPerOp
+	traj.IncrEditNs = edit.NsPerOp
+	traj.WarmSpeedup = float64(cold.NsPerOp) / float64(warm.NsPerOp)
+	traj.EditSpeedup = float64(cold.NsPerOp) / float64(edit.NsPerOp)
+	// The no-edit warm re-sweep is pure memo traffic: anything under
+	// 100× means the incremental layer is broken, not just slow. The
+	// one-function-edit re-sweep keeps an exactness floor — the n−1
+	// dirty cells each recompute one exact driver-pair TED — so its
+	// gate is lower; the measured headroom is recorded in the JSON.
+	if traj.WarmSpeedup < 100 {
+		b.Fatalf("warm re-sweep only %.1fx faster than cold", traj.WarmSpeedup)
+	}
+	if traj.EditSpeedup < 10 {
+		b.Fatalf("one-function-edit re-sweep only %.1fx faster than cold", traj.EditSpeedup)
+	}
+
+	traj.Benchmarks = []pr8Bench{cold, warm, edit}
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("bench trajectory written to %s (cold %.2fs, warm %.2fms ×%.0f, edit %.2fms ×%.0f)",
+		out, time.Duration(traj.ColdNs).Seconds(),
+		float64(traj.WarmNoEditNs)/1e6, traj.WarmSpeedup,
+		float64(traj.IncrEditNs)/1e6, traj.EditSpeedup)
+}

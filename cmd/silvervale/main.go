@@ -22,8 +22,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
@@ -269,6 +271,8 @@ func run(args []string) error {
 		err = cmdExperiment(args[1:], cfg)
 	case "ingest":
 		err = cmdIngest(args[1:], cfg)
+	case "watch":
+		err = cmdWatch(args[1:], cfg)
 	case "dump":
 		err = cmdDump(args[1:])
 	case "help", "-h", "--help":
@@ -294,6 +298,7 @@ commands:
   phi <app> [-phi-source s] [-json f]    cascade plot and per-model phi
   experiment <id>|all [-phi-source s]    regenerate a paper table/figure
   ingest <dir>                           index a directory via its compile_commands.json
+  watch <dir> [-metric m] [-iters n]     re-emit the matrix incrementally as ports are edited
   dump <app> <model> [-tree m]           pretty-print a unit's tree
 
 index, diverge, matrix, experiment, and ingest accept -workers <n> to bound
@@ -325,6 +330,19 @@ writes the app's navigation chart as JSON ("-" = stdout); under the
 measured source each point carries its cost summary. See DESIGN.md §11.
 
   silvervale phi babelstream -phi-source measured -json chart.json
+
+watch holds a warm engine resident over a directory whose immediate
+subdirectories each contain a port (sources + compile_commands.json). Edits
+are detected by content hash; only edited units re-run the frontend and
+only matrix cells whose side changed are recomputed — the rest come from
+the engine's memo, bit-identical to a cold sweep. Each emitted sweep
+prints the heatmap and dendrogram to stdout and an "incremental:" stats
+line to stderr. -snapshot <file> persists the warm state (indexes +
+memoised cells); -since <file> is the one-shot CI form: restore, sweep
+once incrementally, exit.
+
+  silvervale watch ports/ -iters 1 -snapshot warm.svsnap   # CI baseline
+  silvervale watch ports/ -since warm.svsnap               # ms warm re-sweep
 
 Cache I/O errors never change results: past an error threshold the store
 degrades to memory-only (a one-line warning; results recompute). Pass
@@ -493,9 +511,40 @@ func cmdDiverge(args []string, cfg *obsConfig) error {
 	return nil
 }
 
+// matrixJSON is the `matrix -json` payload: the sweep plus each model's
+// per-unit tree fingerprints (under the sweep's metric when it is a tree
+// metric, tsem otherwise), so downstream tooling can content-address
+// which trees produced the numbers.
+type matrixJSON struct {
+	App    string                `json:"app"`
+	Metric string                `json:"metric"`
+	Order  []string              `json:"order"`
+	Matrix [][]float64           `json:"matrix"`
+	Units  map[string][]unitJSON `json:"units"`
+}
+
+type unitJSON struct {
+	File        string `json:"file"`
+	Role        string `json:"role"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// fingerprintMetric picks the tree whose fingerprint the JSON outputs
+// carry: the requested metric if it is a tree metric, tsem otherwise
+// (SLOC/LLOC and the Source variants have no tree of their own).
+func fingerprintMetric(metric string) string {
+	for _, m := range core.TreeMetrics() {
+		if m == metric {
+			return metric
+		}
+	}
+	return core.MetricTsem
+}
+
 func cmdMatrix(args []string, cfg *obsConfig) error {
 	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
 	metric := fs.String("metric", core.MetricTsem, "metric")
+	jsonOut := fs.String("json", "", "also write the sweep + per-unit fingerprints as JSON to this file (\"-\" = stdout)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial)")
 	cfg.register(fs)
 	pos, err := splitArgs(fs, args, 1)
@@ -509,6 +558,44 @@ func cmdMatrix(args []string, cfg *obsConfig) error {
 	m, order, err := env.Matrix(pos[0], *metric)
 	if err != nil {
 		return err
+	}
+	if *jsonOut != "" {
+		idxs, _, err := env.Indexes(pos[0])
+		if err != nil {
+			return err
+		}
+		fpm := fingerprintMetric(*metric)
+		payload := matrixJSON{
+			App: pos[0], Metric: *metric, Order: order, Matrix: m,
+			Units: map[string][]unitJSON{},
+		}
+		for _, model := range order {
+			idx := idxs[model]
+			for i := range idx.Units {
+				u := &idx.Units[i]
+				payload.Units[model] = append(payload.Units[model], unitJSON{
+					File: u.File, Role: u.Role,
+					Fingerprint: u.TreeFingerprint(fpm).String(),
+				})
+			}
+		}
+		w := io.Writer(os.Stdout)
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			return err
+		}
+		if *jsonOut != "-" {
+			fmt.Fprintf(os.Stderr, "matrix JSON written to %s\n", *jsonOut)
+		}
 	}
 	fmt.Println(textplot.Heatmap(order, order, m))
 	root, err := cluster.Agglomerate(order, cluster.EuclideanFromMatrix(m))

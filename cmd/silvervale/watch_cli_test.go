@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writePorts generates the given babelstream ports as watch port
+// directories under a fresh root.
+func writePorts(t *testing.T, models ...string) string {
+	t.Helper()
+	root := t.TempDir()
+	for _, m := range models {
+		if _, err := capture(t, "generate", "babelstream", m, "-o", filepath.Join(root, m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// editPortKernels appends a function to a port's kernels unit, the
+// scripted one-function edit of the incremental smoke.
+func editPortKernels(t *testing.T, root, model string) {
+	t.Helper()
+	dir := filepath.Join(root, model)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "kernels.") && e.Name() != "kernels.h" {
+			path := filepath.Join(dir, e.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data = append(data, []byte("\ndouble pr8_extra(double x) {\n\treturn x * 2.0;\n}\n")...)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+	}
+	t.Fatalf("no kernels source under %s", dir)
+}
+
+// TestWatchIncrementalSmoke is the end-to-end incremental flow: a cold
+// watch iteration snapshots its warm state; a scripted one-function edit
+// plus a -since run re-emits the matrix byte-identically to a cold run of
+// the edited tree, reporting on stderr that only the edited unit reparsed
+// and only its cells recomputed.
+func TestWatchIncrementalSmoke(t *testing.T) {
+	root := writePorts(t, "serial", "omp", "cuda")
+	snap := filepath.Join(t.TempDir(), "warm.svsnap")
+
+	coldOut, coldErr, err := captureBoth(t, "watch", root, "-iters", "1", "-snapshot", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(coldErr, "incremental: 0 cells reused, 3 recomputed; 0 units reused, 6 reparsed") {
+		t.Fatalf("cold stats line missing:\n%s", coldErr)
+	}
+	if !strings.Contains(coldOut, "cuda") || !strings.Contains(coldOut, "serial") {
+		t.Fatalf("cold matrix output missing port labels:\n%s", coldOut)
+	}
+
+	editPortKernels(t, root, "cuda")
+
+	incrOut, incrErr, err := captureBoth(t, "watch", root, "-since", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 ports × 2 units: the edit reparses exactly the edited unit and
+	// recomputes exactly the two cells pairing cuda with the others.
+	if !strings.Contains(incrErr, "incremental: 1 cells reused, 2 recomputed; 5 units reused, 1 reparsed") {
+		t.Fatalf("incremental stats line missing:\n%s", incrErr)
+	}
+
+	freshOut, _, err := captureBoth(t, "watch", root, "-iters", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if incrOut != freshOut {
+		t.Fatalf("incremental matrix differs from cold run:\n--- incremental ---\n%s--- cold ---\n%s", incrOut, freshOut)
+	}
+	if incrOut == coldOut {
+		t.Fatal("edit did not change the matrix output")
+	}
+}
+
+// TestWatchSinceWritesBackSnapshot: the CI form can roll the snapshot
+// forward, so consecutive -since runs each pay only their own edit.
+func TestWatchSinceWritesBackSnapshot(t *testing.T) {
+	root := writePorts(t, "serial", "omp")
+	snap := filepath.Join(t.TempDir(), "warm.svsnap")
+	if _, _, err := captureBoth(t, "watch", root, "-iters", "1", "-snapshot", snap); err != nil {
+		t.Fatal(err)
+	}
+	editPortKernels(t, root, "omp")
+	if _, _, err := captureBoth(t, "watch", root, "-since", snap, "-snapshot", snap); err != nil {
+		t.Fatal(err)
+	}
+	// No further edits: the rolled-forward snapshot answers everything.
+	_, errLines, err := captureBoth(t, "watch", root, "-since", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errLines, "incremental: 1 cells reused, 0 recomputed; 4 units reused, 0 reparsed") {
+		t.Fatalf("rolled-forward snapshot missed:\n%s", errLines)
+	}
+}
+
+// TestWatchRejectsEmptyRoot: a root with no port directories errors
+// instead of emitting an empty matrix.
+func TestWatchRejectsEmptyRoot(t *testing.T) {
+	if _, _, err := captureBoth(t, "watch", t.TempDir(), "-iters", "1"); err == nil {
+		t.Fatal("expected error for a root without ports")
+	}
+}

@@ -21,8 +21,13 @@ import (
 // makes a stored DB a lossless substitute for a live index: every metric —
 // including source+pp and the +coverage variants — computes identically
 // from a reloaded record. The persistent artifact store (internal/store)
-// relies on that for its warm-start determinism guarantee.
-const FormatVersion = 2
+// relies on that for its warm-start determinism guarantee. Version 3 adds
+// the incremental-recomputation keys (DESIGN.md §12): per-unit dependency
+// lists and source hashes (frontend reuse), per-tree fingerprints and
+// line-set hashes (matrix-cell invalidation), and the index-level options
+// digest — so a reloaded index can both seed an incremental reindex and
+// address memoised matrix cells without re-walking any tree.
+const FormatVersion = 3
 
 // UnitRecord is the persisted form of one indexed unit (Eq. 1: a source
 // file plus its module dependencies).
@@ -36,6 +41,21 @@ type UnitRecord struct {
 	LineFiles     []string          // originating file per SourceLines entry
 	LineNums      []int             // originating line per SourceLines entry
 	Trees         map[string]string // metric name -> s-expression
+
+	// Incremental-recomputation keys (format v3). Deps is every file the
+	// unit's indexed form depends on (root first, then the spliced include
+	// closure in first-include order); MissingDeps are include targets that
+	// did not resolve. SrcHash is the 128-bit content hash over all of them
+	// — the frontend-reuse key. Fingerprints are the per-metric tree
+	// content addresses; LinesHash/LinesPPHash address the normalised line
+	// sets. Hashes are stored as raw 64-bit pairs (the store's ContentHash
+	// lives above this package).
+	Deps         []string
+	MissingDeps  []string
+	SrcHash      [2]uint64
+	LinesHash    [2]uint64
+	LinesPPHash  [2]uint64
+	Fingerprints map[string]tree.Fingerprint // metric name -> tree fingerprint
 }
 
 // DB is the persisted index of one codebase (one mini-app × model).
@@ -43,7 +63,11 @@ type DB struct {
 	Codebase string
 	Model    string
 	Lang     string
-	Units    []UnitRecord
+	// Opts is the digest of the indexing options the units were produced
+	// under (coverage mask, system-header handling); the zero pair means
+	// "unknown" and disqualifies the record from seeding incremental reuse.
+	Opts  [2]uint64
+	Units []UnitRecord
 }
 
 // Tree decodes a stored tree by metric name.
@@ -75,6 +99,10 @@ func (db *DB) EncodeMsgpack(w io.Writer) error {
 		for k, v := range u.Trees {
 			trees[k] = v
 		}
+		fps := make(map[string]any, len(u.Fingerprints))
+		for k, f := range u.Fingerprints {
+			fps[k] = []any{f.H1, f.H2, uint64(f.Size)}
+		}
 		units[i] = map[string]any{
 			"file":       u.File,
 			"role":       u.Role,
@@ -85,6 +113,12 @@ func (db *DB) EncodeMsgpack(w io.Writer) error {
 			"line_files": u.LineFiles,
 			"line_nums":  u.LineNums,
 			"trees":      trees,
+			"deps":       u.Deps,
+			"missing":    u.MissingDeps,
+			"uh":         []any{u.SrcHash[0], u.SrcHash[1]},
+			"lh":         []any{u.LinesHash[0], u.LinesHash[1]},
+			"ph":         []any{u.LinesPPHash[0], u.LinesPPHash[1]},
+			"fps":        fps,
 		}
 	}
 	payload := map[string]any{
@@ -92,6 +126,7 @@ func (db *DB) EncodeMsgpack(w io.Writer) error {
 		"codebase": db.Codebase,
 		"model":    db.Model,
 		"lang":     db.Lang,
+		"opts":     []any{db.Opts[0], db.Opts[1]},
 		"units":    units,
 	}
 	return enc.Encode(payload)
@@ -125,6 +160,7 @@ func DecodeMsgpack(r io.Reader) (*DB, error) {
 	db.Codebase, _ = m["codebase"].(string)
 	db.Model, _ = m["model"].(string)
 	db.Lang, _ = m["lang"].(string)
+	db.Opts = hashPair(m["opts"])
 	rawUnits, _ := m["units"].([]any)
 	for _, ru := range rawUnits {
 		um, ok := ru.(map[string]any)
@@ -157,10 +193,54 @@ func DecodeMsgpack(r io.Reader) (*DB, error) {
 				}
 			}
 		}
+		u.Deps = stringSlice(um["deps"])
+		u.MissingDeps = stringSlice(um["missing"])
+		u.SrcHash = hashPair(um["uh"])
+		u.LinesHash = hashPair(um["lh"])
+		u.LinesPPHash = hashPair(um["ph"])
+		if fps, ok := um["fps"].(map[string]any); ok {
+			u.Fingerprints = map[string]tree.Fingerprint{}
+			for k, fv := range fps {
+				if parts, ok := fv.([]any); ok && len(parts) == 3 {
+					h1, ok1 := asUint64(parts[0])
+					h2, ok2 := asUint64(parts[1])
+					sz, ok3 := asUint64(parts[2])
+					if ok1 && ok2 && ok3 {
+						u.Fingerprints[k] = tree.Fingerprint{H1: h1, H2: h2, Size: uint32(sz)}
+					}
+				}
+			}
+		}
 		db.Units = append(db.Units, u)
 	}
 	sort.Slice(db.Units, func(i, j int) bool { return db.Units[i].File < db.Units[j].File })
 	return db, nil
+}
+
+// hashPair extracts a decoded [h1, h2] hash pair, zero on any mismatch.
+func hashPair(v any) [2]uint64 {
+	parts, ok := v.([]any)
+	if !ok || len(parts) != 2 {
+		return [2]uint64{}
+	}
+	h1, ok1 := asUint64(parts[0])
+	h2, ok2 := asUint64(parts[1])
+	if !ok1 || !ok2 {
+		return [2]uint64{}
+	}
+	return [2]uint64{h1, h2}
+}
+
+// asUint64 widens a decoded msgpack integer to its uint64 bit pattern (the
+// decoder returns int64 within range, uint64 beyond it).
+func asUint64(v any) (uint64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return uint64(x), true
+	case uint64:
+		return x, true
+	}
+	return 0, false
 }
 
 // stringSlice extracts a []string from a decoded msgpack array, skipping

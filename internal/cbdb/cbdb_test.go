@@ -3,6 +3,7 @@ package cbdb
 import (
 	"bytes"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"silvervale/internal/tree"
@@ -140,9 +141,58 @@ func TestReadGarbage(t *testing.T) {
 
 func TestVersionCheck(t *testing.T) {
 	// v2 added lines_pp/line_files/line_nums (lossless index records for
-	// the artifact store). Update version-compat tests when bumping again.
-	if FormatVersion != 2 {
+	// the artifact store); v3 added the incremental-recomputation keys
+	// (deps, source hashes, tree fingerprints, options digest). Update
+	// version-compat tests when bumping again.
+	if FormatVersion != 3 {
 		t.Fatal("update version-compat tests when bumping FormatVersion")
+	}
+}
+
+// TestIncrementalKeysRoundTrip pins the v3 fields: dependency lists,
+// source/line hashes, per-metric tree fingerprints, and the options
+// digest all survive the encode/decode pair.
+func TestIncrementalKeysRoundTrip(t *testing.T) {
+	db := sample()
+	db.Opts = [2]uint64{7, 9}
+	db.Units[0].Deps = []string{"a.cpp", "a.h"}
+	db.Units[0].MissingDeps = []string{"gone.h"}
+	db.Units[0].SrcHash = [2]uint64{11, 13}
+	db.Units[0].LinesHash = [2]uint64{17, 19}
+	db.Units[0].LinesPPHash = [2]uint64{23, 29}
+	db.Units[0].Fingerprints = map[string]tree.Fingerprint{
+		"tsem": {H1: 31, H2: 37, Size: 41},
+	}
+	var buf bytes.Buffer
+	if err := db.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Opts != db.Opts {
+		t.Fatalf("opts digest: got %v want %v", got.Opts, db.Opts)
+	}
+	var u *UnitRecord
+	for i := range got.Units {
+		if got.Units[i].File == db.Units[0].File {
+			u = &got.Units[i]
+		}
+	}
+	if u == nil {
+		t.Fatal("unit missing after round trip")
+	}
+	if !reflect.DeepEqual(u.Deps, db.Units[0].Deps) ||
+		!reflect.DeepEqual(u.MissingDeps, db.Units[0].MissingDeps) {
+		t.Fatalf("deps round trip: %+v", u)
+	}
+	if u.SrcHash != db.Units[0].SrcHash || u.LinesHash != db.Units[0].LinesHash ||
+		u.LinesPPHash != db.Units[0].LinesPPHash {
+		t.Fatalf("hashes round trip: %+v", u)
+	}
+	if fp := u.Fingerprints["tsem"]; fp != (tree.Fingerprint{H1: 31, H2: 37, Size: 41}) {
+		t.Fatalf("fingerprint round trip: %+v", fp)
 	}
 }
 

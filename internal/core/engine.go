@@ -53,6 +53,22 @@ type Engine struct {
 	obsTierExact  *obs.Counter // ted.tier_exact — pairs refined with exact Zhang–Shasha
 	obsTierEst    *obs.Counter // ted.tier_estimated — pairs estimated from the pq-gram distance
 	obsTierFar    *obs.Counter // ted.tier_far — pairs estimated from LSH signatures alone
+
+	// cell memo: the matrix-cell invalidation layer (DESIGN.md §12).
+	// Matrix/MatrixTiered memoise every computed cell under (per-side
+	// metric hash, metric, costs, policy); warm re-sweeps recompute only
+	// cells whose key changed. nil when the engine is cache-less, so raw
+	// benchmarks measure raw work. The incremental accounting mirrors the
+	// tier accounting: engine-lifetime atomics plus incr.* obs counters.
+	cellMu   sync.Mutex
+	cellMemo map[cellKey]cellVal
+
+	unitsReused        atomic.Uint64
+	unitsReparsed      atomic.Uint64
+	cellsReused        atomic.Uint64
+	cellsRecomputed    atomic.Uint64
+	obsCellsReused     *obs.Counter // incr.cells_reused — matrix cells served from the cell memo
+	obsCellsRecomputed *obs.Counter // incr.cells_recomputed — matrix cells recomputed
 }
 
 // NewEngine returns an engine with the given worker-pool bound and a fresh
@@ -74,6 +90,9 @@ func NewEngineWithCache(workers int, cache *ted.Cache) *Engine {
 // nil and every hook is a pointer check.
 func NewEngineObs(workers int, cache *ted.Cache, rec *obs.Recorder) *Engine {
 	e := &Engine{workers: ResolveWorkers(workers), cache: cache, rec: rec}
+	if cache != nil {
+		e.cellMemo = map[cellKey]cellVal{}
+	}
 	if rec != nil {
 		if cache != nil {
 			cache.SetRecorder(rec)
@@ -86,6 +105,8 @@ func NewEngineObs(workers int, cache *ted.Cache, rec *obs.Recorder) *Engine {
 		e.obsTierExact = rec.Counter("ted.tier_exact")
 		e.obsTierEst = rec.Counter("ted.tier_estimated")
 		e.obsTierFar = rec.Counter("ted.tier_far")
+		e.obsCellsReused = rec.Counter("incr.cells_reused")
+		e.obsCellsRecomputed = rec.Counter("incr.cells_recomputed")
 	}
 	return e
 }
@@ -166,7 +187,26 @@ func (e *Engine) ApproxDiverge(a, b *Index, metric string) (Divergence, error) {
 // is deterministic regardless of scheduling: every cell (i,j) is a pure
 // function of the pair, each worker writes only its own cells, and errors
 // are reported in the same order the serial loop would encounter them.
+// With a cache attached, cells read through the engine's cell memo
+// (DESIGN.md §12): a warm re-sweep after an edit recomputes only the
+// cells whose metric-hash pair changed and serves the rest bit-identically
+// from the memo.
 func (e *Engine) Matrix(idxs map[string]*Index, order []string, metric string) ([][]float64, error) {
+	return e.matrixMemo(idxs, order, metric, ted.UnitCosts(), "")
+}
+
+// MatrixWithCosts is Matrix under a non-unit TED cost model (tree metrics
+// only, like DivergeWithCosts). Cells are memoised under the cost model,
+// so sweeps under different costs never share cells — a cached cell keyed
+// under old costs is unreachable from a new cost model by construction.
+func (e *Engine) MatrixWithCosts(idxs map[string]*Index, order []string, metric string, costs ted.Costs) ([][]float64, error) {
+	return e.matrixMemo(idxs, order, metric, costs, "")
+}
+
+// matrixMemo is the shared memoised sweep behind Matrix and
+// MatrixWithCosts. policy is the rendered tier policy for keying ("" on
+// the exact path; MatrixTiered keys its own cells).
+func (e *Engine) matrixMemo(idxs map[string]*Index, order []string, metric string, costs ted.Costs, policy string) ([][]float64, error) {
 	n := len(order)
 	for _, name := range order {
 		if _, ok := idxs[name]; !ok {
@@ -186,11 +226,45 @@ func (e *Engine) Matrix(idxs map[string]*Index, order []string, metric string) (
 	}
 	sp := e.rec.Start("engine.matrix").Arg("metric", metric)
 	e.cells.Add(int64(len(cells)))
-	errs := make([]error, len(cells))
-	e.runParallel(len(cells), sp, "engine.cell", func(k int) {
-		i, j := cells[k].i, cells[k].j
+
+	// Memo pass: serve clean cells, keep the dirty ones as work. The
+	// metric hash per side is computed once per sweep; map lookups are
+	// serial (they are nanoseconds next to any recomputation).
+	work := cells
+	var keys []cellKey
+	if e.cellMemo != nil {
+		hs := make([]store.ContentHash, n)
+		for i, name := range order {
+			hs[i] = MetricHash(idxs[name], metric)
+		}
+		work = work[:0:0]
+		reused := 0
+		keys = make([]cellKey, 0, len(cells))
+		for _, c := range cells {
+			key := cellKey{a: hs[c.i], b: hs[c.j], metric: metric, costs: costs, policy: policy}
+			if v, ok := e.cellLookup(key); ok {
+				m[c.i][c.j], m[c.j][c.i] = v.norm, v.rev
+				reused++
+				continue
+			}
+			work = append(work, c)
+			keys = append(keys, key)
+		}
+		e.countCells(reused, len(work))
+	}
+
+	errs := make([]error, len(work))
+	vals := make([]cellVal, len(work))
+	e.runParallel(len(work), sp, "engine.cell", func(k int) {
+		i, j := work[k].i, work[k].j
 		ia, ib := idxs[order[i]], idxs[order[j]]
-		d, err := e.Diverge(ia, ib, metric)
+		var d Divergence
+		var err error
+		if costs == ted.UnitCosts() {
+			d, err = e.Diverge(ia, ib, metric)
+		} else {
+			d, err = e.DivergeWithCosts(ia, ib, metric, costs)
+		}
 		if err != nil {
 			errs[k] = err
 			return
@@ -203,11 +277,17 @@ func (e *Engine) Matrix(idxs map[string]*Index, order []string, metric string) (
 			m[i][j] = d.Norm
 			m[j][i] = safeDiv(d.Raw, Weight(ia, metric))
 		}
+		vals[k] = cellVal{norm: m[i][j], rev: m[j][i]}
 	})
 	sp.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
+		}
+	}
+	if keys != nil {
+		for k := range work {
+			e.cellStore(keys[k], vals[k])
 		}
 	}
 	return m, nil
@@ -251,16 +331,18 @@ func (e *Engine) FromBase(idxs map[string]*Index, base string, order []string, m
 
 // IndexCodebase runs the extraction pipeline with the engine's worker
 // pool and recorder (equivalent to IndexCodebase with Options.Workers and
-// Options.Recorder set). With a persistent store attached and default
-// options (no coverage mask, system headers masked), the codebase is
-// first looked up in the store's index tier by content hash; misses run
-// the pipeline and persist the result for the next run.
+// Options.Recorder set). With a persistent store attached, the codebase is
+// first looked up in the store's index tier by content hash and options
+// digest; misses run the pipeline and persist the result for the next
+// run. Non-default option sets (coverage masks, KeepSystemHeaders
+// ablations) warm-start too — their digest keys them to their own
+// records, so two option sets can never cross-contaminate.
 func (e *Engine) IndexCodebase(cb *corpus.Codebase, opts Options) (*Index, error) {
 	opts.Workers = e.workers
 	if opts.Recorder == nil {
 		opts.Recorder = e.rec
 	}
-	if e.astore != nil && opts.Coverage == nil && !opts.KeepSystemHeaders {
+	if e.astore != nil {
 		return e.indexCodebaseStored(cb, opts)
 	}
 	return IndexCodebase(cb, opts)

@@ -181,8 +181,8 @@ func TestSharedCacheConcurrentMatrix(t *testing.T) {
 }
 
 // TestEngineCacheReuse verifies the short-circuit economics the engine is
-// for: a repeated Matrix over the same indexes answers every TED from the
-// memo.
+// for: a repeated Matrix over the same indexes answers every cell from the
+// cell memo, without even consulting the TED cache (DESIGN.md §12).
 func TestEngineCacheReuse(t *testing.T) {
 	idxs, order := buildIndexes(t, "babelstream-fortran")
 	engine := NewEngine(2)
@@ -194,12 +194,12 @@ func TestEngineCacheReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	warm := engine.CacheStats()
-	if warm.Misses != cold.Misses {
-		t.Fatalf("second sweep recomputed %d distances; want all from cache (cold %+v, warm %+v)",
-			warm.Misses-cold.Misses, cold, warm)
+	if warm != cold {
+		t.Fatalf("second sweep reached the TED layer: cold %+v warm %+v", cold, warm)
 	}
-	if warm.Hits <= cold.Hits {
-		t.Fatalf("second sweep produced no cache hits: cold %+v warm %+v", cold, warm)
+	n := len(order)
+	if got, want := engine.IncrStats().CellsReused, n*(n-1)/2; got != want {
+		t.Fatalf("cell memo reused %d cells, want %d", got, want)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"silvervale/internal/minifortran"
 	"silvervale/internal/obs"
 	"silvervale/internal/sloc"
+	"silvervale/internal/store"
 	"silvervale/internal/tree"
 )
 
@@ -66,6 +67,52 @@ type UnitIndex struct {
 	LineNums  []int
 
 	Trees map[string]*tree.Node // tsrc, tsrc+pp, tsem, tsem+i, tir
+
+	// Incremental-recomputation keys (DESIGN.md §12). Deps is every file
+	// whose content this unit's indexed form depends on — the root plus
+	// the full spliced include closure in first-include order, system
+	// files included (their macros expand into the unit). MissingDeps are
+	// include targets that did not resolve; a file appearing under one of
+	// those names would change the preprocess result, so their continued
+	// absence is part of the key. SrcHash is the content hash over all of
+	// them — the frontend-reuse key: an incremental reindex reuses this
+	// unit verbatim exactly when the hash recomputed over the new file set
+	// matches.
+	Deps        []string
+	MissingDeps []string
+	SrcHash     store.ContentHash
+
+	// FPs memoises each tree's content fingerprint; LinesHash and
+	// LinesPPHash address the normalised line sets. All are filled by the
+	// indexing pipeline (and restored by IndexFromDB); hand-built units
+	// may leave them zero, in which case consumers recompute on the fly.
+	FPs         map[string]tree.Fingerprint
+	LinesHash   store.ContentHash
+	LinesPPHash store.ContentHash
+}
+
+// TreeFingerprint returns the content fingerprint of the unit's tree under
+// a metric, preferring the memoised value recorded at index time.
+func (u *UnitIndex) TreeFingerprint(metric string) tree.Fingerprint {
+	if fp, ok := u.FPs[metric]; ok {
+		return fp
+	}
+	return u.Trees[metric].Fingerprint()
+}
+
+// sourceHash returns the content hash of the unit's normalised line set
+// (pre- or post-preprocessor), preferring the memoised value.
+func (u *UnitIndex) sourceHash(pp bool) store.ContentHash {
+	if pp {
+		if u.LinesPPHash != (store.ContentHash{}) {
+			return u.LinesPPHash
+		}
+		return linesHash(u.SourceLinesPP)
+	}
+	if u.LinesHash != (store.ContentHash{}) {
+		return u.LinesHash
+	}
+	return linesHash(u.SourceLines)
 }
 
 // Index is the indexed form of a whole codebase.
@@ -73,7 +120,11 @@ type Index struct {
 	Codebase string
 	Model    string
 	Lang     corpus.Lang
-	Units    []UnitIndex
+	// Opts is the digest of the Options the index was built under
+	// (Options.Digest). Incremental reuse and the store's index tier both
+	// require it to match before any cached unit is served.
+	Opts  store.ContentHash
+	Units []UnitIndex
 }
 
 // Options configures indexing.
@@ -106,7 +157,7 @@ func (o Options) ResolvedWorkers() int { return ResolveWorkers(o.Workers) }
 // preprocessor, parser, and trees over the shared read-only file maps), so
 // they are indexed concurrently on the Options.Workers pool.
 func IndexCodebase(cb *corpus.Codebase, opts Options) (*Index, error) {
-	idx := &Index{Codebase: cb.App, Model: string(cb.Model), Lang: cb.Lang}
+	idx := &Index{Codebase: cb.App, Model: string(cb.Model), Lang: cb.Lang, Opts: opts.Digest()}
 	workers := opts.ResolvedWorkers()
 	root := opts.Recorder.Start("index.codebase").
 		Arg("app", cb.App).Arg("model", string(cb.Model))
@@ -131,8 +182,21 @@ func IndexCodebase(cb *corpus.Codebase, opts Options) (*Index, error) {
 		}
 	}
 	idx.Units = units
-	sort.Slice(idx.Units, func(i, j int) bool { return idx.Units[i].Role < idx.Units[j].Role })
+	sortUnits(idx.Units)
 	return idx, nil
+}
+
+// sortUnits establishes the canonical unit order: by Role, tie-broken by
+// File. Fresh and store-restored indexes must agree on this order — the
+// incremental layer's MetricHash folds units in slice order, so a
+// reordered-but-equal index would spuriously miss the cell memo.
+func sortUnits(units []UnitIndex) {
+	sort.Slice(units, func(i, j int) bool {
+		if units[i].Role != units[j].Role {
+			return units[i].Role < units[j].Role
+		}
+		return units[i].File < units[j].File
+	})
 }
 
 func indexCXXUnit(cb *corpus.Codebase, u corpus.Unit, opts Options, usp *obs.Span) (UnitIndex, error) {
@@ -143,6 +207,8 @@ func indexCXXUnit(cb *corpus.Codebase, u corpus.Unit, opts Options, usp *obs.Spa
 	if err != nil {
 		return ui, err
 	}
+	ui.Deps = append([]string{u.File}, res.Includes...)
+	ui.MissingDeps = res.MissingIncludes
 	isSystem := func(file string) bool {
 		if opts.KeepSystemHeaders {
 			return false
@@ -218,6 +284,7 @@ func indexCXXUnit(cb *corpus.Codebase, u corpus.Unit, opts Options, usp *obs.Spa
 	ui.Trees[MetricTir] = bundle.Tree()
 
 	applyCoverage(&ui, opts.Coverage)
+	finalizeUnit(cb, &ui)
 	return ui, nil
 }
 
@@ -255,6 +322,10 @@ func indexFortranUnit(cb *corpus.Codebase, u corpus.Unit, opts Options, usp *obs
 	ui.Trees[MetricTir] = bundle.Tree()
 
 	applyCoverage(&ui, opts.Coverage)
+	// Fortran units in this dialect have no include mechanism: the unit
+	// depends on its root file alone.
+	ui.Deps = []string{u.File}
+	finalizeUnit(cb, &ui)
 	return ui, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"silvervale/internal/cbdb"
 	"silvervale/internal/compdb"
 	"silvervale/internal/corpus"
+	"silvervale/internal/store"
 	"silvervale/internal/tree"
 )
 
@@ -113,14 +114,28 @@ func IngestDirectory(root string, opts Options) (*Index, error) {
 // ToDB converts an index into its portable Codebase DB form ("a portable
 // set of semantic-bearing trees and metadata files", Fig. 2).
 func (idx *Index) ToDB() *cbdb.DB {
-	db := &cbdb.DB{Codebase: idx.Codebase, Model: idx.Model, Lang: string(idx.Lang)}
+	db := &cbdb.DB{
+		Codebase: idx.Codebase, Model: idx.Model, Lang: string(idx.Lang),
+		Opts: [2]uint64{idx.Opts.H1, idx.Opts.H2},
+	}
 	for i := range idx.Units {
 		u := &idx.Units[i]
 		rec := cbdb.UnitRecord{
 			File: u.File, Role: u.Role, SLOC: u.SLOC, LLOC: u.LLOC,
 			SourceLines: u.SourceLines, SourceLinesPP: u.SourceLinesPP,
 			LineFiles: u.LineFiles, LineNums: u.LineNums,
-			Trees: map[string]string{},
+			Trees:       map[string]string{},
+			Deps:        u.Deps,
+			MissingDeps: u.MissingDeps,
+			SrcHash:     [2]uint64{u.SrcHash.H1, u.SrcHash.H2},
+			LinesHash:   [2]uint64{u.LinesHash.H1, u.LinesHash.H2},
+			LinesPPHash: [2]uint64{u.LinesPPHash.H1, u.LinesPPHash.H2},
+		}
+		if len(u.FPs) > 0 {
+			rec.Fingerprints = map[string]tree.Fingerprint{}
+			for m, fp := range u.FPs {
+				rec.Fingerprints[m] = fp
+			}
 		}
 		for m, t := range u.Trees {
 			rec.Trees[m] = t.String()
@@ -138,7 +153,10 @@ func (idx *Index) ToDB() *cbdb.DB {
 // warm starts depend on. (Records missing the +pp set fall back to the
 // plain Source lines, the pre-v2 behaviour.)
 func IndexFromDB(db *cbdb.DB) (*Index, error) {
-	idx := &Index{Codebase: db.Codebase, Model: db.Model, Lang: corpus.Lang(db.Lang)}
+	idx := &Index{
+		Codebase: db.Codebase, Model: db.Model, Lang: corpus.Lang(db.Lang),
+		Opts: store.ContentHash{H1: db.Opts[0], H2: db.Opts[1]},
+	}
 	for _, rec := range db.Units {
 		u := UnitIndex{
 			File: rec.File, Role: rec.Role, SLOC: rec.SLOC, LLOC: rec.LLOC,
@@ -147,9 +165,20 @@ func IndexFromDB(db *cbdb.DB) (*Index, error) {
 			LineFiles:     rec.LineFiles,
 			LineNums:      rec.LineNums,
 			Trees:         map[string]*tree.Node{},
+			Deps:          rec.Deps,
+			MissingDeps:   rec.MissingDeps,
+			SrcHash:       store.ContentHash{H1: rec.SrcHash[0], H2: rec.SrcHash[1]},
+			LinesHash:     store.ContentHash{H1: rec.LinesHash[0], H2: rec.LinesHash[1]},
+			LinesPPHash:   store.ContentHash{H1: rec.LinesPPHash[0], H2: rec.LinesPPHash[1]},
 		}
 		if u.SourceLinesPP == nil {
 			u.SourceLinesPP = rec.SourceLines
+		}
+		if len(rec.Fingerprints) > 0 {
+			u.FPs = map[string]tree.Fingerprint{}
+			for m, fp := range rec.Fingerprints {
+				u.FPs[m] = fp
+			}
 		}
 		for m, s := range rec.Trees {
 			t, err := tree.ParseSexpr(s)
@@ -160,5 +189,6 @@ func IndexFromDB(db *cbdb.DB) (*Index, error) {
 		}
 		idx.Units = append(idx.Units, u)
 	}
+	sortUnits(idx.Units)
 	return idx, nil
 }

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"silvervale/internal/cbdb"
+	"silvervale/internal/msgpack"
+	"silvervale/internal/store"
+	"silvervale/internal/ted"
+)
+
+// SnapshotVersion guards the snapshot wire format; bump on any schema
+// change so stale files are rejected instead of misread.
+const SnapshotVersion = 1
+
+// Snapshot is the warm state a watch session (or a CI baseline run)
+// persists so a later `-since` invocation can resume incrementally: every
+// model's indexed codebase DB plus the engine's memoised matrix cells.
+// Restoring one costs a file read; everything else is content-addressed,
+// so a restored snapshot never serves stale data — edits simply miss.
+type Snapshot struct {
+	Metric string
+	Models map[string]*cbdb.DB
+	Cells  []CellRecord
+}
+
+// CellRecord is the portable form of one memoised matrix cell: the two
+// sides' metric hashes, the full key (metric, cost model, tier policy) and
+// the value (both normalised orientations, tier provenance). Floats travel
+// as IEEE-754 bit patterns, so a restored cell is bit-identical to the one
+// exported.
+type CellRecord struct {
+	A, B                  [2]uint64
+	Metric                string
+	Costs                 ted.Costs
+	Policy                string
+	Norm, Rev             float64
+	Exact, Estimated, Far int
+}
+
+// ExportCells returns the engine's memoised matrix cells in a canonical
+// deterministic order (key-sorted), ready for Snapshot persistence.
+func (e *Engine) ExportCells() []CellRecord {
+	if e.cellMemo == nil {
+		return nil
+	}
+	e.cellMu.Lock()
+	recs := make([]CellRecord, 0, len(e.cellMemo))
+	for k, v := range e.cellMemo {
+		recs = append(recs, CellRecord{
+			A: [2]uint64{k.a.H1, k.a.H2}, B: [2]uint64{k.b.H1, k.b.H2},
+			Metric: k.metric, Costs: k.costs, Policy: k.policy,
+			Norm: v.norm, Rev: v.rev,
+			Exact: v.tc.Exact, Estimated: v.tc.Estimated, Far: v.tc.Far,
+		})
+	}
+	e.cellMu.Unlock()
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := &recs[i], &recs[j]
+		if a.A != b.A {
+			return a.A[0] < b.A[0] || (a.A[0] == b.A[0] && a.A[1] < b.A[1])
+		}
+		if a.B != b.B {
+			return a.B[0] < b.B[0] || (a.B[0] == b.B[0] && a.B[1] < b.B[1])
+		}
+		if a.Metric != b.Metric {
+			return a.Metric < b.Metric
+		}
+		if a.Costs != b.Costs {
+			return a.Costs.Insert < b.Costs.Insert ||
+				(a.Costs.Insert == b.Costs.Insert && a.Costs.Delete < b.Costs.Delete) ||
+				(a.Costs.Insert == b.Costs.Insert && a.Costs.Delete == b.Costs.Delete && a.Costs.Rename < b.Costs.Rename)
+		}
+		return a.Policy < b.Policy
+	})
+	return recs
+}
+
+// ImportCells seeds the engine's cell memo from exported records. A
+// cache-less engine (nil memo) ignores the import, matching its no-memo
+// contract everywhere else.
+func (e *Engine) ImportCells(recs []CellRecord) {
+	if e.cellMemo == nil {
+		return
+	}
+	e.cellMu.Lock()
+	for _, r := range recs {
+		k := cellKey{
+			a:      store.ContentHash{H1: r.A[0], H2: r.A[1]},
+			b:      store.ContentHash{H1: r.B[0], H2: r.B[1]},
+			metric: r.Metric, costs: r.Costs, policy: r.Policy,
+		}
+		e.cellMemo[k] = cellVal{
+			norm: r.Norm, rev: r.Rev,
+			tc: TierCell{Exact: r.Exact, Estimated: r.Estimated, Far: r.Far},
+		}
+	}
+	e.cellMu.Unlock()
+}
+
+// Write serialises the snapshot as gzip-compressed MessagePack, the same
+// framing as cbdb files.
+func (s *Snapshot) Write(w io.Writer) error {
+	models := make(map[string]any, len(s.Models))
+	for name, db := range s.Models {
+		var buf bytes.Buffer
+		if err := db.EncodeMsgpack(&buf); err != nil {
+			return err
+		}
+		models[name] = buf.Bytes()
+	}
+	cells := make([]any, len(s.Cells))
+	for i, c := range s.Cells {
+		cells[i] = []any{
+			c.A[0], c.A[1], c.B[0], c.B[1],
+			c.Metric,
+			int64(c.Costs.Insert), int64(c.Costs.Delete), int64(c.Costs.Rename),
+			c.Policy,
+			math.Float64bits(c.Norm), math.Float64bits(c.Rev),
+			int64(c.Exact), int64(c.Estimated), int64(c.Far),
+		}
+	}
+	payload := map[string]any{
+		"version": int64(SnapshotVersion),
+		"metric":  s.Metric,
+		"models":  models,
+		"cells":   cells,
+	}
+	gz := gzip.NewWriter(w)
+	if err := msgpack.NewEncoder(gz).Encode(payload); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// ReadSnapshot deserialises a snapshot written by Write.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot: %w", err)
+	}
+	defer gz.Close()
+	v, err := msgpack.NewDecoder(gz).Decode()
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot: %w", err)
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("core: snapshot: not a map payload")
+	}
+	if ver, ok := m["version"].(int64); !ok || ver != SnapshotVersion {
+		return nil, fmt.Errorf("core: snapshot: unsupported version %v (want %d)", m["version"], SnapshotVersion)
+	}
+	s := &Snapshot{Models: map[string]*cbdb.DB{}}
+	s.Metric, _ = m["metric"].(string)
+	rawModels, _ := m["models"].(map[string]any)
+	for name, blob := range rawModels {
+		data, ok := blob.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot: model %q is not a DB blob", name)
+		}
+		db, err := cbdb.DecodeMsgpack(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot: model %q: %w", name, err)
+		}
+		s.Models[name] = db
+	}
+	rawCells, _ := m["cells"].([]any)
+	for i, rc := range rawCells {
+		parts, ok := rc.([]any)
+		if !ok || len(parts) != 14 {
+			return nil, fmt.Errorf("core: snapshot: malformed cell %d", i)
+		}
+		u := make([]uint64, len(parts))
+		for j, p := range parts {
+			switch x := p.(type) {
+			case int64:
+				u[j] = uint64(x)
+			case uint64:
+				u[j] = x
+			}
+		}
+		metric, _ := parts[4].(string)
+		policy, _ := parts[8].(string)
+		s.Cells = append(s.Cells, CellRecord{
+			A: [2]uint64{u[0], u[1]}, B: [2]uint64{u[2], u[3]},
+			Metric: metric,
+			Costs:  ted.Costs{Insert: int(u[5]), Delete: int(u[6]), Rename: int(u[7])},
+			Policy: policy,
+			Norm:   math.Float64frombits(u[9]), Rev: math.Float64frombits(u[10]),
+			Exact: int(u[11]), Estimated: int(u[12]), Far: int(u[13]),
+		})
+	}
+	return s, nil
+}
+
+// Save writes the snapshot atomically: temp file in the target directory,
+// fsync-free rename into place, so a crashed writer never leaves a
+// half-written snapshot where a `-since` run would find it.
+func (s *Snapshot) Save(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	if err := s.Write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadSnapshot reads a snapshot file written by Save.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}

@@ -60,14 +60,16 @@ func CodebaseContentHash(cb *corpus.Codebase) store.ContentHash {
 
 // indexCodebaseStored is the warm-start path behind Engine.IndexCodebase:
 // look the codebase up in the index tier, fall back to the full pipeline,
-// and persist fresh results. Only default-option runs use the store —
-// Coverage masks and KeepSystemHeaders change the index, and the key
-// schema deliberately covers just the canonical configuration.
+// and persist fresh results. The key carries the options digest alongside
+// the content hash, so every option set — the default run, coverage
+// masks, KeepSystemHeaders ablations — warm-starts from its own records
+// and can never be served an index built under different options.
 func (e *Engine) indexCodebaseStored(cb *corpus.Codebase, opts Options) (*Index, error) {
 	key := store.IndexKey{
 		App:     cb.App,
 		Model:   string(cb.Model),
 		Content: CodebaseContentHash(cb),
+		Opts:    opts.Digest(),
 	}
 	if db, ok := e.astore.LookupIndex(key); ok {
 		idx, err := IndexFromDB(db)

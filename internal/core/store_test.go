@@ -179,10 +179,12 @@ func TestEngineIndexWarmStart(t *testing.T) {
 	}
 }
 
-// TestIndexWarmStartSkipsNonDefaultOptions pins the gating: coverage and
-// KeepSystemHeaders runs bypass the store entirely (their indexes differ
-// from the default-option record the key schema covers).
-func TestIndexWarmStartSkipsNonDefaultOptions(t *testing.T) {
+// TestIndexWarmStartPerOptionsDigest pins the per-options keying that
+// replaced the old all-or-nothing gate: idx records carry the options
+// digest, so KeepSystemHeaders (and coverage-masked) runs warm-start from
+// their own records — and a record written under one option set is never
+// served to another.
+func TestIndexWarmStartPerOptionsDigest(t *testing.T) {
 	dir := t.TempDir()
 	app, err := corpus.AppByName("babelstream")
 	if err != nil {
@@ -192,17 +194,73 @@ func TestIndexWarmStartSkipsNonDefaultOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	optsA := Options{}
+	optsB := Options{KeepSystemHeaders: true}
+	if optsA.Digest() == optsB.Digest() {
+		t.Fatal("option digests must distinguish KeepSystemHeaders")
+	}
+
 	st, err := store.Open(dir, store.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer st.Close()
 	e := NewEngineStore(0, ted.NewCache(), nil, st)
-	if _, err := e.IndexCodebase(cb, Options{KeepSystemHeaders: true}); err != nil {
+	coldA, err := e.IndexCodebase(cb, optsA)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if s := st.Stats(); s.Hits != 0 || s.Misses != 0 {
-		t.Fatalf("non-default options touched the store: %+v", s)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The default-options record must not satisfy a KeepSystemHeaders
+	// lookup: cross-contamination here would serve the wrong index.
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngineStore(0, ted.NewCache(), nil, st2)
+	coldB, err := e2.IndexCodebase(cb, optsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := st2.Stats(); s.Hits != 0 {
+		t.Fatalf("KeepSystemHeaders lookup was served another option set's record: %+v", s)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each option set warm-starts from its own record.
+	st3, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	e3 := NewEngineStore(0, ted.NewCache(), nil, st3)
+	warmA, err := e3.IndexCodebase(cb, optsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmB, err := e3.IndexCodebase(cb, optsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := st3.Stats(); s.Hits < 2 {
+		t.Fatalf("warm run should hit the index tier once per option set: %+v", s)
+	}
+	if warmA.Opts != coldA.Opts || warmB.Opts != coldB.Opts {
+		t.Fatal("warm index carries the wrong options digest")
+	}
+	for i := range coldA.Units {
+		if warmA.Units[i].SrcHash != coldA.Units[i].SrcHash {
+			t.Fatalf("default-options unit %d changed identity across warm start", i)
+		}
+	}
+	for i := range coldB.Units {
+		if warmB.Units[i].SrcHash != coldB.Units[i].SrcHash {
+			t.Fatalf("keep-system unit %d changed identity across warm start", i)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"silvervale/internal/store"
 	"silvervale/internal/ted"
 	"silvervale/internal/tree"
 )
@@ -261,10 +262,42 @@ func (e *Engine) MatrixTiered(idxs map[string]*Index, order []string, metric str
 	sp := e.rec.Start("engine.matrix_tiered").Arg("metric", metric).Arg("policy", policy.String())
 	e.cells.Add(int64(len(cells)))
 
-	// Phase A: route every cell. Each task writes only its own plan slot.
-	plans := make([]*cellPlan, len(cells))
-	e.runParallel(len(cells), sp, "engine.tier_route", func(k int) {
-		i, j := cells[k].i, cells[k].j
+	// Memo pass (DESIGN.md §12): clean cells — same metric-hash pair,
+	// same costs, same rendered policy — skip routing entirely and are
+	// served with their recorded tier provenance; only dirty cells enter
+	// the route/refine/reduce schedule.
+	work := cells
+	var keys []cellKey
+	if e.cellMemo != nil {
+		hs := make([]store.ContentHash, n)
+		for i, name := range order {
+			hs[i] = MetricHash(idxs[name], metric)
+		}
+		ps := policy.String()
+		work = work[:0:0]
+		reused := 0
+		keys = make([]cellKey, 0, len(cells))
+		for _, c := range cells {
+			key := cellKey{a: hs[c.i], b: hs[c.j], metric: metric, costs: ted.UnitCosts(), policy: ps}
+			if v, ok := e.cellLookup(key); ok {
+				tm.Values[c.i][c.j], tm.Values[c.j][c.i] = v.norm, v.rev
+				tm.Cells[c.i][c.j], tm.Cells[c.j][c.i] = v.tc, v.tc
+				tm.Stats.add(v.tc)
+				e.countTier(v.tc)
+				reused++
+				continue
+			}
+			work = append(work, c)
+			keys = append(keys, key)
+		}
+		e.countCells(reused, len(work))
+	}
+
+	// Phase A: route every dirty cell. Each task writes only its own
+	// plan slot.
+	plans := make([]*cellPlan, len(work))
+	e.runParallel(len(work), sp, "engine.tier_route", func(k int) {
+		i, j := work[k].i, work[k].j
 		plans[k] = e.planCell(idxs[order[i]], idxs[order[j]], metric, policy)
 	})
 
@@ -287,13 +320,16 @@ func (e *Engine) MatrixTiered(idxs map[string]*Index, order []string, metric str
 
 	// Phase C: serial per-cell reduction in divergeTrees' order.
 	for k, pl := range plans {
-		i, j := cells[k].i, cells[k].j
+		i, j := work[k].i, work[k].j
 		d, tc := pl.reduce()
 		tm.Values[i][j] = d.Norm
 		tm.Values[j][i] = safeDiv(d.Raw, Weight(idxs[order[i]], metric))
 		tm.Cells[i][j], tm.Cells[j][i] = tc, tc
 		tm.Stats.add(tc)
 		e.countTier(tc)
+		if keys != nil {
+			e.cellStore(keys[k], cellVal{norm: tm.Values[i][j], rev: tm.Values[j][i], tc: tc})
+		}
 	}
 	sp.End()
 	return tm, nil

@@ -138,6 +138,22 @@ func (e *Env) NavChart(appName string) (*navchart.Chart, error) {
 	}
 	src := e.PhiSource()
 	ch := navchart.BuildPhi(appName, "serial", tsem, tsrc, corpus.CXXModels(), perf.Platforms(), src, eff)
+	// Stamp each point with its units' tsem fingerprints: the chart then
+	// content-addresses the trees it was computed from (DESIGN.md §12).
+	for i := range ch.Points {
+		idx, ok := idxs[ch.Points[i].Model]
+		if !ok {
+			continue
+		}
+		for j := range idx.Units {
+			u := &idx.Units[j]
+			ch.Points[i].Units = append(ch.Points[i].Units, navchart.UnitFingerprint{
+				File:        u.File,
+				Role:        u.Role,
+				Fingerprint: u.TreeFingerprint(core.MetricTsem).String(),
+			})
+		}
+	}
 	if src == PhiSourceMeasured {
 		set, err := e.MeasuredSet(appName)
 		if err != nil {

@@ -27,6 +27,16 @@ type CostSummary struct {
 	KernelCalls int64 `json:"kernel_calls"`
 }
 
+// UnitFingerprint identifies one indexed unit by content: the rendered
+// tree fingerprint ("h1h2:size" hex) of the unit's semantic tree. Two
+// charts that agree on a unit's fingerprint were built from identical
+// trees, so downstream tooling can diff charts without the sources.
+type UnitFingerprint struct {
+	File        string `json:"file"`
+	Role        string `json:"role"`
+	Fingerprint string `json:"fingerprint"`
+}
+
 // Point is one model's entry on the chart.
 type Point struct {
 	Model string  `json:"model"`
@@ -40,6 +50,9 @@ type Point struct {
 	Effs []float64 `json:"effs,omitempty"`
 	// Cost is the measured total cost vector (measured charts only).
 	Cost *CostSummary `json:"cost,omitempty"`
+	// Units carries the model's per-unit tree fingerprints (filled by
+	// callers that hold the indexes; absent otherwise).
+	Units []UnitFingerprint `json:"units,omitempty"`
 }
 
 // Chart is a fully assembled navigation chart.

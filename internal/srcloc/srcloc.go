@@ -132,6 +132,25 @@ func (m *LineMask) Lines(file string) []int {
 	return out
 }
 
+// ForEach visits every (file, line, live) entry of the mask — including
+// explicitly-dead lines — in sorted (file, line) order. The deterministic
+// order is what lets callers derive content digests from a mask (two masks
+// with the same entries always visit identically, regardless of insertion
+// order).
+func (m *LineMask) ForEach(fn func(file string, line int, live bool)) {
+	for _, file := range m.Files() {
+		f := m.files[file]
+		lines := make([]int, 0, len(f))
+		for l := range f {
+			lines = append(lines, l)
+		}
+		sort.Ints(lines)
+		for _, l := range lines {
+			fn(file, l, f[l])
+		}
+	}
+}
+
 // CountLive returns the number of live lines across all files.
 func (m *LineMask) CountLive() int {
 	n := 0

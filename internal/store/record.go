@@ -61,12 +61,17 @@ type ContentHash struct {
 
 // IndexKey addresses one indexed codebase: the app/model pair plus a
 // content hash over everything that determines the index (sources, unit
-// roots, system flags). A regenerated corpus with changed content hashes
-// to a different key, so warm starts can never serve an index for sources
-// that no longer match.
+// roots, system flags) and a digest of the indexing options (coverage
+// mask, system-header handling). A regenerated corpus with changed
+// content hashes to a different key, so warm starts can never serve an
+// index for sources that no longer match — and two option sets (say a
+// default run and a coverage-masked ablation of the same sources) key to
+// different records, so they can each warm-start without ever
+// cross-contaminating.
 type IndexKey struct {
 	App, Model string
 	Content    ContentHash
+	Opts       ContentHash
 }
 
 // Hasher accumulates the double 64-bit hash behind ContentHash and record
@@ -170,6 +175,8 @@ func indexName(k IndexKey) string {
 	h.WriteString(k.Model)
 	h.WriteUint64(k.Content.H1)
 	h.WriteUint64(k.Content.H2)
+	h.WriteUint64(k.Opts.H1)
+	h.WriteUint64(k.Opts.H2)
 	s := h.Sum()
 	return fmt.Sprintf("%016x%016x", s.H1, s.H2)
 }
@@ -277,6 +284,7 @@ func encodeIndex(k IndexKey, db *cbdb.DB) ([]byte, error) {
 		"kind": kindIndex,
 		"app":  k.App, "model": k.Model,
 		"c1": k.Content.H1, "c2": k.Content.H2,
+		"o1": k.Opts.H1, "o2": k.Opts.H2,
 		"db": inner.Bytes(),
 	}
 	return encodeEnvelope(payload)
@@ -291,7 +299,8 @@ func decodeIndex(data []byte, k IndexKey) (*cbdb.DB, error) {
 	app, _ := m["app"].(string)
 	model, _ := m["model"].(string)
 	if app != k.App || model != k.Model ||
-		!matchU64(m["c1"], k.Content.H1) || !matchU64(m["c2"], k.Content.H2) {
+		!matchU64(m["c1"], k.Content.H1) || !matchU64(m["c2"], k.Content.H2) ||
+		!matchU64(m["o1"], k.Opts.H1) || !matchU64(m["o2"], k.Opts.H2) {
 		return nil, fmt.Errorf("store: index record key mismatch")
 	}
 	blob, ok := m["db"].([]byte)

@@ -40,6 +40,7 @@ type Cache struct {
 	profiles map[tree.Fingerprint]PQGramProfile
 	flats    map[tree.Fingerprint]*flat
 	sigs     map[sigKey]Signature
+	routes   map[routeKey]routeVal
 
 	hits        atomic.Uint64
 	misses      atomic.Uint64
@@ -98,6 +99,7 @@ func NewCache() *Cache {
 		profiles: map[tree.Fingerprint]PQGramProfile{},
 		flats:    map[tree.Fingerprint]*flat{},
 		sigs:     map[sigKey]Signature{},
+		routes:   map[routeKey]routeVal{},
 	}
 }
 

@@ -365,12 +365,33 @@ func (c *Cache) SignatureFor(t *tree.Node, p TierPolicy) Signature {
 	return s
 }
 
+// routeKey addresses one memoised routing decision: the canonicalised
+// fingerprint pair, the cost model, and every policy parameter that can
+// change the route or the estimate. Differently-parameterised policies
+// never share entries.
+type routeKey struct {
+	a, b              tree.Fingerprint
+	costs             Costs
+	budget, threshold float64
+	bands, rows       int
+}
+
+// routeVal is one memoised route: the tier plus, for estimated tiers, the
+// clamped estimate.
+type routeVal struct {
+	est  float64
+	tier Tier
+}
+
 // TierRoute decides how a pair should be evaluated under a policy without
 // running the exact DP. It returns (0, TierExact) when the pair must be
 // refined exactly (including the disabled policy), and (estimate, tier)
 // when the pair is far enough that the estimate honours the budget. The
 // decision and the estimate are pure functions of the two trees and the
-// policy — bit-identical across runs, schedulers, and worker counts.
+// policy — bit-identical across runs, schedulers, and worker counts —
+// which is why the whole decision is memoised by content fingerprint
+// (DESIGN.md §12): a warm re-sweep skips even the signature comparison
+// and multiset-intersection work for every clean pair.
 //
 // With a persistent store attached, estimated values read through the
 // store's tier records — keyed by the full policy (budget, threshold,
@@ -383,6 +404,27 @@ func (c *Cache) TierRoute(t1, t2 *tree.Node, costs Costs, p TierPolicy) (float64
 	}
 	p = p.normalize()
 	fa, fb := t1.Fingerprint(), t2.Fingerprint()
+	key := routeKey{a: fa, b: fb, costs: costs,
+		budget: p.Budget, threshold: p.Threshold, bands: p.Bands, rows: p.Rows}
+	if costs.Insert == costs.Delete && fb.Less(fa) {
+		// Routing and estimation are symmetric exactly when exact TED is.
+		key.a, key.b = fb, fa
+	}
+	c.mu.RLock()
+	v, ok := c.routes[key]
+	c.mu.RUnlock()
+	if ok {
+		return v.est, v.tier
+	}
+	est, tier := c.routeSlow(t1, t2, fa, fb, costs, p)
+	c.mu.Lock()
+	c.routes[key] = routeVal{est: est, tier: tier}
+	c.mu.Unlock()
+	return est, tier
+}
+
+// routeSlow is the uncached routing decision behind TierRoute.
+func (c *Cache) routeSlow(t1, t2 *tree.Node, fa, fb tree.Fingerprint, costs Costs, p TierPolicy) (float64, Tier) {
 	if fa == fb && tree.Equal(t1, t2) {
 		return 0, TierExact // identity: exact distance 0, no DP needed anyway
 	}

@@ -1,5 +1,7 @@
 package tree
 
+import "fmt"
+
 // Fingerprint is a content address for a tree: a stable structural hash
 // over node labels and shape. Source positions are ignored, exactly like
 // Equal. Structurally equal trees always produce the same Fingerprint;
@@ -21,6 +23,14 @@ type Fingerprint struct {
 
 // IsZero reports whether the fingerprint is the nil-tree fingerprint.
 func (f Fingerprint) IsZero() bool { return f == Fingerprint{} }
+
+// String renders the fingerprint as the fixed-width external form the CLI
+// emits in -json output: 32 hex digits of hash, a colon, the node count.
+// External tools diff these strings to detect per-unit tree changes
+// between runs.
+func (f Fingerprint) String() string {
+	return fmt.Sprintf("%016x%016x:%d", f.H1, f.H2, f.Size)
+}
 
 // Less orders fingerprints lexicographically by (H1, H2, Size). The order
 // carries no meaning beyond being total and deterministic; ted.Cache uses
