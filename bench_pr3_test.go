@@ -14,63 +14,33 @@
 package silvervale
 
 import (
-	"encoding/json"
-	"os"
 	"runtime"
 	"testing"
-	"time"
 
 	"silvervale/internal/core"
 )
 
-type pr3Bench struct {
-	Name        string `json:"name"`
-	Iterations  int    `json:"iterations"`
-	NsPerOp     int64  `json:"ns_per_op"`
-	BytesPerOp  int64  `json:"bytes_per_op"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
-}
-
 type pr3Trajectory struct {
-	PR         int        `json:"pr"`
-	GoVersion  string     `json:"go"`
-	NumCPU     int        `json:"num_cpu"`
-	App        string     `json:"app"`
-	Metric     string     `json:"metric"`
-	Benchmarks []pr3Bench `json:"benchmarks"`
+	PR         int           `json:"pr"`
+	GoVersion  string        `json:"go"`
+	NumCPU     int           `json:"num_cpu"`
+	App        string        `json:"app"`
+	Metric     string        `json:"metric"`
+	Benchmarks []benchTiming `json:"benchmarks"`
 }
 
 func BenchmarkPR3Trajectory(b *testing.B) {
-	out := os.Getenv("SILVERVALE_BENCH_JSON")
-	if out == "" {
-		b.Skip("set SILVERVALE_BENCH_JSON=<path> to emit the bench trajectory")
-	}
+	out := benchJSONPath(b)
 	idxs, order := benchIndexesFor(b, "tealeaf")
 
-	// testing.Benchmark deadlocks when invoked from inside a running
-	// benchmark (both take the package-global benchmark lock), so each mode
-	// is measured directly with wall-clock plus MemStats deltas — the same
-	// counters the -benchmem output is derived from.
-	measure := func(name string, iters int, fn func() error) pr3Bench {
-		runtime.GC()
-		var before, after runtime.MemStats
-		runtime.ReadMemStats(&before)
-		start := time.Now()
-		for i := 0; i < iters; i++ {
+	// Each mode is measured with the shared direct-measurement scheme
+	// (benchMeasure in benchharness_test.go).
+	measure := func(name string, iters int, fn func() error) benchTiming {
+		return benchMeasure(name, iters, func(int) {
 			if err := fn(); err != nil {
 				b.Fatal(err)
 			}
-		}
-		elapsed := time.Since(start)
-		runtime.ReadMemStats(&after)
-		n := int64(iters)
-		return pr3Bench{
-			Name:        name,
-			Iterations:  iters,
-			NsPerOp:     elapsed.Nanoseconds() / n,
-			BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
-			AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
-		}
+		})
 	}
 
 	traj := pr3Trajectory{
@@ -98,12 +68,6 @@ func BenchmarkPR3Trajectory(b *testing.B) {
 		return err
 	}))
 
-	data, err := json.MarshalIndent(traj, "", "  ")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		b.Fatal(err)
-	}
+	benchWriteTrajectory(b, out, traj)
 	b.Logf("bench trajectory written to %s", out)
 }

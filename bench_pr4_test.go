@@ -16,14 +16,11 @@
 package silvervale
 
 import (
-	"encoding/json"
 	"fmt"
-	"math"
 	"os"
 	"path/filepath"
 	"runtime"
 	"testing"
-	"time"
 
 	"silvervale/internal/core"
 	"silvervale/internal/corpus"
@@ -32,11 +29,7 @@ import (
 )
 
 type pr4Bench struct {
-	Name        string `json:"name"`
-	Iterations  int    `json:"iterations"`
-	NsPerOp     int64  `json:"ns_per_op"`
-	BytesPerOp  int64  `json:"bytes_per_op"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
+	benchTiming
 	StoreHits   uint64 `json:"store_hits"`
 	StoreMisses uint64 `json:"store_misses"`
 }
@@ -85,40 +78,16 @@ func pr4Sweep(b *testing.B, st *store.Store) [][]float64 {
 	return m
 }
 
-func pr4SameBits(a, b [][]float64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if len(a[i]) != len(b[i]) {
-			return false
-		}
-		for j := range a[i] {
-			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
 func BenchmarkPR4Trajectory(b *testing.B) {
-	out := os.Getenv("SILVERVALE_BENCH_JSON")
-	if out == "" {
-		b.Skip("set SILVERVALE_BENCH_JSON=<path> to emit the bench trajectory")
-	}
+	out := benchJSONPath(b)
 	dir := b.TempDir()
 
-	// Same direct measurement scheme as PR 3 (testing.Benchmark deadlocks
-	// inside a running benchmark): wall clock plus MemStats deltas.
+	// Shared direct measurement scheme (benchMeasure), with the store
+	// handle opened and drained inside the timed region.
 	measure := func(name string, iters int, ro bool, fn func(st *store.Store) [][]float64) (pr4Bench, [][]float64) {
-		runtime.GC()
-		var before, after runtime.MemStats
-		runtime.ReadMemStats(&before)
 		var stats store.Stats
 		var m [][]float64
-		start := time.Now()
-		for i := 0; i < iters; i++ {
+		t := benchMeasure(name, iters, func(int) {
 			st, err := store.Open(dir, store.Options{Readonly: ro})
 			if err != nil {
 				b.Fatal(err)
@@ -128,19 +97,8 @@ func BenchmarkPR4Trajectory(b *testing.B) {
 			if err := st.Close(); err != nil { // drain write-behind inside the timing
 				b.Fatal(err)
 			}
-		}
-		elapsed := time.Since(start)
-		runtime.ReadMemStats(&after)
-		n := int64(iters)
-		return pr4Bench{
-			Name:        name,
-			Iterations:  iters,
-			NsPerOp:     elapsed.Nanoseconds() / n,
-			BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
-			AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
-			StoreHits:   stats.Hits,
-			StoreMisses: stats.Misses,
-		}, m
+		})
+		return pr4Bench{benchTiming: t, StoreHits: stats.Hits, StoreMisses: stats.Misses}, m
 	}
 
 	traj := pr4Trajectory{
@@ -160,7 +118,7 @@ func BenchmarkPR4Trajectory(b *testing.B) {
 		return pr4Sweep(b, st)
 	})
 	traj.Benchmarks = append(traj.Benchmarks, cold, warm, ro)
-	traj.BitIdentical = pr4SameBits(coldM, warmM) && pr4SameBits(coldM, roM)
+	traj.BitIdentical = benchSameBits(coldM, warmM) && benchSameBits(coldM, roM)
 	if !traj.BitIdentical {
 		b.Fatal("warm or readonly matrix differs from cold")
 	}
@@ -177,12 +135,6 @@ func BenchmarkPR4Trajectory(b *testing.B) {
 	})
 	traj.StoreDiskInfo = fmt.Sprintf("%d records, %d bytes on disk", files, bytes)
 
-	data, err := json.MarshalIndent(traj, "", "  ")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		b.Fatal(err)
-	}
+	benchWriteTrajectory(b, out, traj)
 	b.Logf("bench trajectory written to %s (warm speedup %.1fx)", out, traj.WarmSpeedup)
 }

@@ -20,13 +20,10 @@
 package silvervale
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
-	"os"
 	"runtime"
 	"testing"
-	"time"
 
 	"silvervale/internal/core"
 	"silvervale/internal/corpus"
@@ -34,11 +31,9 @@ import (
 )
 
 type pr6Bench struct {
-	Name       string `json:"name"`
-	Units      int    `json:"units"`
-	Cells      int    `json:"cells"`
-	Iterations int    `json:"iterations"`
-	NsPerOp    int64  `json:"ns_per_op"`
+	benchTiming
+	Units int `json:"units"`
+	Cells int `json:"cells"`
 }
 
 // pr6Sweep reports one tiered full-corpus sweep against the exact
@@ -116,23 +111,6 @@ func pr6Units(b testing.TB) (map[string]*core.Index, []string) {
 	return idxs, order
 }
 
-func pr6SameBits(a, b [][]float64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if len(a[i]) != len(b[i]) {
-			return false
-		}
-		for j := range a[i] {
-			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
 func pr6Errors(tiered, exact [][]float64) (maxErr, meanErr float64) {
 	var sum float64
 	var cells int
@@ -153,10 +131,7 @@ func pr6Errors(tiered, exact [][]float64) (maxErr, meanErr float64) {
 }
 
 func BenchmarkPR6Trajectory(b *testing.B) {
-	out := os.Getenv("SILVERVALE_BENCH_JSON")
-	if out == "" {
-		b.Skip("set SILVERVALE_BENCH_JSON=<path> to emit the bench trajectory")
-	}
+	out := benchJSONPath(b)
 	const (
 		screeningBudget = 0.5  // unit-granularity screening regime
 		fidelityBudget  = 0.05 // high-fidelity regime, for the error table
@@ -165,20 +140,15 @@ func BenchmarkPR6Trajectory(b *testing.B) {
 	idxs, order := pr6Units(b)
 	m := len(order)
 
-	// Direct measurement (testing.Benchmark deadlocks inside a running
-	// benchmark), same scheme as the PR 3/4 trajectories. Every sweep
-	// starts from a fresh cache: the workload is one cold corpus pass.
+	// Shared direct measurement scheme (benchMeasure). Every sweep starts
+	// from a fresh cache: the workload is one cold corpus pass.
 	measure := func(name string, units []string, fn func() [][]float64) (pr6Bench, [][]float64) {
-		runtime.GC()
-		start := time.Now()
-		vals := fn()
-		elapsed := time.Since(start)
+		var vals [][]float64
+		t := benchMeasure(name, 1, func(int) { vals = fn() })
 		return pr6Bench{
-			Name:       name,
-			Units:      len(units),
-			Cells:      len(units) * (len(units) - 1) / 2,
-			Iterations: 1,
-			NsPerOp:    elapsed.Nanoseconds(),
+			benchTiming: t,
+			Units:       len(units),
+			Cells:       len(units) * (len(units) - 1) / 2,
 		}, vals
 	}
 	tieredSweep := func(name string, budget float64) (pr6Bench, pr6Sweep, [][]float64) {
@@ -250,19 +220,13 @@ func BenchmarkPR6Trajectory(b *testing.B) {
 		}
 		return tm.Values
 	})
-	traj.Budget0Identical = pr6SameBits(exactBaseM, zeroM)
+	traj.Budget0Identical = benchSameBits(exactBaseM, zeroM)
 	if !traj.Budget0Identical {
 		b.Fatal("budget-0 tiered matrix differs from exact")
 	}
 
 	traj.Benchmarks = []pr6Bench{exactFull, screenBench, fidBench, exactBase, zeroBench}
-	data, err := json.MarshalIndent(traj, "", "  ")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		b.Fatal(err)
-	}
+	benchWriteTrajectory(b, out, traj)
 	b.Logf("bench trajectory written to %s (screening %.1fx speedup at budget %g, max err %.3f; fidelity %.1fx at %g, max err %.3f)",
 		out, screen.Speedup, screeningBudget, screen.MaxCellError, fid.Speedup, fidelityBudget, fid.MaxCellError)
 }

@@ -25,8 +25,6 @@ package silvervale
 
 import (
 	"bytes"
-	"encoding/json"
-	"os"
 	"reflect"
 	"runtime"
 	"testing"
@@ -36,12 +34,6 @@ import (
 	"silvervale/internal/corpus"
 	"silvervale/internal/experiments"
 )
-
-type pr7Bench struct {
-	Name       string `json:"name"`
-	Iterations int    `json:"iterations"`
-	NsPerOp    int64  `json:"ns_per_op"`
-}
 
 type pr7AppCost struct {
 	App     string `json:"app"`
@@ -67,7 +59,7 @@ type pr7Trajectory struct {
 	NavChartMeasuredNs      int64 `json:"navchart_measured_ns"`
 	MeasuredChartsIdentical bool  `json:"measured_charts_bit_identical"`
 
-	Benchmarks []pr7Bench `json:"benchmarks"`
+	Benchmarks []benchTiming `json:"benchmarks"`
 }
 
 func pr7CXXApps(b testing.TB) []corpus.App {
@@ -85,10 +77,7 @@ func pr7CXXApps(b testing.TB) []corpus.App {
 }
 
 func BenchmarkPR7Trajectory(b *testing.B) {
-	out := os.Getenv("SILVERVALE_BENCH_JSON")
-	if out == "" {
-		b.Skip("set SILVERVALE_BENCH_JSON=<path> to emit the bench trajectory")
-	}
+	out := benchJSONPath(b)
 	const iters = 5 // per-leg repetitions; direct measurement, PR 3/4/6 scheme
 
 	apps := pr7CXXApps(b)
@@ -96,14 +85,8 @@ func BenchmarkPR7Trajectory(b *testing.B) {
 		PR: 7, GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(), Apps: len(apps),
 	}
 
-	measure := func(name string, fn func()) pr7Bench {
-		runtime.GC()
-		start := time.Now()
-		for i := 0; i < iters; i++ {
-			fn()
-		}
-		elapsed := time.Since(start)
-		return pr7Bench{Name: name, Iterations: iters, NsPerOp: elapsed.Nanoseconds() / iters}
+	measure := func(name string, fn func()) benchTiming {
+		return benchMeasure(name, iters, func(int) { fn() })
 	}
 
 	// 1. Coverage pipeline, profile off vs on, serial ports of every app.
@@ -139,7 +122,7 @@ func BenchmarkPR7Trajectory(b *testing.B) {
 
 	// 2. Measured-set build: all ten ports of each app, fresh env per rep
 	// so the per-app cache never short-circuits the work being measured.
-	benches := []pr7Bench{off, on}
+	benches := []benchTiming{off, on}
 	for _, app := range apps {
 		name := app.Name
 		bench := measure("MeasuredSet/"+name, func() {
@@ -203,13 +186,7 @@ func BenchmarkPR7Trajectory(b *testing.B) {
 	}
 
 	traj.Benchmarks = benches
-	data, err := json.MarshalIndent(traj, "", "  ")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		b.Fatal(err)
-	}
+	benchWriteTrajectory(b, out, traj)
 	b.Logf("bench trajectory written to %s (profile overhead %+.1f%%, measured navchart %.2fs vs modeled %.2fs)",
 		out, traj.OverheadPct,
 		time.Duration(traj.NavChartMeasuredNs).Seconds(), time.Duration(traj.NavChartModeledNs).Seconds())

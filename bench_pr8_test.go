@@ -25,23 +25,12 @@
 package silvervale
 
 import (
-	"encoding/json"
-	"fmt"
-	"math"
-	"os"
 	"runtime"
 	"testing"
 	"time"
 
 	"silvervale/internal/core"
-	"silvervale/internal/corpus"
 )
-
-type pr8Bench struct {
-	Name       string `json:"name"`
-	Iterations int    `json:"iterations"`
-	NsPerOp    int64  `json:"ns_per_op"`
-}
 
 type pr8Trajectory struct {
 	PR        int    `json:"pr"`
@@ -66,74 +55,14 @@ type pr8Trajectory struct {
 
 	BitIdentical bool `json:"warm_matrix_bit_identical_to_cold"`
 
-	Benchmarks []pr8Bench `json:"benchmarks"`
-}
-
-func pr8SameBits(a, b [][]float64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if len(a[i]) != len(b[i]) {
-			return false
-		}
-		for j := range a[i] {
-			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// pr8Codebases generates every TeaLeaf port once; edits mutate the
-// in-memory file map, the same thing the watch loop sees after a reload.
-func pr8Codebases(b *testing.B) (map[string]*corpus.Codebase, []string) {
-	b.Helper()
-	app, err := corpus.AppByName("tealeaf")
-	if err != nil {
-		b.Fatal(err)
-	}
-	cbs := map[string]*corpus.Codebase{}
-	var order []string
-	for _, m := range corpus.ModelsFor(app) {
-		cb, err := corpus.Generate(app, m)
-		if err != nil {
-			b.Fatal(err)
-		}
-		cbs[string(m)] = cb
-		order = append(order, string(m))
-	}
-	return cbs, order
-}
-
-// pr8Sweep runs one incremental index-and-matrix pass.
-func pr8Sweep(b *testing.B, e *core.Engine, cbs map[string]*corpus.Codebase,
-	prior map[string]*core.Index, order []string) (map[string]*core.Index, [][]float64) {
-	b.Helper()
-	idxs := map[string]*core.Index{}
-	for _, name := range order {
-		idx, _, err := e.IndexCodebaseIncremental(cbs[name], prior[name], core.Options{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		idxs[name] = idx
-	}
-	m, err := e.Matrix(idxs, order, core.MetricTsem)
-	if err != nil {
-		b.Fatal(err)
-	}
-	return idxs, m
+	Benchmarks []benchTiming `json:"benchmarks"`
 }
 
 func BenchmarkPR8Trajectory(b *testing.B) {
-	out := os.Getenv("SILVERVALE_BENCH_JSON")
-	if out == "" {
-		b.Skip("set SILVERVALE_BENCH_JSON=<path> to emit the bench trajectory")
-	}
-	const iters = 3 // per-leg repetitions; direct measurement, PR 3/4/6/7 scheme
+	out := benchJSONPath(b)
+	const iters = 3 // per-leg repetitions; shared benchMeasure scheme
 
-	cbs, order := pr8Codebases(b)
+	cbs, order := benchCodebases(b, "tealeaf")
 	n := len(order)
 	cells := n * (n - 1) / 2
 	units := 0
@@ -145,31 +74,25 @@ func BenchmarkPR8Trajectory(b *testing.B) {
 		App: "tealeaf", Ports: n, Units: units, Cells: cells,
 	}
 
-	measure := func(name string, fn func(rep int)) pr8Bench {
-		runtime.GC()
-		start := time.Now()
-		for i := 0; i < iters; i++ {
-			fn(i)
-		}
-		elapsed := time.Since(start)
-		return pr8Bench{Name: name, Iterations: iters, NsPerOp: elapsed.Nanoseconds() / iters}
+	measure := func(name string, fn func(rep int)) benchTiming {
+		return benchMeasure(name, iters, fn)
 	}
 
 	// 1. Cold: fresh engine per rep, full frontend + full matrix.
 	cold := measure("ColdSweep", func(int) {
 		e := core.NewEngine(1)
-		pr8Sweep(b, e, cbs, nil, order)
+		benchIncrSweep(b, e, cbs, nil, order)
 	})
 
 	// The resident engine the warm legs run against.
 	e := core.NewEngine(1)
-	prior, _ := pr8Sweep(b, e, cbs, nil, order)
+	prior, _ := benchIncrSweep(b, e, cbs, nil, order)
 
 	// 2. Whole-unit-warm: nothing edited — every unit and every cell
 	// must be served from the warm state.
 	warm := measure("WarmNoEditResweep", func(int) {
 		before := e.IncrStats()
-		prior, _ = pr8Sweep(b, e, cbs, prior, order)
+		prior, _ = benchIncrSweep(b, e, cbs, prior, order)
 		d := e.IncrStats().Delta(before)
 		if d.UnitsReparsed != 0 || d.CellsRecomputed != 0 {
 			b.Fatalf("no-edit re-sweep did work: %+v", d)
@@ -180,22 +103,13 @@ func BenchmarkPR8Trajectory(b *testing.B) {
 	// a distinct function so every rep pays the dirty work (instead of
 	// hitting the cells memoised by the previous rep).
 	victim := cbs["serial"]
-	var driverFile string
-	for _, u := range victim.Units {
-		if u.Role == "driver" {
-			driverFile = u.File
-		}
-	}
-	if driverFile == "" {
-		b.Fatal("no driver unit in tealeaf serial")
-	}
+	driverFile := benchDriverFile(b, victim)
 	baseSrc := victim.Files[driverFile]
 	var lastDelta core.IncrStats
 	edit := measure("IncrementalOneFunctionEdit", func(rep int) {
-		victim.Files[driverFile] = baseSrc +
-			fmt.Sprintf("\ndouble pr8_extra_%d(double x) {\n\treturn x * %d.0;\n}\n", rep, rep+2)
+		benchAppendFunc(victim, driverFile, baseSrc, "pr8_extra", rep)
 		before := e.IncrStats()
-		prior, _ = pr8Sweep(b, e, cbs, prior, order)
+		prior, _ = benchIncrSweep(b, e, cbs, prior, order)
 		lastDelta = e.IncrStats().Delta(before)
 		// Hard asserts: exactly the edited unit reparses; exactly the
 		// n−1 cells pairing the edited port recompute.
@@ -215,10 +129,10 @@ func BenchmarkPR8Trajectory(b *testing.B) {
 
 	// 4. Determinism: the resident engine's final matrix vs a fresh cold
 	// engine over the edited corpus, bit for bit.
-	_, warmMatrix := pr8Sweep(b, e, cbs, prior, order)
+	_, warmMatrix := benchIncrSweep(b, e, cbs, prior, order)
 	fresh := core.NewEngine(1)
-	_, coldMatrix := pr8Sweep(b, fresh, cbs, nil, order)
-	traj.BitIdentical = pr8SameBits(warmMatrix, coldMatrix)
+	_, coldMatrix := benchIncrSweep(b, fresh, cbs, nil, order)
+	traj.BitIdentical = benchSameBits(warmMatrix, coldMatrix)
 	if !traj.BitIdentical {
 		b.Fatal("warm incremental matrix differs from a cold sweep of the edited corpus")
 	}
@@ -240,14 +154,8 @@ func BenchmarkPR8Trajectory(b *testing.B) {
 		b.Fatalf("one-function-edit re-sweep only %.1fx faster than cold", traj.EditSpeedup)
 	}
 
-	traj.Benchmarks = []pr8Bench{cold, warm, edit}
-	data, err := json.MarshalIndent(traj, "", "  ")
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		b.Fatal(err)
-	}
+	traj.Benchmarks = []benchTiming{cold, warm, edit}
+	benchWriteTrajectory(b, out, traj)
 	b.Logf("bench trajectory written to %s (cold %.2fs, warm %.2fms ×%.0f, edit %.2fms ×%.0f)",
 		out, time.Duration(traj.ColdNs).Seconds(),
 		float64(traj.WarmNoEditNs)/1e6, traj.WarmSpeedup,

@@ -1,0 +1,259 @@
+// Bench trajectory emitter (PR 9): one `go test -bench` invocation that
+// measures the subtree-block memo (DESIGN.md §13) end to end and writes
+// the numbers to JSON:
+//
+//  1. cold sweep: fresh engine, index every TeaLeaf port, full tsem
+//     matrix — unchanged baseline;
+//  2. whole-unit-warm re-sweep: nothing edited (hard assert: zero
+//     reparses, zero recomputes, ≥ 100× faster than cold);
+//  3. one-function-edit re-sweep with the subtree memo DISABLED — the
+//     PR 8 edit path, whose cost is the n−1 dirty cells re-running the
+//     monolithic Zhang–Shasha DP on their driver pairs. This is the
+//     floor this PR attacks (hard assert: no subtree counters move);
+//  4. the same scripted edit with the memo ENABLED — hard asserts:
+//     ≥ 10× faster than leg 3, the usual dirty-set exactness (one unit
+//     reparsed, n−1 cells recomputed), and the subtree-block counters
+//     match the predicted dirty set: reuse and recompute deltas are
+//     bit-for-bit identical across the isomorphic rep edits (each rep
+//     appends a structurally identical function, so the dirty keyroot
+//     set is the same every time), with clean-block reuse strictly
+//     dominating the recomputes a one-function edit can dirty;
+//  5. determinism: memo-on matrices over the edited corpus must be
+//     bit-identical to the memo-off monolithic DP at 1/2/4/8 workers,
+//     and the budget-0 tiered sweep likewise (run under -race in the CI
+//     form; see EXPERIMENTS.md).
+//
+// Run with (see EXPERIMENTS.md §Bench trajectory):
+//
+//	SILVERVALE_BENCH_JSON=BENCH_PR9.json \
+//	  go test -run '^$' -bench '^BenchmarkPR9Trajectory$' -timeout 30m .
+//
+// Without SILVERVALE_BENCH_JSON set the benchmark skips, so plain
+// `go test -bench .` sweeps are not slowed down.
+package silvervale
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"silvervale/internal/core"
+	"silvervale/internal/ted"
+)
+
+type pr9Trajectory struct {
+	PR        int    `json:"pr"`
+	GoVersion string `json:"go"`
+	NumCPU    int    `json:"num_cpu"`
+
+	App   string `json:"app"`
+	Ports int    `json:"ports"`
+	Units int    `json:"units"`
+	Cells int    `json:"cells"`
+
+	ColdNs           int64 `json:"cold_ns"`
+	WarmNoEditNs     int64 `json:"warm_no_edit_ns"`
+	EditMonolithicNs int64 `json:"edit_monolithic_ns"` // PR 8 path: memo off
+	EditMemoNs       int64 `json:"edit_memo_ns"`       // PR 9 path: memo on
+
+	WarmSpeedup             float64 `json:"warm_speedup"`
+	EditSpeedupVsMonolithic float64 `json:"edit_speedup_vs_monolithic"`
+	EditSpeedupVsCold       float64 `json:"edit_speedup_vs_cold"`
+
+	EditUnitsReparsed   int `json:"edit_units_reparsed"`
+	EditCellsRecomputed int `json:"edit_cells_recomputed"`
+	EditCellsReused     int `json:"edit_cells_reused"`
+
+	EditSubtreeBlocksReused     int `json:"edit_subtree_blocks_reused"`
+	EditSubtreeBlocksRecomputed int `json:"edit_subtree_blocks_recomputed"`
+
+	BitIdenticalWorkers []int `json:"bit_identical_workers"`
+	Budget0Identical    bool  `json:"budget0_bit_identical"`
+	BitIdentical        bool  `json:"warm_matrix_bit_identical_to_cold"`
+
+	Benchmarks []benchTiming `json:"benchmarks"`
+}
+
+func BenchmarkPR9Trajectory(b *testing.B) {
+	out := benchJSONPath(b)
+	const iters = 3 // per-leg repetitions; shared benchMeasure scheme
+
+	cbs, order := benchCodebases(b, "tealeaf")
+	n := len(order)
+	cells := n * (n - 1) / 2
+	units := 0
+	for _, cb := range cbs {
+		units += len(cb.Units)
+	}
+	traj := pr9Trajectory{
+		PR: 9, GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(),
+		App: "tealeaf", Ports: n, Units: units, Cells: cells,
+	}
+
+	// 1. Cold: fresh engine per rep, full frontend + full matrix (the
+	// subtree memo is on by default but a cold engine has nothing to hit).
+	cold := benchMeasure("ColdSweep", iters, func(int) {
+		e := core.NewEngine(1)
+		benchIncrSweep(b, e, cbs, nil, order)
+	})
+
+	// The resident engine the warm legs run against. The bench holds the
+	// cache handle so the edit legs can flip the memo per leg.
+	cache := ted.NewCache()
+	e := core.NewEngineWithCache(1, cache)
+	prior, _ := benchIncrSweep(b, e, cbs, nil, order)
+
+	// 2. Whole-unit-warm: nothing edited — every unit and every cell must
+	// be served from the warm state.
+	warm := benchMeasure("WarmNoEditResweep", iters, func(int) {
+		before := e.IncrStats()
+		prior, _ = benchIncrSweep(b, e, cbs, prior, order)
+		d := e.IncrStats().Delta(before)
+		if d.UnitsReparsed != 0 || d.CellsRecomputed != 0 {
+			b.Fatalf("no-edit re-sweep did work: %+v", d)
+		}
+	})
+
+	// The scripted one-function edit, distinct per rep (PR 8 scheme).
+	victim := cbs["serial"]
+	driverFile := benchDriverFile(b, victim)
+	baseSrc := victim.Files[driverFile]
+	// repOffset keeps the two legs' edit contents disjoint: semantic trees
+	// normalise identifiers, so edits must differ in structure or constants
+	// (benchAppendFunc varies a constant with rep), not just function name —
+	// otherwise the second leg's cells hit the memo entries of the first.
+	// Each leg starts with one unmeasured primer edit: the first edit of a
+	// shape also pays for its constant-independent fragments (e.g. the
+	// parameter-list subtree, shared by every rep's appended function),
+	// which later isomorphic edits hit — priming makes the measured reps'
+	// dirty set identical, which leg 4 hard-asserts.
+	editLeg := func(name, prefix string, repOffset int) (benchTiming, []core.IncrStats) {
+		var deltas []core.IncrStats
+		benchAppendFunc(victim, driverFile, baseSrc, prefix, repOffset)
+		prior, _ = benchIncrSweep(b, e, cbs, prior, order)
+		t := benchMeasure(name, iters, func(rep int) {
+			benchAppendFunc(victim, driverFile, baseSrc, prefix, repOffset+1+rep)
+			before := e.IncrStats()
+			prior, _ = benchIncrSweep(b, e, cbs, prior, order)
+			d := e.IncrStats().Delta(before)
+			// Hard asserts: exactly the edited unit reparses; exactly the
+			// n−1 cells pairing the edited port recompute.
+			if d.UnitsReparsed != 1 {
+				b.Fatalf("%s rep %d: reparsed %d units, want 1", name, rep, d.UnitsReparsed)
+			}
+			if d.CellsRecomputed != n-1 {
+				b.Fatalf("%s rep %d: recomputed %d cells, want %d", name, rep, d.CellsRecomputed, n-1)
+			}
+			if d.CellsReused != cells-(n-1) {
+				b.Fatalf("%s rep %d: reused %d cells, want %d", name, rep, d.CellsReused, cells-(n-1))
+			}
+			deltas = append(deltas, d)
+		})
+		return t, deltas
+	}
+
+	// 3. Monolithic edit path (memo off): the PR 8 floor. No subtree
+	// counters may move — the memoised DP must be fully out of the loop.
+	cache.SetSubtreeMemo(false)
+	editMono, monoDeltas := editLeg("EditResweepMonolithic", "pr9_off", 0)
+	for rep, d := range monoDeltas {
+		if d.SubtreeBlocksReused != 0 || d.SubtreeBlocksRecomputed != 0 {
+			b.Fatalf("memo-off rep %d moved subtree counters: %+v", rep, d)
+		}
+	}
+
+	// 4. Memoised edit path (memo on): clean keyroot blocks — seeded by
+	// the resident engine's initial sweep — restore; only the edit's dirty
+	// spine pairs re-run the DP.
+	cache.SetSubtreeMemo(true)
+	editMemo, memoDeltas := editLeg("EditResweepSubtreeMemo", "pr9_on", iters+1)
+	for rep, d := range memoDeltas {
+		// The dirty set is exactly predictable: every rep appends a
+		// structurally identical function, so every rep dirties the same
+		// keyroot pairs (the root spine plus the new function's subtrees)
+		// and restores the same clean blocks. Any drift between reps means
+		// the memo is leaking work.
+		if d.SubtreeBlocksReused != memoDeltas[0].SubtreeBlocksReused ||
+			d.SubtreeBlocksRecomputed != memoDeltas[0].SubtreeBlocksRecomputed {
+			b.Fatalf("memo-on rep %d dirty set drifted: %+v vs rep 0 %+v", rep, d, memoDeltas[0])
+		}
+		if d.SubtreeBlocksReused == 0 {
+			b.Fatalf("memo-on rep %d restored no blocks: %+v", rep, d)
+		}
+		if d.SubtreeBlocksRecomputed == 0 || d.SubtreeBlocksRecomputed >= d.SubtreeBlocksReused {
+			b.Fatalf("memo-on rep %d: recomputes (%d) should be nonzero and dominated by reuse (%d)",
+				rep, d.SubtreeBlocksRecomputed, d.SubtreeBlocksReused)
+		}
+	}
+	last := memoDeltas[len(memoDeltas)-1]
+	traj.EditUnitsReparsed = last.UnitsReparsed
+	traj.EditCellsRecomputed = last.CellsRecomputed
+	traj.EditCellsReused = last.CellsReused
+	traj.EditSubtreeBlocksReused = last.SubtreeBlocksReused
+	traj.EditSubtreeBlocksRecomputed = last.SubtreeBlocksRecomputed
+
+	// 5. Determinism over the edited corpus. One memo-off cold engine is
+	// the monolithic Zhang–Shasha reference; the resident warm matrix and
+	// a memo-on cold sweep per worker count must all match it bit for bit.
+	refCache := ted.NewCache()
+	refCache.SetSubtreeMemo(false)
+	refEngine := core.NewEngineWithCache(1, refCache)
+	_, refMatrix := benchIncrSweep(b, refEngine, cbs, nil, order)
+
+	_, warmMatrix := benchIncrSweep(b, e, cbs, prior, order)
+	traj.BitIdentical = benchSameBits(warmMatrix, refMatrix)
+	if !traj.BitIdentical {
+		b.Fatal("warm memoised matrix differs from the monolithic cold sweep")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		fresh := core.NewEngine(workers)
+		_, m := benchIncrSweep(b, fresh, cbs, nil, order)
+		if !benchSameBits(m, refMatrix) {
+			b.Fatalf("memoised matrix at %d workers differs from the monolithic DP", workers)
+		}
+		traj.BitIdenticalWorkers = append(traj.BitIdenticalWorkers, workers)
+	}
+
+	// Budget-0 tiered sweep through the memoised path: still exact.
+	idxs := map[string]*core.Index{}
+	for _, name := range order {
+		idx, _, err := core.NewEngine(1).IndexCodebaseIncremental(cbs[name], nil, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		idxs[name] = idx
+	}
+	tm, err := core.NewEngine(2).MatrixTiered(idxs, order, core.MetricTsem, ted.NewTierPolicy(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	traj.Budget0Identical = benchSameBits(tm.Values, refMatrix)
+	if !traj.Budget0Identical {
+		b.Fatal("budget-0 tiered memoised matrix differs from the monolithic DP")
+	}
+
+	traj.ColdNs = cold.NsPerOp
+	traj.WarmNoEditNs = warm.NsPerOp
+	traj.EditMonolithicNs = editMono.NsPerOp
+	traj.EditMemoNs = editMemo.NsPerOp
+	traj.WarmSpeedup = float64(cold.NsPerOp) / float64(warm.NsPerOp)
+	traj.EditSpeedupVsMonolithic = float64(editMono.NsPerOp) / float64(editMemo.NsPerOp)
+	traj.EditSpeedupVsCold = float64(cold.NsPerOp) / float64(editMemo.NsPerOp)
+	if traj.WarmSpeedup < 100 {
+		b.Fatalf("warm re-sweep only %.1fx faster than cold", traj.WarmSpeedup)
+	}
+	// The PR 9 gate: the memoised edit path must beat the PR 8 edit floor
+	// by an order of magnitude — the whole point of block restores is that
+	// a one-function edit no longer pays the monolithic driver-pair DPs.
+	if traj.EditSpeedupVsMonolithic < 10 {
+		b.Fatalf("memoised edit re-sweep only %.1fx faster than the monolithic edit path",
+			traj.EditSpeedupVsMonolithic)
+	}
+
+	traj.Benchmarks = []benchTiming{cold, warm, editMono, editMemo}
+	benchWriteTrajectory(b, out, traj)
+	b.Logf("bench trajectory written to %s (cold %.2fs; edit monolithic %.2fms -> memoised %.2fms, ×%.1f)",
+		out, time.Duration(traj.ColdNs).Seconds(),
+		float64(traj.EditMonolithicNs)/1e6, float64(traj.EditMemoNs)/1e6,
+		traj.EditSpeedupVsMonolithic)
+}

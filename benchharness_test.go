@@ -1,0 +1,166 @@
+// Shared scaffolding for the bench trajectory emitters (BenchmarkPR3..9
+// Trajectory). Every emitter follows the same protocol — gate on
+// SILVERVALE_BENCH_JSON, measure legs directly with wall-clock plus
+// MemStats deltas, hard-assert bit-identity where a speedup must not
+// change the numbers, write one JSON trajectory file — and this file
+// holds the protocol so each PR's emitter carries only its own legs.
+package silvervale
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"silvervale/internal/core"
+	"silvervale/internal/corpus"
+)
+
+// benchJSONPath gates a trajectory emitter: without SILVERVALE_BENCH_JSON
+// set the benchmark skips, so plain `go test -bench .` sweeps are not
+// slowed down.
+func benchJSONPath(b *testing.B) string {
+	b.Helper()
+	out := os.Getenv("SILVERVALE_BENCH_JSON")
+	if out == "" {
+		b.Skip("set SILVERVALE_BENCH_JSON=<path> to emit the bench trajectory")
+	}
+	return out
+}
+
+// benchTiming is the common per-leg measurement record. Trajectory
+// structs embed it (or use it directly) so every emitter's JSON carries
+// the same field names.
+type benchTiming struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// benchMeasure times iters repetitions of fn directly: testing.Benchmark
+// deadlocks when invoked from inside a running benchmark (both take the
+// package-global benchmark lock), so each leg is measured with wall-clock
+// plus MemStats deltas — the same counters the -benchmem output is
+// derived from. fn receives the repetition index so edit-style legs can
+// make every rep pay the dirty work.
+func benchMeasure(name string, iters int, fn func(rep int)) benchTiming {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn(i)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := int64(iters)
+	return benchTiming{
+		Name:        name,
+		Iterations:  iters,
+		NsPerOp:     elapsed.Nanoseconds() / n,
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
+	}
+}
+
+// benchSameBits reports whether two matrices are bit-identical — the
+// hard-assert form of "this speedup did not change the numbers". Plain
+// == would treat -0.0 and 0.0 as equal and NaNs as unequal; the bit
+// compare catches representation drift too.
+func benchSameBits(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// benchWriteTrajectory serialises one trajectory to the gated JSON path.
+func benchWriteTrajectory(b *testing.B, path string, traj any) {
+	b.Helper()
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchCodebases generates every port of one app once; edit legs mutate
+// the in-memory file map, the same thing the watch loop sees after a
+// reload.
+func benchCodebases(b testing.TB, appName string) (map[string]*corpus.Codebase, []string) {
+	b.Helper()
+	app, err := corpus.AppByName(appName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cbs := map[string]*corpus.Codebase{}
+	var order []string
+	for _, m := range corpus.ModelsFor(app) {
+		cb, err := corpus.Generate(app, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cbs[string(m)] = cb
+		order = append(order, string(m))
+	}
+	return cbs, order
+}
+
+// benchIncrSweep runs one incremental index-and-matrix pass — the unit of
+// work the warm/edit legs repeat.
+func benchIncrSweep(b testing.TB, e *core.Engine, cbs map[string]*corpus.Codebase,
+	prior map[string]*core.Index, order []string) (map[string]*core.Index, [][]float64) {
+	b.Helper()
+	idxs := map[string]*core.Index{}
+	for _, name := range order {
+		idx, _, err := e.IndexCodebaseIncremental(cbs[name], prior[name], core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		idxs[name] = idx
+	}
+	m, err := e.Matrix(idxs, order, core.MetricTsem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idxs, m
+}
+
+// benchAppendFunc applies the scripted one-function edit: it rewrites a
+// unit's source as baseSrc plus one appended function, distinct per rep
+// (name and constant both carry the rep), so every repetition of an edit
+// leg pays the dirty work instead of hitting the cells memoised by the
+// previous rep.
+func benchAppendFunc(cb *corpus.Codebase, file, baseSrc, prefix string, rep int) {
+	cb.Files[file] = baseSrc +
+		fmt.Sprintf("\ndouble %s_%d(double x) {\n\treturn x * %d.0;\n}\n", prefix, rep, rep+2)
+}
+
+// benchDriverFile locates the driver unit of a codebase.
+func benchDriverFile(b testing.TB, cb *corpus.Codebase) string {
+	b.Helper()
+	for _, u := range cb.Units {
+		if u.Role == "driver" {
+			return u.File
+		}
+	}
+	b.Fatal("codebase has no driver unit")
+	return ""
+}

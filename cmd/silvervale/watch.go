@@ -120,6 +120,7 @@ func (w *watcher) restore(snap *core.Snapshot) error {
 		w.prior[label] = idx
 	}
 	w.engine.ImportCells(snap.Cells)
+	w.engine.ImportSubtreeBlocks(snap.Subs)
 	return nil
 }
 
@@ -129,6 +130,7 @@ func (w *watcher) save(path string) error {
 		Metric: w.metric,
 		Models: map[string]*cbdb.DB{},
 		Cells:  w.engine.ExportCells(),
+		Subs:   w.engine.ExportSubtreeBlocks(),
 	}
 	for label, idx := range w.prior {
 		snap.Models[label] = idx.ToDB()

@@ -77,6 +77,12 @@ func TestWatchIncrementalSmoke(t *testing.T) {
 	if !strings.Contains(incrErr, "incremental: 1 cells reused, 2 recomputed; 5 units reused, 1 reparsed") {
 		t.Fatalf("incremental stats line missing:\n%s", incrErr)
 	}
+	// The recomputed cells' TED work must hit the snapshot-restored
+	// subtree-block memo: clean keyroot subtrees reuse their blocks, so
+	// only the edited function's spine re-ran the DP (DESIGN.md §13).
+	if strings.Contains(incrErr, " 0 subtree blocks reused") {
+		t.Fatalf("warm edit sweep restored no subtree blocks:\n%s", incrErr)
+	}
 
 	freshOut, _, err := captureBoth(t, "watch", root, "-iters", "1")
 	if err != nil {

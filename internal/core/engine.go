@@ -69,6 +69,16 @@ type Engine struct {
 	cellsRecomputed    atomic.Uint64
 	obsCellsReused     *obs.Counter // incr.cells_reused — matrix cells served from the cell memo
 	obsCellsRecomputed *obs.Counter // incr.cells_recomputed — matrix cells recomputed
+
+	// Subtree-block accounting (DESIGN.md §13): how many keyroot blocks
+	// the cache's subtree memo restored versus recomputed inside this
+	// engine's matrix sweeps — the sub-cell dirty set behind each
+	// recomputed cell. Fed per sweep from cache-stats deltas in
+	// matrixMemo, mirrored into the incr.* obs counters.
+	subBlocksReused     atomic.Uint64
+	subBlocksRecomputed atomic.Uint64
+	obsSubReused        *obs.Counter // incr.subtree_blocks_reused
+	obsSubRecomputed    *obs.Counter // incr.subtree_blocks_recomputed
 }
 
 // NewEngine returns an engine with the given worker-pool bound and a fresh
@@ -107,6 +117,8 @@ func NewEngineObs(workers int, cache *ted.Cache, rec *obs.Recorder) *Engine {
 		e.obsTierFar = rec.Counter("ted.tier_far")
 		e.obsCellsReused = rec.Counter("incr.cells_reused")
 		e.obsCellsRecomputed = rec.Counter("incr.cells_recomputed")
+		e.obsSubReused = rec.Counter("incr.subtree_blocks_reused")
+		e.obsSubRecomputed = rec.Counter("incr.subtree_blocks_recomputed")
 	}
 	return e
 }
@@ -253,6 +265,10 @@ func (e *Engine) matrixMemo(idxs map[string]*Index, order []string, metric strin
 		e.countCells(reused, len(work))
 	}
 
+	var subPre ted.CacheStats
+	if e.cache != nil {
+		subPre = e.cache.Stats()
+	}
 	errs := make([]error, len(work))
 	vals := make([]cellVal, len(work))
 	e.runParallel(len(work), sp, "engine.cell", func(k int) {
@@ -280,6 +296,11 @@ func (e *Engine) matrixMemo(idxs map[string]*Index, order []string, metric strin
 		vals[k] = cellVal{norm: m[i][j], rev: m[j][i]}
 	})
 	sp.End()
+	if e.cache != nil {
+		subPost := e.cache.Stats()
+		e.countSubBlocks(subPost.SubtreeHits-subPre.SubtreeHits,
+			subPost.SubtreeMisses-subPre.SubtreeMisses)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -194,7 +194,11 @@ func TestEngineCacheReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	warm := engine.CacheStats()
-	if warm != cold {
+	// CacheStats carries the (map-valued) store snapshot, so compare the
+	// traffic counters rather than the whole struct.
+	if warm.Hits != cold.Hits || warm.Misses != cold.Misses ||
+		warm.SubtreeHits != cold.SubtreeHits || warm.SubtreeMisses != cold.SubtreeMisses ||
+		warm.FlatHits != cold.FlatHits || warm.FlatMisses != cold.FlatMisses {
 		t.Fatalf("second sweep reached the TED layer: cold %+v warm %+v", cold, warm)
 	}
 	n := len(order)

@@ -135,12 +135,21 @@ type IncrStats struct {
 	UnitsReparsed   int // units re-run through the frontend
 	CellsReused     int // matrix cells served from the cell memo
 	CellsRecomputed int // matrix cells recomputed
+
+	// Sub-cell accounting (DESIGN.md §13): within the recomputed cells,
+	// how many keyroot subtree-distance blocks the TED layer restored
+	// from the subtree memo versus re-ran the DP for. On a one-function
+	// edit the recomputed count tracks the edited function's spine;
+	// everything else is reused.
+	SubtreeBlocksReused     int
+	SubtreeBlocksRecomputed int
 }
 
 // Line renders the per-iteration stats line the watch loop prints.
 func (s IncrStats) Line() string {
-	return fmt.Sprintf("incremental: %d cells reused, %d recomputed; %d units reused, %d reparsed",
-		s.CellsReused, s.CellsRecomputed, s.UnitsReused, s.UnitsReparsed)
+	return fmt.Sprintf("incremental: %d cells reused, %d recomputed; %d units reused, %d reparsed; %d subtree blocks reused, %d recomputed",
+		s.CellsReused, s.CellsRecomputed, s.UnitsReused, s.UnitsReparsed,
+		s.SubtreeBlocksReused, s.SubtreeBlocksRecomputed)
 }
 
 func (s *IncrStats) add(o IncrStats) {
@@ -148,6 +157,8 @@ func (s *IncrStats) add(o IncrStats) {
 	s.UnitsReparsed += o.UnitsReparsed
 	s.CellsReused += o.CellsReused
 	s.CellsRecomputed += o.CellsRecomputed
+	s.SubtreeBlocksReused += o.SubtreeBlocksReused
+	s.SubtreeBlocksRecomputed += o.SubtreeBlocksRecomputed
 }
 
 // IndexCodebaseIncremental indexes cb, reusing parsed units from a prior
@@ -319,25 +330,42 @@ func (e *Engine) countCells(reused, recomputed int) {
 	e.obsCellsRecomputed.Add(int64(recomputed))
 }
 
+// countSubBlocks folds one sweep's subtree-block reuse split into the
+// engine-lifetime counters and the incr.* obs counters.
+func (e *Engine) countSubBlocks(reused, recomputed uint64) {
+	if reused == 0 && recomputed == 0 {
+		return
+	}
+	e.subBlocksReused.Add(reused)
+	e.subBlocksRecomputed.Add(recomputed)
+	e.obsSubReused.Add(int64(reused))
+	e.obsSubRecomputed.Add(int64(recomputed))
+}
+
 // IncrStats returns the engine's cumulative incremental accounting: cells
 // reused/recomputed across every Matrix and MatrixTiered call, units
-// reused/reparsed across every IndexCodebaseIncremental call. The watch
-// loop diffs two snapshots to render its per-iteration stats line.
+// reused/reparsed across every IndexCodebaseIncremental call, subtree
+// blocks reused/recomputed inside those sweeps' TED work. The watch loop
+// diffs two snapshots to render its per-iteration stats line.
 func (e *Engine) IncrStats() IncrStats {
 	return IncrStats{
-		UnitsReused:     int(e.unitsReused.Load()),
-		UnitsReparsed:   int(e.unitsReparsed.Load()),
-		CellsReused:     int(e.cellsReused.Load()),
-		CellsRecomputed: int(e.cellsRecomputed.Load()),
+		UnitsReused:             int(e.unitsReused.Load()),
+		UnitsReparsed:           int(e.unitsReparsed.Load()),
+		CellsReused:             int(e.cellsReused.Load()),
+		CellsRecomputed:         int(e.cellsRecomputed.Load()),
+		SubtreeBlocksReused:     int(e.subBlocksReused.Load()),
+		SubtreeBlocksRecomputed: int(e.subBlocksRecomputed.Load()),
 	}
 }
 
 // Delta returns the per-iteration difference s - prev.
 func (s IncrStats) Delta(prev IncrStats) IncrStats {
 	return IncrStats{
-		UnitsReused:     s.UnitsReused - prev.UnitsReused,
-		UnitsReparsed:   s.UnitsReparsed - prev.UnitsReparsed,
-		CellsReused:     s.CellsReused - prev.CellsReused,
-		CellsRecomputed: s.CellsRecomputed - prev.CellsRecomputed,
+		UnitsReused:             s.UnitsReused - prev.UnitsReused,
+		UnitsReparsed:           s.UnitsReparsed - prev.UnitsReparsed,
+		CellsReused:             s.CellsReused - prev.CellsReused,
+		CellsRecomputed:         s.CellsRecomputed - prev.CellsRecomputed,
+		SubtreeBlocksReused:     s.SubtreeBlocksReused - prev.SubtreeBlocksReused,
+		SubtreeBlocksRecomputed: s.SubtreeBlocksRecomputed - prev.SubtreeBlocksRecomputed,
 	}
 }

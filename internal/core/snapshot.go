@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"compress/gzip"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
@@ -14,21 +15,26 @@ import (
 	"silvervale/internal/msgpack"
 	"silvervale/internal/store"
 	"silvervale/internal/ted"
+	"silvervale/internal/tree"
 )
 
 // SnapshotVersion guards the snapshot wire format; bump on any schema
-// change so stale files are rejected instead of misread.
-const SnapshotVersion = 1
+// change so stale files are rejected instead of misread. Version 2 added
+// the subtree-block section (DESIGN.md §13).
+const SnapshotVersion = 2
 
 // Snapshot is the warm state a watch session (or a CI baseline run)
 // persists so a later `-since` invocation can resume incrementally: every
-// model's indexed codebase DB plus the engine's memoised matrix cells.
+// model's indexed codebase DB, the engine's memoised matrix cells, and
+// the TED cache's subtree-block memo — the layer that keeps a post-edit
+// `-since` sweep at warm-edit latency rather than cold-TED latency.
 // Restoring one costs a file read; everything else is content-addressed,
 // so a restored snapshot never serves stale data — edits simply miss.
 type Snapshot struct {
 	Metric string
 	Models map[string]*cbdb.DB
 	Cells  []CellRecord
+	Subs   []ted.SubtreeBlockRecord
 }
 
 // CellRecord is the portable form of one memoised matrix cell: the two
@@ -105,6 +111,24 @@ func (e *Engine) ImportCells(recs []CellRecord) {
 	e.cellMu.Unlock()
 }
 
+// ExportSubtreeBlocks snapshots the shared cache's subtree-block memo in
+// deterministic order (nil for a cache-less engine).
+func (e *Engine) ExportSubtreeBlocks() []ted.SubtreeBlockRecord {
+	if e.cache == nil {
+		return nil
+	}
+	return e.cache.ExportSubtreeBlocks()
+}
+
+// ImportSubtreeBlocks seeds the shared cache's subtree-block memo from
+// exported records; a cache-less engine ignores the import.
+func (e *Engine) ImportSubtreeBlocks(recs []ted.SubtreeBlockRecord) {
+	if e.cache == nil {
+		return
+	}
+	e.cache.ImportSubtreeBlocks(recs)
+}
+
 // Write serialises the snapshot as gzip-compressed MessagePack, the same
 // framing as cbdb files.
 func (s *Snapshot) Write(w io.Writer) error {
@@ -127,11 +151,26 @@ func (s *Snapshot) Write(w io.Writer) error {
 			int64(c.Exact), int64(c.Estimated), int64(c.Far),
 		}
 	}
+	subs := make([]any, len(s.Subs))
+	for i, r := range s.Subs {
+		blk := make([]byte, 4*len(r.Vals))
+		for j, v := range r.Vals {
+			binary.LittleEndian.PutUint32(blk[4*j:], uint32(v))
+		}
+		subs[i] = []any{
+			r.A.H1, r.A.H2, uint64(r.A.Size),
+			r.B.H1, r.B.H2, uint64(r.B.Size),
+			int64(r.Costs.Insert), int64(r.Costs.Delete), int64(r.Costs.Rename),
+			int64(r.L1), int64(r.L2),
+			blk,
+		}
+	}
 	payload := map[string]any{
 		"version": int64(SnapshotVersion),
 		"metric":  s.Metric,
 		"models":  models,
 		"cells":   cells,
+		"subs":    subs,
 	}
 	gz := gzip.NewWriter(w)
 	if err := msgpack.NewEncoder(gz).Encode(payload); err != nil {
@@ -196,6 +235,37 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 			Policy: policy,
 			Norm:   math.Float64frombits(u[9]), Rev: math.Float64frombits(u[10]),
 			Exact: int(u[11]), Estimated: int(u[12]), Far: int(u[13]),
+		})
+	}
+	rawSubs, _ := m["subs"].([]any)
+	for i, rs := range rawSubs {
+		parts, ok := rs.([]any)
+		if !ok || len(parts) != 12 {
+			return nil, fmt.Errorf("core: snapshot: malformed subtree block %d", i)
+		}
+		u := make([]uint64, len(parts))
+		for j, p := range parts {
+			switch x := p.(type) {
+			case int64:
+				u[j] = uint64(x)
+			case uint64:
+				u[j] = x
+			}
+		}
+		blk, ok := parts[11].([]byte)
+		l1, l2 := int64(u[9]), int64(u[10])
+		if !ok || l1 <= 0 || l2 <= 0 || len(blk)%4 != 0 || l1*l2 != int64(len(blk)/4) {
+			return nil, fmt.Errorf("core: snapshot: malformed subtree block %d", i)
+		}
+		vals := make([]int32, l1*l2)
+		for j := range vals {
+			vals[j] = int32(binary.LittleEndian.Uint32(blk[4*j:]))
+		}
+		s.Subs = append(s.Subs, ted.SubtreeBlockRecord{
+			A: tree.Fingerprint{H1: u[0], H2: u[1], Size: uint32(u[2])},
+			B: tree.Fingerprint{H1: u[3], H2: u[4], Size: uint32(u[5])},
+			Costs: ted.Costs{Insert: int(u[6]), Delete: int(u[7]), Rename: int(u[8])},
+			L1:    int32(l1), L2: int32(l2), Vals: vals,
 		})
 	}
 	return s, nil

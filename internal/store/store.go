@@ -7,10 +7,11 @@
 // (re-running figures, CI checks, per-PR metric runs) is bounded by decode
 // time instead of the quadratic TED core.
 //
-// Layout: <root>/<tier>/<shard>/<name>, where tier is "ted" or "idx",
-// name is a 128-bit hash over the full record key (fingerprint pair +
-// cost model + format version for distances; app/model/content hash +
-// format versions for indexes) and shard is the name's first byte in hex
+// Layout: <root>/<tier>/<shard>/<name>, where tier is "ted", "idx",
+// "tier", or "sub", name is a 128-bit hash over the full record key
+// (fingerprint pair + cost model + format version for distances and
+// subtree blocks; app/model/content hash + format versions for indexes)
+// and shard is the name's first byte in hex
 // — a 256-way fan-out that keeps directories small at millions of
 // records.
 //
@@ -56,7 +57,22 @@ const (
 	distDir  = "ted"
 	indexDir = "idx"
 	tierDir  = "tier"
+	subDir   = "sub"
 )
+
+// tierNames lists every tier directory in stable display order; per-tier
+// byte accounting and Clear iterate it.
+var tierNames = [...]string{distDir, indexDir, tierDir, subDir}
+
+// tierIndex maps a tier directory to its accounting slot.
+func tierIndex(tier string) int {
+	for i, t := range tierNames {
+		if t == tier {
+			return i
+		}
+	}
+	return 0
+}
 
 // maxBatch bounds how many queued records one flush writes; with the
 // queue non-empty the flusher coalesces up to this many puts into a
@@ -124,6 +140,12 @@ type Store struct {
 	flushes        atomic.Uint64
 	corruptSkipped atomic.Uint64
 	writeErrors    atomic.Uint64
+
+	// Per-tier splits of bytesRead/bytesWritten, indexed by tierIndex, so
+	// the growth of each tier — the subtree-block memo in particular — is
+	// observable from the stats line rather than only from du(1).
+	tierRead    [len(tierNames)]atomic.Uint64
+	tierWritten [len(tierNames)]atomic.Uint64
 
 	// Breaker state: ioErrors counts every failed filesystem call,
 	// faultInjected the subset that faultfs scheduled; once ioErrors
@@ -194,7 +216,7 @@ func Clear(dir string) error { return ClearFS(faultfs.OS{}, dir) }
 
 // ClearFS is Clear over an explicit filesystem.
 func ClearFS(fsys faultfs.FS, dir string) error {
-	for _, tier := range []string{distDir, indexDir, tierDir} {
+	for _, tier := range tierNames {
 		if err := fsys.RemoveAll(filepath.Join(dir, tier)); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
@@ -254,6 +276,14 @@ func (s *Store) SetRecorder(rec *obs.Recorder) {
 	})
 }
 
+// TierIO is one tier's on-disk traffic this run. Written approximates the
+// tier's on-disk growth (records are immutable; same-key rewrites are
+// rare, identical-payload races).
+type TierIO struct {
+	Read    uint64 // compressed bytes read
+	Written uint64 // compressed bytes committed
+}
+
 // Stats is a point-in-time snapshot of store traffic.
 type Stats struct {
 	Hits           uint64 // lookups answered from disk
@@ -266,12 +296,22 @@ type Stats struct {
 	IOErrors       uint64 // failed filesystem calls (reads and writes)
 	FaultInjected  uint64 // I/O errors scheduled by faultfs injection
 	Degraded       bool   // breaker tripped: store is memory-only
+
+	// TierBytes splits the byte totals per tier, keyed by tier directory
+	// name ("ted", "idx", "tier", "sub"); every tier is present, zeros
+	// included, so callers can index without existence checks.
+	TierBytes map[string]TierIO
 }
 
-// Stats returns current counters. A nil store returns zeros.
+// Stats returns current counters. A nil store returns zeros (with a nil
+// TierBytes map).
 func (s *Store) Stats() Stats {
 	if s == nil {
 		return Stats{}
+	}
+	tiers := make(map[string]TierIO, len(tierNames))
+	for i, name := range tierNames {
+		tiers[name] = TierIO{Read: s.tierRead[i].Load(), Written: s.tierWritten[i].Load()}
 	}
 	return Stats{
 		Hits:           s.hits.Load(),
@@ -284,6 +324,7 @@ func (s *Store) Stats() Stats {
 		IOErrors:       s.ioErrors.Load(),
 		FaultInjected:  s.faultInjected.Load(),
 		Degraded:       s.degraded.Load(),
+		TierBytes:      tiers,
 	}
 }
 
@@ -294,6 +335,11 @@ func (s *Store) Stats() Stats {
 func (s Stats) String() string {
 	line := fmt.Sprintf("store %d hits, %d misses, %dB read, %dB written, %d flushes, %d corrupt-skipped",
 		s.Hits, s.Misses, s.BytesRead, s.BytesWritten, s.Flushes, s.CorruptSkipped)
+	for _, name := range tierNames {
+		if io := s.TierBytes[name]; io.Read != 0 || io.Written != 0 {
+			line += fmt.Sprintf(", %s tier %dB written/%dB read", name, io.Written, io.Read)
+		}
+	}
 	if s.FaultInjected > 0 {
 		line += fmt.Sprintf(", %d faults injected", s.FaultInjected)
 	}
@@ -369,6 +415,41 @@ func (s *Store) PutTierDist(k TierKey, d float64) {
 	})
 }
 
+// LookupSub returns the stored keyroot subtree-distance block for an
+// oriented key, if a valid record exists. A corrupted, truncated, or
+// shape-inconsistent record fails decode and is counted in
+// corrupt_skipped, surfacing as a miss the caller answers by re-running
+// the keyroot DP.
+func (s *Store) LookupSub(k SubKey) (l1, l2 int32, vals []int32, ok bool) {
+	if s == nil {
+		return 0, 0, nil, false
+	}
+	data, loaded := s.load(subDir, subName(k))
+	if !loaded {
+		return 0, 0, nil, false
+	}
+	l1, l2, vals, err := decodeSub(data, k)
+	if err != nil {
+		s.skipCorrupt()
+		return 0, 0, nil, false
+	}
+	s.hit()
+	return l1, l2, vals, true
+}
+
+// PutSub queues a subtree-block record for write-behind. The vals slice
+// must not be mutated afterwards (ted's blocks are immutable). No-op on
+// nil, readonly, degraded, or closed stores.
+func (s *Store) PutSub(k SubKey, l1, l2 int32, vals []int32) {
+	if s == nil {
+		return
+	}
+	s.put(pending{
+		tier: subDir, name: subName(k),
+		encode: func() ([]byte, error) { return encodeSub(k, l1, l2, vals) },
+	})
+}
+
 // LookupIndex returns the stored codebase DB for a key, if a valid record
 // exists.
 func (s *Store) LookupIndex(k IndexKey) (*cbdb.DB, bool) {
@@ -438,6 +519,7 @@ func (s *Store) load(tier, name string) ([]byte, bool) {
 		return nil, false
 	}
 	s.bytesRead.Add(uint64(len(data)))
+	s.tierRead[tierIndex(tier)].Add(uint64(len(data)))
 	if o := s.obs.Load(); o != nil {
 		o.bytesRead.Add(int64(len(data)))
 	}
@@ -611,6 +693,7 @@ func (s *Store) commit(p pending) error {
 		return err
 	}
 	s.bytesWritten.Add(uint64(len(data)))
+	s.tierWritten[tierIndex(p.tier)].Add(uint64(len(data)))
 	if o := s.obs.Load(); o != nil {
 		o.bytesWritten.Add(int64(len(data)))
 	}

@@ -42,6 +42,41 @@ type Cache struct {
 	sigs     map[sigKey]Signature
 	routes   map[routeKey]routeVal
 
+	// Subtree-block memo (DESIGN.md §13): treedist outputs per keyroot
+	// pair, content-addressed by subtree fingerprint pair + costs, under
+	// their own lock so grid probes never contend with distance lookups.
+	subMu    sync.RWMutex
+	subs     map[subKey]*subBlock
+	subBytes int64 // accounted payload + overhead, guarded by subMu
+	subMax   int64 // eviction bound in bytes
+	subMin   int   // memoisation threshold in DP cells (m1*m2)
+
+	// Forest-prefix checkpoint memo (DESIGN.md §13): root-keyroot-row DP
+	// rows captured at root-children boundaries, shared under subMu with
+	// the block memo but accounted and bounded separately.
+	ckpts     map[ckptKey][]int32
+	ckptBytes int64 // guarded by subMu
+	ckptMax   int64 // eviction bound in bytes
+	ckptMin   int   // minimum a-tree node count for capture/resume
+
+	// Probe-row memo (DESIGN.md §13): whole keyroot rows of block-grid
+	// probe results, content-addressed by (a keyroot subtree, b tree,
+	// costs), shared under subMu but accounted and bounded separately.
+	rows     map[rowKey][]rowSlot
+	rowBytes int64 // guarded by subMu
+	rowMax   int64 // eviction bound in bytes
+
+	subOn       atomic.Bool
+	subHits     atomic.Uint64
+	subMisses   atomic.Uint64
+	subEvicted  atomic.Uint64
+	ckptHits    atomic.Uint64
+	ckptMisses  atomic.Uint64
+	ckptEvicted atomic.Uint64
+	rowHits     atomic.Uint64
+	rowMisses   atomic.Uint64
+	rowEvicted  atomic.Uint64
+
 	hits        atomic.Uint64
 	misses      atomic.Uint64
 	identity    atomic.Uint64
@@ -75,6 +110,15 @@ type cacheObs struct {
 	boundPruned *obs.Counter   // ted.bound_pruned — misses answered by a bound gate
 	flatHits    *obs.Counter   // ted.flat_memo.hits
 	flatMisses  *obs.Counter   // ted.flat_memo.misses
+	subHits     *obs.Counter   // ted.subtree_blocks_hit — keyroot blocks served from the memo
+	subMisses   *obs.Counter   // ted.subtree_blocks_miss — memoisable blocks not served
+	subEvicted  *obs.Counter   // ted.subtree_blocks_evicted — blocks dropped by the bound
+	ckptHits    *obs.Counter   // ted.ckpt_rows_hit — root-row DPs resumed from a checkpoint
+	ckptMisses  *obs.Counter   // ted.ckpt_rows_miss — root-row misses with no usable checkpoint
+	ckptEvicted *obs.Counter   // ted.ckpt_rows_evicted — checkpoint rows dropped by the bound
+	rowHits     *obs.Counter   // ted.probe_rows_hit — keyroot rows served by the probe-row memo
+	rowMisses   *obs.Counter   // ted.probe_rows_miss — keyroot rows probed slot by slot
+	rowEvicted  *obs.Counter   // ted.probe_rows_evicted — probe rows dropped by the bound
 	pairNodes   *obs.Histogram // ted.pair_nodes — size bucket per call
 }
 
@@ -91,16 +135,27 @@ type approxKey struct {
 	a, b tree.Fingerprint
 }
 
-// NewCache returns an empty cache ready for concurrent use.
+// NewCache returns an empty cache ready for concurrent use. The subtree-
+// block memo starts enabled with its default threshold and bound.
 func NewCache() *Cache {
-	return &Cache{
+	c := &Cache{
 		dist:     map[pairKey]int{},
 		approx:   map[approxKey]float64{},
 		profiles: map[tree.Fingerprint]PQGramProfile{},
 		flats:    map[tree.Fingerprint]*flat{},
 		sigs:     map[sigKey]Signature{},
 		routes:   map[routeKey]routeVal{},
+		subs:     map[subKey]*subBlock{},
+		subMax:   subDefaultMaxBytes,
+		subMin:   subDefaultMinCells,
+		ckpts:    map[ckptKey][]int32{},
+		ckptMax:  ckptDefaultMaxBytes,
+		ckptMin:  ckptDefaultMinRows,
+		rows:     map[rowKey][]rowSlot{},
+		rowMax:   rowDefaultMaxBytes,
 	}
+	c.subOn.Store(true)
+	return c
 }
 
 // SetRecorder attaches an observability recorder: every subsequent lookup
@@ -124,6 +179,15 @@ func (c *Cache) SetRecorder(rec *obs.Recorder) {
 		boundPruned: rec.Counter("ted.bound_pruned"),
 		flatHits:    rec.Counter("ted.flat_memo.hits"),
 		flatMisses:  rec.Counter("ted.flat_memo.misses"),
+		subHits:     rec.Counter("ted.subtree_blocks_hit"),
+		subMisses:   rec.Counter("ted.subtree_blocks_miss"),
+		subEvicted:  rec.Counter("ted.subtree_blocks_evicted"),
+		ckptHits:    rec.Counter("ted.ckpt_rows_hit"),
+		ckptMisses:  rec.Counter("ted.ckpt_rows_miss"),
+		ckptEvicted: rec.Counter("ted.ckpt_rows_evicted"),
+		rowHits:     rec.Counter("ted.probe_rows_hit"),
+		rowMisses:   rec.Counter("ted.probe_rows_miss"),
+		rowEvicted:  rec.Counter("ted.probe_rows_evicted"),
 		pairNodes:   rec.Histogram("ted.pair_nodes"),
 	})
 }
@@ -158,6 +222,37 @@ type CacheStats struct {
 	Profiles    int    // stored pq-gram profiles
 	Flats       int    // stored flattened trees
 
+	// Subtree-block memo traffic (DESIGN.md §13). Hits and misses count
+	// memoisable keyroot pairs only — pairs below the size threshold
+	// always recompute and are invisible here. A hit means the block was
+	// served from the memo; its cells materialise into the DP tables
+	// lazily, only when a recomputed neighbour actually reads them.
+	SubtreeHits    uint64 // keyroot blocks served instead of recomputed
+	SubtreeMisses  uint64 // memoisable keyroot blocks not served by the memo
+	SubtreeEvicted uint64 // blocks dropped by the byte bound
+	SubtreeBlocks  int    // blocks currently resident
+	SubtreeBytes   int64  // accounted resident size (payload + overhead)
+
+	// Forest-prefix checkpoint traffic (DESIGN.md §13). A checkpoint hit
+	// resumes one root-keyroot-row DP from a memoised forest-prefix row
+	// instead of re-running it from row zero; misses count root-row block
+	// misses that found no usable checkpoint and paid the full row.
+	CheckpointHits    uint64 // root-row DPs resumed mid-row
+	CheckpointMisses  uint64 // root-row block misses with no checkpoint
+	CheckpointEvicted uint64 // checkpoint rows dropped by the byte bound
+	CheckpointRows    int    // checkpoint rows currently resident
+	CheckpointBytes   int64  // accounted resident size (payload + overhead)
+
+	// Probe-row memo traffic (DESIGN.md §13). A probe-row hit replays one
+	// whole keyroot row of grid probe results — recorded only when every
+	// above-threshold slot hit, so the replay is always identical to a
+	// slot-by-slot probe and SubtreeHits still counts each served block.
+	ProbeRowHits    uint64 // keyroot rows served by the probe-row memo
+	ProbeRowMisses  uint64 // keyroot rows probed slot by slot
+	ProbeRowEvicted uint64 // probe rows dropped by the byte bound
+	ProbeRows       int    // probe rows currently resident
+	ProbeRowBytes   int64  // accounted resident size (payload + overhead)
+
 	// StoreEnabled marks the persistent tier attached; Store then carries
 	// its traffic counters (zero-valued otherwise, so the no-store path is
 	// unchanged).
@@ -170,17 +265,39 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.RLock()
 	entries, profiles, flats := len(c.dist), len(c.profiles), len(c.flats)
 	c.mu.RUnlock()
+	c.subMu.RLock()
+	subBlocks, subBytes := len(c.subs), c.subBytes
+	ckptRows, ckptBytes := len(c.ckpts), c.ckptBytes
+	probeRows, probeRowBytes := len(c.rows), c.rowBytes
+	c.subMu.RUnlock()
 	st := CacheStats{
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		Identity:    c.identity.Load(),
-		Symmetric:   c.symmetric.Load(),
-		BoundPruned: c.boundPruned.Load(),
-		FlatHits:    c.flatHits.Load(),
-		FlatMisses:  c.flatMisses.Load(),
-		Entries:     entries,
-		Profiles:    profiles,
-		Flats:       flats,
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Identity:       c.identity.Load(),
+		Symmetric:      c.symmetric.Load(),
+		BoundPruned:    c.boundPruned.Load(),
+		FlatHits:       c.flatHits.Load(),
+		FlatMisses:     c.flatMisses.Load(),
+		Entries:        entries,
+		Profiles:       profiles,
+		Flats:          flats,
+		SubtreeHits:    c.subHits.Load(),
+		SubtreeMisses:  c.subMisses.Load(),
+		SubtreeEvicted: c.subEvicted.Load(),
+		SubtreeBlocks:  subBlocks,
+		SubtreeBytes:   subBytes,
+
+		CheckpointHits:    c.ckptHits.Load(),
+		CheckpointMisses:  c.ckptMisses.Load(),
+		CheckpointEvicted: c.ckptEvicted.Load(),
+		CheckpointRows:    ckptRows,
+		CheckpointBytes:   ckptBytes,
+
+		ProbeRowHits:    c.rowHits.Load(),
+		ProbeRowMisses:  c.rowMisses.Load(),
+		ProbeRowEvicted: c.rowEvicted.Load(),
+		ProbeRows:       probeRows,
+		ProbeRowBytes:   probeRowBytes,
 	}
 	if s := c.backing.Load(); s != nil {
 		st.StoreEnabled = true
@@ -208,13 +325,20 @@ func (s CacheStats) FlatHitRate() float64 {
 }
 
 // String renders the snapshot as the one-line summary the CLI prints after
-// experiment sweeps. With a persistent store attached the line gains the
-// store tier's traffic.
+// experiment sweeps. The historical prefix is stable; the subtree-memo
+// fragment (and, with a persistent store attached, the store tier's
+// traffic) appends after it.
 func (s CacheStats) String() string {
 	line := fmt.Sprintf(
 		"ted cache: %d hits (%d identity), %d misses, %d symmetric canonicalisations, %d entries, %d profiles, hit rate %.1f%%, %d bound-pruned, flat memo %d/%d hit rate %.1f%%",
 		s.Hits, s.Identity, s.Misses, s.Symmetric, s.Entries, s.Profiles, 100*s.HitRate(),
 		s.BoundPruned, s.FlatHits, s.FlatHits+s.FlatMisses, 100*s.FlatHitRate())
+	line += fmt.Sprintf(", subtree blocks %d hit/%d miss, %d resident (%dB), %d evicted",
+		s.SubtreeHits, s.SubtreeMisses, s.SubtreeBlocks, s.SubtreeBytes, s.SubtreeEvicted)
+	line += fmt.Sprintf(", ckpt rows %d hit/%d miss, %d resident (%dB), %d evicted",
+		s.CheckpointHits, s.CheckpointMisses, s.CheckpointRows, s.CheckpointBytes, s.CheckpointEvicted)
+	line += fmt.Sprintf(", probe rows %d hit/%d miss, %d resident (%dB), %d evicted",
+		s.ProbeRowHits, s.ProbeRowMisses, s.ProbeRows, s.ProbeRowBytes, s.ProbeRowEvicted)
 	if s.StoreEnabled {
 		line += ", " + s.Store.String()
 	}
@@ -322,6 +446,8 @@ func (c *Cache) compute(t1, t2 *tree.Node, fa, fb tree.Fingerprint, costs Costs,
 		if o != nil {
 			o.boundPruned.Add(1)
 		}
+	} else if c.subOn.Load() && a.krFP != nil && b.krFP != nil {
+		d = c.zsDistanceMemo(a, b, costs, sc, o)
 	} else {
 		d = zsDistance(a, b, costs, sc)
 	}

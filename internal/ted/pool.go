@@ -20,9 +20,12 @@ type dpScratch struct {
 	fa, fb flat   // uncached-path flatten targets
 	seen   []bool // keyroot collection table; all-false between uses
 
-	td, fd         []int32   // DP matrix backings
-	tdRows, fdRows [][]int32 // row headers over td/fd
-	boff           []int32   // per-treedist b-side lmld offsets
+	td, fd         []int32     // DP matrix backings
+	tdRows, fdRows [][]int32   // row headers over td/fd
+	boff           []int32     // per-treedist b-side lmld offsets
+	blocks         []*subBlock // per-keyroot-pair probe results (memoised path)
+	done           []bool      // per-keyroot-pair lazily-restored marks (memoised path)
+	ckrefs         []ckptRef   // per-b-keyroot checkpoint probe results (memoised path)
 
 	stamp []int32 // bound gate: label-id stamps, indexed by interned id
 	cnt   []int32 // bound gate: label multiplicities for stamped ids
@@ -51,6 +54,43 @@ func (s *dpScratch) prepFlat(f *flat, n int) {
 	if cap(s.seen) < n {
 		s.seen = make([]bool, n)
 	}
+}
+
+// dpTables shapes the treedist/forestdist matrices and the b-offset row
+// for an n1 x n2 tree pair — the shared prologue of zsDistance and the
+// memoised Cache.zsDistanceMemo, which must size scratch identically for
+// the dirty-reuse invariant to hold across both paths. Contents are
+// unspecified (see the dpScratch comment).
+func (s *dpScratch) dpTables(n1, n2 int) (td, fd [][]int32, boff []int32) {
+	td = s.matrix(&s.td, &s.tdRows, n1, n2)
+	fd = s.matrix(&s.fd, &s.fdRows, n1+1, n2+1)
+	s.boff = grow32(s.boff, n2)
+	return td, fd, s.boff
+}
+
+// blockRefs returns a scratch slice of n block pointers with unspecified
+// contents; the memoised path's probe phase overwrites every slot before
+// any is read. The parallel done slice (returned cleared) marks grid
+// slots whose block has already been materialised into td.
+func (s *dpScratch) blockRefs(n int) ([]*subBlock, []bool) {
+	if cap(s.blocks) < n {
+		s.blocks = make([]*subBlock, n)
+		s.done = make([]bool, n)
+	}
+	done := s.done[:n]
+	for i := range done {
+		done[i] = false
+	}
+	return s.blocks[:n], done
+}
+
+// ckptRefs returns a scratch slice of n checkpoint probe slots with
+// unspecified contents; the probe phase overwrites every slot.
+func (s *dpScratch) ckptRefs(n int) []ckptRef {
+	if cap(s.ckrefs) < n {
+		s.ckrefs = make([]ckptRef, n)
+	}
+	return s.ckrefs[:n]
 }
 
 // matrix shapes rows r x c row headers over backing, growing both to the

@@ -1,0 +1,453 @@
+package ted
+
+// Tests for the subtree-block memo (DESIGN.md §13). The load-bearing
+// property is bit-identity: the memoised decomposition replays the
+// monolithic Zhang–Shasha DP's own subproblem results, so every distance
+// it returns must equal the monolithic one exactly — on first sight
+// (miss path), on repeats (hit path), across orientations, under any
+// cost model, and under concurrent sharing. The structural tests pin the
+// flatten-side plumbing the soundness argument leans on: the keyroot
+// enumeration order and the spine partition.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"silvervale/internal/tree"
+)
+
+// memoCache returns a cache whose subtree memo and checkpoint memo fire
+// on every keyroot pair: the default thresholds exist to skip work too
+// small to profit, which would leave the fuzz-sized trees below them and
+// the memos untested.
+func memoCache() *Cache {
+	c := NewCache()
+	c.subMin = 1
+	c.ckptMin = 1
+	return c
+}
+
+// postorderNodes collects t's nodes in post-order, the index space the
+// flat arrays live in.
+func postorderNodes(t *tree.Node, out []*tree.Node) []*tree.Node {
+	for _, c := range t.Children {
+		out = postorderNodes(c, out)
+	}
+	return append(out, t)
+}
+
+// TestKeyrootSpineInvariants pins the flatten-side contract zsDistanceMemo
+// depends on: keyroots ascending with the root last, each the highest node
+// of its lmld class; krFP the content address of the keyroot's subtree;
+// the spine partition covering every post-order index exactly once, each
+// spine ascending and containing exactly its keyroot's lmld class; and the
+// whole structure reproducible from a re-flatten (content addressing is
+// meaningless if flattening the same tree twice disagrees).
+func TestKeyrootSpineInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		tr := randTree(r, 1+r.Intn(120))
+		n := tr.Size()
+		f := newFlat(tr)
+		nodes := postorderNodes(tr, nil)
+
+		if len(f.kr) == 0 || f.kr[len(f.kr)-1] != n-1 {
+			t.Fatalf("keyroots %v do not end at the root (n=%d)", f.kr, n)
+		}
+		seenLmld := map[int32]bool{}
+		for ki, k := range f.kr {
+			if ki > 0 && f.kr[ki-1] >= k {
+				t.Fatalf("keyroots not strictly ascending: %v", f.kr)
+			}
+			l := f.lmld[k]
+			if seenLmld[l] {
+				t.Fatalf("two keyroots share lmld %d: %v", l, f.kr)
+			}
+			seenLmld[l] = true
+			// highest of its class: no later node may share the lmld value
+			for x := k + 1; x < n; x++ {
+				if f.lmld[x] == l {
+					t.Fatalf("keyroot %d is not the highest of lmld class %d (node %d above)", k, l, x)
+				}
+			}
+			if got, want := f.krFP[ki], nodes[k].Fingerprint(); got != want {
+				t.Fatalf("krFP[%d] = %+v, want subtree fingerprint %+v", ki, got, want)
+			}
+		}
+
+		if f.spineOff[0] != 0 || int(f.spineOff[len(f.kr)]) != n {
+			t.Fatalf("spine offsets %v do not span [0,%d)", f.spineOff, n)
+		}
+		covered := make([]bool, n)
+		for ki, k := range f.kr {
+			sp := f.spine[f.spineOff[ki]:f.spineOff[ki+1]]
+			if len(sp) == 0 {
+				t.Fatalf("keyroot %d has an empty spine", k)
+			}
+			for si, x := range sp {
+				if si > 0 && sp[si-1] >= x {
+					t.Fatalf("spine of keyroot %d not ascending: %v", k, sp)
+				}
+				if f.lmld[x] != f.lmld[k] {
+					t.Fatalf("node %d on spine of keyroot %d has lmld %d, want %d",
+						x, k, f.lmld[x], f.lmld[k])
+				}
+				if covered[x] {
+					t.Fatalf("node %d appears on two spines", x)
+				}
+				covered[x] = true
+			}
+			if sp[len(sp)-1] != int32(k) {
+				t.Fatalf("spine of keyroot %d does not end at the keyroot: %v", k, sp)
+			}
+		}
+		for x, ok := range covered {
+			if !ok {
+				t.Fatalf("node %d belongs to no spine", x)
+			}
+		}
+
+		// re-flatten stability: a second newFlat of the same tree must
+		// reproduce keyroots, fingerprints, and the partition exactly
+		g := newFlat(tr)
+		if len(g.kr) != len(f.kr) {
+			t.Fatalf("re-flatten changed keyroot count: %d vs %d", len(g.kr), len(f.kr))
+		}
+		for ki := range f.kr {
+			if g.kr[ki] != f.kr[ki] || g.krFP[ki] != f.krFP[ki] {
+				t.Fatalf("re-flatten diverged at keyroot %d", ki)
+			}
+		}
+		for i := range f.spine {
+			if g.spine[i] != f.spine[i] {
+				t.Fatalf("re-flatten diverged at spine slot %d", i)
+			}
+		}
+		for i := range f.spineOff {
+			if g.spineOff[i] != f.spineOff[i] {
+				t.Fatalf("re-flatten diverged at spine offset %d", i)
+			}
+		}
+	}
+}
+
+// TestSubtreeMemoMatchesMonolithic drives the memoised path against the
+// monolithic DP over random pairs and cost models. Each pair is followed
+// by a near-copy (relabelSome) — distinct enough to miss the whole-pair
+// distance memo, alike enough that clean keyroot blocks restore — plus
+// the reversed orientation (blocks are oriented; the reverse pair must
+// build or hit its own keys, never transpose).
+func TestSubtreeMemoMatchesMonolithic(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	c := memoCache()
+	for trial := 0; trial < 60; trial++ {
+		a := randTree(r, 1+r.Intn(80))
+		b := randTree(r, 1+r.Intn(80))
+		costs := Costs{Insert: 1 + r.Intn(3), Delete: 1 + r.Intn(3), Rename: 1 + r.Intn(3)}
+		want := DistanceWithCosts(a, b, costs)
+		if got := c.DistanceWithCosts(a, b, costs); got != want {
+			t.Fatalf("memoised %d != monolithic %d\na=%s\nb=%s costs=%+v", got, want, a, b, costs)
+		}
+		// mutate a copy so the distance memo misses but clean subtrees hit
+		b2 := relabelSome(r, b, 1+r.Intn(5))
+		want2 := DistanceWithCosts(a, b2, costs)
+		if got := c.DistanceWithCosts(a, b2, costs); got != want2 {
+			t.Fatalf("memoised %d != monolithic %d after relabel\na=%s\nb=%s", got, want2, a, b2)
+		}
+		wantRev := DistanceWithCosts(b, a, costs)
+		if got := c.DistanceWithCosts(b, a, costs); got != wantRev {
+			t.Fatalf("reversed memoised %d != monolithic %d", got, wantRev)
+		}
+	}
+	// the mixed regime under default thresholds: some pairs memoise, the
+	// rest defer to materialise-time recompute
+	cd := NewCache()
+	for trial := 0; trial < 30; trial++ {
+		a := randTree(r, 60+r.Intn(90))
+		b := relabelSome(r, a, 1+r.Intn(6))
+		want := DistanceWithCosts(a, b, UnitCosts())
+		if got := cd.DistanceWithCosts(a, b, UnitCosts()); got != want {
+			t.Fatalf("default-threshold memoised %d != monolithic %d", got, want)
+		}
+	}
+	s := c.Stats()
+	if s.SubtreeHits == 0 || s.SubtreeMisses == 0 {
+		t.Fatalf("memo never exercised both paths: %d hits, %d misses", s.SubtreeHits, s.SubtreeMisses)
+	}
+}
+
+// TestSubtreeMemoConcurrent shares one cache across 8 goroutines computing
+// overlapping pairs — racing builders of the same block must keep-first
+// without torn payloads, and every answer must stay bit-identical to the
+// monolithic DP. Run under -race this also proves the publication
+// discipline.
+func TestSubtreeMemoConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	var trees []*tree.Node
+	base := randTree(r, 120)
+	trees = append(trees, base)
+	for i := 0; i < 5; i++ {
+		trees = append(trees, relabelSome(r, base, 1+r.Intn(8)))
+	}
+	costs := UnitCosts()
+	type pair struct{ a, b int }
+	var pairs []pair
+	want := map[pair]int{}
+	for i := range trees {
+		for j := range trees {
+			p := pair{i, j}
+			pairs = append(pairs, p)
+			want[p] = DistanceWithCosts(trees[i], trees[j], costs)
+		}
+	}
+	c := memoCache()
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for _, p := range pairs {
+					if got := c.DistanceWithCosts(trees[p.a], trees[p.b], costs); got != want[p] {
+						select {
+						case errs <- "": // detail printed by the main goroutine
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if _, bad := <-errs; bad {
+		t.Fatal("concurrent memoised distance diverged from monolithic DP")
+	}
+	if s := c.Stats(); s.SubtreeHits == 0 {
+		t.Fatalf("shared cache never hit: %+v", s)
+	}
+}
+
+// TestSubtreeMemoEviction squeezes the byte bound until publishes evict,
+// then re-verifies distances: eviction may cost recomputes, never wrong
+// answers, and the accounting must stay consistent with residency.
+func TestSubtreeMemoEviction(t *testing.T) {
+	r := rand.New(rand.NewSource(74))
+	c := memoCache()
+	c.subMax = 4 << 10
+	for trial := 0; trial < 30; trial++ {
+		a := randTree(r, 40+r.Intn(80))
+		b := randTree(r, 40+r.Intn(80))
+		want := DistanceWithCosts(a, b, UnitCosts())
+		if got := c.DistanceWithCosts(a, b, UnitCosts()); got != want {
+			t.Fatalf("memoised %d != monolithic %d under eviction pressure", got, want)
+		}
+	}
+	s := c.Stats()
+	if s.SubtreeEvicted == 0 {
+		t.Fatalf("no evictions under a %dB bound: %+v", c.subMax, s)
+	}
+	if s.SubtreeBytes > c.subMax {
+		t.Fatalf("resident bytes %d exceed bound %d after eviction", s.SubtreeBytes, c.subMax)
+	}
+}
+
+// TestSubtreeBlockExportImportRoundTrip: blocks exported from one cache
+// and imported into a fresh one must serve hits there with bit-identical
+// distances — the snapshot path watch -since rides on.
+func TestSubtreeBlockExportImportRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(75))
+	src := memoCache()
+	var pairs [][2]*tree.Node
+	for i := 0; i < 12; i++ {
+		a := randTree(r, 30+r.Intn(60))
+		b := relabelSome(r, a, 1+r.Intn(6))
+		pairs = append(pairs, [2]*tree.Node{a, b})
+		src.DistanceWithCosts(a, b, UnitCosts())
+	}
+	recs := src.ExportSubtreeBlocks()
+	if len(recs) == 0 {
+		t.Fatal("nothing exported from a warmed cache")
+	}
+	dst := memoCache()
+	if installed := dst.ImportSubtreeBlocks(recs); installed != len(recs) {
+		t.Fatalf("imported %d of %d records into an empty cache", installed, len(recs))
+	}
+	for _, p := range pairs {
+		want := DistanceWithCosts(p[0], p[1], UnitCosts())
+		if got := dst.DistanceWithCosts(p[0], p[1], UnitCosts()); got != want {
+			t.Fatalf("restored cache returned %d, monolithic %d", got, want)
+		}
+	}
+	if s := dst.Stats(); s.SubtreeHits == 0 {
+		t.Fatalf("imported blocks never hit: %+v", s)
+	}
+	// malformed records are skipped, not installed
+	bad := []SubtreeBlockRecord{{L1: 2, L2: 2, Vals: []int32{1, 2, 3}}}
+	if n := memoCache().ImportSubtreeBlocks(bad); n != 0 {
+		t.Fatalf("installed %d malformed records", n)
+	}
+}
+
+// appendChild returns a clone of t with extra grafted on as a new last
+// child of the root — the append-edit shape the root-row checkpoint memo
+// exists for: every old root-child boundary's prefix fold is unchanged,
+// so a warm cache can resume the root row past the old children.
+func appendChild(t, extra *tree.Node) *tree.Node {
+	c := t.Clone()
+	c.Add(extra.Clone())
+	return c
+}
+
+// TestRootRowCheckpointResume pins the checkpoint fast path end to end:
+// after warming a pair, an append-only edit to the a-side root must be
+// served by resuming the root keyroot's DP row from a memoised boundary
+// (CheckpointHits advances) and still return the monolithic distance
+// bit-identically. A b-side append must also stay correct even though
+// checkpoints are a-side-only (no resume, just block-level reuse).
+func TestRootRowCheckpointResume(t *testing.T) {
+	r := rand.New(rand.NewSource(76))
+	for trial := 0; trial < 25; trial++ {
+		a := randTree(r, 40+r.Intn(80))
+		if len(a.Children) == 0 {
+			continue
+		}
+		b := relabelSome(r, a, 1+r.Intn(6))
+		costs := Costs{Insert: 1 + r.Intn(2), Delete: 1 + r.Intn(2), Rename: 1 + r.Intn(2)}
+		c := memoCache()
+		if got, want := c.DistanceWithCosts(a, b, costs), DistanceWithCosts(a, b, costs); got != want {
+			t.Fatalf("warming pass diverged: %d != %d", got, want)
+		}
+		warm := c.Stats()
+		if warm.CheckpointRows == 0 {
+			t.Fatalf("warming pass captured no checkpoint rows (a has %d children)", len(a.Children))
+		}
+
+		a2 := appendChild(a, randTree(r, 1+r.Intn(10)))
+		want := DistanceWithCosts(a2, b, costs)
+		if got := c.DistanceWithCosts(a2, b, costs); got != want {
+			t.Fatalf("resumed distance %d != monolithic %d\na2=%s\nb=%s costs=%+v",
+				got, want, a2, b, costs)
+		}
+		edited := c.Stats()
+		if edited.CheckpointHits == warm.CheckpointHits {
+			t.Fatalf("append edit did not resume from a checkpoint: %+v", edited)
+		}
+
+		b2 := appendChild(b, randTree(r, 1+r.Intn(10)))
+		if got, want := c.DistanceWithCosts(a2, b2, costs), DistanceWithCosts(a2, b2, costs); got != want {
+			t.Fatalf("b-side append diverged: %d != %d", got, want)
+		}
+	}
+}
+
+// TestProbeRowMemo pins the probe-row fast path: a keyroot row whose
+// probe once came back all-hit is recorded and replayed on the next pair
+// that shares the (a keyroot subtree, b tree, costs) address, with
+// distances and SubtreeHits identical to a slot-by-slot probe. The
+// sequence needs three sweeps: the cold sweep records nothing (all
+// misses), the first edit's sweep observes the unchanged keyroot rows
+// all-hit and records them, the second edit's sweep replays them.
+func TestProbeRowMemo(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 25; trial++ {
+		a := randTree(r, 40+r.Intn(80))
+		if len(a.Children) == 0 {
+			continue
+		}
+		b := relabelSome(r, a, 1+r.Intn(6))
+		costs := Costs{Insert: 1 + r.Intn(2), Delete: 1 + r.Intn(2), Rename: 1 + r.Intn(2)}
+		c := memoCache()
+		c.DistanceWithCosts(a, b, costs)
+
+		a2 := appendChild(a, randTree(r, 1+r.Intn(10)))
+		c.DistanceWithCosts(a2, b, costs)
+		recorded := c.Stats()
+		if recorded.ProbeRows == 0 {
+			t.Fatalf("first edit sweep recorded no probe rows: %+v", recorded)
+		}
+		if recorded.ProbeRowHits != 0 {
+			t.Fatalf("probe rows hit before any could be recorded: %+v", recorded)
+		}
+
+		a3 := appendChild(a, randTree(r, 1+r.Intn(10)))
+		want := DistanceWithCosts(a3, b, costs)
+		if got := c.DistanceWithCosts(a3, b, costs); got != want {
+			t.Fatalf("row-replayed distance %d != monolithic %d\na3=%s\nb=%s costs=%+v",
+				got, want, a3, b, costs)
+		}
+		replayed := c.Stats()
+		if replayed.ProbeRowHits == 0 {
+			t.Fatalf("second edit sweep replayed no probe rows: %+v", replayed)
+		}
+	}
+}
+
+// FuzzSubtreeMemo is the byte-identity tripwire: any fuzzer-found tree
+// shapes and cost model where the memoised decomposition disagrees with
+// the monolithic Zhang–Shasha DP is a soundness bug (DESIGN.md §13).
+func FuzzSubtreeMemo(f *testing.F) {
+	f.Add(int64(1), 10, 20, 1, 1, 1, 3)
+	f.Add(int64(2), 60, 60, 2, 1, 3, 0)
+	f.Add(int64(3), 1, 1, 1, 1, 1, 0)
+	f.Add(int64(4), 90, 15, 3, 2, 1, 12)
+	f.Add(int64(5), 45, 45, 1, 2, 2, 40)
+	f.Fuzz(func(t *testing.T, seed int64, n1, n2, ci, cd, cr, mutate int) {
+		if n1 < 1 || n1 > 150 || n2 < 1 || n2 > 150 || mutate < 0 || mutate > 150 {
+			t.Skip()
+		}
+		if ci < 1 || ci > 5 || cd < 1 || cd > 5 || cr < 1 || cr > 5 {
+			t.Skip()
+		}
+		r := rand.New(rand.NewSource(seed))
+		a := randTree(r, n1)
+		var b *tree.Node
+		if mutate > 0 {
+			b = relabelSome(r, a, mutate) // overlapping content: hits likely
+		} else {
+			b = randTree(r, n2)
+		}
+		costs := Costs{Insert: ci, Delete: cd, Rename: cr}
+		want := DistanceWithCosts(a, b, costs)
+		c := memoCache()
+		if got := c.DistanceWithCosts(a, b, costs); got != want {
+			t.Fatalf("memoised %d != monolithic %d\na=%s\nb=%s costs=%+v",
+				got, want, a, b, costs)
+		}
+		if got := c.DistanceWithCosts(b, a, costs); got != DistanceWithCosts(b, a, costs) {
+			t.Fatalf("reversed orientation diverged")
+		}
+		// restore path: a fresh cache seeded only with the first cache's
+		// exported blocks must reproduce the distance bit-identically
+		c2 := memoCache()
+		c2.ImportSubtreeBlocks(c.ExportSubtreeBlocks())
+		if got := c2.DistanceWithCosts(a, b, costs); got != want {
+			t.Fatalf("restored blocks gave %d, monolithic %d\na=%s\nb=%s costs=%+v",
+				got, want, a, b, costs)
+		}
+		// checkpoint resume path: an append-only root edit against the warm
+		// cache exercises the root-row resume whenever a has children, and
+		// must stay bit-identical either way
+		a2 := appendChild(a, randTree(r, 1+r.Intn(8)))
+		want2 := DistanceWithCosts(a2, b, costs)
+		if got := c.DistanceWithCosts(a2, b, costs); got != want2 {
+			t.Fatalf("resumed memoised %d != monolithic %d\na2=%s\nb=%s costs=%+v",
+				got, want2, a2, b, costs)
+		}
+		// default thresholds: trees this size straddle subMin, so this is
+		// the mixed regime where below-threshold pairs are deferred to
+		// materialise-time and memoised pairs sit above them
+		cdef := NewCache()
+		if got := cdef.DistanceWithCosts(a, b, costs); got != want {
+			t.Fatalf("default-threshold memoised %d != monolithic %d\na=%s\nb=%s costs=%+v",
+				got, want, a, b, costs)
+		}
+		if got := cdef.DistanceWithCosts(a2, b, costs); got != want2 {
+			t.Fatalf("default-threshold resumed %d != monolithic %d\na2=%s\nb=%s costs=%+v",
+				got, want2, a2, b, costs)
+		}
+	})
+}

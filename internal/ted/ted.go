@@ -25,6 +25,8 @@
 package ted
 
 import (
+	"sort"
+
 	"silvervale/internal/tree"
 )
 
@@ -70,20 +72,382 @@ func DistanceWithCosts(t1, t2 *tree.Node, c Costs) int {
 }
 
 // zsDistance runs the Zhang–Shasha keyroot recurrence over two flattened
-// trees using sc's pooled DP matrices.
+// trees using sc's pooled DP matrices. This monolithic form is the
+// reference the memoised decomposition below must match bit for bit.
 func zsDistance(a, b *flat, c Costs, sc *dpScratch) int {
 	n1 := len(a.labels)
 	n2 := len(b.labels)
-	td := sc.matrix(&sc.td, &sc.tdRows, n1, n2)
-	fd := sc.matrix(&sc.fd, &sc.fdRows, n1+1, n2+1)
-	boff := grow32(sc.boff, n2)
-	sc.boff = boff
+	td, fd, boff := sc.dpTables(n1, n2)
 	for _, i := range a.kr {
 		for _, j := range b.kr {
 			treedist(a, b, i, j, c, td, fd, boff)
 		}
 	}
 	return int(td[n1-1][n2-1])
+}
+
+// zsDistanceMemo is zsDistance decomposed into its keyroot subproblems,
+// each served from the cache's content-addressed subtree-block memo when
+// possible (DESIGN.md §13). Soundness rests on two properties of the
+// Zhang–Shasha recurrence:
+//
+//   - treedist(i, j) writes exactly the td cells spine(i) x spine(j) —
+//     the subtree pairs whose keyroot pair is (i, j) — and those values
+//     are the exact subtree-pair distances, a pure function of the two
+//     subtrees' content plus the cost model. Nothing else about the
+//     enclosing trees leaks in.
+//   - its td reads are confined to cells owned by strictly earlier pairs
+//     in the ascending keyroot enumeration.
+//
+// So a block keyed by (subtree fingerprint pair, costs) can be restored
+// into td in enumeration order in place of re-running the DP, and every
+// later read — including the final root pair — sees bit-identical values.
+// This is why the memo is exact where a subtree-alignment DP is only an
+// upper bound: it replays the monolithic DP's own subproblem results
+// rather than re-deriving the distance from per-subtree distances, which
+// cannot express forest mappings that split a subtree (§12).
+//
+// Two refinements keep the warm path off the recompute floor (§13):
+//
+//   - Lazy materialisation. A hit block's cells are only written into td
+//     when a DP run may actually read them. treedist(i, j) reads td cells
+//     confined to the post-order rectangle subtree(i) x subtree(j), and
+//     every cell in it is owned by a keyroot pair inside the same
+//     rectangle, so restoring the pending blocks of that keyroot sub-grid
+//     just before the run covers every read. Pairs below the size
+//     threshold need no materialisation at all: their read set is owned
+//     by strictly smaller pairs, which are below the threshold too and
+//     therefore always freshly computed.
+//   - Forest-prefix checkpoint resume. The root keyroot's row is the one
+//     row a root-changing edit always invalidates, and it dominates the
+//     recompute floor (its DP spans the whole tree). During a full
+//     root-row DP the fd row completed at each root-child boundary is a
+//     pure function of (cut forest C1..Ck, b subtree, costs), so it is
+//     captured under that content address; a later root-row miss resumes
+//     from the deepest boundary whose prefix fold still matches, paying
+//     only the rows after the edit. Resume is all-or-nothing across the
+//     root row: a resumed pair leaves its prefix-spine td cells
+//     unmaterialised, which is sound only because no below-threshold or
+//     fully-recomputed pair remains in the row to read them (non-root
+//     keyroots never own root-spine cells — the root is the only keyroot
+//     of its lmld class).
+//
+// Map traffic is batched: one read-lock probes the whole keyroot grid
+// plus the root-row checkpoints (phase 1), the DP/materialise pass runs
+// lock-free (phase 2), and one write lock publishes fresh blocks,
+// checkpoint rows, and probe rows keep-first (phase 3) — so the warm
+// path pays two lock acquisitions per tree pair, not two per keyroot
+// pair. The probe-row memo collapses phase 1 further: a keyroot row
+// whose probe once came back all-hit is recorded under (a keyroot
+// subtree, b tree, costs) and replayed as one map probe plus a pointer
+// copy, so a warm re-probe pays one lookup per row instead of one per
+// memoisable slot (§13).
+func (c *Cache) zsDistanceMemo(a, b *flat, costs Costs, sc *dpScratch, o *cacheObs) int {
+	n1 := len(a.labels)
+	n2 := len(b.labels)
+	td, fd, boff := sc.dpTables(n1, n2)
+	k1 := len(a.kr)
+	k2 := len(b.kr)
+	blocks, done := sc.blockRefs(k1 * k2)
+	minCells := c.subMin
+	lastKi := k1 - 1
+
+	// ckEligible also requires n1 >= minCells: with it, every root-row
+	// pair has cells = n1*m2 >= n1 >= minCells, so the all-or-nothing
+	// resume rule never has to reason about below-threshold pairs.
+	ckEligible := len(a.ckptRow) > 0 && n1 >= c.ckptMin && n1 >= minCells
+	var resume []ckptRef
+	if ckEligible {
+		resume = sc.ckptRefs(k2)
+	}
+
+	var hits, misses, ckHits, ckMisses, rowHits, rowMisses uint64
+	var freshRows []rowEntry
+	bRoot := b.krFP[k2-1] // root is the last keyroot: the whole b tree
+	c.subMu.RLock()
+	for ki, i := range a.kr {
+		m1 := i - int(a.lmld[i]) + 1
+		row := blocks[ki*k2 : (ki+1)*k2]
+		// One probe-row memo hit replaces the whole slot-by-slot scan.
+		// Recorded rows were all-hit when recorded, and the block memo is
+		// keep-first and append-only, so the replay equals a fresh probe:
+		// same slots, same blocks, same hit count (see rowEntry).
+		rk := rowKey{a: a.krFP[ki], b: bRoot, costs: costs}
+		if slots, ok := c.rows[rk]; ok {
+			rowHits++
+			for kj := range row {
+				row[kj] = nil
+			}
+			for _, s := range slots {
+				row[s.kj] = s.bl
+			}
+			hits += uint64(len(slots))
+			continue
+		}
+		rowMisses++
+		allHit := true
+		var slots []rowSlot
+		for kj, j := range b.kr {
+			if m1*(j-int(b.lmld[j])+1) < minCells {
+				row[kj] = nil // scratch slot may hold a stale pointer
+				continue
+			}
+			bl := c.subs[subKey{a: a.krFP[ki], b: b.krFP[kj], costs: costs}]
+			row[kj] = bl
+			if bl != nil {
+				hits++
+				slots = append(slots, rowSlot{kj: int32(kj), bl: bl})
+			} else {
+				allHit = false
+			}
+		}
+		if allHit {
+			freshRows = append(freshRows, rowEntry{key: rk, slots: slots})
+		}
+	}
+	resumable := ckEligible
+	minR0 := n1
+	if ckEligible {
+		row := blocks[lastKi*k2:]
+		for kj, j := range b.kr {
+			resume[kj] = ckptRef{}
+			if row[kj] != nil {
+				continue
+			}
+			m2 := j - int(b.lmld[j]) + 1
+			found := false
+			for t := len(a.ckptRow) - 1; t >= 0; t-- {
+				vals, ok := c.ckpts[ckptKey{prefix: a.ckptFP[t], b: b.krFP[kj], costs: costs}]
+				if ok && len(vals) == m2+1 {
+					resume[kj] = ckptRef{row: a.ckptRow[t], vals: vals}
+					found = true
+					if r := int(a.ckptRow[t]); r < minR0 {
+						minR0 = r
+					}
+					break
+				}
+			}
+			if !found {
+				resumable = false
+				ckMisses++
+			}
+		}
+	}
+	c.subMu.RUnlock()
+
+	// materialise produces every pending td cell inside the post-order
+	// rectangle [aLo..aHi] x [bLo..bHi] — the cells the next DP run may
+	// read: hit blocks are restored, and below-threshold pairs (deferred
+	// by the main loop — most of them are never read on a warm sweep) are
+	// computed now, in ascending keyroot-pair order so their own reads are
+	// satisfied first. Keyroot subtrees never straddle the bounds used
+	// here (subtree rectangles and root-forest suffixes are both unions of
+	// whole keyroot subtrees), so the sorted keyroot arrays give the
+	// covered pairs as contiguous index ranges, and a covered pair's own
+	// read rectangle is nested inside the requested one — no recursion.
+	// Memoisable misses inside the rectangle need no case: rectangle
+	// containment means they enumerate before the requesting pair, so the
+	// main loop already computed them (their done mark distinguishes them
+	// from deferred below-threshold slots); the requesting pair itself is
+	// skipped by the threshold test.
+	materialise := func(aLo, aHi, bLo, bHi int) {
+		kiLo := sort.SearchInts(a.kr, aLo)
+		kjLo := sort.SearchInts(b.kr, bLo)
+		for ki := kiLo; ki < k1 && a.kr[ki] <= aHi; ki++ {
+			i := a.kr[ki]
+			m1 := i - int(a.lmld[i]) + 1
+			row := blocks[ki*k2 : (ki+1)*k2]
+			rdone := done[ki*k2 : (ki+1)*k2]
+			var rows []int32
+			for kj := kjLo; kj < k2 && b.kr[kj] <= bHi; kj++ {
+				if rdone[kj] {
+					continue
+				}
+				if bl := row[kj]; bl != nil {
+					rdone[kj] = true
+					if rows == nil {
+						rows = a.spine[a.spineOff[ki]:a.spineOff[ki+1]]
+					}
+					restoreBlock(td, rows, b.spine[b.spineOff[kj]:b.spineOff[kj+1]], bl.vals)
+				} else if j := b.kr[kj]; m1*(j-int(b.lmld[j])+1) < minCells {
+					rdone[kj] = true
+					treedist(a, b, i, j, costs, td, fd, boff)
+				}
+			}
+		}
+	}
+
+	var fresh []subEntry
+	var freshCk []ckptEntry
+	suffixDone := false
+	st := c.backing.Load()
+	for ki, i := range a.kr {
+		li := int(a.lmld[i])
+		m1 := i - li + 1
+		rows := a.spine[a.spineOff[ki]:a.spineOff[ki+1]]
+		row := blocks[ki*k2 : (ki+1)*k2]
+		rdone := done[ki*k2 : (ki+1)*k2]
+		isRoot := ki == lastKi
+		for kj, j := range b.kr {
+			if row[kj] != nil {
+				continue // hit: materialised lazily if a later DP reads it
+			}
+			lj := int(b.lmld[j])
+			cells := m1 * (j - lj + 1)
+			if cells < minCells {
+				continue // deferred: materialised only if a later DP reads it
+			}
+			cols := b.spine[b.spineOff[kj]:b.spineOff[kj+1]]
+			key := subKey{a: a.krFP[ki], b: b.krFP[kj], costs: costs}
+			if isRoot && resumable {
+				// Block miss served by a checkpoint: recompute only the
+				// rows after the deepest matching prefix boundary. No
+				// block is harvested (the prefix-spine cells were never
+				// written); boundaries passed on the way down are.
+				misses++
+				ckHits++
+				r0 := int(resume[kj].row)
+				if !suffixDone {
+					// One scan covers every resumed pair in the row: their
+					// read rectangles all sit inside [shallowest resume
+					// boundary .. root] x the whole b tree.
+					materialise(li+minR0, i, 0, n2-1)
+					suffixDone = true
+				}
+				treedistFrom(a, b, i, j, costs, td, fd, boff, r0, resume[kj].vals)
+				rdone[kj] = true
+				freshCk = captureCkpts(freshCk, a, b.krFP[kj], j, lj, costs, fd, r0)
+				continue
+			}
+			// Large blocks are worth a disk round trip: consult the
+			// persistent sub tier before paying the DP.
+			if st != nil && cells >= subStoreMinCells {
+				if l1, l2, vals, ok := st.LookupSub(subStoreKey(key)); ok &&
+					int(l1) == len(rows) && int(l2) == len(cols) {
+					hits++
+					// Promote into the grid: later DP runs materialise it
+					// on demand, exactly like a memory hit.
+					row[kj] = &subBlock{l1: l1, l2: l2, vals: vals}
+					fresh = append(fresh, subEntry{key: key, block: row[kj]})
+					continue
+				}
+			}
+			misses++
+			materialise(li, i, lj, j)
+			treedist(a, b, i, j, costs, td, fd, boff)
+			rdone[kj] = true
+			fresh = append(fresh, subEntry{key: key, block: &subBlock{
+				l1:   int32(len(rows)),
+				l2:   int32(len(cols)),
+				vals: harvestBlock(td, rows, cols),
+			}, persist: cells >= subStoreMinCells})
+			if isRoot && ckEligible {
+				freshCk = captureCkpts(freshCk, a, b.krFP[kj], j, lj, costs, fd, 0)
+			}
+		}
+	}
+
+	var d int
+	if bl := blocks[k1*k2-1]; bl != nil {
+		// Root-pair hit that nothing recomputed ever read: the distance is
+		// the block's last cell, no materialisation needed.
+		d = int(bl.vals[len(bl.vals)-1])
+	} else {
+		if !done[k1*k2-1] {
+			// The root pair itself was below the memo threshold — then so is
+			// every pair (nothing has more cells), and the whole grid was
+			// deferred. Produce it now; the ascending scan ends with the
+			// root-pair DP.
+			materialise(0, n1-1, 0, n2-1)
+		}
+		d = int(td[n1-1][n2-1])
+	}
+
+	if len(fresh) > 0 || len(freshCk) > 0 || len(freshRows) > 0 {
+		c.publishSubBlocks(fresh, freshCk, freshRows, st, o)
+	}
+	if hits > 0 {
+		c.subHits.Add(hits)
+		if o != nil {
+			o.subHits.Add(int64(hits))
+		}
+	}
+	if misses > 0 {
+		c.subMisses.Add(misses)
+		if o != nil {
+			o.subMisses.Add(int64(misses))
+		}
+	}
+	if ckHits > 0 {
+		c.ckptHits.Add(ckHits)
+		if o != nil {
+			o.ckptHits.Add(int64(ckHits))
+		}
+	}
+	if ckMisses > 0 {
+		c.ckptMisses.Add(ckMisses)
+		if o != nil {
+			o.ckptMisses.Add(int64(ckMisses))
+		}
+	}
+	if rowHits > 0 {
+		c.rowHits.Add(rowHits)
+		if o != nil {
+			o.rowHits.Add(int64(rowHits))
+		}
+	}
+	if rowMisses > 0 {
+		c.rowMisses.Add(rowMisses)
+		if o != nil {
+			o.rowMisses.Add(int64(rowMisses))
+		}
+	}
+	return d
+}
+
+// captureCkpts copies the fd rows completed at root-child boundaries
+// deeper than r0 out of the pooled DP table, keyed by (prefix fold, b
+// subtree, costs) for publication. Boundaries at or above r0 were either
+// restored from the memo (r0 itself) or never computed this run.
+func captureCkpts(dst []ckptEntry, a *flat, bFP tree.Fingerprint, j, lj int, costs Costs, fd [][]int32, r0 int) []ckptEntry {
+	m2 := j - lj + 1
+	for t, r := range a.ckptRow {
+		if int(r) <= r0 {
+			continue
+		}
+		vals := append([]int32(nil), fd[r][:m2+1]...)
+		dst = append(dst, ckptEntry{
+			key:  ckptKey{prefix: a.ckptFP[t], b: bFP, costs: costs},
+			vals: vals,
+		})
+	}
+	return dst
+}
+
+// restoreBlock writes a memoised block's values into the td cells the
+// originating treedist call wrote: the row-major spine(i) x spine(j) grid.
+func restoreBlock(td [][]int32, rows, cols []int32, vals []int32) {
+	for r, x := range rows {
+		tdRow := td[x]
+		v := vals[r*len(cols):]
+		for ci, y := range cols {
+			tdRow[y] = v[ci]
+		}
+	}
+}
+
+// harvestBlock copies the td cells a treedist call just wrote into a
+// fresh backing array, the immutable payload of a new block.
+func harvestBlock(td [][]int32, rows, cols []int32) []int32 {
+	vals := make([]int32, len(rows)*len(cols))
+	for r, x := range rows {
+		tdRow := td[x]
+		v := vals[r*len(cols):]
+		for ci, y := range cols {
+			v[ci] = tdRow[y]
+		}
+	}
+	return vals
 }
 
 // treedist fills td for the subtree pair rooted at post-order indices (i, j)
@@ -95,6 +459,20 @@ func zsDistance(a, b *flat, c Costs, sc *dpScratch) int {
 // the majority of cells), and the west/northwest neighbours are carried in
 // registers across the row instead of re-read from the matrix.
 func treedist(a, b *flat, i, j int, c Costs, td, fd [][]int32, boff []int32) {
+	treedistFrom(a, b, i, j, c, td, fd, boff, 0, nil)
+}
+
+// treedistFrom is treedist with checkpoint resume (§13): when r0 > 0,
+// the memoised fd row `resume` (the row completed at a-forest prefix
+// [0..r0-1], m2+1 cells) is installed as the predecessor row and the row
+// loop starts at prefix length r0 instead of 0. Only the root keyroot is
+// ever resumed, so li == 0 and fd row indices coincide with prefix
+// lengths. The skipped rows' td cells are NOT produced; the caller's
+// all-or-nothing rule guarantees nothing later reads them, and the rows
+// that do run read only fd rows >= r0 plus fd[0] (a suffix node's lmld
+// is either >= r0, or it is the root itself, whose lmld row is fd[0] —
+// written unconditionally below).
+func treedistFrom(a, b *flat, i, j int, c Costs, td, fd [][]int32, boff []int32, r0 int, resume []int32) {
 	li := int(a.lmld[i])
 	lj := int(b.lmld[j])
 	m1 := i - li + 1 // a-forest size (DP rows)
@@ -103,9 +481,12 @@ func treedist(a, b *flat, i, j int, c Costs, td, fd [][]int32, boff []int32) {
 	del := int32(c.Delete)
 	ren := int32(c.Rename)
 
+	// Column 0 is only read for rows >= r0 (the resumed row itself arrives
+	// via the checkpoint copy, whose [0] cell is the same pure function),
+	// so a resumed run skips the prefix writes.
 	fd[0][0] = 0
-	col := int32(0)
-	for r := 1; r <= m1; r++ {
+	col := int32(r0) * del
+	for r := r0 + 1; r <= m1; r++ {
 		col += del
 		fd[r][0] = col
 	}
@@ -126,7 +507,11 @@ func treedist(a, b *flat, i, j int, c Costs, td, fd [][]int32, boff []int32) {
 	}
 	blab := b.labels[lj : j+1]
 
-	for di := li; di <= i; di++ {
+	if r0 > 0 {
+		copy(fd[r0][:m2+1], resume)
+	}
+
+	for di := li + r0; di <= i; di++ {
 		r := di - li
 		prev := fd[r][:m2+1]
 		cur := fd[r+1][:m2+1]

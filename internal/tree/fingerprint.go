@@ -91,3 +91,54 @@ func (n *Node) fingerprintInto(s *fpState) {
 	}
 	s.writeByte(')')
 }
+
+// SubtreeFingerprints returns the Fingerprint of every subtree of n,
+// indexed by post-order position — SubtreeFingerprints(n)[i] equals
+// calling Fingerprint on the subtree rooted at post-order node i, with the
+// whole tree's own fingerprint last. A nil tree returns nil.
+//
+// Each subtree's serialisation is a contiguous substring of its ancestors'
+// (the separator after a child belongs to the parent), so one walk feeds
+// every byte to a stack of live ancestor hash states instead of
+// re-serialising each subtree from scratch: O(n·depth) byte feeds total,
+// against O(n²) for per-node Fingerprint calls. This is what makes
+// per-keyroot content addressing affordable in ted's subtree-block memo
+// (DESIGN.md §13): the whole array is amortised into the one flatten pass
+// a memoised tree already pays.
+func (n *Node) SubtreeFingerprints() []Fingerprint {
+	if n == nil {
+		return nil
+	}
+	out := make([]Fingerprint, 0, 64)
+	stack := make([]fpState, 0, 32)
+	feed := func(b byte) {
+		for i := range stack {
+			s := &stack[i]
+			s.h1 = (s.h1 ^ uint64(b)) * fnvPrime64
+			s.h2 = s.h2*33 + uint64(b)
+		}
+	}
+	var walk func(nd *Node) uint32
+	walk = func(nd *Node) uint32 {
+		stack = append(stack, fpState{h1: fnvOffset64, h2: djbOffset64})
+		for i := 0; i < len(nd.Label); i++ {
+			feed(nd.Label[i])
+		}
+		feed('(')
+		size := uint32(1)
+		for _, c := range nd.Children {
+			// The child's state is popped inside the recursive call before
+			// the ',' separator is fed: the separator is part of the
+			// parent's serialisation, not the child's standalone form.
+			size += walk(c)
+			feed(',')
+		}
+		feed(')')
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, Fingerprint{H1: s.h1, H2: s.h2, Size: size})
+		return size
+	}
+	walk(n)
+	return out
+}

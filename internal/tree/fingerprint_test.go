@@ -179,3 +179,54 @@ func FuzzFingerprint(f *testing.F) {
 		}
 	})
 }
+
+// postorder collects the nodes of t in post-order, the indexing contract
+// of SubtreeFingerprints.
+func postorder(t *tree.Node, out []*tree.Node) []*tree.Node {
+	for _, c := range t.Children {
+		out = postorder(c, out)
+	}
+	return append(out, t)
+}
+
+// TestSubtreeFingerprintsMatchStandalone: the amortised one-pass walk
+// must agree with calling Fingerprint independently on every subtree —
+// that identity is what makes keyroot blocks content-addressable
+// (silvervale/internal/ted, DESIGN.md §13).
+func TestSubtreeFingerprintsMatchStandalone(t *testing.T) {
+	var roots []*tree.Node
+	roots = append(roots, corpusSeedTrees(t)...)
+	for _, s := range []string{
+		"x",
+		"(a (b c))",
+		"(a (b (c d) e) (f g h) i)",
+		"(loop (loop (loop body)))",
+	} {
+		n, err := tree.ParseSexpr(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roots = append(roots, n)
+	}
+	for _, root := range roots {
+		nodes := postorder(root, nil)
+		fps := root.SubtreeFingerprints()
+		if len(fps) != len(nodes) {
+			t.Fatalf("%d fingerprints for %d nodes in %s", len(fps), len(nodes), root)
+		}
+		for i, nd := range nodes {
+			if fps[i] != nd.Fingerprint() {
+				t.Fatalf("subtree %d of %s: one-pass %+v != standalone %+v",
+					i, root, fps[i], nd.Fingerprint())
+			}
+		}
+		// the final entry is the whole tree, by the post-order contract
+		if fps[len(fps)-1] != root.Fingerprint() {
+			t.Fatalf("last subtree fingerprint is not the root's for %s", root)
+		}
+	}
+	var nilNode *tree.Node
+	if got := nilNode.SubtreeFingerprints(); got != nil {
+		t.Fatalf("nil tree yielded %v, want nil", got)
+	}
+}
