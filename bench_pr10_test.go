@@ -1,0 +1,204 @@
+// Bench trajectory emitter (PR 10): warm request latency through the
+// serve daemon's HTTP path vs the direct engine path, on the TeaLeaf
+// corpus:
+//
+//  1. cold HTTP request: first /v1/matrix sweep against a fresh daemon
+//     (indexes every port, fills the cell memo) — context only;
+//  2. direct warm leg: the one-shot CLI path — warm engine sweep plus
+//     the shared JSON payload rendering (`matrix -json`'s work) — per
+//     repetition latencies give p50/p99;
+//  3. HTTP warm leg: the same request through the full daemon stack
+//     (mux, accounting, admission, request obs, codec) via in-process
+//     ServeHTTP — no TCP, so the delta is the serving layer itself, not
+//     kernel socket jitter;
+//  4. engine-only warm leg (no JSON rendering), recorded for context.
+//
+// Hard asserts: the HTTP response is byte-identical to the direct
+// rendering, and warm HTTP p50 stays under 2x the direct warm p50 — the
+// serving layer must not double the cost of the work it wraps.
+//
+// Run with (see EXPERIMENTS.md §Bench trajectory):
+//
+//	SILVERVALE_BENCH_JSON=BENCH_PR10.json \
+//	  go test -run '^$' -bench '^BenchmarkPR10Trajectory$' -timeout 30m .
+package silvervale
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"silvervale/internal/core"
+	"silvervale/internal/experiments"
+	"silvervale/internal/serve"
+)
+
+type pr10Trajectory struct {
+	PR        int    `json:"pr"`
+	GoVersion string `json:"go"`
+	NumCPU    int    `json:"num_cpu"`
+
+	App   string `json:"app"`
+	Ports int    `json:"ports"`
+	Cells int    `json:"cells"`
+
+	ColdHTTPNs int64 `json:"cold_http_ns"`
+
+	EngineOnlyP50Ns int64 `json:"engine_only_p50_ns"`
+	EngineOnlyP99Ns int64 `json:"engine_only_p99_ns"`
+	DirectP50Ns     int64 `json:"direct_p50_ns"`
+	DirectP99Ns     int64 `json:"direct_p99_ns"`
+	HTTPP50Ns       int64 `json:"http_p50_ns"`
+	HTTPP99Ns       int64 `json:"http_p99_ns"`
+
+	HTTPOverheadRatioP50 float64 `json:"http_overhead_ratio_p50"`
+	OverheadUnder2x      bool    `json:"overhead_under_2x"`
+	ByteIdenticalToCLI   bool    `json:"byte_identical_to_cli"`
+
+	Requests int64 `json:"requests_served"`
+
+	Benchmarks []benchTiming `json:"benchmarks"`
+}
+
+// benchPctile returns the p-th percentile latency in nanoseconds
+// (nearest-rank on a sorted copy).
+func benchPctile(lat []time.Duration, p float64) int64 {
+	s := append([]time.Duration{}, lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(float64(len(s))*p/100+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx].Nanoseconds()
+}
+
+func BenchmarkPR10Trajectory(b *testing.B) {
+	out := benchJSONPath(b)
+	const (
+		appName = "tealeaf"
+		metric  = core.MetricTsem
+		reqs    = 200 // per-leg warm repetitions; enough for a stable p99
+	)
+
+	env := experiments.NewEnvWorkers(1)
+	srv := serve.New(serve.Config{Env: env, MaxInflight: 2, MaxQueue: 8})
+	body := `{"app":"` + appName + `","metric":"` + metric + `"}`
+	httpOnce := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/matrix", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("matrix request failed: %d %s", w.Code, w.Body)
+		}
+		return w
+	}
+
+	// 1. Cold: the first request pays the full frontend + matrix sweep.
+	coldStart := time.Now()
+	first := httpOnce()
+	coldNs := time.Since(coldStart).Nanoseconds()
+
+	// The direct rendering the HTTP body must match byte for byte.
+	m, order, err := env.Matrix(appName, metric)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idxs, _, err := env.Indexes(appName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if err := serve.BuildMatrixPayload(appName, metric, order, m, idxs).WriteJSON(&direct); err != nil {
+		b.Fatal(err)
+	}
+	identical := bytes.Equal(first.Body.Bytes(), direct.Bytes())
+	if !identical {
+		b.Fatalf("HTTP matrix response differs from the direct CLI rendering")
+	}
+
+	// 4. Engine-only warm leg: the memoised sweep with no rendering.
+	engineLat := make([]time.Duration, reqs)
+	engineLeg := benchMeasure("WarmEngineOnly", reqs, func(rep int) {
+		t0 := time.Now()
+		if _, _, err := env.Matrix(appName, metric); err != nil {
+			b.Fatal(err)
+		}
+		engineLat[rep] = time.Since(t0)
+	})
+
+	// 2. Direct warm leg: warm sweep + the shared JSON codec — exactly
+	// the work `matrix -json` repeats on a warm store.
+	directLat := make([]time.Duration, reqs)
+	directLeg := benchMeasure("WarmDirectRender", reqs, func(rep int) {
+		t0 := time.Now()
+		m, order, err := env.Matrix(appName, metric)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idxs, _, err := env.Indexes(appName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := serve.BuildMatrixPayload(appName, metric, order, m, idxs).WriteJSON(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		directLat[rep] = time.Since(t0)
+	})
+
+	// 3. HTTP warm leg: the same request through the daemon stack.
+	httpLat := make([]time.Duration, reqs)
+	httpLeg := benchMeasure("WarmHTTPRequest", reqs, func(rep int) {
+		t0 := time.Now()
+		httpOnce()
+		httpLat[rep] = time.Since(t0)
+	})
+
+	httpP50 := benchPctile(httpLat, 50)
+	directP50 := benchPctile(directLat, 50)
+	ratio := float64(httpP50) / float64(directP50)
+	if ratio >= 2 {
+		b.Fatalf("HTTP overhead too high: warm http p50 %dns >= 2x direct p50 %dns (ratio %.2f)",
+			httpP50, directP50, ratio)
+	}
+
+	st := srv.Stats()
+	if st.Errors != 0 || st.Rejected != 0 || st.Canceled != 0 {
+		b.Fatalf("bench daemon saw failures: %+v", st)
+	}
+
+	traj := pr10Trajectory{
+		PR: 10, GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(),
+		App: appName, Ports: len(order), Cells: len(order) * (len(order) - 1) / 2,
+
+		ColdHTTPNs: coldNs,
+
+		EngineOnlyP50Ns: benchPctile(engineLat, 50),
+		EngineOnlyP99Ns: benchPctile(engineLat, 99),
+		DirectP50Ns:     directP50,
+		DirectP99Ns:     benchPctile(directLat, 99),
+		HTTPP50Ns:       httpP50,
+		HTTPP99Ns:       benchPctile(httpLat, 99),
+
+		HTTPOverheadRatioP50: ratio,
+		OverheadUnder2x:      ratio < 2,
+		ByteIdenticalToCLI:   identical,
+
+		Requests: st.Requests,
+
+		Benchmarks: []benchTiming{engineLeg, directLeg, httpLeg},
+	}
+	benchWriteTrajectory(b, out, traj)
+	b.Logf("cold http %.1fms; warm p50: engine-only %.2fms, direct %.2fms, http %.2fms (ratio %.2f); p99 http %.2fms",
+		float64(coldNs)/1e6, float64(traj.EngineOnlyP50Ns)/1e6, float64(directP50)/1e6,
+		float64(httpP50)/1e6, ratio, float64(traj.HTTPP99Ns)/1e6)
+}

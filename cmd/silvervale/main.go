@@ -12,6 +12,7 @@
 //	silvervale matrix <app> [-metric <m>]
 //	silvervale phi <app> [-phi-source modeled|measured] [-json <file>]
 //	silvervale experiment <id>|all [-phi-source modeled|measured]
+//	silvervale serve [-addr <host:port>] [-max-inflight n] [-queue n]
 //	silvervale dump <app> <model> [-tree <metric>]
 //
 // Observability flags (leading, or trailing after positionals):
@@ -22,7 +23,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +40,7 @@ import (
 	"silvervale/internal/faultfs"
 	"silvervale/internal/obs"
 	"silvervale/internal/perf"
+	"silvervale/internal/serve"
 	"silvervale/internal/store"
 	"silvervale/internal/ted"
 	"silvervale/internal/textplot"
@@ -273,6 +274,8 @@ func run(args []string) error {
 		err = cmdIngest(args[1:], cfg)
 	case "watch":
 		err = cmdWatch(args[1:], cfg)
+	case "serve":
+		err = cmdServe(args[1:], cfg)
 	case "dump":
 		err = cmdDump(args[1:])
 	case "help", "-h", "--help":
@@ -299,6 +302,7 @@ commands:
   experiment <id>|all [-phi-source s]    regenerate a paper table/figure
   ingest <dir>                           index a directory via its compile_commands.json
   watch <dir> [-metric m] [-iters n]     re-emit the matrix incrementally as ports are edited
+  serve [-addr a] [-max-inflight n]      divergence-as-a-service HTTP daemon
   dump <app> <model> [-tree m]           pretty-print a unit's tree
 
 index, diverge, matrix, experiment, and ingest accept -workers <n> to bound
@@ -343,6 +347,21 @@ once incrementally, exit.
 
   silvervale watch ports/ -iters 1 -snapshot warm.svsnap   # CI baseline
   silvervale watch ports/ -since warm.svsnap               # ms warm re-sweep
+
+serve holds the same warm engine resident behind an HTTP/JSON API
+(DESIGN.md §14): POST /v1/matrix, /v1/frombase, /v1/phi, and streaming
+/v1/sweep serve sweeps from one shared cache (responses byte-identical to
+matrix -json / phi -json); POST /v1/codebases uploads a codebase and
+/v1/diverge compares two uploads. At most -max-inflight sweeps run
+concurrently with -queue more waiting; overflow gets 429 + Retry-After.
+A client disconnect cancels its sweep at the next task grant without
+corrupting any memo. SIGINT/SIGTERM drains in-flight requests for up to
+-shutdown-timeout, then prints a stats line. The observability flags
+(-metrics, -trace, -pprof, -cache-dir) apply to the whole daemon.
+
+  silvervale serve -addr 127.0.0.1:8723 -cache-dir ~/.cache/silvervale &
+  curl -s -X POST localhost:8723/v1/matrix \
+    -H 'Content-Type: application/json' -d '{"app":"tealeaf","metric":"tsem"}'
 
 Cache I/O errors never change results: past an error threshold the store
 degrades to memory-only (a one-line warning; results recompute). Pass
@@ -511,36 +530,6 @@ func cmdDiverge(args []string, cfg *obsConfig) error {
 	return nil
 }
 
-// matrixJSON is the `matrix -json` payload: the sweep plus each model's
-// per-unit tree fingerprints (under the sweep's metric when it is a tree
-// metric, tsem otherwise), so downstream tooling can content-address
-// which trees produced the numbers.
-type matrixJSON struct {
-	App    string                `json:"app"`
-	Metric string                `json:"metric"`
-	Order  []string              `json:"order"`
-	Matrix [][]float64           `json:"matrix"`
-	Units  map[string][]unitJSON `json:"units"`
-}
-
-type unitJSON struct {
-	File        string `json:"file"`
-	Role        string `json:"role"`
-	Fingerprint string `json:"fingerprint"`
-}
-
-// fingerprintMetric picks the tree whose fingerprint the JSON outputs
-// carry: the requested metric if it is a tree metric, tsem otherwise
-// (SLOC/LLOC and the Source variants have no tree of their own).
-func fingerprintMetric(metric string) string {
-	for _, m := range core.TreeMetrics() {
-		if m == metric {
-			return metric
-		}
-	}
-	return core.MetricTsem
-}
-
 func cmdMatrix(args []string, cfg *obsConfig) error {
 	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
 	metric := fs.String("metric", core.MetricTsem, "metric")
@@ -564,21 +553,10 @@ func cmdMatrix(args []string, cfg *obsConfig) error {
 		if err != nil {
 			return err
 		}
-		fpm := fingerprintMetric(*metric)
-		payload := matrixJSON{
-			App: pos[0], Metric: *metric, Order: order, Matrix: m,
-			Units: map[string][]unitJSON{},
-		}
-		for _, model := range order {
-			idx := idxs[model]
-			for i := range idx.Units {
-				u := &idx.Units[i]
-				payload.Units[model] = append(payload.Units[model], unitJSON{
-					File: u.File, Role: u.Role,
-					Fingerprint: u.TreeFingerprint(fpm).String(),
-				})
-			}
-		}
+		// The payload type and encoder are shared with the serve daemon's
+		// /v1/matrix endpoint, so the two outputs are byte-identical by
+		// construction for the same inputs.
+		payload := serve.BuildMatrixPayload(pos[0], *metric, order, m, idxs)
 		w := io.Writer(os.Stdout)
 		if *jsonOut != "-" {
 			f, err := os.Create(*jsonOut)
@@ -588,9 +566,7 @@ func cmdMatrix(args []string, cfg *obsConfig) error {
 			defer f.Close()
 			w = f
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(payload); err != nil {
+		if err := payload.WriteJSON(w); err != nil {
 			return err
 		}
 		if *jsonOut != "-" {

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"silvervale/internal/serve"
+)
+
+// Test hooks: serveReady (when set) receives the bound address once the
+// listener is up, and a receive from serveStop triggers the same graceful
+// drain a SIGINT/SIGTERM would — so the CLI test can run the daemon
+// in-process on an ephemeral port and shut it down without signals.
+var (
+	serveReady func(net.Addr)
+	serveStop  chan struct{}
+)
+
+// cmdServe runs the divergence-as-a-service daemon: one shared
+// experiments.Env (engine + TED cache + optional -cache-dir store)
+// serving HTTP/JSON sweeps until SIGINT/SIGTERM, then draining in-flight
+// requests for up to -shutdown-timeout before exiting. The post-shutdown
+// stats line goes to stderr, like every other out-of-band report.
+func cmdServe(args []string, cfg *obsConfig) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8723", "listen address (use :0 for an ephemeral port)")
+	maxInflight := fs.Int("max-inflight", 2, "sweeps running concurrently")
+	maxQueue := fs.Int("queue", 8, "sweeps waiting for a slot before requests are rejected with 429")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful drain budget after SIGINT/SIGTERM")
+	workers := fs.Int("workers", 0, "engine worker pool size (0 = all CPUs, 1 = serial)")
+	cfg.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+	env, err := cfg.newEnv(*workers)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(serve.Config{
+		Env:         env,
+		Recorder:    env.Recorder(),
+		MaxInflight: *maxInflight,
+		MaxQueue:    *maxQueue,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "serve: listening on http://%s (max-inflight %d, queue %d)\n",
+		ln.Addr(), *maxInflight, *maxQueue)
+	if serveReady != nil {
+		serveReady(ln.Addr())
+	}
+
+	hs := &http.Server{Handler: srv}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		select {
+		case <-sig:
+		case <-serveStop: // nil outside tests: blocks forever
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		// Shutdown stops accepting, then waits for in-flight handlers —
+		// the admission layer's drain — up to the timeout.
+		shutdownErr <- hs.Shutdown(ctx)
+	}()
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := <-shutdownErr; err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, srv.Stats().Line())
+	return nil
+}

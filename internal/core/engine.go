@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -204,7 +205,18 @@ func (e *Engine) ApproxDiverge(a, b *Index, metric string) (Divergence, error) {
 // cells whose metric-hash pair changed and serves the rest bit-identically
 // from the memo.
 func (e *Engine) Matrix(idxs map[string]*Index, order []string, metric string) ([][]float64, error) {
-	return e.matrixMemo(idxs, order, metric, ted.UnitCosts(), "")
+	return e.matrixMemo(context.Background(), idxs, order, metric, ted.UnitCosts(), "")
+}
+
+// MatrixCtx is Matrix under a cancellation context: the sweep checks ctx
+// at every task grant and returns ctx.Err() once canceled. A canceled
+// sweep publishes nothing to the engine's cell memo — completed cells are
+// discarded along with the rest, so the memo only ever holds cells from
+// sweeps that ran to completion. Individual TED distances finished before
+// the cancellation remain in the shared cache; each is a complete exact
+// result, so a later identical request stays bit-identical to cold.
+func (e *Engine) MatrixCtx(ctx context.Context, idxs map[string]*Index, order []string, metric string) ([][]float64, error) {
+	return e.matrixMemo(ctx, idxs, order, metric, ted.UnitCosts(), "")
 }
 
 // MatrixWithCosts is Matrix under a non-unit TED cost model (tree metrics
@@ -212,13 +224,13 @@ func (e *Engine) Matrix(idxs map[string]*Index, order []string, metric string) (
 // so sweeps under different costs never share cells — a cached cell keyed
 // under old costs is unreachable from a new cost model by construction.
 func (e *Engine) MatrixWithCosts(idxs map[string]*Index, order []string, metric string, costs ted.Costs) ([][]float64, error) {
-	return e.matrixMemo(idxs, order, metric, costs, "")
+	return e.matrixMemo(context.Background(), idxs, order, metric, costs, "")
 }
 
 // matrixMemo is the shared memoised sweep behind Matrix and
 // MatrixWithCosts. policy is the rendered tier policy for keying ("" on
 // the exact path; MatrixTiered keys its own cells).
-func (e *Engine) matrixMemo(idxs map[string]*Index, order []string, metric string, costs ted.Costs, policy string) ([][]float64, error) {
+func (e *Engine) matrixMemo(ctx context.Context, idxs map[string]*Index, order []string, metric string, costs ted.Costs, policy string) ([][]float64, error) {
 	n := len(order)
 	for _, name := range order {
 		if _, ok := idxs[name]; !ok {
@@ -271,7 +283,7 @@ func (e *Engine) matrixMemo(idxs map[string]*Index, order []string, metric strin
 	}
 	errs := make([]error, len(work))
 	vals := make([]cellVal, len(work))
-	e.runParallel(len(work), sp, "engine.cell", func(k int) {
+	ctxErr := e.runParallel(ctx, len(work), sp, "engine.cell", func(k int) {
 		i, j := work[k].i, work[k].j
 		ia, ib := idxs[order[i]], idxs[order[j]]
 		var d Divergence
@@ -301,6 +313,12 @@ func (e *Engine) matrixMemo(idxs map[string]*Index, order []string, metric strin
 		e.countSubBlocks(subPost.SubtreeHits-subPre.SubtreeHits,
 			subPost.SubtreeMisses-subPre.SubtreeMisses)
 	}
+	if ctxErr != nil {
+		// Canceled mid-sweep: the vals slots of unstarted cells are zero
+		// and must never reach the memo, so the whole sweep publishes
+		// nothing (all-or-nothing, like the store's index records).
+		return nil, ctxErr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -317,6 +335,13 @@ func (e *Engine) matrixMemo(idxs map[string]*Index, order []string, metric strin
 // FromBase computes the same per-model divergence-from-base map as the
 // package-level FromBase, one model per worker-pool task.
 func (e *Engine) FromBase(idxs map[string]*Index, base string, order []string, metric string) (map[string]float64, error) {
+	return e.FromBaseCtx(context.Background(), idxs, base, order, metric)
+}
+
+// FromBaseCtx is FromBase under a cancellation context: ctx is checked at
+// every task grant, and a canceled sweep returns ctx.Err() with no output
+// map (the same discard-partials rule as MatrixCtx).
+func (e *Engine) FromBaseCtx(ctx context.Context, idxs map[string]*Index, base string, order []string, metric string) (map[string]float64, error) {
 	ib, ok := idxs[base]
 	if !ok {
 		return nil, fmt.Errorf("core: no index for base model %q", base)
@@ -329,7 +354,7 @@ func (e *Engine) FromBase(idxs map[string]*Index, base string, order []string, m
 	sp := e.rec.Start("engine.frombase").Arg("metric", metric).Arg("base", base)
 	vals := make([]float64, len(order))
 	errs := make([]error, len(order))
-	e.runParallel(len(order), sp, "engine.compare", func(k int) {
+	ctxErr := e.runParallel(ctx, len(order), sp, "engine.compare", func(k int) {
 		d, err := e.Diverge(ib, idxs[order[k]], metric)
 		if err != nil {
 			errs[k] = err
@@ -338,6 +363,9 @@ func (e *Engine) FromBase(idxs map[string]*Index, base string, order []string, m
 		vals[k] = d.Norm
 	})
 	sp.End()
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -359,22 +387,33 @@ func (e *Engine) FromBase(idxs map[string]*Index, base string, order []string, m
 // ablations) warm-start too — their digest keys them to their own
 // records, so two option sets can never cross-contaminate.
 func (e *Engine) IndexCodebase(cb *corpus.Codebase, opts Options) (*Index, error) {
+	return e.IndexCodebaseCtx(context.Background(), cb, opts)
+}
+
+// IndexCodebaseCtx is IndexCodebase under a cancellation context: the
+// per-unit pipeline checks ctx at every task grant, and a canceled run
+// returns ctx.Err() without persisting anything — the store's index tier
+// only ever receives fully built indexes.
+func (e *Engine) IndexCodebaseCtx(ctx context.Context, cb *corpus.Codebase, opts Options) (*Index, error) {
 	opts.Workers = e.workers
 	if opts.Recorder == nil {
 		opts.Recorder = e.rec
 	}
 	if e.astore != nil {
-		return e.indexCodebaseStored(cb, opts)
+		return e.indexCodebaseStored(ctx, cb, opts)
 	}
-	return IndexCodebase(cb, opts)
+	return IndexCodebaseCtx(ctx, cb, opts)
 }
 
-// runParallel executes fn(0..n-1) on at most e.workers goroutines. With a
-// single worker (or a single task) it degenerates to the serial loop — no
-// goroutines, no synchronisation — so serial baselines stay untouched.
-// When the engine carries a recorder, each task additionally records a
-// child span under parent, its latency, and the queue depth it observed.
-func (e *Engine) runParallel(n int, parent *obs.Span, spanName string, fn func(int)) {
+// runParallel executes fn(0..n-1) on at most e.workers goroutines under a
+// cancellation context. With a single worker (or a single task) it
+// degenerates to the serial loop — no goroutines, no synchronisation — so
+// serial baselines stay untouched. When the engine carries a recorder,
+// each task additionally records a child span under parent, its latency,
+// and the queue depth it observed. Cancellation is checked at every task
+// grant (see runParallelCtx); the returned error is ctx.Err() when the
+// context was canceled, nil otherwise.
+func (e *Engine) runParallel(ctx context.Context, n int, parent *obs.Span, spanName string, fn func(int)) error {
 	if e.rec != nil {
 		inner := fn
 		fn = func(i int) {
@@ -387,22 +426,45 @@ func (e *Engine) runParallel(n int, parent *obs.Span, spanName string, fn func(i
 			e.tasks.Add(1)
 		}
 	}
-	runParallel(n, e.workers, fn)
+	return runParallelCtx(ctx, n, e.workers, fn)
 }
 
-// runParallel is the shared bounded pool: workers goroutines pull task
+// runParallel is the uncancellable form of the shared bounded pool, kept
+// for the index pipeline's non-context entry points.
+func runParallel(n, workers int, fn func(int)) {
+	runParallelCtx(context.Background(), n, workers, fn)
+}
+
+// runParallelCtx is the shared bounded pool: workers goroutines pull task
 // indices off an atomic counter until the range is drained. Tasks must
 // write only to their own slots; the final WaitGroup join publishes all
 // writes to the caller.
-func runParallel(n, workers int, fn func(int)) {
+//
+// Cancellation is checked at every task grant — before a worker pulls its
+// next index — never inside a task: once granted, a task runs to
+// completion, so each of its writes (including anything it published to
+// the shared TED cache) is a complete, exact result. After cancellation
+// the pool therefore stops within at most `workers` further task
+// completions and zero further grants, and the returned ctx.Err() tells
+// the caller to discard the partially filled output slots rather than
+// publish them anywhere.
+func runParallelCtx(ctx context.Context, n, workers int, fn func(int)) error {
+	done := ctx.Done()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -411,6 +473,13 @@ func runParallel(n, workers int, fn func(int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -420,4 +489,12 @@ func runParallel(n, workers int, fn func(int)) {
 		}()
 	}
 	wg.Wait()
+	if done != nil {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
 }

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -157,6 +158,14 @@ func (o Options) ResolvedWorkers() int { return ResolveWorkers(o.Workers) }
 // preprocessor, parser, and trees over the shared read-only file maps), so
 // they are indexed concurrently on the Options.Workers pool.
 func IndexCodebase(cb *corpus.Codebase, opts Options) (*Index, error) {
+	return IndexCodebaseCtx(context.Background(), cb, opts)
+}
+
+// IndexCodebaseCtx is IndexCodebase under a cancellation context: the
+// per-unit worker pool checks ctx at every task grant, and a canceled
+// run returns ctx.Err() with no partial Index — callers never see (and
+// never persist) a half-indexed codebase.
+func IndexCodebaseCtx(ctx context.Context, cb *corpus.Codebase, opts Options) (*Index, error) {
 	idx := &Index{Codebase: cb.App, Model: string(cb.Model), Lang: cb.Lang, Opts: opts.Digest()}
 	workers := opts.ResolvedWorkers()
 	root := opts.Recorder.Start("index.codebase").
@@ -164,7 +173,7 @@ func IndexCodebase(cb *corpus.Codebase, opts Options) (*Index, error) {
 	opts.Recorder.Counter("index.units").Add(int64(len(cb.Units)))
 	units := make([]UnitIndex, len(cb.Units))
 	errs := make([]error, len(cb.Units))
-	runParallel(len(cb.Units), workers, func(i int) {
+	ctxErr := runParallelCtx(ctx, len(cb.Units), workers, func(i int) {
 		u := cb.Units[i]
 		usp := root.Start("index.unit").Arg("file", u.File)
 		if cb.Lang == corpus.LangFortran {
@@ -175,6 +184,9 @@ func IndexCodebase(cb *corpus.Codebase, opts Options) (*Index, error) {
 		usp.End()
 	})
 	root.End()
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	// report the first failure in input order, matching the serial loop
 	for i, err := range errs {
 		if err != nil {

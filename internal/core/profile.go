@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"silvervale/internal/corpus"
@@ -37,8 +38,24 @@ type RunProfile struct {
 // deterministically. The optional span receives an "interp.run" child
 // with per-kernel spans and interp.* counters.
 func ProfileCodebase(cb *corpus.Codebase, span *obs.Span) (*RunProfile, error) {
+	return ProfileCodebaseCtx(context.Background(), cb, span)
+}
+
+// ProfileCodebaseCtx is ProfileCodebase under a cancellation context. The
+// interpreter run itself is a single indivisible task (it is never split
+// across workers), so cancellation is checked at the two scheduling
+// boundaries around it — before the combined parse and before execution —
+// matching the engine's grant-boundary rule: a granted task runs to
+// completion, a canceled request never starts one.
+func ProfileCodebaseCtx(ctx context.Context, cb *corpus.Codebase, span *obs.Span) (*RunProfile, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	unit, err := combinedUnit(cb)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	rsp := span.Start("interp.run").

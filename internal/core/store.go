@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"silvervale/internal/corpus"
 	"silvervale/internal/obs"
 	"silvervale/internal/store"
@@ -64,7 +66,7 @@ func CodebaseContentHash(cb *corpus.Codebase) store.ContentHash {
 // the content hash, so every option set — the default run, coverage
 // masks, KeepSystemHeaders ablations — warm-starts from its own records
 // and can never be served an index built under different options.
-func (e *Engine) indexCodebaseStored(cb *corpus.Codebase, opts Options) (*Index, error) {
+func (e *Engine) indexCodebaseStored(ctx context.Context, cb *corpus.Codebase, opts Options) (*Index, error) {
 	key := store.IndexKey{
 		App:     cb.App,
 		Model:   string(cb.Model),
@@ -79,8 +81,9 @@ func (e *Engine) indexCodebaseStored(cb *corpus.Codebase, opts Options) (*Index,
 		// A record that decoded but does not reconstruct (e.g. an
 		// unparsable tree) is as good as corrupt: recompute and rewrite.
 	}
-	idx, err := IndexCodebase(cb, opts)
+	idx, err := IndexCodebaseCtx(ctx, cb, opts)
 	if err != nil {
+		// Cancellation included: a canceled index is never persisted.
 		return nil, err
 	}
 	e.astore.PutIndex(key, idx.ToDB())

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"silvervale/internal/store"
@@ -221,6 +222,14 @@ type TieredMatrix struct {
 // every cell's |tiered − exact| error is bounded by the policy's recorded
 // budget (the exact-vs-tiered harness pins this on the seed corpora).
 func (e *Engine) MatrixTiered(idxs map[string]*Index, order []string, metric string, policy ted.TierPolicy) (*TieredMatrix, error) {
+	return e.MatrixTieredCtx(context.Background(), idxs, order, metric, policy)
+}
+
+// MatrixTieredCtx is MatrixTiered under a cancellation context. Both
+// worker-pool phases (route and refine) check ctx at task-grant
+// boundaries; a canceled sweep returns ctx.Err() before Phase C, so
+// nothing is published to the matrix-cell memo.
+func (e *Engine) MatrixTieredCtx(ctx context.Context, idxs map[string]*Index, order []string, metric string, policy ted.TierPolicy) (*TieredMatrix, error) {
 	n := len(order)
 	for _, name := range order {
 		if _, ok := idxs[name]; !ok {
@@ -233,7 +242,7 @@ func (e *Engine) MatrixTiered(idxs map[string]*Index, order []string, metric str
 	}
 
 	if !e.tierable(metric, policy) {
-		vals, err := e.Matrix(idxs, order, metric)
+		vals, err := e.MatrixCtx(ctx, idxs, order, metric)
 		if err != nil {
 			return nil, err
 		}
@@ -296,10 +305,14 @@ func (e *Engine) MatrixTiered(idxs map[string]*Index, order []string, metric str
 	// Phase A: route every dirty cell. Each task writes only its own
 	// plan slot.
 	plans := make([]*cellPlan, len(work))
-	e.runParallel(len(work), sp, "engine.tier_route", func(k int) {
+	ctxErr := e.runParallel(ctx, len(work), sp, "engine.tier_route", func(k int) {
 		i, j := work[k].i, work[k].j
 		plans[k] = e.planCell(idxs[order[i]], idxs[order[j]], metric, policy)
 	})
+	if ctxErr != nil {
+		sp.End()
+		return nil, ctxErr
+	}
 
 	// Phase B: exact refinement over the flattened (cell, pair) tasks —
 	// the DP work itself is what load-balances, so one cell full of
@@ -313,10 +326,14 @@ func (e *Engine) MatrixTiered(idxs map[string]*Index, order []string, metric str
 		}
 	}
 	dist := e.dist()
-	e.runParallel(len(exact), sp, "engine.tier_refine", func(k int) {
+	ctxErr = e.runParallel(ctx, len(exact), sp, "engine.tier_refine", func(k int) {
 		r := exact[k]
 		r.est = float64(dist(r.ta, r.tb))
 	})
+	if ctxErr != nil {
+		sp.End()
+		return nil, ctxErr
+	}
 
 	// Phase C: serial per-cell reduction in divergeTrees' order.
 	for k, pl := range plans {

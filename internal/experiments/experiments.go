@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -129,7 +130,15 @@ func (e *Env) Recorder() *obs.Recorder { return e.rec }
 // Matrix returns (building and caching on first use) the cartesian
 // divergence matrix of an app under a metric, plus the model order.
 func (e *Env) Matrix(appName, metric string) ([][]float64, []string, error) {
-	idxs, order, err := e.Indexes(appName)
+	return e.MatrixCtx(context.Background(), appName, metric)
+}
+
+// MatrixCtx is Matrix under a cancellation context (the serve daemon's
+// entry point): the underlying sweep checks ctx at every task grant, and
+// a canceled request caches nothing — the environment's matrix cache,
+// like the engine's cell memo, only ever holds completed sweeps.
+func (e *Env) MatrixCtx(ctx context.Context, appName, metric string) ([][]float64, []string, error) {
+	idxs, order, err := e.IndexesCtx(ctx, appName)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -150,13 +159,13 @@ func (e *Env) Matrix(appName, metric string) ([][]float64, []string, error) {
 		return m, order, nil
 	}
 	if tiered {
-		tm, err := e.engine.MatrixTiered(idxs, order, metric, policy)
+		tm, err := e.engine.MatrixTieredCtx(ctx, idxs, order, metric, policy)
 		if err != nil {
 			return nil, nil, err
 		}
 		m = tm.Values
 	} else {
-		m, err = e.engine.Matrix(idxs, order, metric)
+		m, err = e.engine.MatrixCtx(ctx, idxs, order, metric)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -167,8 +176,31 @@ func (e *Env) Matrix(appName, metric string) ([][]float64, []string, error) {
 	return m, order, nil
 }
 
+// FromBaseCtx computes the per-model divergence-from-base map of an app
+// under a metric and a cancellation context (the serve daemon's
+// from-base endpoint). Results come straight from the engine — the cell
+// memo, not the environment's matrix cache, is the reuse layer here.
+func (e *Env) FromBaseCtx(ctx context.Context, appName, base, metric string) (map[string]float64, []string, error) {
+	idxs, order, err := e.IndexesCtx(ctx, appName)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := e.engine.FromBaseCtx(ctx, idxs, base, order, metric)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, order, nil
+}
+
 // Indexes returns (building on first use) the model → index map of an app.
 func (e *Env) Indexes(appName string) (map[string]*core.Index, []string, error) {
+	return e.IndexesCtx(context.Background(), appName)
+}
+
+// IndexesCtx is Indexes under a cancellation context. The build runs
+// under the environment mutex; a canceled build caches nothing, so the
+// next request rebuilds from scratch (or from the engine's store tier).
+func (e *Env) IndexesCtx(ctx context.Context, appName string) (map[string]*core.Index, []string, error) {
 	app, err := corpus.AppByName(appName)
 	if err != nil {
 		return nil, nil, err
@@ -188,7 +220,7 @@ func (e *Env) Indexes(appName string) (map[string]*core.Index, []string, error) 
 		if err != nil {
 			return nil, nil, err
 		}
-		idx, err := e.engine.IndexCodebase(cb, core.Options{})
+		idx, err := e.engine.IndexCodebaseCtx(ctx, cb, core.Options{})
 		if err != nil {
 			return nil, nil, err
 		}

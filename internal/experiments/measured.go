@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"silvervale/internal/core"
@@ -120,15 +121,22 @@ func (e *Env) phiFns(appName string) (
 // serial, full platform set) under the active Φ source — the JSON the
 // phi subcommand emits. Measured charts carry per-model cost summaries.
 func (e *Env) NavChart(appName string) (*navchart.Chart, error) {
-	idxs, order, err := e.Indexes(appName)
+	return e.NavChartCtx(context.Background(), appName)
+}
+
+// NavChartCtx is NavChart under a cancellation context (the serve
+// daemon's phi endpoint). Both FromBase sweeps check ctx at task grants;
+// a canceled request returns ctx.Err() with no chart.
+func (e *Env) NavChartCtx(ctx context.Context, appName string) (*navchart.Chart, error) {
+	idxs, order, err := e.IndexesCtx(ctx, appName)
 	if err != nil {
 		return nil, err
 	}
-	tsem, err := e.engine.FromBase(idxs, "serial", order, core.MetricTsem)
+	tsem, err := e.engine.FromBaseCtx(ctx, idxs, "serial", order, core.MetricTsem)
 	if err != nil {
 		return nil, err
 	}
-	tsrc, err := e.engine.FromBase(idxs, "serial", order, core.MetricTsrc)
+	tsrc, err := e.engine.FromBaseCtx(ctx, idxs, "serial", order, core.MetricTsrc)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"strconv"
+	"time"
+)
+
+// Request-level observability (DESIGN.md §14). A Request bundles the
+// per-request span with the serve.* latency histogram so handlers record
+// one coherent unit: Begin opens the span and stamps the method/target,
+// End annotates the outcome and files the latency. Like every obs handle,
+// a Request obtained from a nil *Recorder is valid and fully disabled —
+// the serving hot path pays only nil checks when observability is off.
+
+// Request is one in-flight served request. The zero value (and the value
+// Begin returns on a nil recorder) is the disabled request: every method
+// no-ops.
+type Request struct {
+	span    *Span
+	latency *Histogram
+	start   time.Time
+}
+
+// BeginRequest opens a request span named "serve.request" annotated with
+// the endpoint, and arms the serve.latency_ns histogram. Callers must
+// End exactly once.
+func (r *Recorder) BeginRequest(endpoint string) *Request {
+	if r == nil {
+		return nil
+	}
+	return &Request{
+		span:    r.Start("serve.request").Arg("endpoint", endpoint),
+		latency: r.Histogram("serve.latency_ns"),
+		start:   time.Now(),
+	}
+}
+
+// Span returns the request's span for child spans and further annotation
+// (nil on the disabled request — safe to use either way).
+func (q *Request) Span() *Span {
+	if q == nil {
+		return nil
+	}
+	return q.span
+}
+
+// End files the request: the HTTP status and outcome ("ok", "rejected",
+// "canceled", "error") are recorded as span args, and the wall-clock
+// latency lands in serve.latency_ns.
+func (q *Request) End(status int, outcome string) {
+	if q == nil {
+		return
+	}
+	q.span.Arg("status", strconv.Itoa(status)).Arg("outcome", outcome)
+	q.span.End()
+	q.latency.Observe(time.Since(q.start).Nanoseconds())
+}

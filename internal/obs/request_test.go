@@ -1,0 +1,54 @@
+package obs
+
+import "testing"
+
+func TestRequestNilRecorderIsDisabled(t *testing.T) {
+	var r *Recorder
+	q := r.BeginRequest("/v1/matrix")
+	if q != nil {
+		t.Fatal("nil recorder returned a live request")
+	}
+	// Every method on the disabled request must no-op.
+	q.Span().Arg("k", "v")
+	if sp := q.Span().Start("child"); sp != nil {
+		t.Fatal("disabled request produced a live child span")
+	}
+	q.End(200, "ok")
+}
+
+func TestRequestRecordsSpanAndLatency(t *testing.T) {
+	r := NewRecorder()
+	q := r.BeginRequest("/v1/matrix")
+	q.Span().Start("engine.matrix").End()
+	q.End(429, "rejected")
+
+	spans := r.Spans()
+	var root *SpanRecord
+	for i := range spans {
+		if spans[i].Name == "serve.request" {
+			root = &spans[i]
+		}
+	}
+	if root == nil {
+		t.Fatalf("no serve.request span in %v", spans)
+	}
+	args := map[string]string{}
+	for _, a := range root.Args {
+		args[a.Key] = a.Value
+	}
+	if args["endpoint"] != "/v1/matrix" || args["status"] != "429" || args["outcome"] != "rejected" {
+		t.Fatalf("request span args = %v", args)
+	}
+	var child *SpanRecord
+	for i := range spans {
+		if spans[i].Name == "engine.matrix" {
+			child = &spans[i]
+		}
+	}
+	if child == nil || child.Parent != root.ID {
+		t.Fatalf("engine.matrix child not parented to the request span: %+v", child)
+	}
+	if snap := r.Snapshot(); snap.Histograms["serve.latency_ns"].Count != 1 {
+		t.Fatalf("serve.latency_ns count = %d, want 1", snap.Histograms["serve.latency_ns"].Count)
+	}
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestAdmissionExactCounts: the single-counter design makes overflow
+// exact — with limit admitted, the next acquire fails, and a release
+// reopens exactly one position.
+func TestAdmissionExactCounts(t *testing.T) {
+	a := newAdmission(3, 0)
+	ctx := context.Background()
+	var releases []func()
+	for i := 0; i < 3; i++ {
+		r, err := a.acquire(ctx)
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, r)
+	}
+	if a.Inflight() != 3 || a.Queued() != 0 {
+		t.Fatalf("inflight %d queued %d, want 3/0", a.Inflight(), a.Queued())
+	}
+	if _, err := a.acquire(ctx); !errors.Is(err, errOverflow) {
+		t.Fatalf("overflow acquire = %v, want errOverflow", err)
+	}
+	releases[0]()
+	if r, err := a.acquire(ctx); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	} else {
+		releases[0] = r
+	}
+	for _, r := range releases {
+		r()
+	}
+	if a.Inflight() != 0 || a.Queued() != 0 {
+		t.Fatalf("drained admission not empty: inflight %d queued %d", a.Inflight(), a.Queued())
+	}
+}
+
+// TestAdmissionCancelWhileQueued: a queued acquire is cancellable and
+// frees its position without disturbing the slot holder.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := newAdmission(1, 1)
+	hold, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx)
+		errCh <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for a.Queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("acquire never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire = %v, want context.Canceled", err)
+	}
+	if a.Queued() != 0 || a.Inflight() != 1 {
+		t.Fatalf("after cancel: inflight %d queued %d, want 1/0", a.Inflight(), a.Queued())
+	}
+	hold()
+	if r, err := a.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after drain: %v", err)
+	} else {
+		r()
+	}
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+)
+
+// Request decoding, hardened the same way the store hardens record
+// decoding (FuzzStoreRecord): every byte of the body is hostile until
+// proven otherwise. The reader is hard-capped at MaxRequestBytes before
+// the decoder ever sees it (no length field in the payload can make us
+// allocate more), unknown fields are rejected (a typo'd request fails
+// loudly instead of silently sweeping defaults), and trailing garbage
+// after the JSON value is an error. Every decode failure is a 4xx —
+// never a panic, never a 5xx.
+
+// MaxRequestBytes caps a request body. Codebase uploads are the largest
+// legitimate payload (a mini-app port is tens of KB of source); 1 MiB
+// leaves generous headroom while bounding a hostile body's allocation.
+const MaxRequestBytes = 1 << 20
+
+// httpError is an error with an HTTP status. Handlers return it to pick
+// the response code; anything else maps to 500.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// decodeRequest parses a POST body into dst. Only POST with a JSON (or
+// absent) content type is accepted; the body is size-capped, unknown
+// fields rejected, and exactly one JSON value allowed.
+func decodeRequest(w http.ResponseWriter, r *http.Request, dst any) error {
+	if r.Method != http.MethodPost {
+		return &httpError{status: http.StatusMethodNotAllowed, msg: "POST required"}
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || mt != "application/json" {
+			return &httpError{
+				status: http.StatusUnsupportedMediaType,
+				msg:    fmt.Sprintf("content type %q not supported (want application/json)", ct),
+			}
+		}
+	}
+	body := http.MaxBytesReader(w, r.Body, MaxRequestBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &httpError{
+				status: http.StatusRequestEntityTooLarge,
+				msg:    fmt.Sprintf("request body exceeds %d bytes", MaxRequestBytes),
+			}
+		}
+		return badRequest("invalid request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("invalid request body: trailing data after JSON value")
+	}
+	return nil
+}
+
+// encodeIndented is the shared response encoder: two-space indentation,
+// exactly what `matrix -json` / `phi -json` use, so daemon responses are
+// byte-identical to CLI output for the same data.
+func encodeIndented(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// writeJSON writes v as the indented JSON response.
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return encodeIndented(w, v)
+}
+
+// writeError renders an error response as a one-line JSON object.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// json.Marshal of a map[string]string cannot fail.
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	w.Write(append(b, '\n'))
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzServeRequest mirrors FuzzStoreRecord for the daemon's ingress:
+// every request body is hostile until proven otherwise. Across every
+// request shape the decoder must never panic, never allocate past the
+// MaxRequestBytes cap (MaxBytesReader enforces it before the decoder
+// sees a byte), and classify every failure as a 4xx httpError — a
+// malformed body can never surface as a 5xx or corrupt server state.
+func FuzzServeRequest(f *testing.F) {
+	seeds := []string{
+		`{"app":"tealeaf","metric":"tsem"}`,
+		`{"app":"tealeaf"}{"trailing":true}`,
+		`{"app":`,
+		`{"unknown_field":1}`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`{"app":{"nested":["deep"]}}`,
+		`{"a":"x","b":"y","metric":"tir"}`,
+		`{"app":"up","model":"m","lang":"fortran","files":{"a.f90":"end"},"units":[{"file":"a.f90","role":"main"}]}`,
+		`{"app":"up","model":"m","lang":"fortran","files":{"a.f90":"end"},"units":[{"file":"missing"}]}`,
+		`{"metrics":["tsem","` + strings.Repeat("x", 300) + `"]}`,
+		"\x00\xff\xfe\x1f\x8b",
+		"",
+	}
+	for _, s := range seeds {
+		for ct := uint8(0); ct < 3; ct++ {
+			f.Add([]byte(s), ct, uint8(len(s)%6))
+		}
+	}
+	contentTypes := []string{
+		"application/json",
+		"", // absent is accepted
+		"application/json; charset=utf-8",
+		"text/plain",
+		"application/", // malformed media type
+	}
+	f.Fuzz(func(t *testing.T, body []byte, ctSel, shape uint8) {
+		var dst any
+		switch shape % 6 {
+		case 0:
+			dst = &matrixRequest{}
+		case 1:
+			dst = &fromBaseRequest{}
+		case 2:
+			dst = &phiRequest{}
+		case 3:
+			dst = &sweepRequest{}
+		case 4:
+			dst = &divergeRequest{}
+		default:
+			dst = &codebaseUpload{}
+		}
+		req := httptest.NewRequest(http.MethodPost, "/v1/fuzz", bytes.NewReader(body))
+		if ct := contentTypes[int(ctSel)%len(contentTypes)]; ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		err := decodeRequest(httptest.NewRecorder(), req, dst)
+		if err == nil {
+			// A decoded upload still runs its semantic validation; it
+			// must not panic and its failures are client errors by
+			// construction (the handler maps them to 400).
+			if up, ok := dst.(*codebaseUpload); ok {
+				_, _ = up.toCodebase()
+			}
+			return
+		}
+		var he *httpError
+		if !errors.As(err, &he) {
+			t.Fatalf("decode failure is not an httpError: %T %v", err, err)
+		}
+		if he.status < 400 || he.status > 499 {
+			t.Fatalf("decode failure mapped to %d, want 4xx: %v", he.status, err)
+		}
+	})
+}

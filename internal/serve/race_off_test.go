@@ -1,0 +1,16 @@
+//go:build !race
+
+package serve
+
+// Full-size soak for the plain suite; see race_on_test.go for why -race
+// runs trim to the Fortran corpus.
+const (
+	raceEnabled = false
+
+	soakClients = 4
+	soakIters   = 2
+)
+
+// soakApps lists the corpus apps the multi-tenant soak hammers: the
+// Fortran fixtures plus one full-size C++ app.
+var soakApps = []string{"babelstream-fortran", "babelstream"}

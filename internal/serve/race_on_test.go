@@ -1,0 +1,19 @@
+//go:build race
+
+package serve
+
+// The race detector multiplies the exact-TED DP cost ~10x, so under
+// -race the daemon harness trims the multi-tenant soak to the Fortran
+// corpus and fewer clients. The wiring under test — shared-cache
+// safety, admission accounting, cancellation — is identical; the C++
+// fixtures and the phi byte-identity check stay covered by the plain
+// suite.
+const (
+	raceEnabled = true
+
+	soakClients = 3
+	soakIters   = 2
+)
+
+// soakApps lists the corpus apps the multi-tenant soak hammers.
+var soakApps = []string{"babelstream-fortran"}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"silvervale/internal/core"
+	"silvervale/internal/corpus"
+)
+
+// Codebase registry: POST /v1/codebases uploads a codebase (sources,
+// unit roots, system flags), and POST /v1/diverge compares two uploads.
+// Uploads are content-addressed with the same hash the store's index
+// tier keys on, so re-uploading identical sources yields the same id —
+// and the engine's store tier (when attached) warm-starts the upload's
+// index exactly as it would the generated corpus.
+
+// uploadUnit mirrors corpus.Unit for the upload payload.
+type uploadUnit struct {
+	File string `json:"file"`
+	Role string `json:"role"`
+}
+
+// codebaseUpload is the POST /v1/codebases request body.
+type codebaseUpload struct {
+	App    string            `json:"app"`
+	Model  string            `json:"model"`
+	Lang   string            `json:"lang"` // "c++" or "fortran"
+	Files  map[string]string `json:"files"`
+	Units  []uploadUnit      `json:"units"`
+	System map[string]bool   `json:"system,omitempty"`
+}
+
+// maxUploadFiles bounds the file count of one upload independently of
+// the byte cap, so a hostile body of thousands of empty names cannot
+// bloat the registry's bookkeeping.
+const maxUploadFiles = 512
+
+// toCodebase validates the upload and converts it. Every failure is a
+// client error (the handler maps it to 400).
+func (u *codebaseUpload) toCodebase() (*corpus.Codebase, error) {
+	if u.App == "" || u.Model == "" {
+		return nil, fmt.Errorf("app and model are required")
+	}
+	lang := corpus.Lang(u.Lang)
+	if lang != corpus.LangCXX && lang != corpus.LangFortran {
+		return nil, fmt.Errorf("lang %q not supported (want %q or %q)", u.Lang, corpus.LangCXX, corpus.LangFortran)
+	}
+	if len(u.Files) == 0 {
+		return nil, fmt.Errorf("files must not be empty")
+	}
+	if len(u.Files) > maxUploadFiles {
+		return nil, fmt.Errorf("too many files: %d (max %d)", len(u.Files), maxUploadFiles)
+	}
+	if len(u.Units) == 0 {
+		return nil, fmt.Errorf("units must not be empty")
+	}
+	cb := &corpus.Codebase{
+		App:    u.App,
+		Model:  corpus.Model(u.Model),
+		Lang:   lang,
+		Files:  u.Files,
+		System: map[string]bool{},
+	}
+	for name, sys := range u.System {
+		if sys {
+			cb.System[name] = true
+		}
+	}
+	seen := map[string]bool{}
+	for _, unit := range u.Units {
+		if _, ok := u.Files[unit.File]; !ok {
+			return nil, fmt.Errorf("unit %q has no file content", unit.File)
+		}
+		if seen[unit.File] {
+			return nil, fmt.Errorf("unit %q listed twice", unit.File)
+		}
+		seen[unit.File] = true
+		cb.Units = append(cb.Units, corpus.Unit{File: unit.File, Role: unit.Role})
+	}
+	return cb, nil
+}
+
+// registry is the daemon's uploaded-codebase map, keyed by content hash.
+type registry struct {
+	mu    sync.Mutex
+	items map[string]*corpus.Codebase
+}
+
+func newRegistry() *registry {
+	return &registry{items: map[string]*corpus.Codebase{}}
+}
+
+// put registers a codebase and returns its content-address id. Identical
+// content registers idempotently under the same id.
+func (r *registry) put(cb *corpus.Codebase) string {
+	h := core.CodebaseContentHash(cb)
+	id := fmt.Sprintf("%016x%016x", h.H1, h.H2)
+	r.mu.Lock()
+	r.items[id] = cb
+	r.mu.Unlock()
+	return id
+}
+
+// get looks a codebase up by id.
+func (r *registry) get(id string) (*corpus.Codebase, bool) {
+	r.mu.Lock()
+	cb, ok := r.items[id]
+	r.mu.Unlock()
+	return cb, ok
+}
+
+// registryEntry is one row of the GET /v1/codebases listing.
+type registryEntry struct {
+	ID    string `json:"id"`
+	App   string `json:"app"`
+	Model string `json:"model"`
+	Lang  string `json:"lang"`
+	Units int    `json:"units"`
+	Files int    `json:"files"`
+}
+
+// list returns every registered codebase, sorted by id for stable output.
+func (r *registry) list() []registryEntry {
+	r.mu.Lock()
+	out := make([]registryEntry, 0, len(r.items))
+	for id, cb := range r.items {
+		out = append(out, registryEntry{
+			ID: id, App: cb.App, Model: string(cb.Model), Lang: string(cb.Lang),
+			Units: len(cb.Units), Files: len(cb.Files),
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"silvervale/internal/cbdb"
 	"silvervale/internal/obs"
@@ -355,5 +356,103 @@ func TestStatsString(t *testing.T) {
 		if !bytes.Contains([]byte(got), []byte(frag)) {
 			t.Errorf("Stats.String() = %q missing %q", got, frag)
 		}
+	}
+}
+
+// TestTwoEnginesOneStoreInterleaving is the multi-tenant shape the serve
+// daemon introduces (DESIGN.md §14): two engines — modeled as two Store
+// handles over one directory, each with its own write-behind queue —
+// interleave puts and lookups of the same deterministic keys. Concurrent
+// puts of the same key stay keep-first: once engine A's record is
+// committed, engine B's re-put of identical bytes never rewrites the
+// file (ModTime pins it), every lookup from either handle serves the
+// committed value, and clean concurrency never increments
+// corrupt_skipped on any handle.
+func TestTwoEnginesOneStoreInterleaving(t *testing.T) {
+	dir := t.TempDir()
+	const keys = 12
+	val := func(i int) int { return i*31 + 7 }
+	path := func(i int) string {
+		name := distName(distKey(uint64(i)))
+		return filepath.Join(dir, distDir, name[:2], name)
+	}
+
+	// Engine A commits every key first and we pin the committed records'
+	// modification times — the "first" of keep-first.
+	a := openT(t, dir, Options{QueueSize: 8})
+	for i := 0; i < keys; i++ {
+		a.PutDist(distKey(uint64(i)), val(i))
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mtimes := make([]time.Time, keys)
+	for i := 0; i < keys; i++ {
+		fi, err := os.Stat(path(i))
+		if err != nil {
+			t.Fatalf("key %d never committed: %v", i, err)
+		}
+		mtimes[i] = fi.ModTime()
+	}
+
+	// Engines B and C now interleave: both re-put every key (the race a
+	// shared daemon store sees when two tenants compute the same cell)
+	// while reading back concurrently. Reads must only ever see the
+	// committed value.
+	b := openT(t, dir, Options{QueueSize: 8})
+	c := openT(t, dir, Options{QueueSize: 8})
+	var wg sync.WaitGroup
+	for _, s := range []*Store{b, c} {
+		wg.Add(1)
+		go func(s *Store) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for i := 0; i < keys; i++ {
+					s.PutDist(distKey(uint64(i)), val(i))
+					if d, ok := s.LookupDist(distKey(uint64(i))); !ok || d != val(i) {
+						t.Errorf("interleaved lookup key %d = %d, %v; want %d", i, d, ok, val(i))
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep-first: engine A's records were never rewritten.
+	for i := 0; i < keys; i++ {
+		fi, err := os.Stat(path(i))
+		if err != nil {
+			t.Fatalf("key %d vanished: %v", i, err)
+		}
+		if !fi.ModTime().Equal(mtimes[i]) {
+			t.Errorf("key %d was rewritten by a later identical put (mtime %v -> %v)",
+				i, mtimes[i], fi.ModTime())
+		}
+	}
+	for name, st := range map[string]Stats{"b": b.Stats(), "c": c.Stats()} {
+		if st.CorruptSkipped != 0 {
+			t.Errorf("engine %s: clean concurrency tripped corrupt_skipped: %+v", name, st)
+		}
+		if st.WriteErrors != 0 {
+			t.Errorf("engine %s: clean concurrency hit write errors: %+v", name, st)
+		}
+	}
+
+	// A fresh handle (a restarted daemon) still serves every key exactly.
+	s2 := openT(t, dir, Options{})
+	for i := 0; i < keys; i++ {
+		if d, ok := s2.LookupDist(distKey(uint64(i))); !ok || d != val(i) {
+			t.Fatalf("reopened lookup key %d = %d, %v; want %d", i, d, ok, val(i))
+		}
+	}
+	if st := s2.Stats(); st.CorruptSkipped != 0 {
+		t.Fatalf("reopened handle skipped corrupt records: %+v", st)
 	}
 }
